@@ -1,0 +1,82 @@
+// Command benchsuite regenerates the paper's evaluation tables and
+// figures (§4) on the local machine:
+//
+//	benchsuite -exp all
+//	benchsuite -exp fig9 -bytes-per-core 16M -cores 1,2,4,8,16 -repeats 5
+//	benchsuite -exp table1 -positions 1000000000
+//
+// Output is plain text in the row layout of the corresponding paper
+// table/figure. EXPERIMENTS.md records a reference run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: fig7|fig8|fig9|fig10|fig11|fig12|table1|table2|table3|table4|all")
+	bytesPerCore := flag.String("bytes-per-core", "4M", "uncompressed workload per core for scaling figures")
+	fig12Bytes := flag.String("fig12-bytes", "96M", "fixed workload for the chunk-size sweep")
+	coresStr := flag.String("cores", "", "comma-separated parallelism sweep (default 1,2,4,... up to NumCPU)")
+	repeats := flag.Int("repeats", 3, "measurements per cell")
+	positions := flag.Uint64("positions", 20_000_000, "bit positions for the table 1 funnel")
+	flag.Parse()
+
+	bpc, err := parseSize(*bytesPerCore)
+	if err != nil {
+		fatal(err)
+	}
+	f12, err := parseSize(*fig12Bytes)
+	if err != nil {
+		fatal(err)
+	}
+	var cores []int
+	if *coresStr != "" {
+		for _, f := range strings.Split(*coresStr, ",") {
+			c, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil {
+				fatal(fmt.Errorf("bad -cores: %w", err))
+			}
+			cores = append(cores, c)
+		}
+	}
+	cfg := experiments.Config{
+		Out:             os.Stdout,
+		Cores:           cores,
+		BytesPerCore:    bpc,
+		Fig12Bytes:      f12,
+		Table1Positions: *positions,
+		Repeats:         *repeats,
+	}
+	if err := experiments.ByName(*exp, cfg); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchsuite:", err)
+	os.Exit(1)
+}
+
+func parseSize(s string) (int, error) {
+	mult := 1
+	switch {
+	case strings.HasSuffix(s, "K"), strings.HasSuffix(s, "k"):
+		mult, s = 1<<10, s[:len(s)-1]
+	case strings.HasSuffix(s, "M"), strings.HasSuffix(s, "m"):
+		mult, s = 1<<20, s[:len(s)-1]
+	case strings.HasSuffix(s, "G"), strings.HasSuffix(s, "g"):
+		mult, s = 1<<30, s[:len(s)-1]
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n <= 0 {
+		return 0, fmt.Errorf("bad size %q", s)
+	}
+	return n * mult, nil
+}

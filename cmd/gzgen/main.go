@@ -1,0 +1,112 @@
+// Command gzgen creates the evaluation inputs: deterministic workloads
+// (base64 random, FASTQ, Silesia-like tarball, raw random) compressed
+// with any of the emulated tools/levels of the paper's Table 3, or with
+// the bzip2/LZ4 substrates of Table 4.
+//
+//	gzgen -data base64 -size 512M -preset "pigz -6" -o b64.gz
+//	gzgen -data silesia -size 64M -format bzip2 -o corpus.tar.bz2
+//	gzgen -data fastq -size 64M -preset "bgzip -l 6" -o reads.fastq.bgz
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/bzip2x"
+	"repro/internal/gzipw"
+	"repro/internal/lz4x"
+	"repro/internal/workloads"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "gzgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	data := flag.String("data", "base64", "workload: base64 | fastq | silesia | random")
+	sizeStr := flag.String("size", "64M", "uncompressed size (suffixes K, M, G)")
+	seed := flag.Uint64("seed", 1, "workload seed")
+	preset := flag.String("preset", "gzip -6", `gzip compressor emulation, e.g. "pigz -6", "bgzip -l 0", "igzip -0"`)
+	format := flag.String("format", "gzip", "container: gzip | bzip2 | lz4 | lz4frames | raw")
+	streamSize := flag.Int("stream-size", 900_000, "bzip2: uncompressed bytes per independent stream")
+	out := flag.String("o", "", "output path (required)")
+	flag.Parse()
+	if *out == "" {
+		return fmt.Errorf("-o is required")
+	}
+	size, err := parseSize(*sizeStr)
+	if err != nil {
+		return err
+	}
+
+	var gen func(int, uint64) []byte
+	switch *data {
+	case "base64":
+		gen = workloads.Base64
+	case "fastq":
+		gen = workloads.FASTQ
+	case "silesia":
+		gen = workloads.SilesiaLike
+	case "random":
+		gen = workloads.Random
+	default:
+		return fmt.Errorf("unknown workload %q", *data)
+	}
+	raw := gen(size, *seed)
+
+	var comp []byte
+	switch *format {
+	case "gzip":
+		opts, err := gzipw.Preset(*preset)
+		if err != nil {
+			return err
+		}
+		comp, _, err = gzipw.Compress(raw, opts)
+		if err != nil {
+			return err
+		}
+	case "bzip2":
+		comp, err = bzip2x.Compress(raw, bzip2x.WriterOptions{Level: 9, StreamSize: *streamSize})
+		if err != nil {
+			return err
+		}
+	case "lz4":
+		comp = lz4x.CompressFrames(raw, lz4x.FrameOptions{BlockSize: 256 << 10})
+	case "lz4frames":
+		comp = lz4x.CompressFrames(raw, lz4x.FrameOptions{FrameSize: 1 << 20, BlockSize: 256 << 10})
+	case "raw":
+		comp = raw
+	default:
+		return fmt.Errorf("unknown format %q", *format)
+	}
+
+	if err := os.WriteFile(*out, comp, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "gzgen: %s: %d -> %d bytes (ratio %.2f)\n",
+		*out, len(raw), len(comp), float64(len(raw))/float64(len(comp)))
+	return nil
+}
+
+func parseSize(s string) (int, error) {
+	mult := 1
+	switch {
+	case strings.HasSuffix(s, "K"), strings.HasSuffix(s, "k"):
+		mult, s = 1<<10, s[:len(s)-1]
+	case strings.HasSuffix(s, "M"), strings.HasSuffix(s, "m"):
+		mult, s = 1<<20, s[:len(s)-1]
+	case strings.HasSuffix(s, "G"), strings.HasSuffix(s, "g"):
+		mult, s = 1<<30, s[:len(s)-1]
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("bad size %q", s)
+	}
+	return n * mult, nil
+}

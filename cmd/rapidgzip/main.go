@@ -1,0 +1,144 @@
+// Command rapidgzip decompresses gzip files in parallel, mirroring the
+// command-line interface of the paper's tool:
+//
+//	rapidgzip -P 16 -c big.tar.gz > big.tar
+//	rapidgzip -P 16 --export-index big.gzidx big.tar.gz
+//	rapidgzip --import-index big.gzidx -c big.tar.gz > big.tar
+//	rapidgzip --count-lines big.log.gz
+//
+// With --export-index, the seek-point index built during decompression
+// is saved; importing it later skips the initial pass, doubles
+// throughput (no two-stage decoding) and balances the workload.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strings"
+
+	"repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "rapidgzip:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	parallel := flag.Int("P", runtime.NumCPU(), "decompression threads")
+	chunkSize := flag.Int("chunk-size", 4<<20, "compressed bytes per chunk")
+	toStdout := flag.Bool("c", false, "write to standard output")
+	outPath := flag.String("o", "", "output file (default: input minus .gz)")
+	verify := flag.Bool("verify", false, "verify gzip CRC32 checksums")
+	countLines := flag.Bool("count-lines", false, "count newlines instead of writing output")
+	exportIndex := flag.String("export-index", "", "write the seek-point index to this file")
+	importIndex := flag.String("import-index", "", "load a seek-point index from this file")
+	stats := flag.Bool("stats", false, "print fetcher statistics to stderr")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		return fmt.Errorf("usage: rapidgzip [flags] FILE.gz (see -h)")
+	}
+	path := flag.Arg(0)
+
+	r, err := rapidgzip.OpenOptions(path, rapidgzip.Options{
+		Parallelism:     *parallel,
+		ChunkSize:       *chunkSize,
+		VerifyChecksums: *verify,
+	})
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+
+	if *importIndex != "" {
+		f, err := os.Open(*importIndex)
+		if err != nil {
+			return err
+		}
+		err = r.ImportIndex(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	}
+
+	var out io.Writer
+	switch {
+	case *countLines:
+		out = io.Discard
+	case *toStdout:
+		out = os.Stdout
+	default:
+		p := *outPath
+		if p == "" {
+			p = strings.TrimSuffix(path, ".gz")
+			if p == path {
+				p = path + ".out"
+			}
+		}
+		f, err := os.Create(p)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+
+	var lines int64
+	if *countLines {
+		out = &lineCounter{n: &lines}
+	}
+	bw := bufio.NewWriterSize(out, 1<<20)
+	n, err := io.Copy(bw, r)
+	if err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+
+	if *countLines {
+		fmt.Println(lines)
+	}
+	if *verify {
+		if ok, fails := r.CRCVerified(); !ok || fails > 0 {
+			return fmt.Errorf("CRC verification failed (%d mismatches)", fails)
+		}
+		fmt.Fprintln(os.Stderr, "rapidgzip: checksums OK")
+	}
+	if *exportIndex != "" {
+		f, err := os.Create(*exportIndex)
+		if err != nil {
+			return err
+		}
+		err = r.ExportIndex(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+	}
+	if *stats {
+		s := r.Stats()
+		fmt.Fprintf(os.Stderr, "decompressed %d bytes; chunks=%d speculative=%d noBlock=%d falseStarts=%d onDemand=%d indexed=%d\n",
+			n, s.ChunksConsumed, s.GuessTasks, s.GuessNoBlock, s.GuessFalseStarts, s.OnDemandDecodes, s.IndexedDecodes)
+	}
+	return nil
+}
+
+// lineCounter counts newlines flowing through it.
+type lineCounter struct{ n *int64 }
+
+func (l *lineCounter) Write(p []byte) (int, error) {
+	*l.n += int64(bytes.Count(p, []byte{'\n'}))
+	return len(p), nil
+}

@@ -1,0 +1,80 @@
+// fastqcount streams a gzip-compressed FASTQ file (the bioinformatics
+// workload of the paper's Figure 11 and of pugz's original use case)
+// and tallies records and base counts while decompression runs on all
+// cores.
+//
+//	go run ./examples/fastqcount [reads.fastq.gz]
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro"
+	"repro/internal/gzipw"
+	"repro/internal/workloads"
+)
+
+func main() {
+	path := ""
+	if len(os.Args) > 1 {
+		path = os.Args[1]
+	} else {
+		path = demoFastq()
+		fmt.Printf("no input given; demo file: %s\n", path)
+	}
+
+	r, err := rapidgzip.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer r.Close()
+
+	start := time.Now()
+	sc := bufio.NewScanner(bufio.NewReaderSize(r, 4<<20))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+
+	var records, bases int64
+	var baseCounts [256]int64
+	line := 0
+	for sc.Scan() {
+		switch line % 4 {
+		case 0:
+			records++
+		case 1:
+			seq := sc.Bytes()
+			bases += int64(len(seq))
+			for _, b := range seq {
+				baseCounts[b]++
+			}
+		}
+		line++
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	gc := float64(baseCounts['G']+baseCounts['C']) / float64(bases) * 100
+	fmt.Printf("records: %d   bases: %d   GC content: %.1f%%\n", records, bases, gc)
+	fmt.Printf("processed in %v (%.0f MB/s of decompressed data)\n",
+		elapsed.Round(time.Millisecond), float64(bases)/1e6/elapsed.Seconds())
+}
+
+func demoFastq() string {
+	data := workloads.FASTQ(48<<20, 3)
+	opts, _ := gzipw.Preset("pigz -6")
+	comp, _, err := gzipw.Compress(data, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	path := filepath.Join(os.TempDir(), "rapidgzip_demo.fastq.gz")
+	if err := os.WriteFile(path, comp, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	return path
+}

@@ -1,0 +1,95 @@
+package bitio
+
+import "io"
+
+// BitWriter writes an LSB-first bit stream, accumulating bits into bytes
+// in Deflate order. It backs the compressor suite (internal/gzipw) that
+// generates the evaluation inputs.
+type BitWriter struct {
+	w     io.Writer
+	bits  uint64
+	nbits uint
+	buf   []byte
+	err   error
+
+	// BitsWritten counts every bit emitted, including padding. The
+	// compressor records exact block start offsets with it so tests can
+	// verify the block finder against ground truth.
+	BitsWritten uint64
+}
+
+// NewBitWriter returns a BitWriter emitting to w.
+func NewBitWriter(w io.Writer) *BitWriter {
+	return &BitWriter{w: w, buf: make([]byte, 0, 4096)}
+}
+
+// Err returns the first error encountered while writing.
+func (w *BitWriter) Err() error { return w.err }
+
+// WriteBits emits the low n bits of v (n <= 57), LSB first.
+func (w *BitWriter) WriteBits(v uint64, n uint) {
+	w.bits |= (v & (1<<n - 1)) << w.nbits
+	w.nbits += n
+	w.BitsWritten += uint64(n)
+	for w.nbits >= 8 {
+		w.buf = append(w.buf, byte(w.bits))
+		w.bits >>= 8
+		w.nbits -= 8
+	}
+	if len(w.buf) >= 2048 {
+		w.flushBuf()
+	}
+}
+
+// AlignToByte pads with zero bits to the next byte boundary and returns
+// the number of padding bits written (0..7). Deflate stored blocks and
+// gzip member boundaries require it.
+func (w *BitWriter) AlignToByte() uint {
+	n := (8 - w.nbits&7) & 7
+	if n > 0 {
+		w.WriteBits(0, n)
+	}
+	return n
+}
+
+// WriteBytes emits p; the writer must be byte-aligned.
+func (w *BitWriter) WriteBytes(p []byte) {
+	if w.nbits != 0 {
+		// Slow path keeps correctness if a caller forgot to align.
+		for _, b := range p {
+			w.WriteBits(uint64(b), 8)
+		}
+		return
+	}
+	w.BitsWritten += uint64(len(p)) * 8
+	if len(p) >= 2048 {
+		w.flushBuf()
+		if w.err == nil {
+			_, err := w.w.Write(p)
+			if err != nil {
+				w.err = err
+			}
+		}
+		return
+	}
+	w.buf = append(w.buf, p...)
+	if len(w.buf) >= 2048 {
+		w.flushBuf()
+	}
+}
+
+func (w *BitWriter) flushBuf() {
+	if w.err == nil && len(w.buf) > 0 {
+		if _, err := w.w.Write(w.buf); err != nil {
+			w.err = err
+		}
+	}
+	w.buf = w.buf[:0]
+}
+
+// Flush byte-aligns the stream and writes out all buffered data.
+func (w *BitWriter) Flush() error {
+	w.AlignToByte()
+	w.flushBuf()
+	return w.err
+}

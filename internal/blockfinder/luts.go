@@ -1,0 +1,147 @@
+// Package blockfinder locates candidate Deflate block starts at
+// arbitrary bit offsets (paper §3.4). It provides several Dynamic Block
+// finder implementations of increasing sophistication — the exact
+// ablation of Table 2 — plus the Non-Compressed Block finder and the
+// combined finder used by the parallel decompressor. Finders may return
+// false positives (the chunk-fetcher architecture is robust against
+// them) but must not miss real non-final Dynamic/Non-Compressed blocks.
+package blockfinder
+
+// skipLUT implements the paper's 14-bit lookup cache (§3.4.2): indexed
+// by the next 14 stream bits, it returns how many bits to skip until the
+// first position whose visible prefix could be a non-final Dynamic Block
+// header (0 = the current position passes the first three checks).
+//
+// The prefix checks cover, LSB-first from the candidate position:
+//
+//	bit 0     final-block flag, must be 0
+//	bits 1-2  block type, must be dynamic (bit1=0, bit2=1)
+//	bits 3-7  HLIT, must not be 30 or 31
+//
+// Bits beyond the window are treated optimistically.
+var skipLUT [1 << 14]uint8
+
+// hist4LUT maps 12 bits (four 3-bit precode code lengths) to a packed
+// histogram with 5 bits per length value — the bit-parallel histogram
+// trick of §3.4.2. Length 0 accumulates in bits 0..4 and is ignored.
+var hist4LUT [1 << 12]uint64
+
+// precodeLUT20 validates the packed frequencies of code lengths 1..4
+// (20 bits) in one lookup: -1 means oversubscribed, otherwise it returns
+// the number of unused leaves at depth 4 (0..16), to be extended with
+// lengths 5..7. This is the paper's 20-bit histogram-validity table.
+var precodeLUT20 []int8
+
+func prefixOK(v uint32, s uint) bool {
+	if s < 14 && v>>s&1 == 1 {
+		return false // final block
+	}
+	if s+1 < 14 && v>>(s+1)&1 == 1 {
+		return false // type bit 0 must be 0
+	}
+	if s+2 < 14 && v>>(s+2)&1 == 0 {
+		return false // type bit 1 must be 1 (dynamic)
+	}
+	// HLIT = bits s+3..s+7 little-endian; 30 and 31 both have bits
+	// s+4..s+7 set, so the value is invalid iff those four are all 1.
+	if s+7 < 14 && v>>(s+4)&0xF == 0xF {
+		return false
+	}
+	return true
+}
+
+func init() {
+	for v := uint32(0); v < 1<<14; v++ {
+		s := uint(0)
+		for ; s < 14; s++ {
+			if prefixOK(v, s) {
+				break
+			}
+		}
+		skipLUT[v] = uint8(s)
+	}
+
+	for v := uint32(0); v < 1<<12; v++ {
+		var h uint64
+		for t := uint(0); t < 4; t++ {
+			cl := v >> (3 * t) & 7
+			h += 1 << (5 * cl)
+		}
+		hist4LUT[v] = h
+	}
+
+	precodeLUT20 = make([]int8, 1<<20)
+	for v := 0; v < 1<<20; v++ {
+		avail := 1
+		ok := true
+		for l := 0; l < 4; l++ {
+			c := v >> (5 * l) & 31
+			avail = avail*2 - c
+			if avail < 0 {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			precodeLUT20[v] = -1
+		} else {
+			precodeLUT20[v] = int8(avail)
+		}
+	}
+}
+
+// packedHistogram computes the 5-bit-packed code-length histogram of the
+// first n precode entries contained in the low 3n bits of bits.
+func packedHistogram(bits uint64, n int) uint64 {
+	bits &= 1<<(3*uint(n)) - 1
+	return hist4LUT[bits&0xFFF] +
+		hist4LUT[bits>>12&0xFFF] +
+		hist4LUT[bits>>24&0xFFF] +
+		hist4LUT[bits>>36&0xFFF] +
+		hist4LUT[bits>>48&0xFFF]
+}
+
+// precodeHistogramResult classifies a packed histogram.
+type precodeHistogramResult uint8
+
+const (
+	precodeOK precodeHistogramResult = iota
+	precodeOversubscribed
+	precodeNonOptimal
+)
+
+// checkPackedHistogramLUT validates a packed histogram using the 20-bit
+// lookup for lengths 1..4 plus a short loop for 5..7 (paper §3.4.2).
+func checkPackedHistogramLUT(hist uint64) precodeHistogramResult {
+	a := precodeLUT20[hist>>5&0xFFFFF]
+	if a < 0 {
+		return precodeOversubscribed
+	}
+	avail := int(a)
+	for l := uint(5); l <= 7; l++ {
+		avail = avail*2 - int(hist>>(5*l)&31)
+		if avail < 0 {
+			return precodeOversubscribed
+		}
+	}
+	if avail != 0 {
+		return precodeNonOptimal
+	}
+	return precodeOK
+}
+
+// checkPackedHistogramLoop is the plain-loop equivalent, kept as the
+// ablation baseline for the LUT (benchmarked in this package).
+func checkPackedHistogramLoop(hist uint64) precodeHistogramResult {
+	avail := 1
+	for l := uint(1); l <= 7; l++ {
+		avail = avail*2 - int(hist>>(5*l)&31)
+		if avail < 0 {
+			return precodeOversubscribed
+		}
+	}
+	if avail != 0 {
+		return precodeNonOptimal
+	}
+	return precodeOK
+}

@@ -1,0 +1,100 @@
+package blockfinder
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/bitio"
+	"repro/internal/deflate"
+)
+
+// Funnel tallies how many candidate positions each sequential check of
+// the Dynamic Block finder filters out — the reproduction of the paper's
+// Table 1 ("Empirical filter frequencies listed top-down in the order
+// they are checked").
+type Funnel struct {
+	Tested uint64
+	Counts [deflate.NumRejectReasons]uint64
+	Valid  uint64
+}
+
+// ScanFunnel classifies up to maxPositions bit positions of data.
+// The caller should provide a buffer with at least ~2300 bits of slack
+// after the last tested position so every position can hold a maximal
+// Dynamic Block header (as the paper's Table 1 setup does).
+func ScanFunnel(data []byte, maxPositions uint64) *Funnel {
+	f := &Funnel{}
+	total := uint64(len(data)) * 8
+	positions := maxPositions
+	if slack := uint64(2400); total > slack && total-slack < positions {
+		positions = total - slack
+	}
+	br := bitio.NewBitReaderBytes(data)
+	deep := bitio.NewBitReaderBytes(data)
+	var dec deflate.Decoder
+	finder := NewDynamicFinder()
+
+	for off := uint64(0); off < positions; off++ {
+		f.Tested++
+		br.Reset(data)
+		br.SeekBits(off)
+		v, _ := br.Peek(14)
+		if v&1 == 1 {
+			f.Counts[deflate.RejectFinalBlock]++
+			continue
+		}
+		if v>>1&3 != 2 {
+			f.Counts[deflate.RejectBlockType]++
+			continue
+		}
+		if v>>4&0xF == 0xF { // HLIT is 30 or 31
+			f.Counts[deflate.RejectCodeCount]++
+			continue
+		}
+		if r := finder.precodeQuickCheck(data, off); r != deflate.RejectNone {
+			f.Counts[r]++
+			continue
+		}
+		deep.Reset(data)
+		deep.SeekBits(off + 3)
+		dec.Reset(deep)
+		if r := dec.ParseDynamicHeader(); r != deflate.RejectNone {
+			f.Counts[r]++
+			continue
+		}
+		f.Valid++
+	}
+	return f
+}
+
+// funnelRows is the print order of Table 1.
+var funnelRows = []deflate.RejectReason{
+	deflate.RejectFinalBlock,
+	deflate.RejectBlockType,
+	deflate.RejectCodeCount,
+	deflate.RejectPrecodeInvalid,
+	deflate.RejectPrecodeNonOptimal,
+	deflate.RejectPrecodeData,
+	deflate.RejectDistInvalid,
+	deflate.RejectDistNonOptimal,
+	deflate.RejectLitInvalid,
+	deflate.RejectLitNonOptimal,
+}
+
+// String renders the funnel in the layout of the paper's Table 1.
+func (f *Funnel) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-32s %d\n", "Tested bit positions", f.Tested)
+	for _, r := range funnelRows {
+		fmt.Fprintf(&b, "%-32s %d\n", capitalize(r.String()), f.Counts[r])
+	}
+	fmt.Fprintf(&b, "%-32s %d\n", "Valid Deflate headers", f.Valid)
+	return b.String()
+}
+
+func capitalize(s string) string {
+	if s == "" {
+		return s
+	}
+	return strings.ToUpper(s[:1]) + s[1:]
+}

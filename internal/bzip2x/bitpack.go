@@ -1,0 +1,37 @@
+package bzip2x
+
+// msbWriter packs bits MSB-first, the bit order of the bzip2 format
+// (unlike Deflate, which is LSB-first — see internal/bitio for that
+// writer).
+type msbWriter struct {
+	buf  []byte
+	acc  uint64
+	nAcc uint // bits currently in acc (always < 8 after flushAcc)
+}
+
+// writeBits emits the low n bits of v, most significant first.
+func (w *msbWriter) writeBits(v uint64, n uint) {
+	for n > 0 {
+		take := 8 - w.nAcc
+		if take > n {
+			take = n
+		}
+		w.acc = w.acc<<take | (v>>(n-take))&((1<<take)-1)
+		w.nAcc += take
+		n -= take
+		if w.nAcc == 8 {
+			w.buf = append(w.buf, byte(w.acc))
+			w.acc, w.nAcc = 0, 0
+		}
+	}
+}
+
+// align pads with zero bits to the next byte boundary.
+func (w *msbWriter) align() {
+	if w.nAcc > 0 {
+		w.buf = append(w.buf, byte(w.acc<<(8-w.nAcc)))
+		w.acc, w.nAcc = 0, 0
+	}
+}
+
+func (w *msbWriter) bytes() []byte { return w.buf }

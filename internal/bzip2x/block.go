@@ -1,0 +1,147 @@
+package bzip2x
+
+import (
+	"fmt"
+
+	"repro/internal/huffman"
+)
+
+// bzip2 bit-stream magics.
+const (
+	blockMagic  = 0x314159265359 // 48 bits: BCD pi
+	footerMagic = 0x177245385090 // 48 bits: BCD sqrt(pi)
+	maxCodeLen  = 20
+	groupSize   = 50 // symbols per Huffman table selector
+)
+
+// encodeBlock emits one compressed block for the pre-RLE1 bytes `raw`
+// and returns its CRC. The caller guarantees the post-RLE1 length fits
+// the stream's block size.
+func encodeBlock(w *msbWriter, raw []byte) (uint32, error) {
+	crc := blockCRC(raw)
+	data := rle1Encode(raw)
+	last, origPtr := bwt(data)
+	used := usedBytes(data)
+	syms := mtfRLE2(last, used)
+	alpha := len(used) + 2
+
+	w.writeBits(blockMagic, 48)
+	w.writeBits(uint64(crc), 32)
+	w.writeBits(0, 1) // randomized: deprecated, always 0
+	w.writeBits(uint64(origPtr), 24)
+
+	// Symbol map: 16-bit used-group bitmap, then 16 bits per used group.
+	var groups uint64
+	var groupBits [16]uint64
+	for _, b := range used {
+		groups |= 1 << (15 - b/16)
+		groupBits[b/16] |= 1 << (15 - b%16)
+	}
+	w.writeBits(groups, 16)
+	for g := 0; g < 16; g++ {
+		if groups&(1<<(15-g)) != 0 {
+			w.writeBits(groupBits[g], 16)
+		}
+	}
+
+	// Huffman coding. The format demands 2..6 tables; table 0 is built
+	// from the real frequencies, table 1 is a flat fallback, and every
+	// selector picks table 0.
+	freqs := make([]int, alpha)
+	for i := range freqs {
+		freqs[i] = 1 // every alphabet symbol needs a code
+	}
+	for _, s := range syms {
+		freqs[s]++
+	}
+	lengths0, err := huffman.BuildLengths(freqs, maxCodeLen)
+	if err != nil {
+		return 0, fmt.Errorf("bzip2x: %w", err)
+	}
+	lengths1 := flatLengths(alpha)
+	codes0 := canonicalCodes(lengths0)
+
+	nSelectors := (len(syms) + groupSize - 1) / groupSize
+	w.writeBits(2, 3)                   // nGroups
+	w.writeBits(uint64(nSelectors), 15) // nSelectors
+	for i := 0; i < nSelectors; i++ {
+		w.writeBits(0, 1) // MTF-unary for table 0: a single 0 bit
+	}
+	writeDeltaLengths(w, lengths0)
+	writeDeltaLengths(w, lengths1)
+
+	for _, s := range syms {
+		w.writeBits(uint64(codes0[s]), uint(lengths0[s]))
+	}
+	return crc, nil
+}
+
+// flatLengths returns a valid complete code of near-uniform lengths for
+// an alphabet of n >= 2 symbols (the dummy second table).
+func flatLengths(n int) []uint8 {
+	lengths := make([]uint8, n)
+	bits := uint8(1)
+	for 1<<bits < n {
+		bits++
+	}
+	// A complete code: the first 2^bits - n codes get bits-1 bits... but
+	// simpler and always valid: give everything `bits` bits and shorten
+	// the leading symbols until the Kraft sum reaches exactly 1.
+	for i := range lengths {
+		lengths[i] = bits
+	}
+	// Kraft deficit in units of 2^-bits.
+	deficit := (1 << bits) - n
+	for i := 0; deficit > 0 && i < n; i++ {
+		// Promoting one symbol from `bits` to `bits-1` absorbs one unit.
+		lengths[i] = bits - 1
+		deficit--
+	}
+	return lengths
+}
+
+// canonicalCodes assigns canonical MSB-first codes in (length, symbol)
+// order — the assignment the bzip2 format prescribes.
+func canonicalCodes(lengths []uint8) []uint32 {
+	maxLen := uint8(0)
+	minLen := uint8(255)
+	for _, l := range lengths {
+		if l > maxLen {
+			maxLen = l
+		}
+		if l < minLen {
+			minLen = l
+		}
+	}
+	codes := make([]uint32, len(lengths))
+	code := uint32(0)
+	for l := minLen; l <= maxLen; l++ {
+		for sym, sl := range lengths {
+			if sl == l {
+				codes[sym] = code
+				code++
+			}
+		}
+		code <<= 1
+	}
+	return codes
+}
+
+// writeDeltaLengths emits one Huffman table in the format's
+// delta-encoded form: 5 bits of starting length, then {1,0} for +1,
+// {1,1} for -1, and 0 to move to the next symbol.
+func writeDeltaLengths(w *msbWriter, lengths []uint8) {
+	cur := int(lengths[0])
+	w.writeBits(uint64(cur), 5)
+	for _, l := range lengths {
+		for cur < int(l) {
+			w.writeBits(0b10, 2)
+			cur++
+		}
+		for cur > int(l) {
+			w.writeBits(0b11, 2)
+			cur--
+		}
+		w.writeBits(0, 1)
+	}
+}

@@ -1,0 +1,35 @@
+package bzip2x
+
+// bzip2 uses a big-endian (non-reflected) CRC-32 with the standard
+// polynomial — the bit-mirrored cousin of the gzip CRC.
+const crcPoly = 0x04C11DB7
+
+var crcTable = func() [256]uint32 {
+	var t [256]uint32
+	for i := range t {
+		c := uint32(i) << 24
+		for b := 0; b < 8; b++ {
+			if c&0x80000000 != 0 {
+				c = c<<1 ^ crcPoly
+			} else {
+				c <<= 1
+			}
+		}
+		t[i] = c
+	}
+	return t
+}()
+
+// blockCRC computes the bzip2 block CRC of data (pre-RLE1 bytes).
+func blockCRC(data []byte) uint32 {
+	crc := ^uint32(0)
+	for _, b := range data {
+		crc = crc<<8 ^ crcTable[byte(crc>>24)^b]
+	}
+	return ^crc
+}
+
+// combineCRC folds a block CRC into the stream CRC.
+func combineCRC(stream, block uint32) uint32 {
+	return (stream<<1 | stream>>31) ^ block
+}

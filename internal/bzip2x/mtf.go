@@ -1,0 +1,68 @@
+package bzip2x
+
+// mtfRLE2 performs bzip2's second pipeline stage on the BWT output:
+// move-to-front over the block's used-symbol alphabet, with zero runs
+// encoded in bijective base 2 over the RUNA/RUNB symbols, terminated by
+// the EOB symbol.
+//
+// The output alphabet is: 0 = RUNA, 1 = RUNB, v+1 for MTF value
+// v in 1..len(used)-1, and EOB = len(used)+1.
+func mtfRLE2(bwtOut []byte, used []byte) []uint16 {
+	eob := uint16(len(used) + 1)
+	out := make([]uint16, 0, len(bwtOut)/2+8)
+
+	mtf := make([]byte, len(used))
+	copy(mtf, used)
+	pos := make([]int, 256) // current MTF position of each byte value
+	for i, b := range mtf {
+		pos[b] = i
+	}
+
+	zeroRun := 0
+	flushRun := func() {
+		// Bijective base 2: n = sum of (digit_i + 1) * 2^i with RUNA
+		// encoding digit 0 and RUNB digit 1 (matches the decoder's
+		// repeat += repeatPower << v accumulation).
+		n := zeroRun
+		for n > 0 {
+			n--
+			out = append(out, uint16(n&1))
+			n >>= 1
+		}
+		zeroRun = 0
+	}
+
+	for _, b := range bwtOut {
+		p := pos[b]
+		if p == 0 {
+			zeroRun++
+			continue
+		}
+		flushRun()
+		// Move b to the front.
+		for i := p; i > 0; i-- {
+			mtf[i] = mtf[i-1]
+			pos[mtf[i]] = i
+		}
+		mtf[0] = b
+		pos[b] = 0
+		out = append(out, uint16(p)+1)
+	}
+	flushRun()
+	return append(out, eob)
+}
+
+// usedBytes returns the sorted distinct byte values of s.
+func usedBytes(s []byte) []byte {
+	var present [256]bool
+	for _, b := range s {
+		present[b] = true
+	}
+	var used []byte
+	for v := 0; v < 256; v++ {
+		if present[v] {
+			used = append(used, byte(v))
+		}
+	}
+	return used
+}

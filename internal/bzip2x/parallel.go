@@ -1,0 +1,91 @@
+package bzip2x
+
+import (
+	"bytes"
+	"compress/bzip2"
+	"fmt"
+	"io"
+
+	"repro/internal/pool"
+)
+
+// streamMagicLen is the prefix checked by FindStreams: "BZh", a level
+// digit, and the first block's 48-bit magic (or the footer magic of an
+// empty stream).
+const streamMagicLen = 10
+
+// FindStreams scans for byte offsets that look like bzip2 stream
+// starts. Offset 0 is always included (the caller validates it by
+// decompressing). Like the gzip block finder, this may return false
+// positives — compressed payload bytes can spell the magic — so the
+// caller must be ready to fall back (§3: trial and error).
+func FindStreams(data []byte) []int {
+	offs := []int{0}
+	for i := 1; i+streamMagicLen <= len(data); i++ {
+		if data[i] != 'B' || data[i+1] != 'Z' || data[i+2] != 'h' {
+			continue
+		}
+		if data[i+3] < '1' || data[i+3] > '9' {
+			continue
+		}
+		m := uint64(0)
+		for _, b := range data[i+4 : i+10] {
+			m = m<<8 | uint64(b)
+		}
+		if m == blockMagic || m == footerMagic {
+			offs = append(offs, i)
+		}
+	}
+	return offs
+}
+
+// Decompress inflates a bzip2 file serially (any block/stream layout),
+// delegating to the standard library decoder.
+func Decompress(data []byte) ([]byte, error) {
+	out, err := io.ReadAll(bzip2.NewReader(bytes.NewReader(data)))
+	if err != nil {
+		return nil, fmt.Errorf("bzip2x: %w", err)
+	}
+	return out, nil
+}
+
+// DecompressParallel inflates a multi-stream bzip2 file with
+// stream-level parallelism, the lbzip2 scheme of Table 4: candidate
+// stream boundaries come from FindStreams, the spans between
+// consecutive candidates decode concurrently on the worker pool, and
+// any failure (for example a false-positive boundary splitting a real
+// stream) falls back to the serial whole-file path, which is always
+// correct.
+func DecompressParallel(data []byte, threads int) ([]byte, error) {
+	if threads < 1 {
+		threads = 1
+	}
+	offs := FindStreams(data)
+	if len(offs) == 1 || threads == 1 {
+		return Decompress(data)
+	}
+	p := pool.New(threads)
+	defer p.Close()
+	futs := make([]*pool.Future[[]byte], len(offs))
+	for i := range offs {
+		start := offs[i]
+		end := len(data)
+		if i+1 < len(offs) {
+			end = offs[i+1]
+		}
+		futs[i] = pool.Go(p, func() ([]byte, error) {
+			return Decompress(data[start:end])
+		})
+	}
+	var out []byte
+	for _, fut := range futs {
+		part, err := fut.Wait()
+		if err != nil {
+			// A span failed: at least one candidate was a false
+			// positive. Serial decoding resolves the layout exactly.
+			return Decompress(data)
+		}
+		out = append(out, part...)
+	}
+	return out, nil
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/bitio"
+	"repro/internal/gzformat"
+	"repro/internal/gzindex"
+)
+
+// initBGZF builds the full chunk table of a BGZF file from metadata
+// alone — the trivially parallel fast path of §3.4.4: every member
+// header carries the compressed member size (BSIZE) and every footer
+// the uncompressed size (ISIZE), so chunk boundaries, sizes, and the
+// index are known without decompressing or searching anything.
+//
+// Members are grouped into chunks of about ChunkSize compressed bytes
+// so the per-task overhead stays comparable to the generic path.
+func (f *Fetcher) initBGZF() error {
+	fileSize := int64(f.fileBits / 8)
+	br := bitio.NewBitReader(f.file, fileSize)
+
+	var pos int64
+	var decomp uint64
+	groupStart := int64(0)
+	groupDecomp := uint64(0)
+
+	flush := func(end int64, endDecomp uint64, eof bool) error {
+		ci := chunkInfo{
+			startBit:      uint64(groupStart) * 8,
+			endBit:        uint64(end) * 8,
+			startDecomp:   groupDecomp,
+			size:          endDecomp - groupDecomp,
+			atMemberStart: true,
+			unitStart:     len(f.chunks),
+			endIsEOF:      eof,
+		}
+		if err := f.index.Add(gzindex.SeekPoint{
+			CompressedBitOffset: ci.startBit,
+			UncompressedOffset:  ci.startDecomp,
+			AtMemberStart:       true,
+		}, nil); err != nil {
+			return err
+		}
+		f.chunks = append(f.chunks, ci)
+		groupStart = end
+		groupDecomp = endDecomp
+		return nil
+	}
+
+	for pos < fileSize {
+		if err := br.SeekBits(uint64(pos) * 8); err != nil {
+			return err
+		}
+		hdr, err := gzformat.ParseHeader(br)
+		if err != nil {
+			return fmt.Errorf("core: BGZF member scan at %d: %w", pos, err)
+		}
+		if hdr.BGZFBlockSize <= 0 {
+			return fmt.Errorf("core: member at %d lacks BGZF metadata", pos)
+		}
+		memberEnd := pos + int64(hdr.BGZFBlockSize)
+		if memberEnd > fileSize {
+			return fmt.Errorf("core: BGZF member at %d overruns the file", pos)
+		}
+		var isizeRaw [4]byte
+		if _, err := f.file.ReadAt(isizeRaw[:], memberEnd-4); err != nil {
+			return err
+		}
+		decomp += uint64(binary.LittleEndian.Uint32(isizeRaw[:]))
+		pos = memberEnd
+		if pos-groupStart >= int64(f.cfg.ChunkSize) || pos >= fileSize {
+			if err := flush(pos, decomp, pos >= fileSize); err != nil {
+				return err
+			}
+		}
+	}
+	if pos != fileSize {
+		return fmt.Errorf("core: BGZF members end at %d, file has %d bytes", pos, fileSize)
+	}
+	f.eof = true
+	f.frontierBit = uint64(fileSize) * 8
+	f.frontierDecomp = decomp
+	f.index.Finalized = true
+	f.index.UncompressedSize = decomp
+	return nil
+}

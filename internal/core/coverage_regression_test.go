@@ -1,0 +1,40 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gzipw"
+)
+
+// TestChunkCoverageAfterRandomAccess is a regression test: a per-entry
+// indexed decode shares its start bit with the decode unit it belongs
+// to, and the unit path of ChunkByIndex once mistook such an entry
+// payload for the whole unit, caching chunks that did not cover the
+// offsets they were registered for.
+func TestChunkCoverageAfterRandomAccess(t *testing.T) {
+	data := mkText(6, 600_000)
+	comp, _, _ := gzipw.Compress(data, gzipw.Options{Level: 6, BlockSize: 16 << 10})
+	r := open(t, comp, Config{Parallelism: 4, ChunkSize: 32 << 10})
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		off := rng.Intn(len(data) - 100)
+		rc, idx, err := r.f.ChunkAt(uint64(off))
+		if err != nil {
+			t.Fatalf("trial %d off %d: %v", trial, off, err)
+		}
+		segs, err := rc.Bytes()
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := 0
+		for _, s := range segs {
+			total += len(s)
+		}
+		if uint64(off) < rc.StartDecomp || uint64(off) >= rc.StartDecomp+uint64(total) {
+			ci := r.f.chunks[idx]
+			t.Fatalf("not covered: off=%d rc=[%d,+%d) entry={startDecomp:%d size:%d unit:%d}",
+				off, rc.StartDecomp, total, ci.startDecomp, ci.size, ci.unitStart)
+		}
+	}
+}

@@ -1,0 +1,223 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/filereader"
+	"repro/internal/gzindex"
+)
+
+// ParallelGzipReader is the public face of the architecture (§3.1): an
+// io.Reader/Seeker/ReaderAt/WriterTo over the decompressed stream of a
+// gzip file, decompressing in parallel and building a seek-point index
+// on the fly.
+//
+// All methods are safe for concurrent use; concurrent ReadAt calls at
+// different offsets share the chunk caches, the scenario §3 describes
+// for ratarmount-style filesystem access.
+type ParallelGzipReader struct {
+	mu  sync.Mutex
+	f   *Fetcher
+	pos uint64
+}
+
+// NewReader opens src for parallel decompression.
+func NewReader(src filereader.FileReader, cfg Config) (*ParallelGzipReader, error) {
+	f, err := NewFetcher(src, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &ParallelGzipReader{f: f}, nil
+}
+
+// Close releases the worker pool. Outstanding calls must have returned.
+func (r *ParallelGzipReader) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.f.Close()
+	return nil
+}
+
+// Read implements io.Reader. A seek only updates the position; all work
+// happens here (§3.1: "A seek only updates the internal position").
+func (r *ParallelGzipReader) Read(p []byte) (int, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n, err := r.readAtLocked(p, r.pos)
+	r.pos += uint64(n)
+	return n, err
+}
+
+// Seek implements io.Seeker. SeekEnd completes the initial scan first
+// because the decompressed size is only known afterwards.
+func (r *ParallelGzipReader) Seek(offset int64, whence int) (int64, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var base int64
+	switch whence {
+	case io.SeekStart:
+		base = 0
+	case io.SeekCurrent:
+		base = int64(r.pos)
+	case io.SeekEnd:
+		size, err := r.f.TotalSize()
+		if err != nil {
+			return 0, err
+		}
+		base = int64(size)
+	default:
+		return 0, fmt.Errorf("core: bad whence %d", whence)
+	}
+	target := base + offset
+	if target < 0 {
+		return 0, fmt.Errorf("core: negative seek position %d", target)
+	}
+	r.pos = uint64(target)
+	return target, nil
+}
+
+// ReadAt implements io.ReaderAt without disturbing the Read cursor.
+func (r *ParallelGzipReader) ReadAt(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("core: negative offset %d", off)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.readAtLocked(p, uint64(off))
+}
+
+// readAtLocked copies decompressed bytes starting at offset into p.
+func (r *ParallelGzipReader) readAtLocked(p []byte, offset uint64) (int, error) {
+	n := 0
+	for n < len(p) {
+		rc, _, err := r.f.ChunkAt(offset)
+		if err != nil {
+			return n, err
+		}
+		segs, err := rc.Bytes()
+		if err != nil {
+			return n, err
+		}
+		if offset < rc.StartDecomp {
+			return n, fmt.Errorf("core: chunk at %d does not cover offset %d", rc.StartDecomp, offset)
+		}
+		within := offset - rc.StartDecomp
+		copied := 0
+		for _, seg := range segs {
+			if within >= uint64(len(seg)) {
+				within -= uint64(len(seg))
+				continue
+			}
+			c := copy(p[n:], seg[within:])
+			n += c
+			copied += c
+			offset += uint64(c)
+			within = 0
+			if n == len(p) {
+				return n, nil
+			}
+		}
+		if copied == 0 {
+			return n, fmt.Errorf("core: chunk at %d too short for offset %d", rc.StartDecomp, offset)
+		}
+	}
+	return n, nil
+}
+
+// WriteTo implements io.WriterTo: the fast path for full-file
+// decompression, streaming chunk segments in order without the copy
+// into a caller buffer.
+func (r *ParallelGzipReader) WriteTo(w io.Writer) (int64, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var written int64
+	for {
+		rc, _, err := r.f.ChunkAt(r.pos)
+		if err == io.EOF {
+			return written, nil
+		}
+		if err != nil {
+			return written, err
+		}
+		segs, err := rc.Bytes()
+		if err != nil {
+			return written, err
+		}
+		within := r.pos - rc.StartDecomp
+		for _, seg := range segs {
+			if within >= uint64(len(seg)) {
+				within -= uint64(len(seg))
+				continue
+			}
+			n, err := w.Write(seg[within:])
+			written += int64(n)
+			r.pos += uint64(n)
+			within = 0
+			if err != nil {
+				return written, err
+			}
+		}
+	}
+}
+
+// Size returns the decompressed size, scanning the remainder of the
+// file if it has not been fully indexed yet.
+func (r *ParallelGzipReader) Size() (int64, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	size, err := r.f.TotalSize()
+	return int64(size), err
+}
+
+// BuildIndex completes the seek-point index for the whole file.
+func (r *ParallelGzipReader) BuildIndex() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.f.EnsureAll()
+}
+
+// ExportIndex serialises the (completed) index to w.
+func (r *ParallelGzipReader) ExportIndex(w io.Writer) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.f.EnsureAll(); err != nil {
+		return err
+	}
+	_, err := r.f.Index().WriteTo(w)
+	return err
+}
+
+// ImportIndex installs a previously exported index, skipping the
+// initial decompression pass.
+func (r *ParallelGzipReader) ImportIndex(rd io.Reader) error {
+	ix, err := gzindex.Read(rd)
+	if err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.f.ImportIndex(ix)
+}
+
+// Index exposes the index built so far (read-only use).
+func (r *ParallelGzipReader) Index() *gzindex.Index {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.f.Index()
+}
+
+// FetcherStats returns a snapshot of fetcher activity counters.
+func (r *ParallelGzipReader) FetcherStats() FetcherStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.f.Stats
+}
+
+// CRCStatus reports checksum verification state (see Fetcher.CRCStatus).
+func (r *ParallelGzipReader) CRCStatus() (bool, uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.f.CRCStatus()
+}

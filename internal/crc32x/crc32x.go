@@ -1,0 +1,88 @@
+// Package crc32x adds CRC32 (IEEE, the gzip polynomial) combination:
+// given crc(A), crc(B) and len(B), it computes crc(A||B) without
+// touching the data. This lets the parallel reader verify gzip member
+// checksums even though chunks are decompressed out of order — the
+// checksum support the paper lists as future work (§6), implemented
+// here via the standard GF(2) matrix technique used by zlib's
+// crc32_combine.
+package crc32x
+
+import "hash/crc32"
+
+// gf2Matrix is a 32x32 bit matrix over GF(2); row i is the image of bit i.
+type gf2Matrix [32]uint32
+
+func (m *gf2Matrix) timesVec(v uint32) uint32 {
+	var sum uint32
+	for i := 0; v != 0; i, v = i+1, v>>1 {
+		if v&1 != 0 {
+			sum ^= m[i]
+		}
+	}
+	return sum
+}
+
+func (m *gf2Matrix) square(into *gf2Matrix) {
+	for i := 0; i < 32; i++ {
+		into[i] = m.timesVec(m[i])
+	}
+}
+
+// zeroOperators[k] is the pure-linear operator advancing a CRC register
+// over 2^k zero bytes.
+var zeroOperators []gf2Matrix
+
+func init() {
+	// odd = operator for one zero *bit*: CRC shifts right, XOR poly.
+	var odd gf2Matrix
+	odd[0] = 0xEDB88320 // reflected IEEE polynomial
+	for i := 1; i < 32; i++ {
+		odd[i] = 1 << (i - 1)
+	}
+	var even gf2Matrix
+	odd.square(&even) // 2 bits
+	even.square(&odd) // 4 bits
+	odd.square(&even) // 8 bits = 1 byte
+	zeroOperators = append(zeroOperators, even)
+	// Each further squaring doubles the zero-byte count: 2, 4, 8, ...
+	cur := even
+	for i := 0; i < 60; i++ {
+		var next gf2Matrix
+		cur.square(&next)
+		zeroOperators = append(zeroOperators, next)
+		cur = next
+	}
+}
+
+// Combine returns the CRC of the concatenation A||B given crcA = crc(A),
+// crcB = crc(B) and lenB = len(B).
+func Combine(crcA, crcB uint32, lenB int64) uint32 {
+	if lenB <= 0 {
+		return crcA
+	}
+	// Advance crcA over lenB zero bytes, then XOR with crcB.
+	return applyZeros(crcA, uint64(lenB)) ^ crcB
+}
+
+// applyZeros computes L(Z_n)·crc — the pure-linear advance of crc over
+// nBytes zero bytes. It must stay purely linear (no crc32.Update calls,
+// whose result includes the affine pre/post-conditioning terms) for the
+// Combine identity crc(A||B) = L(B)·crc(A) ^ crc(B) to hold.
+func applyZeros(crc uint32, nBytes uint64) uint32 {
+	for k := 0; nBytes != 0; k, nBytes = k+1, nBytes>>1 {
+		if nBytes&1 != 0 {
+			crc = zeroOperators[k].timesVec(crc)
+		}
+	}
+	return crc
+}
+
+// Update extends crc over p, the plain sequential operation.
+func Update(crc uint32, p []byte) uint32 {
+	return crc32.Update(crc, crc32.IEEETable, p)
+}
+
+// Checksum computes the CRC of p from scratch.
+func Checksum(p []byte) uint32 {
+	return crc32.ChecksumIEEE(p)
+}

@@ -1,0 +1,85 @@
+package crc32x
+
+import (
+	"hash/crc32"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCombineMatchesSequential(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := make([]byte, rng.Intn(10000))
+		b := make([]byte, rng.Intn(10000))
+		rng.Read(a)
+		rng.Read(b)
+		whole := append(append([]byte(nil), a...), b...)
+		want := crc32.ChecksumIEEE(whole)
+		got := Combine(crc32.ChecksumIEEE(a), crc32.ChecksumIEEE(b), int64(len(b)))
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCombineEmptyParts(t *testing.T) {
+	data := []byte("rapidgzip")
+	crc := crc32.ChecksumIEEE(data)
+	if got := Combine(crc, crc32.ChecksumIEEE(nil), 0); got != crc {
+		t.Fatalf("empty B: %#x want %#x", got, crc)
+	}
+	if got := Combine(crc32.ChecksumIEEE(nil), crc, int64(len(data))); got != crc {
+		t.Fatalf("empty A: %#x want %#x", got, crc)
+	}
+}
+
+func TestCombineManyParts(t *testing.T) {
+	// Simulates the parallel reader combining per-chunk CRCs.
+	rng := rand.New(rand.NewSource(7))
+	var whole []byte
+	crc := uint32(0)
+	for i := 0; i < 20; i++ {
+		part := make([]byte, rng.Intn(100_000))
+		rng.Read(part)
+		whole = append(whole, part...)
+		crc = Combine(crc, crc32.ChecksumIEEE(part), int64(len(part)))
+	}
+	if want := crc32.ChecksumIEEE(whole); crc != want {
+		t.Fatalf("got %#x want %#x", crc, want)
+	}
+}
+
+func TestCombineLargeLengths(t *testing.T) {
+	// The operator table must cover many doublings; emulate a multi-GiB
+	// B of zeros.
+	zeros := make([]byte, 1<<20)
+	crcZeros1M := crc32.ChecksumIEEE(zeros)
+	// crc(A || 1MiB zeros) via combine must equal direct computation.
+	a := []byte("head")
+	whole := append(append([]byte(nil), a...), zeros...)
+	want := crc32.ChecksumIEEE(whole)
+	got := Combine(crc32.ChecksumIEEE(a), crcZeros1M, 1<<20)
+	if got != want {
+		t.Fatalf("got %#x want %#x", got, want)
+	}
+}
+
+func TestUpdateAndChecksum(t *testing.T) {
+	data := []byte("hello gzip world")
+	if Checksum(data) != crc32.ChecksumIEEE(data) {
+		t.Fatal("Checksum mismatch")
+	}
+	if Update(Update(0, data[:5]), data[5:]) != crc32.ChecksumIEEE(data) {
+		t.Fatal("Update mismatch")
+	}
+}
+
+func BenchmarkCombine(b *testing.B) {
+	crcA := Checksum([]byte("a"))
+	crcB := Checksum([]byte("b"))
+	for i := 0; i < b.N; i++ {
+		Combine(crcA, crcB, 123456789)
+	}
+}

@@ -1,0 +1,570 @@
+package deflate
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/bitio"
+	"repro/internal/gzformat"
+)
+
+// ErrOutputLimit reports that a decode exceeded MaxDecompressed. The
+// parallel reader uses it both as runaway protection against false
+// positives and to emulate pugz's fixed output buffers (paper §1.2).
+var ErrOutputLimit = errors.New("deflate: decompressed output limit exceeded")
+
+// ErrNoDistanceCode reports a back-reference in a block that declared no
+// usable distance code.
+var ErrNoDistanceCode = errors.New("deflate: length symbol without distance code")
+
+// StopAtEOF decodes to the end of the last gzip member.
+const StopAtEOF = math.MaxUint64
+
+// ChunkConfig parameterises DecodeChunk.
+type ChunkConfig struct {
+	// Start is the absolute bit offset of the first Deflate block header
+	// (or of a gzip member header when StartsAtGzipHeader is set).
+	Start uint64
+	// Stop makes decoding halt at the first non-final Dynamic or
+	// Non-Compressed block whose canonical offset is >= Stop. This stop
+	// condition matches the block finder's search conditions exactly, so
+	// the next chunk's key lines up (paper §3.3). Use StopAtEOF to decode
+	// everything.
+	Stop uint64
+	// TwoStage selects marker-based decoding for an unknown window.
+	// Otherwise Window (possibly empty) is the known initial window.
+	TwoStage bool
+	Window   []byte
+	// StartsAtGzipHeader makes the decode begin with gzip header parsing.
+	StartsAtGzipHeader bool
+	// StopBeforeMember, when nonzero, ends the chunk after a member
+	// footer whose following member would begin at/after this bit
+	// offset. This is how BGZF chunk boundaries stop (paper §3.4.4):
+	// they sit on member boundaries, not Deflate block boundaries.
+	StopBeforeMember uint64
+	// StopOnlyAtDynamic restricts the stop condition to Dynamic blocks.
+	// The pugz emulation uses this: its block finder searches only for
+	// Dynamic blocks, and §3.3 requires the stop condition to match the
+	// finder's search conditions for chunk boundaries to line up.
+	StopOnlyAtDynamic bool
+	// MaxDecompressed aborts the decode when the output exceeds this
+	// many symbols (0 = no limit).
+	MaxDecompressed uint64
+	// SizeHint pre-allocates output capacity.
+	SizeHint int
+}
+
+// BlockStart records one Deflate block boundary inside a chunk.
+type BlockStart struct {
+	// Bit is the canonical bit offset of the block header: exact for
+	// Dynamic and Fixed blocks; for non-final Non-Compressed Blocks it is
+	// normalised to 3 bits before the byte-aligned LEN field, resolving
+	// the padding ambiguity of §3.4.1.
+	Bit uint64
+	// DecompOffset is the decompressed position (within this chunk's
+	// output) where the block starts.
+	DecompOffset uint64
+	Type         BlockType
+	Final        bool
+}
+
+// MemberEvent records a gzip member boundary encountered mid-chunk.
+type MemberEvent struct {
+	// DecompOffset is the position in the chunk output where the member
+	// ended.
+	DecompOffset uint64
+	Footer       gzformat.Footer
+	// AtEOF is set when no further member follows.
+	AtEOF bool
+	// Header and HeaderEndBit describe the next member when !AtEOF.
+	Header       gzformat.Header
+	HeaderEndBit uint64
+}
+
+// ChunkResult is the output of one chunk decode: an optional marked
+// segment (two-stage, 16-bit symbols) followed by an optional raw byte
+// segment (single-stage or post-fallback).
+type ChunkResult struct {
+	StartBit uint64
+	// EndBit is the canonical offset of the block that triggered the
+	// stop condition (not consumed), or the position after the final
+	// footer when EndIsEOF.
+	EndBit   uint64
+	EndIsEOF bool
+	// TrailingData is set when bytes that are not a gzip member follow
+	// the final footer.
+	TrailingData bool
+
+	Marked []uint16
+	Raw    []byte
+
+	Members     []MemberEvent
+	BlockStarts []BlockStart
+
+	// FirstHeader is the gzip header parsed when StartsAtGzipHeader.
+	FirstHeader gzformat.Header
+}
+
+// TotalOut returns the number of decompressed symbols (= bytes after
+// marker resolution).
+func (cr *ChunkResult) TotalOut() uint64 {
+	return uint64(len(cr.Marked)) + uint64(len(cr.Raw))
+}
+
+// chunkState is the mutable decode state shared by the block loops.
+type chunkState struct {
+	out16      []uint16
+	out8       []byte
+	window     []byte
+	marked     bool
+	lastMarker int64 // index in out16 of the newest marker; -1 = virtual initial window
+	histStart  int64 // lowest valid history position (negative reaches into the window)
+	maxOut     int
+	scratch    []byte
+}
+
+func (st *chunkState) total() uint64 {
+	return uint64(len(st.out16)) + uint64(len(st.out8))
+}
+
+// canFallback reports whether the last WindowSize outputs contain no
+// marker, enabling the switch to single-stage decoding (paper §3.3).
+func (st *chunkState) canFallback() bool {
+	return st.marked && int64(len(st.out16))-st.lastMarker > WindowSize
+}
+
+// DecodeChunk decodes Deflate data according to cfg, reading from br.
+// It is the single entry point used by sequential decompression, by
+// speculative (two-stage) chunk workers and by index-based decoding.
+func (d *Decoder) DecodeChunk(br *bitio.BitReader, cfg ChunkConfig) (*ChunkResult, error) {
+	if err := br.SeekBits(cfg.Start); err != nil {
+		return nil, err
+	}
+	d.br = br
+	cr := &ChunkResult{StartBit: cfg.Start}
+	st := &chunkState{
+		marked:     cfg.TwoStage,
+		window:     cfg.Window,
+		lastMarker: -1,
+		maxOut:     math.MaxInt,
+	}
+	if cfg.MaxDecompressed > 0 && cfg.MaxDecompressed < math.MaxInt {
+		st.maxOut = int(cfg.MaxDecompressed)
+	}
+	if cfg.TwoStage {
+		st.histStart = -WindowSize
+		st.out16 = make([]uint16, 0, max(cfg.SizeHint, 64*1024))
+	} else {
+		st.histStart = -int64(len(cfg.Window))
+		st.out8 = make([]byte, 0, max(cfg.SizeHint, 64*1024))
+	}
+	if cfg.StartsAtGzipHeader {
+		hdr, err := gzformat.ParseHeader(br)
+		if err != nil {
+			return nil, err
+		}
+		cr.FirstHeader = hdr
+	}
+
+	for {
+		if st.canFallback() {
+			st.marked = false
+		}
+		headerPos := br.BitPos()
+		final, typ, err := ParseBlockHeader(br)
+		if err != nil {
+			return nil, err
+		}
+
+		switch typ {
+		case BlockStored:
+			length, lenPos, err := ParseStoredHeader(br)
+			if err != nil {
+				return nil, err
+			}
+			canonical := headerPos
+			if !final {
+				canonical = lenPos - 3
+				if !cfg.StopOnlyAtDynamic && canonical >= cfg.Stop {
+					cr.EndBit = canonical
+					d.finish(cr, st)
+					return cr, nil
+				}
+			}
+			cr.BlockStarts = append(cr.BlockStarts, BlockStart{canonical, st.total(), typ, final})
+			if err := d.copyStored(st, length); err != nil {
+				return nil, err
+			}
+
+		case BlockFixed:
+			cr.BlockStarts = append(cr.BlockStarts, BlockStart{headerPos, st.total(), typ, final})
+			if err := d.initFixed(); err != nil {
+				return nil, err
+			}
+			if err := d.decodeHuffBlock(st); err != nil {
+				return nil, err
+			}
+
+		case BlockDynamic:
+			if !final && headerPos >= cfg.Stop {
+				cr.EndBit = headerPos
+				d.finish(cr, st)
+				return cr, nil
+			}
+			cr.BlockStarts = append(cr.BlockStarts, BlockStart{headerPos, st.total(), typ, final})
+			if r := d.ParseDynamicHeader(); r != RejectNone {
+				return nil, headerErrors[r]
+			}
+			if err := d.decodeHuffBlock(st); err != nil {
+				return nil, err
+			}
+
+		default:
+			return nil, ErrCorrupt
+		}
+
+		if uint64(len(st.out16))+uint64(len(st.out8)) > uint64(st.maxOut) {
+			return nil, ErrOutputLimit
+		}
+
+		if final {
+			stop, err := d.memberEnd(cr, st, cfg.StopBeforeMember)
+			if err != nil {
+				return nil, err
+			}
+			if stop {
+				d.finish(cr, st)
+				return cr, nil
+			}
+		}
+	}
+}
+
+// memberEnd handles the gzip footer after a final block and the start
+// of the following member, if any. It reports whether the chunk ends.
+func (d *Decoder) memberEnd(cr *ChunkResult, st *chunkState, stopBeforeMember uint64) (stop bool, err error) {
+	br := d.br
+	br.AlignToByte()
+	footer, err := gzformat.ParseFooter(br)
+	if err != nil {
+		return false, err
+	}
+	ev := MemberEvent{DecompOffset: st.total(), Footer: footer}
+	if br.RemainingBits() == 0 {
+		ev.AtEOF = true
+		cr.Members = append(cr.Members, ev)
+		cr.EndIsEOF = true
+		cr.EndBit = br.BitPos()
+		return true, nil
+	}
+	endOfFooter := br.BitPos()
+	if stopBeforeMember > 0 && endOfFooter >= stopBeforeMember {
+		// The next member starts at/after the configured boundary; end
+		// the chunk here without consuming its header.
+		cr.Members = append(cr.Members, ev)
+		cr.EndBit = endOfFooter
+		return true, nil
+	}
+	hdr, err := gzformat.ParseHeader(br)
+	if err != nil {
+		// Trailing non-gzip data: stop cleanly at the footer.
+		ev.AtEOF = true
+		cr.Members = append(cr.Members, ev)
+		cr.EndIsEOF = true
+		cr.TrailingData = true
+		cr.EndBit = endOfFooter
+		return true, nil
+	}
+	ev.Header = hdr
+	ev.HeaderEndBit = br.BitPos()
+	cr.Members = append(cr.Members, ev)
+	// The back-reference window does not cross member boundaries.
+	st.histStart = int64(st.total())
+	return false, nil
+}
+
+func (d *Decoder) finish(cr *ChunkResult, st *chunkState) {
+	cr.Marked = st.out16
+	cr.Raw = st.out8
+}
+
+// copyStored implements the Non-Compressed Block fast path (§3.3): the
+// raw data is copied straight into the result buffer.
+func (d *Decoder) copyStored(st *chunkState, length int) error {
+	if length == 0 {
+		return nil
+	}
+	br := d.br
+	if !st.marked {
+		p := len(st.out8)
+		st.out8 = growBytes(st.out8, length)
+		return br.ReadFull(st.out8[p : p+length])
+	}
+	if cap(st.scratch) < 65536 {
+		st.scratch = make([]byte, 65536)
+	}
+	buf := st.scratch[:length]
+	if err := br.ReadFull(buf); err != nil {
+		return err
+	}
+	p := len(st.out16)
+	st.out16 = growU16(st.out16, length)
+	out := st.out16[p:]
+	for i, b := range buf {
+		out[i] = uint16(b)
+	}
+	return nil
+}
+
+// decodeHuffBlock decodes one Huffman-compressed block body in the
+// current mode. d.lit/d.dist must be initialised.
+func (d *Decoder) decodeHuffBlock(st *chunkState) error {
+	if st.marked {
+		return d.decodeHuffBlockMarked(st)
+	}
+	return d.decodeHuffBlockRaw(st)
+}
+
+// decodeHuffBlockMarked is the two-stage (first stage) decode loop:
+// output symbols are 16-bit; back-references into the unknown initial
+// window emit markers (paper §2.2, Figure 3).
+func (d *Decoder) decodeHuffBlockMarked(st *chunkState) error {
+	br := d.br
+	out := st.out16
+	lastMarker := st.lastMarker
+	histStart := st.histStart
+	maxOut := st.maxOut
+	defer func() {
+		st.out16 = out
+		st.lastMarker = lastMarker
+	}()
+	for {
+		sym, err := d.lit.Decode(br)
+		if err != nil {
+			return err
+		}
+		if sym < 256 {
+			out = append(out, sym)
+			continue
+		}
+		if sym == EndOfBlock {
+			return nil
+		}
+		if sym > 285 {
+			return ErrCorrupt
+		}
+		li := sym - 257
+		length := int(lengthBase[li])
+		if e := lengthExtra[li]; e > 0 {
+			v, err := br.Read(uint(e))
+			if err != nil {
+				return err
+			}
+			length += int(v)
+		}
+		if !d.hasDist {
+			return ErrNoDistanceCode
+		}
+		dsym, err := d.dist.Decode(br)
+		if err != nil {
+			return err
+		}
+		if dsym > 29 {
+			return ErrCorrupt
+		}
+		dist := int(distBase[dsym])
+		if e := distExtra[dsym]; e > 0 {
+			v, err := br.Read(uint(e))
+			if err != nil {
+				return err
+			}
+			dist += int(v)
+		}
+		p := len(out)
+		if int64(p)-int64(dist) < histStart {
+			return ErrCorrupt
+		}
+		if p+length > maxOut {
+			return ErrOutputLimit
+		}
+		if dist <= p {
+			src := p - dist
+			for k := 0; k < length; k++ {
+				v := out[src+k]
+				if v >= MarkerBase {
+					lastMarker = int64(len(out))
+				}
+				out = append(out, v)
+			}
+		} else {
+			for k := 0; k < length; k++ {
+				pp := len(out)
+				if dist <= pp {
+					v := out[pp-dist]
+					if v >= MarkerBase {
+						lastMarker = int64(pp)
+					}
+					out = append(out, v)
+				} else {
+					off := WindowSize - (dist - pp)
+					lastMarker = int64(pp)
+					out = append(out, uint16(MarkerBase+off))
+				}
+			}
+		}
+	}
+}
+
+// decodeHuffBlockRaw is the conventional single-stage decode loop used
+// when the window is known or after the marker-free fallback.
+func (d *Decoder) decodeHuffBlockRaw(st *chunkState) error {
+	br := d.br
+	out := st.out8
+	base := int64(len(st.out16))
+	histStart := st.histStart
+	maxOut := st.maxOut
+	defer func() { st.out8 = out }()
+	for {
+		sym, err := d.lit.Decode(br)
+		if err != nil {
+			return err
+		}
+		if sym < 256 {
+			out = append(out, byte(sym))
+			continue
+		}
+		if sym == EndOfBlock {
+			return nil
+		}
+		if sym > 285 {
+			return ErrCorrupt
+		}
+		li := sym - 257
+		length := int(lengthBase[li])
+		if e := lengthExtra[li]; e > 0 {
+			v, err := br.Read(uint(e))
+			if err != nil {
+				return err
+			}
+			length += int(v)
+		}
+		if !d.hasDist {
+			return ErrNoDistanceCode
+		}
+		dsym, err := d.dist.Decode(br)
+		if err != nil {
+			return err
+		}
+		if dsym > 29 {
+			return ErrCorrupt
+		}
+		dist := int(distBase[dsym])
+		if e := distExtra[dsym]; e > 0 {
+			v, err := br.Read(uint(e))
+			if err != nil {
+				return err
+			}
+			dist += int(v)
+		}
+		p := len(out)
+		if base+int64(p)-int64(dist) < histStart {
+			return ErrCorrupt
+		}
+		if int64(p)+int64(length) > int64(maxOut) {
+			return ErrOutputLimit
+		}
+		if dist <= p {
+			out = appendCopyWithin(out, dist, length)
+			continue
+		}
+		// Reach back into the marked segment or the initial window.
+		k := dist - p
+		for length > 0 && k > 0 {
+			b, ok := st.historyByte(k)
+			if !ok {
+				return ErrCorrupt
+			}
+			out = append(out, b)
+			length--
+			k--
+		}
+		if length > 0 {
+			out = appendCopyWithin(out, dist, length)
+		}
+	}
+}
+
+// historyByte returns the byte k positions before the start of the raw
+// segment: from the (marker-free by construction) tail of the marked
+// segment, or from the known initial window.
+func (st *chunkState) historyByte(k int) (byte, bool) {
+	if n := len(st.out16); n >= k {
+		v := st.out16[n-k]
+		if v >= MarkerBase {
+			return 0, false
+		}
+		return byte(v), true
+	}
+	j := k - len(st.out16)
+	if j <= len(st.window) {
+		return st.window[len(st.window)-j], true
+	}
+	return 0, false
+}
+
+// appendCopyWithin appends length bytes copied from dist back within
+// out, handling the overlapping (run-generating) case.
+func appendCopyWithin(out []byte, dist, length int) []byte {
+	p := len(out)
+	out = growBytes(out, length)
+	dst := out[p : p+length]
+	src := p - dist
+	switch {
+	case dist == 1:
+		b := out[src]
+		for i := range dst {
+			dst[i] = b
+		}
+	case dist >= length:
+		copy(dst, out[src:src+length])
+	default:
+		for i := range dst {
+			dst[i] = out[src+i]
+		}
+	}
+	return out
+}
+
+func growBytes(s []byte, n int) []byte {
+	need := len(s) + n
+	if need <= cap(s) {
+		return s[:need]
+	}
+	c := 2 * cap(s)
+	if c < need {
+		c = need
+	}
+	if c < 1024 {
+		c = 1024
+	}
+	ns := make([]byte, need, c)
+	copy(ns, s)
+	return ns
+}
+
+func growU16(s []uint16, n int) []uint16 {
+	need := len(s) + n
+	if need <= cap(s) {
+		return s[:need]
+	}
+	c := 2 * cap(s)
+	if c < need {
+		c = need
+	}
+	if c < 1024 {
+		c = 1024
+	}
+	ns := make([]uint16, need, c)
+	copy(ns, s)
+	return ns
+}

@@ -1,0 +1,217 @@
+package deflate
+
+import (
+	"bytes"
+	"compress/flate"
+	"compress/gzip"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// This file implements the paper's "delegate decompression to zlib when
+// the index has been loaded" optimization (§1.3, §3.3: "If a window
+// exists in the index for a chunk offset, then the decompression task
+// will delegate decompression to zlib. ... This is more than twice as
+// fast as the two-stage decompression").
+//
+// zlib can resume at a bit offset via inflatePrime; Go's compress/flate
+// cannot. Nor can the chunk simply be bit-shifted to offset 0: stored
+// blocks align their LEN fields to *stream* byte boundaries, so a shift
+// by k != 0 corrupts every stored block in the chunk. Instead the
+// stream is primed: a sequence of empty Deflate blocks totaling
+// ≡ startBit (mod 8) bits is prepended, the original bytes follow
+// untouched (their byte boundaries — and thus stored-block alignment —
+// are preserved), and an empty final stored block is appended at the
+// exact end offset. Empty blocks emit no output, so the preset
+// dictionary window is unaffected. An empty fixed block is 10 bits
+// (residue 2); an empty dynamic block with a hand-built header is
+// 97 bits (residue 1); compositions of the two reach every residue.
+
+// ErrDelegate reports that the fast stdlib-delegated path could not
+// decode the chunk (e.g. a gzip member boundary lies inside it); the
+// caller falls back to the custom decoder.
+var ErrDelegate = errors.New("deflate: cannot delegate chunk")
+
+// lsbWriter packs bits LSB-first (Deflate bit order) for the priming
+// prefix. Huffman codes go MSB-of-code first, per RFC 1951 §3.1.1.
+type lsbWriter struct {
+	buf []byte
+	n   uint64
+}
+
+func (w *lsbWriter) bit(b uint) {
+	if w.n%8 == 0 {
+		w.buf = append(w.buf, 0)
+	}
+	if b != 0 {
+		w.buf[w.n/8] |= 1 << (w.n % 8)
+	}
+	w.n++
+}
+
+// bits writes the low n bits of v, least significant first.
+func (w *lsbWriter) bits(v uint64, n uint) {
+	for i := uint(0); i < n; i++ {
+		w.bit(uint(v >> i & 1))
+	}
+}
+
+// code writes a Huffman code of n bits, most significant first.
+func (w *lsbWriter) code(v uint32, n uint) {
+	for i := int(n) - 1; i >= 0; i-- {
+		w.bit(uint(v >> uint(i) & 1))
+	}
+}
+
+// writeEmptyFixed emits a non-final Fixed Block containing only the
+// end-of-block symbol: 10 bits total (residue 2 mod 8).
+func (w *lsbWriter) writeEmptyFixed() {
+	w.bits(0, 1) // BFINAL
+	w.bits(1, 2) // BTYPE fixed
+	w.code(0, 7) // EOB (fixed code for symbol 256)
+}
+
+// writeEmptyDynamic emits a non-final Dynamic Block containing only the
+// end-of-block symbol, constructed to be 97 bits (odd residue):
+// literal code {0:len1, 256:len1}, one distance code of length 1,
+// precode {18:len1, 0:len2, 1:len2}.
+func (w *lsbWriter) writeEmptyDynamic() {
+	w.bits(0, 1)  // BFINAL
+	w.bits(2, 2)  // BTYPE dynamic
+	w.bits(0, 5)  // HLIT  -> 257 literal lengths
+	w.bits(0, 5)  // HDIST -> 1 distance length
+	w.bits(15, 4) // HCLEN -> 19 precode entries
+	// Precode lengths in the fixed order 16,17,18,0,8,7,9,6,10,5,11,4,
+	// 12,3,13,2,14,1,15.
+	lens := map[int]uint64{18: 1, 0: 2, 1: 2}
+	for _, sym := range [19]int{16, 17, 18, 0, 8, 7, 9, 6, 10, 5, 11, 4, 12, 3, 13, 2, 14, 1, 15} {
+		w.bits(lens[sym], 3)
+	}
+	// Canonical precode: 18 -> 0 (1 bit), 0 -> 10, 1 -> 11.
+	sym18 := func(rep uint64) { w.code(0, 1); w.bits(rep-11, 7) }
+	sym0 := func() { w.code(2, 2) }
+	sym1 := func() { w.code(3, 2) }
+	_ = sym0
+	// 258 code lengths: lit 0 -> 1, lits 1..255 -> 0 (via two repeats),
+	// lit 256 (EOB) -> 1, dist 0 -> 1.
+	sym1()
+	sym18(138)
+	sym18(117)
+	sym1()
+	sym1()
+	// Literal code: {0 -> 0, 256 -> 1}; emit EOB.
+	w.code(1, 1)
+}
+
+// writePriming emits empty blocks totaling ≡ k (mod 8) bits.
+func (w *lsbWriter) writePriming(k uint64) {
+	rest := k % 8
+	if rest%2 == 1 {
+		w.writeEmptyDynamic() // 97 bits ≡ 1
+		rest = (rest + 7) % 8 // consumed residue 1
+	}
+	for i := uint64(0); i < rest/2; i++ {
+		w.writeEmptyFixed() // 10 bits ≡ 2
+	}
+}
+
+// Realign builds a complete, self-terminating Deflate stream whose
+// payload is the bit range [startBit, endBit) of data: priming blocks
+// bring the stream position to startBit mod 8, the original bytes are
+// appended verbatim (preserving stored-block byte alignment), and an
+// empty final stored block terminates the stream at the exact end
+// offset.
+func Realign(data []byte, startBit, endBit uint64) ([]byte, error) {
+	if endBit < startBit || (endBit+7)/8 > uint64(len(data))*8 {
+		return nil, fmt.Errorf("%w: bad bit range [%d, %d)", ErrDelegate, startBit, endBit)
+	}
+	n := endBit - startBit
+	k := startBit % 8
+	w := &lsbWriter{}
+	w.writePriming(k)
+	if w.n%8 != k {
+		return nil, fmt.Errorf("%w: priming residue %d != %d", ErrDelegate, w.n%8, k)
+	}
+
+	P := w.n // priming bits; P ≡ k (mod 8)
+	base := startBit / 8
+	if k != 0 {
+		// The priming prefix ends k bits into its last byte; the top
+		// 8-k bits of the original start byte complete it.
+		w.buf[len(w.buf)-1] |= data[base] &^ byte(1<<k-1)
+		base++
+	}
+	endByte := (endBit + 7) / 8
+	if base < endByte {
+		w.buf = append(w.buf, data[base:endByte]...)
+	}
+	total := P + n // stream position right after the payload
+
+	// Terminate: clear bits at/after `total`, set BFINAL there, BTYPE=00
+	// and zero padding follow, then byte-aligned LEN=0, NLEN=0xFFFF.
+	//
+	// When endBit is the *canonical* offset of a stored block (§3.4.1:
+	// 3 bits before its byte-aligned LEN field), the real stream's
+	// preceding block ended up to 7 padding bits earlier, and flate
+	// parses the header there instead: it sees BFINAL=0 (real padding),
+	// BTYPE=00, skips the rest of the padding — including the BFINAL
+	// bit set below — and consumes the appended LEN=0/NLEN as an empty
+	// non-final stored block. A second, byte-aligned final empty stored
+	// block therefore follows: the dynamic-end case never reads it, the
+	// stored-end case terminates on it.
+	hdrEnd := (total + 3 + 7) / 8
+	for uint64(len(w.buf)) < hdrEnd {
+		w.buf = append(w.buf, 0)
+	}
+	w.buf = w.buf[:hdrEnd]
+	idx, bit := total/8, total%8
+	w.buf[idx] &= byte(1<<bit) - 1
+	w.buf[idx] |= 1 << bit
+	for i := idx + 1; uint64(i) < hdrEnd; i++ {
+		w.buf[i] = 0
+	}
+	return append(w.buf, 0x00, 0x00, 0xFF, 0xFF, 0x01, 0x00, 0x00, 0xFF, 0xFF), nil
+}
+
+// DelegateWindow decompresses the Deflate bit range [startBit, endBit)
+// of data using compress/flate with window as the preset dictionary.
+// The range must contain whole Deflate blocks of a single stream and
+// produce exactly size bytes; otherwise ErrDelegate is returned and the
+// caller must use the custom bit-level decoder.
+func DelegateWindow(data []byte, startBit, endBit uint64, window []byte, size int) ([]byte, error) {
+	buf, err := Realign(data, startBit, endBit)
+	if err != nil {
+		return nil, err
+	}
+	fr := flate.NewReaderDict(bytes.NewReader(buf), window)
+	defer fr.Close()
+	out := make([]byte, size)
+	if _, err := io.ReadFull(fr, out); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrDelegate, err)
+	}
+	// The chunk must end exactly at size: the appended empty stored
+	// block (or the member's real final block) must be next.
+	var probe [1]byte
+	if n, err := fr.Read(probe[:]); n != 0 || (err != nil && err != io.EOF) {
+		return nil, fmt.Errorf("%w: chunk produced more than %d bytes", ErrDelegate, size)
+	}
+	return out, nil
+}
+
+// DelegateMembers decompresses size bytes of whole, byte-aligned gzip
+// members starting at byteOff, using compress/gzip (which also verifies
+// each member's CRC32). This is the fast path for chunks that begin at
+// a member boundary — BGZF groups in particular (§3.4.4).
+func DelegateMembers(data []byte, byteOff int64, size int) ([]byte, error) {
+	zr, err := gzip.NewReader(bytes.NewReader(data[byteOff:]))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrDelegate, err)
+	}
+	defer zr.Close()
+	out := make([]byte, size)
+	if _, err := io.ReadFull(zr, out); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrDelegate, err)
+	}
+	return out, nil
+}

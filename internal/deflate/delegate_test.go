@@ -1,0 +1,142 @@
+package deflate_test
+
+import (
+	"bytes"
+	"compress/flate"
+	"errors"
+	"io"
+	"testing"
+
+	deflate "repro/internal/deflate"
+	"repro/internal/gzipw"
+	"repro/internal/workloads"
+)
+
+// TestDelegateWindowAgainstCustomDecoder checks that the realign+flate
+// path reproduces exactly what the custom decoder produces for every
+// interior block boundary of a real gzip file.
+func TestDelegateWindowAgainstCustomDecoder(t *testing.T) {
+	data := workloads.SilesiaLike(400_000, 1)
+	comp, meta, err := gzipw.Compress(data, gzipw.Options{Level: 6, BlockSize: 32 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks := meta.Blocks
+	tested := 0
+	for i := 0; i+1 < len(blocks); i += 2 {
+		start, end := blocks[i], blocks[i+1]
+		if start.Final || end.Final || start.Decomp == 0 {
+			continue
+		}
+		if start.Decomp < deflate.WindowSize {
+			continue
+		}
+		window := data[start.Decomp-deflate.WindowSize : start.Decomp]
+		size := int(end.Decomp - start.Decomp)
+		out, err := deflate.DelegateWindow(comp, start.Bit, end.Bit, window, size)
+		if err != nil {
+			t.Fatalf("block %d (bits %d..%d): %v", i, start.Bit, end.Bit, err)
+		}
+		if !bytes.Equal(out, data[start.Decomp:end.Decomp]) {
+			t.Fatalf("block %d: delegated output mismatch", i)
+		}
+		tested++
+	}
+	if tested < 3 {
+		t.Fatalf("only %d block pairs tested; input too small?", tested)
+	}
+}
+
+func TestDelegateWindowWrongSize(t *testing.T) {
+	data := workloads.Base64(100_000, 2)
+	comp, meta, _ := gzipw.Compress(data, gzipw.Options{Level: 6, BlockSize: 16 << 10})
+	var a, b gzipw.BlockOffset
+	for i, bo := range meta.Blocks {
+		if i > 0 && !bo.Final {
+			a = meta.Blocks[i]
+			b = meta.Blocks[i+1]
+			break
+		}
+	}
+	window := data[:a.Decomp]
+	if len(window) > deflate.WindowSize {
+		window = window[len(window)-deflate.WindowSize:]
+	}
+	size := int(b.Decomp - a.Decomp)
+	// Too small: the chunk produces more than size.
+	if _, err := deflate.DelegateWindow(comp, a.Bit, b.Bit, window, size-1); !errors.Is(err, deflate.ErrDelegate) {
+		t.Fatalf("undersized: got %v", err)
+	}
+	// Too large: the appended empty stored block ends the stream early.
+	if _, err := deflate.DelegateWindow(comp, a.Bit, b.Bit, window, size+1); !errors.Is(err, deflate.ErrDelegate) {
+		t.Fatalf("oversized: got %v", err)
+	}
+}
+
+func TestDelegateWindowRejectsMemberCrossing(t *testing.T) {
+	// A range spanning a gzip footer + next header cannot be delegated.
+	data := workloads.Base64(200_000, 3)
+	comp, meta, _ := gzipw.Compress(data, gzipw.Options{Level: 6, BlockSize: 16 << 10, MemberSize: 64 << 10})
+	if len(meta.Members) < 2 {
+		t.Fatal("need a multi-member file")
+	}
+	// From the first block of member 0 across into member 1.
+	start := meta.Blocks[0]
+	end := uint64(meta.Members[1]+100) * 8
+	if _, err := deflate.DelegateWindow(comp, start.Bit, end, nil, 150_000); !errors.Is(err, deflate.ErrDelegate) {
+		t.Fatalf("member crossing: got %v", err)
+	}
+}
+
+func TestDelegateMembers(t *testing.T) {
+	data := workloads.FASTQ(150_000, 4)
+	comp, _, err := gzipw.Compress(data, gzipw.Options{Level: 6, BGZF: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := deflate.DelegateMembers(comp, 0, len(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, data) {
+		t.Fatal("mismatch")
+	}
+	// Corrupt a payload byte: stdlib's per-member CRC must catch it.
+	bad := bytes.Clone(comp)
+	bad[len(bad)/2] ^= 0x5A
+	if _, err := deflate.DelegateMembers(bad, 0, len(data)); err == nil {
+		t.Fatal("corruption not detected")
+	}
+}
+
+// TestRealignProducesValidStream checks the bit surgery directly: the
+// realigned buffer must be a complete, self-terminating Deflate stream
+// that stdlib flate decodes to exactly the blocks' content — without
+// being told the size.
+func TestRealignProducesValidStream(t *testing.T) {
+	data := workloads.SilesiaLike(150_000, 5)
+	comp, meta, _ := gzipw.Compress(data, gzipw.Options{Level: 9, BlockSize: 16 << 10})
+	var a, b gzipw.BlockOffset
+	for i := 1; i+1 < len(meta.Blocks); i++ {
+		if !meta.Blocks[i].Final && meta.Blocks[i].Decomp > 0 {
+			a, b = meta.Blocks[i], meta.Blocks[i+1]
+			break
+		}
+	}
+	buf, err := deflate.Realign(comp, a.Bit, b.Bit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	window := data[:a.Decomp]
+	if len(window) > deflate.WindowSize {
+		window = window[len(window)-deflate.WindowSize:]
+	}
+	fr := flate.NewReaderDict(bytes.NewReader(buf), window)
+	got, err := io.ReadAll(fr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data[a.Decomp:b.Decomp]) {
+		t.Fatalf("realigned stream decodes to %d bytes, want %d", len(got), b.Decomp-a.Decomp)
+	}
+}

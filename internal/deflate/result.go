@@ -1,0 +1,130 @@
+package deflate
+
+import "errors"
+
+// ErrBadMarker reports a marker that points outside the supplied window,
+// which indicates corruption or a wrong window.
+var ErrBadMarker = errors.New("deflate: marker outside window")
+
+// ResolveMarkers replaces the 16-bit symbols of src with bytes: values
+// below MarkerBase are literals, the rest index into window, which holds
+// the (up to) 32 KiB of decompressed data preceding the chunk. This is
+// the second stage of two-stage decompression (paper §2.2); Table 2
+// benchmarks it as "Marker replacement".
+//
+// dst must have length len(src). A window shorter than 32 KiB (chunk
+// near the start of the stream) is aligned to the *end* of the virtual
+// 32 KiB window, matching how markers were assigned.
+func ResolveMarkers(dst []byte, src []uint16, window []byte) error {
+	shift := WindowSize - len(window)
+	for i, v := range src {
+		if v < MarkerBase {
+			dst[i] = byte(v)
+			continue
+		}
+		idx := int(v-MarkerBase) - shift
+		if idx < 0 || idx >= len(window) {
+			return ErrBadMarker
+		}
+		dst[i] = window[idx]
+	}
+	return nil
+}
+
+// ResolveSymbols resolves a []uint16 tail in place against window,
+// producing bytes. Used for the cheap serial window propagation between
+// chunks (paper §2.2: only the last 32 KiB must be propagated serially).
+func ResolveSymbols(src []uint16, window []byte) ([]byte, error) {
+	dst := make([]byte, len(src))
+	if err := ResolveMarkers(dst, src, window); err != nil {
+		return nil, err
+	}
+	return dst, nil
+}
+
+// HasMarkers reports whether any symbol in src is a marker.
+func HasMarkers(src []uint16) bool {
+	for _, v := range src {
+		if v >= MarkerBase {
+			return true
+		}
+	}
+	return false
+}
+
+// TailSymbols returns the last n output symbols of the chunk ending at
+// decompressed offset end (end <= TotalOut). Raw bytes are widened to
+// uint16. It allocates at most n entries.
+func (cr *ChunkResult) TailSymbols(end uint64, n int) []uint16 {
+	if end > cr.TotalOut() {
+		end = cr.TotalOut()
+	}
+	if uint64(n) > end {
+		n = int(end)
+	}
+	out := make([]uint16, n)
+	pos := n
+	// Fill from the raw segment first (it is the later segment).
+	rawEnd := int64(end) - int64(len(cr.Marked))
+	if rawEnd > 0 {
+		take := int64(pos)
+		if take > rawEnd {
+			take = rawEnd
+		}
+		for i := int64(0); i < take; i++ {
+			pos--
+			out[pos] = uint16(cr.Raw[rawEnd-1-i])
+		}
+	}
+	mEnd := int64(end)
+	if m := int64(len(cr.Marked)); mEnd > m {
+		mEnd = m
+	}
+	for i := int64(0); i < int64(pos); i++ {
+		out[int64(pos)-1-i] = cr.Marked[mEnd-1-i]
+	}
+	return out
+}
+
+// WindowAt computes the resolved 32 KiB window for the position end
+// within this chunk, given the resolved window that preceded the chunk.
+// It resolves at most 32 Ki symbols, so it is cheap enough to run
+// serially while full marker replacement happens in parallel.
+func (cr *ChunkResult) WindowAt(end uint64, prevWindow []byte) ([]byte, error) {
+	tail := cr.TailSymbols(end, WindowSize)
+	resolved, err := ResolveSymbols(tail, prevWindow)
+	if err != nil {
+		return nil, err
+	}
+	if len(resolved) >= WindowSize {
+		return resolved, nil
+	}
+	// The chunk produced fewer than 32 KiB up to end; prepend from the
+	// previous window.
+	need := WindowSize - len(resolved)
+	if need > len(prevWindow) {
+		need = len(prevWindow)
+	}
+	win := make([]byte, 0, need+len(resolved))
+	win = append(win, prevWindow[len(prevWindow)-need:]...)
+	win = append(win, resolved...)
+	return win, nil
+}
+
+// Resolved returns the chunk's decompressed bytes as up to two segments
+// (resolved-marked, raw), avoiding a copy of the raw segment. window is
+// only needed when a marked segment exists.
+func (cr *ChunkResult) Resolved(window []byte) ([][]byte, error) {
+	var segs [][]byte
+	if len(cr.Marked) > 0 {
+		dst := make([]byte, len(cr.Marked))
+		if err := ResolveMarkers(dst, cr.Marked, window); err != nil {
+			return nil, err
+		}
+		segs = append(segs, dst)
+	}
+	if len(cr.Raw) > 0 {
+		segs = append(segs, cr.Raw)
+	}
+	return segs, nil
+}

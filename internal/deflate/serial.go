@@ -1,0 +1,53 @@
+package deflate
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/bitio"
+	"repro/internal/gzformat"
+)
+
+// DecompressGzip decodes a complete (possibly multi-member) gzip buffer
+// serially with the custom single-stage decoder. It verifies each
+// member's ISIZE and CRC32 and is the single-threaded baseline the
+// paper's scaling figures compare against ("rapidgzip" at P=1).
+func DecompressGzip(data []byte) ([]byte, error) {
+	br := bitio.NewBitReaderBytes(data)
+	var d Decoder
+	cr, err := d.DecodeChunk(br, ChunkConfig{
+		Start:              0,
+		Stop:               StopAtEOF,
+		StartsAtGzipHeader: true,
+		SizeHint:           4 * len(data),
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := cr.Raw
+	if err := VerifyMembers(cr, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// VerifyMembers checks ISIZE and CRC32 of every member recorded in cr
+// against the resolved output bytes.
+func VerifyMembers(cr *ChunkResult, out []byte) error {
+	start := uint64(0)
+	for i, ev := range cr.Members {
+		if ev.DecompOffset < start || ev.DecompOffset > uint64(len(out)) {
+			return errors.New("deflate: inconsistent member offsets")
+		}
+		size := ev.DecompOffset - start
+		if uint32(size) != ev.Footer.ISize {
+			return fmt.Errorf("deflate: member %d ISIZE mismatch: footer %d, decoded %d", i, ev.Footer.ISize, size)
+		}
+		crc := gzformat.UpdateCRC(0, out[start:ev.DecompOffset])
+		if crc != ev.Footer.CRC32 {
+			return fmt.Errorf("deflate: member %d CRC mismatch: footer %#x, computed %#x", i, ev.Footer.CRC32, crc)
+		}
+		start = ev.DecompOffset
+	}
+	return nil
+}

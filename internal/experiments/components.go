@@ -1,0 +1,212 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+
+	"repro/internal/bitio"
+	"repro/internal/blockfinder"
+	"repro/internal/deflate"
+	"repro/internal/filereader"
+	"repro/internal/gzipw"
+	"repro/internal/workloads"
+)
+
+// Fig7 benchmarks BitReader.Read for 1..30 bits per call (paper
+// Figure 7: "the bit reader should be queried as rarely as possible
+// with as many bits as possible").
+func Fig7(cfg Config) error {
+	cfg = cfg.WithDefaults()
+	header(cfg.Out, "Figure 7: BitReader bandwidth vs bits per read call")
+	fmt.Fprintf(cfg.Out, "%-14s %s\n", "bits/call", "bandwidth MB/s")
+	base := cfg.BytesPerCore / 2
+	if base > 2<<20 {
+		base = 2 << 20
+	}
+	for bits := uint(1); bits <= 30; bits++ {
+		// Scale the data with bits-per-read for roughly equal runtimes,
+		// like the paper.
+		data := workloads.Random(base*int(bits)/8, uint64(bits))
+		m := measure(cfg.Repeats, func() (int64, error) {
+			br := bitio.NewBitReaderBytes(data)
+			total := uint64(len(data)) * 8
+			var sink uint64
+			for pos := uint64(0); pos+uint64(bits) <= total; pos += uint64(bits) {
+				v, err := br.Read(bits)
+				if err != nil {
+					return 0, err
+				}
+				sink ^= v
+			}
+			_ = sink
+			return int64(len(data)), nil
+		})
+		fmt.Fprintf(cfg.Out, "%-14d %s\n", bits, m)
+	}
+	return nil
+}
+
+// Fig8 benchmarks SharedFileReader with strided parallel reads (paper
+// Figure 8: 128 KiB chunks, one stride per thread, file in /dev/shm).
+func Fig8(cfg Config) error {
+	cfg = cfg.WithDefaults()
+	header(cfg.Out, "Figure 8: SharedFileReader strided parallel reads (128 KiB chunks)")
+	size := 256 << 20
+	if size > 64*cfg.BytesPerCore {
+		size = 64 * cfg.BytesPerCore
+	}
+	path := shmPath("rapidgzip_fig8.bin")
+	if err := os.WriteFile(path, workloads.Random(size, 8), 0o644); err != nil {
+		return err
+	}
+	defer os.Remove(path)
+	src, err := filereader.OpenFile(path)
+	if err != nil {
+		return err
+	}
+	defer src.Close()
+	shared := filereader.NewShared(src)
+
+	fmt.Fprintf(cfg.Out, "%-10s %s\n", "threads", "bandwidth MB/s")
+	for _, threads := range clipCores(cfg.Cores) {
+		m := measure(cfg.Repeats, func() (int64, error) {
+			errs := make(chan error, threads)
+			const chunk = 128 << 10
+			for t := 0; t < threads; t++ {
+				go func(t int) {
+					buf := make([]byte, chunk)
+					var err error
+					for off := int64(t) * chunk; off < int64(size); off += int64(threads) * chunk {
+						if _, err = shared.ReadAt(buf, off); err != nil {
+							break
+						}
+					}
+					errs <- err
+				}(t)
+			}
+			for t := 0; t < threads; t++ {
+				if err := <-errs; err != nil {
+					return 0, err
+				}
+			}
+			return int64(size), nil
+		})
+		fmt.Fprintf(cfg.Out, "%-10d %s\n", threads, m)
+	}
+	return nil
+}
+
+// Table1 reproduces the Dynamic Block finder filter funnel.
+func Table1(cfg Config) error {
+	cfg = cfg.WithDefaults()
+	header(cfg.Out, fmt.Sprintf("Table 1: filter funnel over %d random bit positions (paper: 1e12)", cfg.Table1Positions))
+	data := workloads.Random(int(cfg.Table1Positions/8)+2400, 1)
+	funnel := blockfinder.ScanFunnel(data, cfg.Table1Positions)
+	fmt.Fprint(cfg.Out, funnel.String())
+	return nil
+}
+
+// Table2 benchmarks every pipeline component (paper Table 2).
+func Table2(cfg Config) error {
+	cfg = cfg.WithDefaults()
+	header(cfg.Out, "Table 2: component bandwidths")
+	fmt.Fprintf(cfg.Out, "%-24s %s\n", "component", "bandwidth MB/s")
+
+	// Block finders scan a real gzip file of base64 data, as in the
+	// decompression pipeline. The trial finders are orders of magnitude
+	// slower, so they get proportionally smaller inputs.
+	big := cfg.BytesPerCore
+	if big > 4<<20 {
+		big = 4 << 20
+	}
+	raw := workloads.Base64(4*big, 2)
+	comp, _, err := gzipw.Compress(raw, gzipw.Options{Level: 6, BlockSize: 64 << 10})
+	if err != nil {
+		return err
+	}
+
+	scan := func(name string, f blockfinder.Finder, n int) {
+		if n > len(comp) {
+			n = len(comp)
+		}
+		data := comp[:n]
+		m := measure(cfg.Repeats, func() (int64, error) {
+			blockfinder.ScanAll(f, data, -1)
+			return int64(len(data)), nil
+		})
+		fmt.Fprintf(cfg.Out, "%-24s %s\n", name, m)
+	}
+	scan("DBF flate trial (zlib)", blockfinder.NewTrialFlateFinder(), 48<<10)
+	scan("DBF custom deflate", blockfinder.NewTrialCustomFinder(), 192<<10)
+	scan("Pugz block finder", blockfinder.NewPugzFinder(), 1<<20)
+	scan("DBF skip-LUT", blockfinder.NewSkipLUTFinder(), 2<<20)
+	scan("DBF rapidgzip", blockfinder.NewDynamicFinder(), 4<<20)
+	scan("NBF", blockfinder.StoredFinder{}, len(comp))
+
+	// Marker replacement: resolve a two-stage chunk against its window.
+	marked, window, outLen, err := markedChunk(raw)
+	if err != nil {
+		return err
+	}
+	dst := make([]byte, outLen)
+	m := measure(cfg.Repeats, func() (int64, error) {
+		if err := deflate.ResolveMarkers(dst, marked, window); err != nil {
+			return 0, err
+		}
+		return int64(outLen), nil
+	})
+	fmt.Fprintf(cfg.Out, "%-24s %s\n", "Marker replacement", m)
+
+	// Write to /dev/shm.
+	path := shmPath("rapidgzip_table2.bin")
+	defer os.Remove(path)
+	m = measure(cfg.Repeats, func() (int64, error) {
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			return 0, err
+		}
+		return int64(len(raw)), nil
+	})
+	fmt.Fprintf(cfg.Out, "%-24s %s\n", "Write to /dev/shm", m)
+
+	// Count newlines (the paper's cheapest consumer of decompressed data).
+	m = measure(cfg.Repeats, func() (int64, error) {
+		_ = bytes.Count(raw, []byte{'\n'})
+		return int64(len(raw)), nil
+	})
+	fmt.Fprintf(cfg.Out, "%-24s %s\n", "Count newlines", m)
+	return nil
+}
+
+// markedChunk produces a marked 16-bit chunk plus the window it needs,
+// by two-stage decoding the second half of a compressed stream.
+func markedChunk(raw []byte) ([]uint16, []byte, int, error) {
+	// Repetitive text keeps back-references (and therefore markers)
+	// alive across the whole chunk.
+	text := workloads.SilesiaLike(len(raw)/2, 3)
+	comp, meta, err := gzipw.Compress(text, gzipw.Options{Level: 6, BlockSize: 64 << 10})
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	// Find a block boundary near the middle using the writer's ground
+	// truth, then decode two-stage from there.
+	var bs gzipw.BlockOffset
+	for _, b := range meta.Blocks {
+		if b.Decomp > uint64(len(text)/2) && b.Type == deflate.BlockDynamic && !b.Final {
+			bs = b
+			break
+		}
+	}
+	if bs.Bit == 0 {
+		return nil, nil, 0, fmt.Errorf("no mid-file block boundary found")
+	}
+	var dec deflate.Decoder
+	cr, err := dec.DecodeChunk(bitio.NewBitReaderBytes(comp), deflate.ChunkConfig{
+		Start: bs.Bit, Stop: deflate.StopAtEOF, TwoStage: true,
+	})
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	window := text[bs.Decomp-deflate.WindowSize : bs.Decomp]
+	return cr.Marked, window, len(cr.Marked), nil
+}

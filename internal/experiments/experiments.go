@@ -1,0 +1,158 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation (§4) at laptop scale: the same workloads, the same
+// competitors (or their documented stand-ins, see DESIGN.md §2), the
+// same parameter sweeps, printed in the same row layout. cmd/benchsuite
+// is the command-line front end; the root bench_test.go exposes the
+// same runs as testing.B benchmarks.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+)
+
+// Config scales the experiments to the machine and time budget.
+type Config struct {
+	// Out receives the formatted tables.
+	Out io.Writer
+	// Cores is the parallelism sweep for the scaling figures. Empty
+	// selects {1, 2, 4, 8, 16, ...} up to runtime.NumCPU().
+	Cores []int
+	// BytesPerCore is the uncompressed workload size per core for the
+	// weak-scaling figures (the paper used 362-512 MB per core; the
+	// default here is 4 MiB so a full suite finishes in minutes).
+	BytesPerCore int
+	// Fig12Bytes is the fixed workload for the chunk-size sweep.
+	Fig12Bytes int
+	// Table1Positions is the number of bit positions for the filter
+	// funnel (the paper tested 1e12; default 2e7).
+	Table1Positions uint64
+	// Repeats per measurement (paper: 20-100). Default 3.
+	Repeats int
+}
+
+// WithDefaults fills unset fields.
+func (c Config) WithDefaults() Config {
+	if c.Out == nil {
+		c.Out = os.Stdout
+	}
+	if len(c.Cores) == 0 {
+		for p := 1; p <= runtime.NumCPU(); p *= 2 {
+			c.Cores = append(c.Cores, p)
+		}
+		if last := c.Cores[len(c.Cores)-1]; last != runtime.NumCPU() {
+			c.Cores = append(c.Cores, runtime.NumCPU())
+		}
+	}
+	if c.BytesPerCore <= 0 {
+		c.BytesPerCore = 4 << 20
+	}
+	if c.Fig12Bytes <= 0 {
+		c.Fig12Bytes = 96 << 20
+	}
+	if c.Table1Positions == 0 {
+		c.Table1Positions = 20_000_000
+	}
+	if c.Repeats <= 0 {
+		c.Repeats = 3
+	}
+	return c
+}
+
+// Measurement is a bandwidth sample set.
+type Measurement struct {
+	MBps   float64 // mean decompressed (or processed) MB/s
+	StdDev float64
+	Err    error
+}
+
+func (m Measurement) String() string {
+	if m.Err != nil {
+		return fmt.Sprintf("error: %v", truncErr(m.Err))
+	}
+	return fmt.Sprintf("%9.1f ± %.1f", m.MBps, m.StdDev)
+}
+
+func truncErr(err error) string {
+	s := err.Error()
+	if len(s) > 48 {
+		s = s[:45] + "..."
+	}
+	return s
+}
+
+// measure runs fn cfg.Repeats times; fn returns the number of payload
+// bytes it processed.
+func measure(repeats int, fn func() (int64, error)) Measurement {
+	var samples []float64
+	for i := 0; i < repeats; i++ {
+		start := time.Now()
+		n, err := fn()
+		el := time.Since(start)
+		if err != nil {
+			return Measurement{Err: err}
+		}
+		samples = append(samples, float64(n)/1e6/el.Seconds())
+	}
+	return summarize(samples)
+}
+
+func summarize(samples []float64) Measurement {
+	mean := 0.0
+	for _, s := range samples {
+		mean += s
+	}
+	mean /= float64(len(samples))
+	vari := 0.0
+	for _, s := range samples {
+		vari += (s - mean) * (s - mean)
+	}
+	if len(samples) > 1 {
+		vari /= float64(len(samples) - 1)
+	}
+	return Measurement{MBps: mean, StdDev: math.Sqrt(vari)}
+}
+
+// discard is an io.Writer that only counts.
+type discard struct{ n int64 }
+
+func (d *discard) Write(p []byte) (int, error) {
+	d.n += int64(len(p))
+	return len(p), nil
+}
+
+// shmPath returns a path on a RAM-backed filesystem when available
+// (matching the paper's /dev/shm benchmarks), else a temp path.
+func shmPath(name string) string {
+	if st, err := os.Stat("/dev/shm"); err == nil && st.IsDir() {
+		return "/dev/shm/" + name
+	}
+	return os.TempDir() + "/" + name
+}
+
+// header prints a table caption.
+func header(w io.Writer, title string) {
+	fmt.Fprintf(w, "\n=== %s ===\n", title)
+}
+
+// clipCores deduplicates and clips the sweep to the host.
+func clipCores(cores []int) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, c := range cores {
+		if c >= 1 && c <= runtime.NumCPU() && !seen[c] {
+			out = append(out, c)
+			seen[c] = true
+		}
+	}
+	sort.Ints(out)
+	if len(out) == 0 {
+		out = []int{1}
+	}
+	return out
+}

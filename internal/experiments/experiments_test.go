@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// microConfig shrinks every experiment to smoke-test scale.
+func microConfig(buf *bytes.Buffer) Config {
+	return Config{
+		Out:             buf,
+		Cores:           []int{1, 2},
+		BytesPerCore:    192 << 10,
+		Fig12Bytes:      1 << 20,
+		Table1Positions: 200_000,
+		Repeats:         1,
+	}
+}
+
+func TestEveryExperimentRuns(t *testing.T) {
+	for _, name := range []string{
+		"fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
+		"table1", "table2", "table3", "table4",
+	} {
+		t.Run(name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := ByName(name, microConfig(&buf)); err != nil {
+				t.Fatal(err)
+			}
+			out := buf.String()
+			if len(out) < 40 {
+				t.Fatalf("suspiciously short output:\n%s", out)
+			}
+			if strings.Contains(out, "NaN") {
+				t.Fatalf("NaN in output:\n%s", out)
+			}
+		})
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if err := ByName("fig99", Config{Out: &bytes.Buffer{}}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestScalingRowsContainNoErrorsOnBase64(t *testing.T) {
+	// Figure 9's inputs are printable; every cell must be a number.
+	var buf bytes.Buffer
+	if err := Fig9(microConfig(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "error") {
+		t.Fatalf("figure 9 contains error cells:\n%s", buf.String())
+	}
+}
+
+func TestFig10PugzBehaviour(t *testing.T) {
+	// The Silesia-like corpus contains bytes outside 9..126; the pugz
+	// column must show its characteristic failure (§4.5), not numbers.
+	var buf bytes.Buffer
+	if err := Fig10(microConfig(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "error") {
+		t.Fatalf("expected pugz error cells in figure 10:\n%s", buf.String())
+	}
+}

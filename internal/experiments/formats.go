@@ -1,0 +1,168 @@
+package experiments
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"runtime"
+
+	"repro/internal/bzip2x"
+	"repro/internal/gzipw"
+	"repro/internal/lz4x"
+	"repro/internal/workloads"
+)
+
+// Table3 decompresses the Silesia-like corpus compressed by every
+// compressor emulation and level of the paper's Table 3, using all
+// cores.
+func Table3(cfg Config) error {
+	cfg = cfg.WithDefaults()
+	cores := clipCores(cfg.Cores)
+	p := cores[len(cores)-1]
+	size := cfg.BytesPerCore * p
+	header(cfg.Out, fmt.Sprintf("Table 3: bandwidth vs compressor, silesia-like %d MiB, %d cores", size>>20, p))
+	data := workloads.SilesiaLike(size, 33)
+
+	presets := []string{
+		"bgzip -l -1", "bgzip -l 0", "bgzip -l 3", "bgzip -l 6", "bgzip -l 9",
+		"gzip -1", "gzip -3", "gzip -6", "gzip -9",
+		"igzip -0", "igzip -1", "igzip -2", "igzip -3",
+		"pigz -1", "pigz -3", "pigz -6", "pigz -9",
+	}
+	fmt.Fprintf(cfg.Out, "%-14s %-12s %s\n", "compressor", "ratio", "bandwidth MB/s")
+	for _, preset := range presets {
+		opts, err := gzipw.Preset(preset)
+		if err != nil {
+			return err
+		}
+		comp, _, err := gzipw.Compress(data, opts)
+		if err != nil {
+			return err
+		}
+		ratio := float64(len(data)) / float64(len(comp))
+		m := measure(cfg.Repeats, func() (int64, error) { return rapidgzipRun(comp, p, nil) })
+		fmt.Fprintf(cfg.Out, "%-14s %-12.2f %s\n", preset, ratio, m)
+	}
+	return nil
+}
+
+// Table4 compares formats and decompressors at P = 1, 16, max (paper
+// Table 4). Stand-ins per DESIGN.md: lbzip2 -> bzip2x.DecompressParallel,
+// lz4 -> lz4x serial, pzstd -> lz4x multi-frame parallel (a format whose
+// per-frame metadata makes parallel decompression trivial).
+func Table4(cfg Config) error {
+	cfg = cfg.WithDefaults()
+	cores := clipCores(cfg.Cores)
+	maxP := cores[len(cores)-1]
+	ps := []int{1}
+	if maxP >= 16 {
+		ps = append(ps, 16)
+	}
+	if maxP != 1 && maxP != 16 {
+		ps = append(ps, maxP)
+	}
+
+	header(cfg.Out, "Table 4: cross-format comparison")
+	fmt.Fprintf(cfg.Out, "%-10s %-8s %-26s %-4s %s\n", "format", "ratio", "decompressor", "P", "bandwidth MB/s")
+
+	for _, p := range ps {
+		// Weak scaling like the paper: 2 Silesia tarballs per core.
+		data := workloads.SilesiaLike(cfg.BytesPerCore*p, 44)
+
+		// gzip + {rapidgzip, rapidgzip(index), igzip-stdlib}.
+		gz, _, err := gzipw.Compress(data, presetOrDie("gzip -6"))
+		if err != nil {
+			return err
+		}
+		gzRatio := ratioOf(data, gz)
+		m := measure(cfg.Repeats, func() (int64, error) { return rapidgzipRun(gz, p, nil) })
+		fmt.Fprintf(cfg.Out, "%-10s %-8.2f %-26s %-4d %s\n", "gzip", gzRatio, "rapidgzip", p, m)
+		idx, err := buildIndex(gz, p)
+		if err != nil {
+			return err
+		}
+		m = measure(cfg.Repeats, func() (int64, error) { return rapidgzipRun(gz, p, idx) })
+		fmt.Fprintf(cfg.Out, "%-10s %-8.2f %-26s %-4d %s\n", "gzip", gzRatio, "rapidgzip (index)", p, m)
+		if p == 1 {
+			m = measure(cfg.Repeats, func() (int64, error) {
+				zr, err := gzip.NewReader(bytes.NewReader(gz))
+				if err != nil {
+					return 0, err
+				}
+				var d discard
+				_, err = io.Copy(&d, zr)
+				return d.n, err
+			})
+			fmt.Fprintf(cfg.Out, "%-10s %-8.2f %-26s %-4d %s\n", "gzip", gzRatio, "igzip (stdlib flate)", p, m)
+		}
+
+		// BGZF: metadata-chunked gzip, the trivially parallel format.
+		bg, _, err := gzipw.Compress(data, presetOrDie("bgzip -l 6"))
+		if err != nil {
+			return err
+		}
+		m = measure(cfg.Repeats, func() (int64, error) { return rapidgzipRun(bg, p, nil) })
+		fmt.Fprintf(cfg.Out, "%-10s %-8.2f %-26s %-4d %s\n", "bgzf", ratioOf(data, bg), "rapidgzip (bgzf path)", p, m)
+
+		// bzip2 multi-stream + lbzip2-style parallel decompression.
+		bz, err := bzip2x.Compress(data, bzip2x.WriterOptions{Level: 9, StreamSize: 900_000})
+		if err != nil {
+			return err
+		}
+		m = measure(cfg.Repeats, func() (int64, error) {
+			out, err := bzip2x.DecompressParallel(bz, p)
+			return int64(len(out)), err
+		})
+		fmt.Fprintf(cfg.Out, "%-10s %-8.2f %-26s %-4d %s\n", "bzip2", ratioOf(data, bz), "lbzip2 (bzip2x)", p, m)
+
+		// Multi-frame LZ4: the pzstd analog (per-frame content sizes).
+		pz := lz4x.CompressFrames(data, lz4x.FrameOptions{FrameSize: 1 << 20, BlockSize: 256 << 10})
+		m = measure(cfg.Repeats, func() (int64, error) {
+			out, err := lz4x.DecompressParallel(pz, p)
+			return int64(len(out)), err
+		})
+		fmt.Fprintf(cfg.Out, "%-10s %-8.2f %-26s %-4d %s\n", "pzstd*", ratioOf(data, pz), "pzstd-analog (lz4x frames)", p, m)
+
+		// Single-frame LZ4, serial (the lz4 row; only meaningful at P=1).
+		if p == 1 {
+			lz := lz4x.CompressFrames(data, lz4x.FrameOptions{BlockSize: 256 << 10})
+			m = measure(cfg.Repeats, func() (int64, error) {
+				out, err := lz4x.Decompress(lz)
+				return int64(len(out)), err
+			})
+			fmt.Fprintf(cfg.Out, "%-10s %-8.2f %-26s %-4d %s\n", "lz4", ratioOf(data, lz), "lz4x (serial)", p, m)
+		}
+	}
+	fmt.Fprintf(cfg.Out, "(* pzstd stand-in: multi-frame LZ4 with per-frame content sizes; see DESIGN.md §2. host cores: %d)\n", runtime.NumCPU())
+	return nil
+}
+
+func ratioOf(data, comp []byte) float64 {
+	return float64(len(data)) / float64(len(comp))
+}
+
+// All runs every experiment in paper order.
+func All(cfg Config) error {
+	for _, f := range []func(Config) error{Fig7, Fig8, Table1, Table2, Fig9, Fig10, Fig11, Fig12, Table3, Table4} {
+		if err := f(cfg); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ByName runs one experiment by its paper label.
+func ByName(name string, cfg Config) error {
+	m := map[string]func(Config) error{
+		"fig7": Fig7, "fig8": Fig8, "fig9": Fig9, "fig10": Fig10,
+		"fig11": Fig11, "fig12": Fig12,
+		"table1": Table1, "table2": Table2, "table3": Table3, "table4": Table4,
+		"all": All,
+	}
+	f, ok := m[name]
+	if !ok {
+		return fmt.Errorf("experiments: unknown experiment %q (fig7-12, table1-4, all)", name)
+	}
+	return f(cfg)
+}

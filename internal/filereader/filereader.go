@@ -1,0 +1,130 @@
+// Package filereader abstracts file access for the parallel reader —
+// the FileReader hierarchy of the paper's architecture (Figure 5):
+// StandardFileReader wraps regular files, MemoryReader serves in-memory
+// buffers, and SharedFileReader lets many decompression threads read the
+// same file concurrently with positional reads (benchmarked in the
+// paper's Figure 8).
+package filereader
+
+import (
+	"errors"
+	"io"
+	"os"
+	"sync/atomic"
+)
+
+// FileReader is a sized, concurrently usable positional reader. All
+// implementations must allow concurrent ReadAt calls.
+type FileReader interface {
+	io.ReaderAt
+	// Size returns the total size in bytes.
+	Size() int64
+}
+
+// MemoryReader serves a byte slice; the zero-copy path for benchmarks
+// and tests (the paper's equivalent is a file in /dev/shm).
+type MemoryReader []byte
+
+// ReadAt implements io.ReaderAt.
+func (m MemoryReader) ReadAt(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, errors.New("filereader: negative offset")
+	}
+	if off >= int64(len(m)) {
+		return 0, io.EOF
+	}
+	n := copy(p, m[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+// Size implements FileReader.
+func (m MemoryReader) Size() int64 { return int64(len(m)) }
+
+// StandardFileReader wraps an *os.File. os.File.ReadAt issues pread(2),
+// which is safe for concurrent use from many goroutines.
+type StandardFileReader struct {
+	f    *os.File
+	size int64
+}
+
+// OpenFile opens path for shared positional reading.
+func OpenFile(path string) (*StandardFileReader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &StandardFileReader{f: f, size: st.Size()}, nil
+}
+
+// NewStandardFileReader wraps an already-open file.
+func NewStandardFileReader(f *os.File) (*StandardFileReader, error) {
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	return &StandardFileReader{f: f, size: st.Size()}, nil
+}
+
+// ReadAt implements io.ReaderAt.
+func (r *StandardFileReader) ReadAt(p []byte, off int64) (int, error) {
+	return r.f.ReadAt(p, off)
+}
+
+// Size implements FileReader.
+func (r *StandardFileReader) Size() int64 { return r.size }
+
+// Close closes the underlying file.
+func (r *StandardFileReader) Close() error { return r.f.Close() }
+
+// SharedFileReader multiplexes one FileReader across decompression
+// threads, counting traffic. The paper's SharedFileReader additionally
+// maintains per-thread cursors; in Go the positional-read model makes
+// cursors unnecessary, so this wrapper only adds accounting.
+type SharedFileReader struct {
+	src       FileReader
+	bytesRead atomic.Int64
+	reads     atomic.Int64
+}
+
+// NewShared wraps src for shared use.
+func NewShared(src FileReader) *SharedFileReader {
+	return &SharedFileReader{src: src}
+}
+
+// ReadAt implements io.ReaderAt; it is safe for concurrent use.
+func (s *SharedFileReader) ReadAt(p []byte, off int64) (int, error) {
+	n, err := s.src.ReadAt(p, off)
+	s.bytesRead.Add(int64(n))
+	s.reads.Add(1)
+	return n, err
+}
+
+// Size implements FileReader.
+func (s *SharedFileReader) Size() int64 { return s.src.Size() }
+
+// BytesRead returns the total bytes served so far.
+func (s *SharedFileReader) BytesRead() int64 { return s.bytesRead.Load() }
+
+// Reads returns the number of ReadAt calls served so far.
+func (s *SharedFileReader) Reads() int64 { return s.reads.Load() }
+
+// ReadAll loads the entire source into memory.
+func ReadAll(src FileReader) ([]byte, error) {
+	out := make([]byte, src.Size())
+	n, err := src.ReadAt(out, 0)
+	if int64(n) == src.Size() {
+		return out, nil
+	}
+	if err == nil {
+		err = io.ErrUnexpectedEOF
+	}
+	return nil, err
+}

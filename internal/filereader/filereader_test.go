@@ -1,0 +1,223 @@
+package filereader
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+func TestMemoryReader(t *testing.T) {
+	m := MemoryReader([]byte("hello world"))
+	if m.Size() != 11 {
+		t.Fatal("size")
+	}
+	buf := make([]byte, 5)
+	n, err := m.ReadAt(buf, 6)
+	if err != nil || n != 5 || string(buf) != "world" {
+		t.Fatalf("n=%d err=%v buf=%q", n, err, buf)
+	}
+	// Short read at the tail returns io.EOF.
+	n, err = m.ReadAt(buf, 9)
+	if n != 2 || err != io.EOF {
+		t.Fatalf("tail: n=%d err=%v", n, err)
+	}
+	if _, err := m.ReadAt(buf, 11); err != io.EOF {
+		t.Fatalf("past end: %v", err)
+	}
+	if _, err := m.ReadAt(buf, -1); err == nil {
+		t.Fatal("negative offset accepted")
+	}
+}
+
+func TestStandardFileReader(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "data.bin")
+	content := make([]byte, 100_000)
+	rand.New(rand.NewSource(1)).Read(content)
+	if err := os.WriteFile(path, content, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Size() != int64(len(content)) {
+		t.Fatal("size mismatch")
+	}
+	got, err := ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, content) {
+		t.Fatal("content mismatch")
+	}
+}
+
+func TestSharedConcurrentReads(t *testing.T) {
+	// The Figure 8 scenario: many threads read the same buffer in a
+	// strided pattern; every byte must arrive intact and the stats must
+	// add up.
+	content := make([]byte, 1<<20)
+	rand.New(rand.NewSource(2)).Read(content)
+	s := NewShared(MemoryReader(content))
+
+	const threads = 8
+	const stride = 128 * 1024
+	var wg sync.WaitGroup
+	errs := make(chan error, threads)
+	for tid := 0; tid < threads; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			buf := make([]byte, stride)
+			for off := int64(tid) * stride; off < s.Size(); off += threads * stride {
+				n, err := s.ReadAt(buf[:minI64(stride, s.Size()-off)], off)
+				if err != nil && err != io.EOF {
+					errs <- err
+					return
+				}
+				if !bytes.Equal(buf[:n], content[off:off+int64(n)]) {
+					errs <- io.ErrUnexpectedEOF
+					return
+				}
+			}
+		}(tid)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if s.BytesRead() != int64(len(content)) {
+		t.Fatalf("accounted %d bytes, want %d", s.BytesRead(), len(content))
+	}
+	if s.Reads() != 8 {
+		t.Fatalf("reads = %d", s.Reads())
+	}
+}
+
+func minI64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// BenchmarkSharedStrided reproduces Figure 8: aggregate bandwidth of
+// strided 128 KiB reads from shared memory for varying thread counts.
+func BenchmarkSharedStrided(b *testing.B) {
+	content := make([]byte, 64<<20)
+	rand.New(rand.NewSource(3)).Read(content)
+	maxThreads := runtime.GOMAXPROCS(0)
+	for _, threads := range []int{1, 2, 4, 8, 16, maxThreads} {
+		if threads > maxThreads {
+			continue
+		}
+		b.Run(benchName(threads), func(b *testing.B) {
+			s := NewShared(MemoryReader(content))
+			b.SetBytes(int64(len(content)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var wg sync.WaitGroup
+				for tid := 0; tid < threads; tid++ {
+					wg.Add(1)
+					go func(tid int) {
+						defer wg.Done()
+						buf := make([]byte, 128<<10)
+						for off := int64(tid) * int64(len(buf)); off < s.Size(); off += int64(threads) * int64(len(buf)) {
+							end := off + int64(len(buf))
+							if end > s.Size() {
+								end = s.Size()
+							}
+							s.ReadAt(buf[:end-off], off)
+						}
+					}(tid)
+				}
+				wg.Wait()
+			}
+		})
+	}
+}
+
+func benchName(threads int) string {
+	return "threads=" + string(rune('0'+threads/10)) + string(rune('0'+threads%10))
+}
+
+func TestOpenFileAndStandardReader(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f.bin")
+	content := []byte("0123456789abcdef")
+	if err := os.WriteFile(path, content, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Size() != int64(len(content)) {
+		t.Fatalf("size %d", r.Size())
+	}
+	buf := make([]byte, 4)
+	if _, err := r.ReadAt(buf, 10); err != nil || string(buf) != "abcd" {
+		t.Fatalf("%q %v", buf, err)
+	}
+	if _, err := OpenFile(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	r2, err := NewStandardFileReader(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Size() != int64(len(content)) {
+		t.Fatal("wrapped size mismatch")
+	}
+}
+
+func TestMemoryReaderEdges(t *testing.T) {
+	m := MemoryReader("hello")
+	buf := make([]byte, 10)
+	if _, err := m.ReadAt(buf, -1); err == nil {
+		t.Fatal("negative offset accepted")
+	}
+	if _, err := m.ReadAt(buf, 5); err != io.EOF {
+		t.Fatalf("offset at end: %v", err)
+	}
+	n, err := m.ReadAt(buf, 2)
+	if n != 3 || err != io.EOF {
+		t.Fatalf("short read: n=%d err=%v", n, err)
+	}
+}
+
+func TestReadAll(t *testing.T) {
+	data := []byte("the whole content")
+	got, err := ReadAll(MemoryReader(data))
+	if err != nil || string(got) != string(data) {
+		t.Fatalf("%q %v", got, err)
+	}
+}
+
+func TestSharedCounters(t *testing.T) {
+	s := NewShared(MemoryReader(make([]byte, 1000)))
+	buf := make([]byte, 100)
+	for i := 0; i < 5; i++ {
+		s.ReadAt(buf, int64(i)*100)
+	}
+	if s.Reads() != 5 || s.BytesRead() != 500 {
+		t.Fatalf("reads=%d bytes=%d", s.Reads(), s.BytesRead())
+	}
+	if s.Size() != 1000 {
+		t.Fatal("size passthrough broken")
+	}
+}

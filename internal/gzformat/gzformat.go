@@ -1,0 +1,263 @@
+// Package gzformat parses and writes the gzip container format
+// (RFC 1952): member headers, footers (CRC32 + ISIZE) and the BGZF
+// extra-field convention used by bgzip (paper §3.4.4). Deflate itself
+// lives in internal/deflate; this package only handles the byte-aligned
+// wrapper around it.
+package gzformat
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"repro/internal/bitio"
+)
+
+// Gzip header constants (RFC 1952).
+const (
+	ID1 = 0x1F
+	ID2 = 0x8B
+	CM  = 8 // deflate
+
+	flagText    = 1 << 0
+	flagHdrCRC  = 1 << 1
+	flagExtra   = 1 << 2
+	flagName    = 1 << 3
+	flagComment = 1 << 4
+)
+
+// ErrNotGzip reports a missing or malformed gzip magic/header.
+var ErrNotGzip = errors.New("gzformat: not a gzip stream")
+
+// Header holds the parsed fields of one gzip member header.
+type Header struct {
+	ModTime  uint32
+	XFL      byte
+	OS       byte
+	Name     string
+	Comment  string
+	Extra    []byte
+	Text     bool
+	HeaderSz int // total encoded size in bytes
+
+	// BGZFBlockSize is the total compressed size of this gzip member as
+	// declared by a BGZF "BC" extra subfield, or 0 when absent. This is
+	// the metadata that makes BGZF files trivially parallelizable.
+	BGZFBlockSize int
+}
+
+// Footer is the 8-byte gzip member trailer.
+type Footer struct {
+	CRC32 uint32
+	ISize uint32 // uncompressed size mod 2^32
+}
+
+// ParseHeader reads a gzip member header from br. The reader may be at
+// an arbitrary bit position (e.g. right after a preceding member's
+// footer parsed mid-chunk); gzip headers are byte-sized but the bit
+// reader handles the framing.
+func ParseHeader(br *bitio.BitReader) (Header, error) {
+	var h Header
+	b := func() (byte, error) { return br.ReadByte() }
+
+	id1, err := b()
+	if err != nil {
+		return h, err
+	}
+	id2, err := b()
+	if err != nil {
+		return h, err
+	}
+	cm, err := b()
+	if err != nil {
+		return h, err
+	}
+	if id1 != ID1 || id2 != ID2 || cm != CM {
+		return h, ErrNotGzip
+	}
+	flg, err := b()
+	if err != nil {
+		return h, err
+	}
+	if flg&0xE0 != 0 {
+		return h, fmt.Errorf("gzformat: reserved header flag bits set: %#x", flg)
+	}
+	var fixed [6]byte
+	for i := range fixed {
+		fixed[i], err = b()
+		if err != nil {
+			return h, err
+		}
+	}
+	h.ModTime = binary.LittleEndian.Uint32(fixed[0:4])
+	h.XFL = fixed[4]
+	h.OS = fixed[5]
+	h.Text = flg&flagText != 0
+	size := 10
+
+	if flg&flagExtra != 0 {
+		lo, err := b()
+		if err != nil {
+			return h, err
+		}
+		hi, err := b()
+		if err != nil {
+			return h, err
+		}
+		xlen := int(lo) | int(hi)<<8
+		h.Extra = make([]byte, xlen)
+		for i := 0; i < xlen; i++ {
+			h.Extra[i], err = b()
+			if err != nil {
+				return h, err
+			}
+		}
+		size += 2 + xlen
+		h.BGZFBlockSize = parseBGZFExtra(h.Extra)
+	}
+	if flg&flagName != 0 {
+		s, n, err := readCString(br)
+		if err != nil {
+			return h, err
+		}
+		h.Name = s
+		size += n
+	}
+	if flg&flagComment != 0 {
+		s, n, err := readCString(br)
+		if err != nil {
+			return h, err
+		}
+		h.Comment = s
+		size += n
+	}
+	if flg&flagHdrCRC != 0 {
+		if _, err := b(); err != nil {
+			return h, err
+		}
+		if _, err := b(); err != nil {
+			return h, err
+		}
+		size += 2
+	}
+	h.HeaderSz = size
+	return h, nil
+}
+
+func readCString(br *bitio.BitReader) (string, int, error) {
+	var buf []byte
+	for {
+		c, err := br.ReadByte()
+		if err != nil {
+			return "", 0, err
+		}
+		if c == 0 {
+			return string(buf), len(buf) + 1, nil
+		}
+		if len(buf) > 1<<16 {
+			return "", 0, errors.New("gzformat: unterminated header string")
+		}
+		buf = append(buf, c)
+	}
+}
+
+// parseBGZFExtra scans gzip extra subfields for the BGZF "BC" subfield
+// and returns the declared total member size (BSIZE+1), or 0.
+func parseBGZFExtra(extra []byte) int {
+	for len(extra) >= 4 {
+		si1, si2 := extra[0], extra[1]
+		slen := int(binary.LittleEndian.Uint16(extra[2:4]))
+		if len(extra) < 4+slen {
+			return 0
+		}
+		if si1 == 'B' && si2 == 'C' && slen == 2 {
+			return int(binary.LittleEndian.Uint16(extra[4:6])) + 1
+		}
+		extra = extra[4+slen:]
+	}
+	return 0
+}
+
+// ParseFooter reads the 8-byte member trailer. The reader must be
+// byte-aligned (the deflate decoder aligns after the final block).
+func ParseFooter(br *bitio.BitReader) (Footer, error) {
+	var raw [8]byte
+	if err := br.ReadFull(raw[:]); err != nil {
+		return Footer{}, err
+	}
+	return Footer{
+		CRC32: binary.LittleEndian.Uint32(raw[0:4]),
+		ISize: binary.LittleEndian.Uint32(raw[4:8]),
+	}, nil
+}
+
+// WriteHeaderOptions configures WriteHeader.
+type WriteHeaderOptions struct {
+	Name    string
+	Comment string
+	Extra   []byte
+	ModTime uint32
+	OS      byte
+}
+
+// WriteHeader emits a gzip member header and returns its size in bytes.
+func WriteHeader(w io.Writer, opts WriteHeaderOptions) (int, error) {
+	var flg byte
+	if len(opts.Extra) > 0 {
+		flg |= flagExtra
+	}
+	if opts.Name != "" {
+		flg |= flagName
+	}
+	if opts.Comment != "" {
+		flg |= flagComment
+	}
+	buf := make([]byte, 0, 32+len(opts.Extra)+len(opts.Name)+len(opts.Comment))
+	buf = append(buf, ID1, ID2, CM, flg)
+	buf = binary.LittleEndian.AppendUint32(buf, opts.ModTime)
+	buf = append(buf, 0, opts.OS)
+	if len(opts.Extra) > 0 {
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(opts.Extra)))
+		buf = append(buf, opts.Extra...)
+	}
+	if opts.Name != "" {
+		buf = append(buf, opts.Name...)
+		buf = append(buf, 0)
+	}
+	if opts.Comment != "" {
+		buf = append(buf, opts.Comment...)
+		buf = append(buf, 0)
+	}
+	n, err := w.Write(buf)
+	return n, err
+}
+
+// WriteFooter emits the member trailer for data with the given CRC and
+// uncompressed size.
+func WriteFooter(w io.Writer, crc uint32, isize uint64) error {
+	var raw [8]byte
+	binary.LittleEndian.PutUint32(raw[0:4], crc)
+	binary.LittleEndian.PutUint32(raw[4:8], uint32(isize))
+	_, err := w.Write(raw[:])
+	return err
+}
+
+// BGZFExtra builds the "BC" extra subfield declaring a total member size
+// of bsize bytes.
+func BGZFExtra(bsize int) []byte {
+	extra := make([]byte, 6)
+	extra[0], extra[1] = 'B', 'C'
+	binary.LittleEndian.PutUint16(extra[2:4], 2)
+	binary.LittleEndian.PutUint16(extra[4:6], uint16(bsize-1))
+	return extra
+}
+
+// NewCRC returns the running CRC32 (IEEE) used by gzip footers.
+func NewCRC() uint32 { return 0 }
+
+// UpdateCRC extends crc with p, matching RFC 1952's CRC32.
+func UpdateCRC(crc uint32, p []byte) uint32 {
+	return crc32.Update(crc, crc32.IEEETable, p)
+}

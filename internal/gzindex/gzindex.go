@@ -1,0 +1,251 @@
+// Package gzindex implements the seek-point database of the paper
+// (§1.3 "Index for Seeking", §3.3): for each chunk start it stores the
+// compressed bit offset, the decompressed byte offset and the preceding
+// 32 KiB window, enabling constant-time seeking and window-primed
+// (single-stage) decompression. Indexes can be exported and imported so
+// later runs skip the initial decompression pass, like indexed_gzip's
+// .gzi files; the on-disk format here is this package's own versioned
+// binary layout with flate-compressed windows.
+package gzindex
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// SeekPoint marks a position where decompression can resume.
+type SeekPoint struct {
+	// CompressedBitOffset is the exact bit offset of a Deflate block
+	// header (canonicalised for stored blocks) or of a gzip member
+	// header (flagged by AtMemberStart).
+	CompressedBitOffset uint64
+	// UncompressedOffset is the decompressed position of this point.
+	UncompressedOffset uint64
+	// AtMemberStart marks points that sit on a gzip member boundary
+	// (e.g. BGZF members), where decoding must begin with header parsing
+	// and an empty window.
+	AtMemberStart bool
+}
+
+// Index is the seek-point database. It is not goroutine-safe; the chunk
+// fetcher serialises access.
+type Index struct {
+	points  []SeekPoint
+	windows map[uint64][]byte // keyed by CompressedBitOffset
+
+	// Finalized is set once the whole file has been scanned, making
+	// sizes authoritative.
+	Finalized        bool
+	CompressedSize   uint64 // bytes
+	UncompressedSize uint64
+	ChunkSize        int // compressed chunk size used during creation
+}
+
+// New returns an empty index.
+func New(chunkSize int) *Index {
+	return &Index{windows: map[uint64][]byte{}, ChunkSize: chunkSize}
+}
+
+// Add appends a seek point; points must be added in stream order.
+// window is the decompressed data preceding the point (nil for member
+// starts, up to 32 KiB otherwise).
+func (ix *Index) Add(p SeekPoint, window []byte) error {
+	if n := len(ix.points); n > 0 {
+		last := ix.points[n-1]
+		if p.UncompressedOffset < last.UncompressedOffset ||
+			p.CompressedBitOffset <= last.CompressedBitOffset {
+			return fmt.Errorf("gzindex: out-of-order seek point %+v after %+v", p, last)
+		}
+	}
+	ix.points = append(ix.points, p)
+	if window != nil {
+		ix.windows[p.CompressedBitOffset] = window
+	}
+	return nil
+}
+
+// Len returns the number of seek points.
+func (ix *Index) Len() int { return len(ix.points) }
+
+// Point returns the i-th seek point.
+func (ix *Index) Point(i int) SeekPoint { return ix.points[i] }
+
+// Window returns the stored window for a compressed offset.
+func (ix *Index) Window(compressedBitOffset uint64) ([]byte, bool) {
+	w, ok := ix.windows[compressedBitOffset]
+	return w, ok
+}
+
+// Find returns the index of the last seek point whose uncompressed
+// offset is <= target, or false when no point qualifies (empty index).
+func (ix *Index) Find(target uint64) (int, bool) {
+	if len(ix.points) == 0 {
+		return 0, false
+	}
+	// First point with UncompressedOffset > target, minus one.
+	i := sort.Search(len(ix.points), func(i int) bool {
+		return ix.points[i].UncompressedOffset > target
+	})
+	if i == 0 {
+		return 0, false
+	}
+	return i - 1, true
+}
+
+const magic = "RGZIDX01"
+
+// WriteTo serialises the index. Windows are flate-compressed — they are
+// the bulk of the index and compress well.
+func (ix *Index) WriteTo(w io.Writer) (int64, error) {
+	var buf bytes.Buffer
+	buf.WriteString(magic)
+	flags := uint32(0)
+	if ix.Finalized {
+		flags |= 1
+	}
+	binary.Write(&buf, binary.LittleEndian, flags)
+	binary.Write(&buf, binary.LittleEndian, uint64(ix.ChunkSize))
+	binary.Write(&buf, binary.LittleEndian, ix.CompressedSize)
+	binary.Write(&buf, binary.LittleEndian, ix.UncompressedSize)
+	binary.Write(&buf, binary.LittleEndian, uint64(len(ix.points)))
+	for _, p := range ix.points {
+		binary.Write(&buf, binary.LittleEndian, p.CompressedBitOffset)
+		binary.Write(&buf, binary.LittleEndian, p.UncompressedOffset)
+		var memberFlag uint8
+		if p.AtMemberStart {
+			memberFlag = 1
+		}
+		buf.WriteByte(memberFlag)
+		win, ok := ix.windows[p.CompressedBitOffset]
+		if !ok {
+			binary.Write(&buf, binary.LittleEndian, uint32(0xFFFFFFFF))
+			continue
+		}
+		comp, err := flateCompress(win)
+		if err != nil {
+			return 0, err
+		}
+		binary.Write(&buf, binary.LittleEndian, uint32(len(win)))
+		binary.Write(&buf, binary.LittleEndian, uint32(len(comp)))
+		buf.Write(comp)
+	}
+	n, err := w.Write(buf.Bytes())
+	return int64(n), err
+}
+
+// Read deserialises an index written by WriteTo.
+func Read(r io.Reader) (*Index, error) {
+	br := bufReader{r: r}
+	var m [8]byte
+	if err := br.full(m[:]); err != nil {
+		return nil, err
+	}
+	if string(m[:]) != magic {
+		return nil, errors.New("gzindex: bad magic")
+	}
+	flags := br.u32()
+	ix := New(int(br.u64()))
+	ix.Finalized = flags&1 != 0
+	ix.CompressedSize = br.u64()
+	ix.UncompressedSize = br.u64()
+	n := br.u64()
+	if br.err != nil {
+		return nil, br.err
+	}
+	if n > 1<<40 {
+		return nil, errors.New("gzindex: implausible point count")
+	}
+	for i := uint64(0); i < n; i++ {
+		var p SeekPoint
+		p.CompressedBitOffset = br.u64()
+		p.UncompressedOffset = br.u64()
+		p.AtMemberStart = br.u8() == 1
+		rawLen := br.u32()
+		if br.err != nil {
+			return nil, br.err
+		}
+		var win []byte
+		if rawLen != 0xFFFFFFFF {
+			if rawLen > 1<<20 {
+				return nil, errors.New("gzindex: implausible window size")
+			}
+			compLen := br.u32()
+			comp := make([]byte, compLen)
+			if err := br.full(comp); err != nil {
+				return nil, err
+			}
+			var err error
+			win, err = flateDecompress(comp, int(rawLen))
+			if err != nil {
+				return nil, err
+			}
+		}
+		ix.points = append(ix.points, p)
+		if win != nil {
+			ix.windows[p.CompressedBitOffset] = win
+		}
+	}
+	return ix, br.err
+}
+
+func flateCompress(data []byte) ([]byte, error) {
+	var buf bytes.Buffer
+	fw, err := flate.NewWriter(&buf, 6)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := fw.Write(data); err != nil {
+		return nil, err
+	}
+	if err := fw.Close(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func flateDecompress(comp []byte, rawLen int) ([]byte, error) {
+	fr := flate.NewReader(bytes.NewReader(comp))
+	defer fr.Close()
+	out := make([]byte, rawLen)
+	if _, err := io.ReadFull(fr, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// bufReader wraps sequential little-endian primitive reads.
+type bufReader struct {
+	r   io.Reader
+	err error
+}
+
+func (b *bufReader) full(p []byte) error {
+	if b.err != nil {
+		return b.err
+	}
+	_, b.err = io.ReadFull(b.r, p)
+	return b.err
+}
+
+func (b *bufReader) u8() uint8 {
+	var raw [1]byte
+	b.full(raw[:])
+	return raw[0]
+}
+
+func (b *bufReader) u32() uint32 {
+	var raw [4]byte
+	b.full(raw[:])
+	return binary.LittleEndian.Uint32(raw[:])
+}
+
+func (b *bufReader) u64() uint64 {
+	var raw [8]byte
+	b.full(raw[:])
+	return binary.LittleEndian.Uint64(raw[:])
+}

@@ -1,0 +1,372 @@
+package gzipw
+
+import (
+	"errors"
+
+	"repro/internal/bitio"
+	"repro/internal/deflate"
+	"repro/internal/huffman"
+)
+
+// precodeOrder is the storage permutation of RFC 1951 §3.2.7.
+var precodeOrder = [19]uint8{16, 17, 18, 0, 8, 7, 9, 6, 10, 5, 11, 4, 12, 3, 13, 2, 14, 1, 15}
+
+// lengthCodeOf / distCodeOf are direct lookup tables built once.
+var (
+	lengthCodeOf [maxMatch + 1]uint16 // length -> literal alphabet symbol
+	distCodeHi   [maxDist >> 7]uint8  // dist-1 >> 7 -> symbol (for dist > 256)
+	distCodeLo   [256]uint8           // dist-1 -> symbol (for dist <= 256)
+)
+
+func init() {
+	for l := minMatch; l <= maxMatch; l++ {
+		sym, _, _ := deflate.LengthCode(l)
+		lengthCodeOf[l] = sym
+	}
+	for d := 1; d <= 256; d++ {
+		sym, _, _ := deflate.DistCode(d)
+		distCodeLo[d-1] = uint8(sym)
+	}
+	for d := 257; d <= maxDist; d++ {
+		sym, _, _ := deflate.DistCode(d)
+		distCodeHi[(d-1)>>7] = uint8(sym)
+	}
+}
+
+func distSym(dist int) uint8 {
+	if dist <= 256 {
+		return distCodeLo[dist-1]
+	}
+	return distCodeHi[(dist-1)>>7]
+}
+
+// lengthExtraBits/distExtraBits duplicate the decoder tables for emission.
+var lengthExtraBits = [286]uint8{}
+var lengthBaseOf = [286]uint16{}
+var distExtraBits = [30]uint8{}
+var distBaseOf = [30]uint32{}
+
+func init() {
+	for l := minMatch; l <= maxMatch; l++ {
+		sym, extra, _ := deflate.LengthCode(l)
+		lengthExtraBits[sym] = extra
+		if lengthBaseOf[sym] == 0 {
+			lengthBaseOf[sym] = uint16(l)
+		}
+	}
+	// Recompute exact bases: LengthCode returns (sym, extra, offset); the
+	// base is l - offset.
+	for l := minMatch; l <= maxMatch; l++ {
+		sym, _, off := deflate.LengthCode(l)
+		lengthBaseOf[sym] = uint16(l - int(off))
+	}
+	for d := 1; d <= maxDist; d++ {
+		sym, extra, off := deflate.DistCode(d)
+		distExtraBits[sym] = extra
+		distBaseOf[sym] = uint32(d - int(off))
+	}
+}
+
+// tokenHistograms tallies the literal/length and distance alphabets.
+func tokenHistograms(tokens []token) (litFreq [286]int, distFreq [30]int) {
+	for _, t := range tokens {
+		if !t.isMatch() {
+			litFreq[t.literal()]++
+			continue
+		}
+		litFreq[lengthCodeOf[t.length()]]++
+		distFreq[distSym(t.dist())]++
+	}
+	litFreq[deflate.EndOfBlock]++
+	return
+}
+
+// clOp is one precode operation from run-length encoding code lengths.
+type clOp struct {
+	sym   uint8 // 0..18
+	extra uint8 // repeat payload
+}
+
+// rleCodeLengths encodes the concatenated code lengths with symbols
+// 16 (copy previous 3-6), 17 (zeros 3-10) and 18 (zeros 11-138).
+func rleCodeLengths(lens []uint8) (ops []clOp, freq [19]int) {
+	i := 0
+	for i < len(lens) {
+		v := lens[i]
+		run := 1
+		for i+run < len(lens) && lens[i+run] == v {
+			run++
+		}
+		if v == 0 {
+			for run >= 3 {
+				n := run
+				if n > 138 {
+					n = 138
+				}
+				if n >= 11 {
+					ops = append(ops, clOp{18, uint8(n - 11)})
+					freq[18]++
+				} else {
+					ops = append(ops, clOp{17, uint8(n - 3)})
+					freq[17]++
+				}
+				run -= n
+				i += n
+			}
+			for ; run > 0; run-- {
+				ops = append(ops, clOp{0, 0})
+				freq[0]++
+				i++
+			}
+			continue
+		}
+		// First occurrence emits the length itself; repeats use 16.
+		ops = append(ops, clOp{v, 0})
+		freq[v]++
+		i++
+		run--
+		for run >= 3 {
+			n := run
+			if n > 6 {
+				n = 6
+			}
+			ops = append(ops, clOp{16, uint8(n - 3)})
+			freq[16]++
+			run -= n
+			i += n
+		}
+		for ; run > 0; run-- {
+			ops = append(ops, clOp{v, 0})
+			freq[v]++
+			i++
+		}
+	}
+	return
+}
+
+var clExtraBits = [19]uint8{16: 2, 17: 3, 18: 7}
+
+// dynamicPlan holds everything needed to emit a dynamic block and its
+// exact bit size, so block-type selection can compare costs.
+type dynamicPlan struct {
+	litEnc, distEnc, preEnc *huffman.Encoder
+	litLens, distLens       []uint8
+	ops                     []clOp
+	nlit, ndist, nclen      int
+	headerBits, bodyBits    int
+}
+
+func planDynamic(tokens []token) (*dynamicPlan, error) {
+	litFreq, distFreq := tokenHistograms(tokens)
+	litLens, err := huffman.BuildLengths(litFreq[:], huffman.MaxBits)
+	if err != nil {
+		return nil, err
+	}
+	// End-of-block must be codeable even in an all-literal tiny block.
+	if litLens[deflate.EndOfBlock] == 0 {
+		return nil, errors.New("gzipw: end-of-block not coded")
+	}
+	distUsed := 0
+	for _, f := range distFreq {
+		if f > 0 {
+			distUsed++
+		}
+	}
+	var distLens []uint8
+	if distUsed > 0 {
+		distLens, err = huffman.BuildLengths(distFreq[:], huffman.MaxBits)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		distLens = []uint8{0}
+	}
+
+	nlit := 257
+	for s := 285; s >= 257; s-- {
+		if litLens[s] > 0 {
+			nlit = s + 1
+			break
+		}
+	}
+	ndist := 1
+	for s := len(distLens) - 1; s >= 1; s-- {
+		if distLens[s] > 0 {
+			ndist = s + 1
+			break
+		}
+	}
+	combined := make([]uint8, 0, nlit+ndist)
+	combined = append(combined, litLens[:nlit]...)
+	combined = append(combined, distLens[:ndist]...)
+	ops, preFreq := rleCodeLengths(combined)
+	preLens, err := huffman.BuildLengths(preFreq[:], 7)
+	if err != nil {
+		return nil, err
+	}
+	nclen := 4
+	for i := 18; i >= 4; i-- {
+		if preLens[precodeOrder[i]] > 0 {
+			nclen = i + 1
+			break
+		}
+	}
+	litEnc, err := huffman.NewEncoder(litLens)
+	if err != nil {
+		return nil, err
+	}
+	distEnc, err := huffman.NewEncoder(distLens)
+	if err != nil {
+		return nil, err
+	}
+	preEnc, err := huffman.NewEncoder(preLens)
+	if err != nil {
+		return nil, err
+	}
+
+	p := &dynamicPlan{
+		litEnc: litEnc, distEnc: distEnc, preEnc: preEnc,
+		litLens: litLens, distLens: distLens,
+		ops: ops, nlit: nlit, ndist: ndist, nclen: nclen,
+	}
+	p.headerBits = 14 + 3*nclen
+	for _, op := range ops {
+		p.headerBits += int(preLens[op.sym]) + int(clExtraBits[op.sym])
+	}
+	for s, f := range litFreq {
+		if f > 0 {
+			p.bodyBits += f * (int(litLens[s]) + int(extraBitsForLit(s)))
+		}
+	}
+	for s, f := range distFreq {
+		if f > 0 {
+			p.bodyBits += f * (int(distLens[s]) + int(distExtraBits[s]))
+		}
+	}
+	return p, nil
+}
+
+func extraBitsForLit(sym int) uint8 {
+	if sym < 257 {
+		return 0
+	}
+	return lengthExtraBits[sym]
+}
+
+// fixedCost returns the bit cost of encoding tokens with the fixed code.
+func fixedCost(tokens []token) int {
+	litFreq, distFreq := tokenHistograms(tokens)
+	fl := deflate.FixedLitLengths()
+	bits := 0
+	for s, f := range litFreq {
+		if f > 0 {
+			bits += f * (int(fl[s]) + int(extraBitsForLit(s)))
+		}
+	}
+	for s, f := range distFreq {
+		if f > 0 {
+			bits += f * (5 + int(distExtraBits[s]))
+		}
+	}
+	return bits
+}
+
+// emitDynamic writes a complete dynamic block.
+func emitDynamic(bw *bitio.BitWriter, p *dynamicPlan, tokens []token, final bool) {
+	f := uint64(0)
+	if final {
+		f = 1
+	}
+	bw.WriteBits(f|uint64(deflate.BlockDynamic)<<1, 3)
+	bw.WriteBits(uint64(p.nlit-257), 5)
+	bw.WriteBits(uint64(p.ndist-1), 5)
+	bw.WriteBits(uint64(p.nclen-4), 4)
+	for i := 0; i < p.nclen; i++ {
+		bw.WriteBits(uint64(p.preEnc.Lengths[precodeOrder[i]]), 3)
+	}
+	for _, op := range p.ops {
+		bw.WriteBits(uint64(p.preEnc.Codes[op.sym]), uint(p.preEnc.Lengths[op.sym]))
+		if eb := clExtraBits[op.sym]; eb > 0 {
+			bw.WriteBits(uint64(op.extra), uint(eb))
+		}
+	}
+	emitTokens(bw, p.litEnc, p.distEnc, tokens)
+}
+
+// emitFixed writes a fixed-Huffman block.
+func emitFixed(bw *bitio.BitWriter, tokens []token, final bool) {
+	f := uint64(0)
+	if final {
+		f = 1
+	}
+	bw.WriteBits(f|uint64(deflate.BlockFixed)<<1, 3)
+	litEnc, _ := huffman.NewEncoder(deflate.FixedLitLengths())
+	distEnc, _ := huffman.NewEncoder(deflate.FixedDistLengths())
+	emitTokens(bw, litEnc, distEnc, tokens)
+}
+
+func emitTokens(bw *bitio.BitWriter, litEnc, distEnc *huffman.Encoder, tokens []token) {
+	for _, t := range tokens {
+		if !t.isMatch() {
+			b := t.literal()
+			bw.WriteBits(uint64(litEnc.Codes[b]), uint(litEnc.Lengths[b]))
+			continue
+		}
+		length, dist := t.length(), t.dist()
+		ls := lengthCodeOf[length]
+		bw.WriteBits(uint64(litEnc.Codes[ls]), uint(litEnc.Lengths[ls]))
+		if eb := lengthExtraBits[ls]; eb > 0 {
+			bw.WriteBits(uint64(length-int(lengthBaseOf[ls])), uint(eb))
+		}
+		ds := distSym(dist)
+		bw.WriteBits(uint64(distEnc.Codes[ds]), uint(distEnc.Lengths[ds]))
+		if eb := distExtraBits[ds]; eb > 0 {
+			bw.WriteBits(uint64(dist-int(distBaseOf[ds])), uint(eb))
+		}
+	}
+	bw.WriteBits(uint64(litEnc.Codes[deflate.EndOfBlock]), uint(litEnc.Lengths[deflate.EndOfBlock]))
+}
+
+// emitStored writes data as stored blocks (65535-byte cap per block),
+// invoking record with each block's canonical bit offset (the normalised
+// offset of §3.4.1 for non-final blocks) and input offset.
+func emitStored(bw *bitio.BitWriter, data []byte, final bool, record func(canonical uint64, off int, final bool)) {
+	off := 0
+	for {
+		n := len(data) - off
+		if n > 65535 {
+			n = 65535
+		}
+		last := off+n == len(data)
+		f := uint64(0)
+		if final && last {
+			f = 1
+		}
+		headerPos := bw.BitsWritten
+		bw.WriteBits(f|uint64(deflate.BlockStored)<<1, 3)
+		bw.AlignToByte()
+		canonical := bw.BitsWritten - 3
+		if f == 1 {
+			canonical = headerPos
+		}
+		record(canonical, off, final && last)
+		bw.WriteBits(uint64(n), 16)
+		bw.WriteBits(uint64(^uint16(n)), 16)
+		bw.WriteBytes(data[off : off+n])
+		off += n
+		if last {
+			return
+		}
+	}
+}
+
+// emitEmptyStored writes a zero-length non-final stored block — the
+// byte-aligning "sync flush" pigz places between its chunks (paper §4.4).
+func emitEmptyStored(bw *bitio.BitWriter) (canonical uint64) {
+	bw.WriteBits(uint64(deflate.BlockStored)<<1, 3)
+	bw.AlignToByte()
+	canonical = bw.BitsWritten - 3
+	bw.WriteBits(0, 16)
+	bw.WriteBits(uint64(^uint16(0)), 16)
+	return canonical
+}

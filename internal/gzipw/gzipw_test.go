@@ -1,0 +1,334 @@
+package gzipw
+
+import (
+	"bytes"
+	"compress/gzip"
+	"io"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitio"
+	"repro/internal/deflate"
+	"repro/internal/gzformat"
+)
+
+// stdlibDecompress validates our compressor output against the standard
+// library's gzip reader — an independent reference implementation.
+func stdlibDecompress(t testing.TB, comp []byte) []byte {
+	t.Helper()
+	r, err := gzip.NewReader(bytes.NewReader(comp))
+	if err != nil {
+		t.Fatalf("stdlib header: %v", err)
+	}
+	r.Multistream(true)
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatalf("stdlib read: %v", err)
+	}
+	return out
+}
+
+func payloads(seed int64, n int) map[string][]byte {
+	rng := rand.New(rand.NewSource(seed))
+	random := make([]byte, n)
+	rng.Read(random)
+	text := make([]byte, 0, n)
+	words := []string{"wood", "chuck", "would", "how", "much", "if", "a", "the"}
+	for len(text) < n {
+		text = append(text, words[rng.Intn(len(words))]...)
+		text = append(text, ' ')
+	}
+	zeros := make([]byte, n)
+	return map[string][]byte{"random": random, "text": text[:n], "zeros": zeros}
+}
+
+func TestCompressRoundTripStdlib(t *testing.T) {
+	for name, data := range payloads(1, 200_000) {
+		for _, level := range []int{0, 1, 4, 6, 9} {
+			comp, _, err := Compress(data, Options{Level: level})
+			if err != nil {
+				t.Fatalf("%s level %d: %v", name, level, err)
+			}
+			if got := stdlibDecompress(t, comp); !bytes.Equal(got, data) {
+				t.Fatalf("%s level %d: stdlib round trip mismatch", name, level)
+			}
+		}
+	}
+}
+
+func TestCompressRoundTripOwnDecoder(t *testing.T) {
+	for name, data := range payloads(2, 200_000) {
+		for _, opts := range []Options{
+			{Level: 6},
+			{Level: 6, Strategy: FixedOnly},
+			{Level: 6, Strategy: DynamicOnly},
+			{Level: 3, Strategy: StoredOnly},
+			{Level: 9, SingleBlock: true},
+			{Level: 5, IndependentChunks: 32 << 10},
+			{Level: 6, MemberSize: 64 << 10},
+			{Level: 6, BGZF: true},
+			{Level: 0, BGZF: true},
+		} {
+			comp, _, err := Compress(data, opts)
+			if err != nil {
+				t.Fatalf("%s %+v: %v", name, opts, err)
+			}
+			got, err := deflate.DecompressGzip(comp)
+			if err != nil {
+				t.Fatalf("%s %+v: decode: %v", name, opts, err)
+			}
+			if !bytes.Equal(got, data) {
+				t.Fatalf("%s %+v: round trip mismatch", name, opts)
+			}
+		}
+	}
+}
+
+func TestCompressionRatios(t *testing.T) {
+	data := payloads(3, 500_000)["text"]
+	var prev float64 = 0
+	for _, level := range []int{1, 6, 9} {
+		comp, _, err := Compress(data, Options{Level: level})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratio := float64(len(data)) / float64(len(comp))
+		if ratio < 2 {
+			t.Fatalf("level %d: ratio %.2f too low for repetitive text", level, ratio)
+		}
+		if ratio+0.2 < prev {
+			t.Fatalf("level %d ratio %.2f noticeably worse than lower level's %.2f", level, ratio, prev)
+		}
+		prev = ratio
+	}
+	// Random data must trigger the stored fallback and stay near ratio 1.
+	random := payloads(3, 500_000)["random"]
+	comp, meta, err := Compress(random, Options{Level: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(len(comp)) > float64(len(random))*1.01 {
+		t.Fatalf("random data expanded: %d -> %d", len(random), len(comp))
+	}
+	stored := 0
+	for _, b := range meta.Blocks {
+		if b.Type == deflate.BlockStored {
+			stored++
+		}
+	}
+	if stored == 0 {
+		t.Fatal("random data produced no stored blocks")
+	}
+}
+
+func TestMetaBlockOffsetsMatchDecoder(t *testing.T) {
+	// The decoder's recorded block starts must equal the compressor's
+	// ground-truth offsets — including the canonical normalisation of
+	// stored-block offsets (§3.4.1).
+	for name, data := range payloads(4, 300_000) {
+		for _, opts := range []Options{
+			{Level: 6, BlockSize: 24 << 10},
+			{Level: 1, IndependentChunks: 48 << 10, BlockSize: 24 << 10},
+			{Level: 0},
+		} {
+			comp, meta, err := Compress(data, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			br := bitio.NewBitReaderBytes(comp)
+			var d deflate.Decoder
+			cr, err := d.DecodeChunk(br, deflate.ChunkConfig{
+				Start: 0, Stop: deflate.StopAtEOF, StartsAtGzipHeader: true,
+			})
+			if err != nil {
+				t.Fatalf("%s %+v: %v", name, opts, err)
+			}
+			if len(cr.BlockStarts) != len(meta.Blocks) {
+				t.Fatalf("%s %+v: decoder saw %d blocks, compressor wrote %d",
+					name, opts, len(cr.BlockStarts), len(meta.Blocks))
+			}
+			for i, bs := range cr.BlockStarts {
+				mb := meta.Blocks[i]
+				if bs.Bit != mb.Bit || bs.Type != mb.Type || bs.Final != mb.Final {
+					t.Fatalf("%s %+v block %d: decoder %+v vs meta %+v", name, opts, i, bs, mb)
+				}
+				if bs.DecompOffset != mb.Decomp {
+					t.Fatalf("%s %+v block %d: decomp %d vs %d", name, opts, i, bs.DecompOffset, mb.Decomp)
+				}
+			}
+		}
+	}
+}
+
+func TestBGZFStructure(t *testing.T) {
+	data := payloads(5, 300_000)["text"]
+	comp, meta, err := Compress(data, Options{Level: 6, BGZF: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasSuffix(comp, BGZFEOFMarker) {
+		t.Fatal("missing BGZF EOF marker")
+	}
+	// Walk the members using only the BSIZE metadata, like bgzip does.
+	pos := 0
+	count := 0
+	var total int
+	for pos < len(comp) {
+		br := bitio.NewBitReaderBytes(comp[pos:])
+		hdr, err := gzipHeaderAt(br)
+		if err != nil {
+			t.Fatalf("member %d at %d: %v", count, pos, err)
+		}
+		if hdr <= 0 {
+			t.Fatalf("member %d: no BGZF BSIZE", count)
+		}
+		pos += hdr
+		count++
+		total++
+	}
+	if pos != len(comp) {
+		t.Fatalf("BSIZE walk ended at %d of %d", pos, len(comp))
+	}
+	wantMembers := (len(data)+BGZFChunkSize-1)/BGZFChunkSize + 1 // + EOF member
+	if count != wantMembers {
+		t.Fatalf("got %d members want %d", count, wantMembers)
+	}
+	if len(meta.Members) != wantMembers {
+		t.Fatalf("meta records %d members want %d", len(meta.Members), wantMembers)
+	}
+}
+
+func gzipHeaderAt(br *bitio.BitReader) (int, error) {
+	h, err := gzformat.ParseHeader(br)
+	if err != nil {
+		return 0, err
+	}
+	return h.BGZFBlockSize, nil
+}
+
+func TestPresets(t *testing.T) {
+	data := payloads(6, 150_000)["text"]
+	names := []string{
+		"gzip -1", "gzip -6", "gzip -9",
+		"pigz -1", "pigz -6", "pigz -9",
+		"bgzip -l -1", "bgzip -l 0", "bgzip -l 6",
+		"igzip -0", "igzip -1", "igzip -3",
+	}
+	for _, name := range names {
+		opts, err := Preset(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		comp, meta, err := Compress(data, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		got, err := deflate.DecompressGzip(comp)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", name, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("%s: round trip mismatch", name)
+		}
+		if name == "igzip -0" {
+			nonFinal := 0
+			for _, b := range meta.Blocks {
+				if !b.Final {
+					nonFinal++
+				}
+			}
+			if nonFinal != 0 {
+				t.Fatalf("igzip -0 should have a single block, got %d non-final", nonFinal)
+			}
+		}
+	}
+	for _, bad := range []string{"", "gzip", "zopfli -1", "gzip -0", "igzip -7"} {
+		if _, err := Preset(bad); err == nil {
+			t.Fatalf("%q: expected error", bad)
+		}
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	for _, opts := range []Options{{Level: 6}, {Level: 0}, {Level: 6, BGZF: true}} {
+		comp, _, err := Compress(nil, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := deflate.DecompressGzip(comp)
+		if err != nil {
+			t.Fatalf("%+v: %v", opts, err)
+		}
+		if len(got) != 0 {
+			t.Fatalf("%+v: got %d bytes", opts, len(got))
+		}
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seed int64, lvl uint8, blockShift uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(100_000)
+		data := make([]byte, n)
+		// Mixed content: runs, random, text fragments.
+		for i := 0; i < n; {
+			switch rng.Intn(3) {
+			case 0:
+				k := min(n-i, 1+rng.Intn(100))
+				b := byte(rng.Intn(256))
+				for j := 0; j < k; j++ {
+					data[i+j] = b
+				}
+				i += k
+			case 1:
+				k := min(n-i, 1+rng.Intn(100))
+				rng.Read(data[i : i+k])
+				i += k
+			default:
+				k := min(n-i, 10)
+				copy(data[i:], "woodchuck ")
+				i += k
+			}
+		}
+		level := int(lvl % 10)
+		bs := 1 << (10 + blockShift%8)
+		comp, _, err := Compress(data, Options{Level: level, BlockSize: bs})
+		if err != nil {
+			return false
+		}
+		got, err := deflate.DecompressGzip(comp)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTokenEncoding(t *testing.T) {
+	tok := matchToken(258, 32768)
+	if !tok.isMatch() || tok.length() != 258 || tok.dist() != 32768 {
+		t.Fatalf("max token: len=%d dist=%d", tok.length(), tok.dist())
+	}
+	tok = matchToken(3, 1)
+	if tok.length() != 3 || tok.dist() != 1 {
+		t.Fatalf("min token: len=%d dist=%d", tok.length(), tok.dist())
+	}
+	lit := literalToken(0xAB)
+	if lit.isMatch() || lit.literal() != 0xAB {
+		t.Fatal("literal token")
+	}
+}
+
+func BenchmarkCompressLevel6(b *testing.B) {
+	data := payloads(7, 4<<20)["text"]
+	b.SetBytes(int64(len(data)))
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Compress(data, Options{Level: 6}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

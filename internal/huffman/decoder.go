@@ -1,0 +1,255 @@
+// Package huffman implements canonical Huffman codes as used by Deflate
+// (RFC 1951): construction and validation of decoders from code-length
+// sequences, fast table-driven decoding, and length-limited code
+// construction for the compressor suite.
+//
+// The validity rules follow the paper's Figure 6: a code is *invalid*
+// when some length is oversubscribed (more codes of a length than the
+// binary tree allows) and *inefficient* (non-optimal) when leaves remain
+// unused. The block finder exploits both conditions as filters
+// (paper §3.4.2).
+package huffman
+
+import (
+	"errors"
+
+	"repro/internal/bitio"
+)
+
+// MaxBits is the maximum code length in Deflate literal/distance codes.
+const MaxBits = 15
+
+// Validation outcomes for a code-length sequence.
+var (
+	ErrOversubscribed = errors.New("huffman: oversubscribed code (invalid)")
+	ErrIncomplete     = errors.New("huffman: incomplete code (non-optimal)")
+	ErrNoSymbols      = errors.New("huffman: no symbols with nonzero length")
+	ErrTooManyBits    = errors.New("huffman: code length exceeds maximum")
+	ErrBadSymbol      = errors.New("huffman: invalid symbol in stream")
+)
+
+// Validate checks the code described by lengths (one entry per symbol,
+// zero meaning "symbol unused"). With allowIncomplete, a code with
+// exactly one used symbol may be incomplete — the Deflate special case
+// for distance codes ("if only one distance code is used, it is encoded
+// using one bit").
+func Validate(lengths []uint8, allowIncomplete bool) error {
+	var counts [MaxBits + 1]int
+	used := 0
+	for _, l := range lengths {
+		if l > MaxBits {
+			return ErrTooManyBits
+		}
+		if l > 0 {
+			counts[l]++
+			used++
+		}
+	}
+	if used == 0 {
+		return ErrNoSymbols
+	}
+	return ValidateCounts(counts[:], used, allowIncomplete)
+}
+
+// ValidateCounts checks a histogram of code lengths (counts[l] = number
+// of symbols with length l). used is the total number of coded symbols.
+func ValidateCounts(counts []int, used int, allowIncomplete bool) error {
+	avail := 1
+	incomplete := false
+	for l := 1; l < len(counts); l++ {
+		avail <<= 1
+		avail -= counts[l]
+		if avail < 0 {
+			return ErrOversubscribed
+		}
+	}
+	incomplete = avail != 0
+	if incomplete {
+		if allowIncomplete && used == 1 {
+			return nil
+		}
+		return ErrIncomplete
+	}
+	return nil
+}
+
+// Decoder entry layout: a packed uint32.
+//
+//	bits 0..4   total bits consumed (code length, or root bits for a link)
+//	bits 5..8   extra sub-table index bits (nonzero marks a link entry)
+//	bits 16..31 symbol value, or sub-table base offset for link entries
+//
+// A zero entry marks an invalid code prefix.
+type entry uint32
+
+func (e entry) bits() uint    { return uint(e & 31) }
+func (e entry) subBits() uint { return uint(e >> 5 & 15) }
+func (e entry) val() uint16   { return uint16(e >> 16) }
+
+func mkEntry(bits, subBits uint, val uint16) entry {
+	return entry(bits&31) | entry(subBits&15)<<5 | entry(val)<<16
+}
+
+// Decoder is a table-driven canonical Huffman decoder. Codes no longer
+// than rootBits resolve with a single lookup; longer codes use one
+// second-level lookup, the same structure zlib's inflate uses.
+type Decoder struct {
+	root     []entry
+	rootBits uint
+	maxLen   uint
+	// minLen is used by EOF handling: at least minLen bits must remain.
+	minLen uint
+}
+
+// defaultRootBits balances table build cost (paid per Dynamic Block)
+// against lookup depth. 9 matches zlib's ENOUGH-tuned default.
+const defaultRootBits = 9
+
+// NewDecoder builds a decoder for the canonical code defined by lengths.
+// allowIncomplete has the same meaning as in Validate.
+func NewDecoder(lengths []uint8, allowIncomplete bool) (*Decoder, error) {
+	d := &Decoder{}
+	if err := d.Init(lengths, allowIncomplete); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// Init (re)builds the decoder in place, reusing table storage. This is
+// the hot path of Dynamic Block decoding: two Init calls per block.
+func (d *Decoder) Init(lengths []uint8, allowIncomplete bool) error {
+	var counts [MaxBits + 1]int
+	used := 0
+	maxLen, minLen := uint(0), uint(MaxBits+1)
+	for _, l := range lengths {
+		if l > MaxBits {
+			return ErrTooManyBits
+		}
+		if l == 0 {
+			continue
+		}
+		counts[l]++
+		used++
+		if uint(l) > maxLen {
+			maxLen = uint(l)
+		}
+		if uint(l) < minLen {
+			minLen = uint(l)
+		}
+	}
+	if used == 0 {
+		return ErrNoSymbols
+	}
+	if err := ValidateCounts(counts[:], used, allowIncomplete); err != nil {
+		return err
+	}
+
+	// Canonical first-code computation.
+	var firstCode [MaxBits + 2]uint32
+	code := uint32(0)
+	for l := 1; l <= MaxBits; l++ {
+		code = (code + uint32(counts[l-1])) << 1
+		firstCode[l] = code
+	}
+
+	rootBits := uint(defaultRootBits)
+	if maxLen < rootBits {
+		rootBits = maxLen
+	}
+	d.rootBits = rootBits
+	d.maxLen = maxLen
+	d.minLen = minLen
+
+	// Size the table: root plus one sub-table per distinct long-code
+	// root prefix. We allocate lazily by appending.
+	rootSize := 1 << rootBits
+	if cap(d.root) < rootSize {
+		d.root = make([]entry, rootSize, rootSize*2)
+	}
+	d.root = d.root[:rootSize]
+	for i := range d.root {
+		d.root[i] = 0
+	}
+
+	// nextCode tracks the running canonical code per length.
+	nextCode := firstCode
+	for sym, l := range lengths {
+		if l == 0 {
+			continue
+		}
+		c := nextCode[l]
+		nextCode[l]++
+		// Deflate codes are written MSB-first within the code while the
+		// stream is LSB-first, so the lookup key is the bit-reversed code.
+		rev := reverseBits(c, uint(l))
+		if uint(l) <= rootBits {
+			// Fill all root slots whose low bits match the code.
+			e := mkEntry(uint(l), 0, uint16(sym))
+			step := 1 << uint(l)
+			for i := int(rev); i < rootSize; i += step {
+				d.root[i] = e
+			}
+			continue
+		}
+		// Long code: ensure a sub-table exists for this root prefix.
+		prefix := rev & uint32(rootSize-1)
+		subBits := maxLen - rootBits
+		le := d.root[prefix]
+		var base int
+		if le == 0 {
+			base = len(d.root)
+			n := 1 << subBits
+			for i := 0; i < n; i++ {
+				d.root = append(d.root, 0)
+			}
+			if base > int(^uint16(0)) {
+				return errors.New("huffman: table too large")
+			}
+			d.root[prefix] = mkEntry(rootBits, subBits, uint16(base))
+		} else {
+			base = int(le.val())
+		}
+		e := mkEntry(uint(l), 0, uint16(sym))
+		step := 1 << (uint(l) - rootBits)
+		subSize := 1 << subBits
+		for i := int(rev >> rootBits); i < subSize; i += step {
+			d.root[base+i] = e
+		}
+	}
+	return nil
+}
+
+func reverseBits(v uint32, n uint) uint32 {
+	var r uint32
+	for i := uint(0); i < n; i++ {
+		r = r<<1 | v&1
+		v >>= 1
+	}
+	return r
+}
+
+// Decode reads one symbol from br. Near end of stream it relies on
+// Peek's zero padding and only errors when the consumed code would
+// extend past the real data.
+func (d *Decoder) Decode(br *bitio.BitReader) (uint16, error) {
+	v, avail := br.Peek(d.maxLen)
+	e := d.root[v&uint64(1<<d.rootBits-1)]
+	if e == 0 {
+		return 0, ErrBadSymbol
+	}
+	if sb := e.subBits(); sb != 0 {
+		e = d.root[int(e.val())+int(v>>d.rootBits&(1<<sb-1))]
+		if e == 0 {
+			return 0, ErrBadSymbol
+		}
+	}
+	n := e.bits()
+	if n > avail {
+		return 0, errors.New("huffman: unexpected end of stream")
+	}
+	br.Skip(n)
+	return e.val(), nil
+}
+
+// MaxLen returns the longest code length in the decoder.
+func (d *Decoder) MaxLen() uint { return d.maxLen }

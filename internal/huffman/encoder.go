@@ -1,0 +1,127 @@
+package huffman
+
+import (
+	"errors"
+	"sort"
+)
+
+// Encoder holds a canonical Huffman code ready for bit emission.
+type Encoder struct {
+	// Lengths[sym] is the code length in bits (0 = symbol unused).
+	Lengths []uint8
+	// Codes[sym] is the bit-reversed code, ready to feed an LSB-first
+	// BitWriter.
+	Codes []uint32
+}
+
+// BuildLengths computes optimal code lengths limited to maxBits for the
+// given symbol frequencies using the package-merge algorithm (optimal
+// length-limited Huffman). Symbols with zero frequency get length 0.
+//
+// If fewer than two symbols are used, the remaining symbol (or symbol 0)
+// is assigned length 1, mirroring zlib's behaviour of always emitting a
+// decodable, complete-enough code.
+func BuildLengths(freqs []int, maxBits uint) ([]uint8, error) {
+	n := len(freqs)
+	lengths := make([]uint8, n)
+	var used []int
+	for sym, f := range freqs {
+		if f > 0 {
+			used = append(used, sym)
+		}
+	}
+	switch len(used) {
+	case 0:
+		// Emit a dummy code for symbol 0 so the alphabet stays decodable.
+		if n > 0 {
+			lengths[0] = 1
+		}
+		return lengths, nil
+	case 1:
+		lengths[used[0]] = 1
+		return lengths, nil
+	}
+	if uint64(len(used)) > 1<<maxBits {
+		return nil, errors.New("huffman: too many symbols for length limit")
+	}
+
+	// Package-merge. Coins are (weight, symbols-covered) pairs; at each
+	// of maxBits levels we merge pairs and mix in the original coins.
+	type coin struct {
+		weight int64
+		syms   []int // leaf symbols covered by this package
+	}
+	leaves := make([]coin, 0, len(used))
+	for _, sym := range used {
+		leaves = append(leaves, coin{int64(freqs[sym]), []int{sym}})
+	}
+	sort.Slice(leaves, func(i, j int) bool { return leaves[i].weight < leaves[j].weight })
+
+	var prev []coin
+	for level := uint(0); level < maxBits; level++ {
+		// Merge pairs from prev row.
+		var packages []coin
+		for i := 0; i+1 < len(prev); i += 2 {
+			syms := make([]int, 0, len(prev[i].syms)+len(prev[i+1].syms))
+			syms = append(syms, prev[i].syms...)
+			syms = append(syms, prev[i+1].syms...)
+			packages = append(packages, coin{prev[i].weight + prev[i+1].weight, syms})
+		}
+		// Merge-sort packages with the leaf coins.
+		row := make([]coin, 0, len(packages)+len(leaves))
+		i, j := 0, 0
+		for i < len(packages) || j < len(leaves) {
+			if j >= len(leaves) || (i < len(packages) && packages[i].weight <= leaves[j].weight) {
+				row = append(row, packages[i])
+				i++
+			} else {
+				row = append(row, leaves[j])
+				j++
+			}
+		}
+		prev = row
+	}
+	// Take the first 2(n-1) items of the final row; each time a leaf
+	// symbol appears in a selected package its depth increases by one.
+	take := 2 * (len(used) - 1)
+	if take > len(prev) {
+		take = len(prev)
+	}
+	for _, c := range prev[:take] {
+		for _, sym := range c.syms {
+			lengths[sym]++
+		}
+	}
+	return lengths, nil
+}
+
+// NewEncoder builds canonical codes from code lengths. The lengths must
+// form a valid code (typically produced by BuildLengths or read from a
+// Deflate header).
+func NewEncoder(lengths []uint8) (*Encoder, error) {
+	var counts [MaxBits + 1]int
+	for _, l := range lengths {
+		if l > MaxBits {
+			return nil, ErrTooManyBits
+		}
+		if l > 0 {
+			counts[l]++
+		}
+	}
+	var firstCode [MaxBits + 2]uint32
+	code := uint32(0)
+	for l := 1; l <= MaxBits; l++ {
+		code = (code + uint32(counts[l-1])) << 1
+		firstCode[l] = code
+	}
+	enc := &Encoder{Lengths: lengths, Codes: make([]uint32, len(lengths))}
+	next := firstCode
+	for sym, l := range lengths {
+		if l == 0 {
+			continue
+		}
+		enc.Codes[sym] = reverseBits(next[l], uint(l))
+		next[l]++
+	}
+	return enc, nil
+}

@@ -1,0 +1,222 @@
+package lz4x
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/workloads"
+)
+
+func TestXXH32Vectors(t *testing.T) {
+	// Reference values from the xxHash specification.
+	if got := XXH32(nil, 0); got != 0x02CC5D05 {
+		t.Fatalf("XXH32(\"\") = %#08x, want 0x02CC5D05", got)
+	}
+	if a, b := XXH32([]byte("abc"), 0), XXH32([]byte("abd"), 0); a == b {
+		t.Fatal("distinct inputs collide trivially")
+	}
+	if a, b := XXH32([]byte("abc"), 0), XXH32([]byte("abc"), 1); a == b {
+		t.Fatal("seed has no effect")
+	}
+	// Each length class (stripe loop, 4-byte tail, byte tail) must be
+	// deterministic and length-sensitive.
+	data := workloads.Random(64, 9)
+	seen := map[uint32]bool{}
+	for n := 0; n <= 64; n++ {
+		h := XXH32(data[:n], 0)
+		if seen[h] {
+			t.Fatalf("prefix collision at length %d", n)
+		}
+		seen[h] = true
+	}
+}
+
+func roundTripBlock(t *testing.T, data []byte) {
+	t.Helper()
+	comp := CompressBlock(data, nil)
+	if len(comp) > CompressBlockBound(len(data)) {
+		t.Fatalf("compressed %d exceeds bound %d", len(comp), CompressBlockBound(len(data)))
+	}
+	out := make([]byte, len(data))
+	n, err := DecompressBlock(comp, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(data) || !bytes.Equal(out, data) {
+		t.Fatalf("round trip mismatch (%d bytes)", n)
+	}
+}
+
+func TestBlockRoundTrip(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":   nil,
+		"one":     []byte("x"),
+		"tiny":    []byte("hello"),
+		"twelve":  []byte("123456789012"),
+		"repeat":  bytes.Repeat([]byte("ab"), 10_000),
+		"zeros":   make([]byte, 100_000),
+		"random":  workloads.Random(100_000, 1),
+		"base64":  workloads.Base64(100_000, 2),
+		"silesia": workloads.SilesiaLike(200_000, 3),
+		"fastq":   workloads.FASTQ(100_000, 4),
+		"overlap": append(bytes.Repeat([]byte("a"), 20), []byte("bcdefgh")...),
+		"period3": bytes.Repeat([]byte("abc"), 5000),
+	}
+	for name, data := range cases {
+		t.Run(name, func(t *testing.T) { roundTripBlock(t, data) })
+	}
+}
+
+func TestBlockRoundTripProperty(t *testing.T) {
+	f := func(data []byte) bool {
+		comp := CompressBlock(data, nil)
+		out := make([]byte, len(data))
+		n, err := DecompressBlock(comp, out)
+		return err == nil && n == len(data) && bytes.Equal(out, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlockCompressesRepetitiveData(t *testing.T) {
+	data := bytes.Repeat([]byte("the quick brown fox "), 5000)
+	comp := CompressBlock(data, nil)
+	if len(comp) > len(data)/10 {
+		t.Fatalf("repetitive data compressed only to %d/%d", len(comp), len(data))
+	}
+}
+
+func TestHandCraftedBlock(t *testing.T) {
+	// token 0x54: 5 literals, match len 4+4=8 at offset 5 -> "abcdeabcdeabc"
+	src := []byte{0x54, 'a', 'b', 'c', 'd', 'e', 5, 0, 0x30, 'x', 'y', 'z'}
+	want := []byte("abcdeabcdeabcxyz")
+	dst := make([]byte, len(want))
+	n, err := DecompressBlock(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(want) || !bytes.Equal(dst, want) {
+		t.Fatalf("got %q", dst[:n])
+	}
+}
+
+func TestDecompressBlockRejectsCorrupt(t *testing.T) {
+	cases := [][]byte{
+		{0x10},                  // literal length 1 but no literal byte
+		{0x04, 'a', 9, 0},       // offset 9 > produced 1
+		{0x04, 'a', 0, 0},       // offset 0 invalid
+		{0xF0, 255},             // unterminated length extension
+		{0x04, 'a', 1, 0, 0xFF}, // match overruns destination
+	}
+	for i, src := range cases {
+		dst := make([]byte, 4)
+		if _, err := DecompressBlock(src, dst); err == nil {
+			t.Fatalf("case %d accepted", i)
+		}
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	data := workloads.SilesiaLike(1_000_000, 5)
+	for _, opts := range []FrameOptions{
+		{},
+		{BlockSize: 16 << 10},
+		{BlockSize: 300 << 10},
+		{BlockChecksums: true},
+		{ContentChecksum: true},
+		{BlockChecksums: true, ContentChecksum: true},
+		{FrameSize: 200 << 10},
+		{FrameSize: 100 << 10, BlockSize: 32 << 10, BlockChecksums: true, ContentChecksum: true},
+	} {
+		comp := CompressFrames(data, opts)
+		got, err := Decompress(comp)
+		if err != nil {
+			t.Fatalf("%+v: %v", opts, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("%+v: mismatch", opts)
+		}
+	}
+}
+
+func TestFrameEmptyInput(t *testing.T) {
+	comp := CompressFrames(nil, FrameOptions{})
+	got, err := Decompress(comp)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("got %d bytes, %v", len(got), err)
+	}
+}
+
+func TestScanFrames(t *testing.T) {
+	data := workloads.Base64(500_000, 6)
+	comp := CompressFrames(data, FrameOptions{FrameSize: 100_000})
+	frames, err := ScanFrames(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) != 5 {
+		t.Fatalf("got %d frames, want 5", len(frames))
+	}
+	contentPos := 0
+	prevEnd := 0
+	for i, f := range frames {
+		if f.Offset != prevEnd {
+			t.Fatalf("frame %d starts at %d, previous ended at %d", i, f.Offset, prevEnd)
+		}
+		if f.ContentStart != contentPos {
+			t.Fatalf("frame %d content start %d, want %d", i, f.ContentStart, contentPos)
+		}
+		contentPos += f.ContentSize
+		prevEnd = f.End
+	}
+	if prevEnd != len(comp) || contentPos != len(data) {
+		t.Fatalf("scan covered %d/%d compressed, %d/%d content", prevEnd, len(comp), contentPos, len(data))
+	}
+}
+
+func TestDecompressParallelMatchesSerial(t *testing.T) {
+	data := workloads.SilesiaLike(2_000_000, 7)
+	comp := CompressFrames(data, FrameOptions{FrameSize: 128 << 10, BlockSize: 32 << 10, ContentChecksum: true})
+	for _, threads := range []int{1, 2, 8} {
+		got, err := DecompressParallel(comp, threads)
+		if err != nil {
+			t.Fatalf("threads=%d: %v", threads, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("threads=%d: mismatch", threads)
+		}
+	}
+}
+
+func TestChecksumsCatchCorruption(t *testing.T) {
+	data := workloads.Base64(300_000, 8)
+	comp := CompressFrames(data, FrameOptions{BlockChecksums: true, ContentChecksum: true, FrameSize: 64 << 10})
+	for _, flip := range []int{len(comp) / 3, len(comp) / 2, len(comp) - 10} {
+		bad := bytes.Clone(comp)
+		bad[flip] ^= 0x40
+		if _, err := Decompress(bad); err == nil {
+			t.Fatalf("corruption at %d not detected", flip)
+		}
+	}
+}
+
+func TestNotLZ4(t *testing.T) {
+	if _, err := Decompress([]byte("certainly not lz4")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := ScanFrames([]byte{0x04, 0x22, 0x4D, 0x18}); err == nil {
+		t.Fatal("bare magic accepted")
+	}
+}
+
+func TestTruncatedFrame(t *testing.T) {
+	data := workloads.Base64(100_000, 9)
+	comp := CompressFrames(data, FrameOptions{})
+	for _, cut := range []int{5, 20, len(comp) / 2, len(comp) - 1} {
+		if _, err := Decompress(comp[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}

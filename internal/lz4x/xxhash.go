@@ -1,0 +1,62 @@
+package lz4x
+
+import "math/bits"
+
+// xxHash32 as specified by the LZ4 frame format for header, block and
+// content checksums.
+const (
+	xxPrime1 = 2654435761
+	xxPrime2 = 2246822519
+	xxPrime3 = 3266489917
+	xxPrime4 = 668265263
+	xxPrime5 = 374761393
+)
+
+func xxRound(acc, input uint32) uint32 {
+	return bits.RotateLeft32(acc+input*xxPrime2, 13) * xxPrime1
+}
+
+func loadU32(p []byte) uint32 {
+	return uint32(p[0]) | uint32(p[1])<<8 | uint32(p[2])<<16 | uint32(p[3])<<24
+}
+
+// XXH32 computes the 32-bit xxHash of input with the given seed.
+func XXH32(input []byte, seed uint32) uint32 {
+	n := len(input)
+	var h uint32
+	p := 0
+	if n >= 16 {
+		v1 := seed + xxPrime1 + xxPrime2
+		v2 := seed + xxPrime2
+		v3 := seed
+		v4 := seed - xxPrime1
+		for p+16 <= n {
+			v1 = xxRound(v1, loadU32(input[p:]))
+			v2 = xxRound(v2, loadU32(input[p+4:]))
+			v3 = xxRound(v3, loadU32(input[p+8:]))
+			v4 = xxRound(v4, loadU32(input[p+12:]))
+			p += 16
+		}
+		h = bits.RotateLeft32(v1, 1) + bits.RotateLeft32(v2, 7) +
+			bits.RotateLeft32(v3, 12) + bits.RotateLeft32(v4, 18)
+	} else {
+		h = seed + xxPrime5
+	}
+	h += uint32(n)
+	for p+4 <= n {
+		h += loadU32(input[p:]) * xxPrime3
+		h = bits.RotateLeft32(h, 17) * xxPrime4
+		p += 4
+	}
+	for p < n {
+		h += uint32(input[p]) * xxPrime5
+		h = bits.RotateLeft32(h, 11) * xxPrime1
+		p++
+	}
+	h ^= h >> 15
+	h *= xxPrime2
+	h ^= h >> 13
+	h *= xxPrime3
+	h ^= h >> 16
+	return h
+}

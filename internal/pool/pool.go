@@ -1,0 +1,150 @@
+// Package pool implements a fixed-size worker pool with futures and two
+// priority classes — the ThreadPool component of the paper's
+// architecture (Figure 5). Speculative chunk decodes are submitted at
+// low priority; marker replacement and everything the consumer is about
+// to wait on run at high priority, so a deep backlog of prefetch work
+// can never stall the sequential reader (§3.1–§3.3).
+package pool
+
+import (
+	"sync"
+)
+
+// Pool runs submitted tasks on a fixed number of worker goroutines.
+// High-priority tasks always run before queued low-priority tasks.
+type Pool struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	high   []func()
+	low    []func()
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// New starts a pool with n workers (n < 1 is clamped to 1).
+func New(n int) *Pool {
+	if n < 1 {
+		n = 1
+	}
+	p := &Pool{}
+	p.cond = sync.NewCond(&p.mu)
+	p.wg.Add(n)
+	for i := 0; i < n; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for {
+		p.mu.Lock()
+		for !p.closed && len(p.high) == 0 && len(p.low) == 0 {
+			p.cond.Wait()
+		}
+		var f func()
+		switch {
+		case len(p.high) > 0:
+			f = p.high[0]
+			p.high = p.high[1:]
+		case len(p.low) > 0:
+			f = p.low[0]
+			p.low = p.low[1:]
+		default: // closed and drained
+			p.mu.Unlock()
+			return
+		}
+		p.mu.Unlock()
+		f()
+	}
+}
+
+// Submit enqueues f at high priority. Submitting after Close panics;
+// callers own that ordering.
+func (p *Pool) Submit(f func()) { p.submit(f, true) }
+
+// SubmitLow enqueues f at low priority (speculative work).
+func (p *Pool) SubmitLow(f func()) { p.submit(f, false) }
+
+func (p *Pool) submit(f func(), high bool) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		panic("pool: submit after Close")
+	}
+	if high {
+		p.high = append(p.high, f)
+	} else {
+		p.low = append(p.low, f)
+	}
+	p.mu.Unlock()
+	p.cond.Signal()
+}
+
+// Close stops accepting tasks and waits for the workers to drain the
+// queues. It is idempotent.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		p.wg.Wait()
+		return
+	}
+	p.closed = true
+	p.mu.Unlock()
+	p.cond.Broadcast()
+	p.wg.Wait()
+}
+
+// Future is the result slot of an asynchronous task.
+type Future[T any] struct {
+	done chan struct{}
+	val  T
+	err  error
+}
+
+// Go submits fn to p at high priority and returns a Future.
+func Go[T any](p *Pool, fn func() (T, error)) *Future[T] {
+	return submitFuture(p, fn, true)
+}
+
+// GoLow submits fn to p at low priority and returns a Future.
+func GoLow[T any](p *Pool, fn func() (T, error)) *Future[T] {
+	return submitFuture(p, fn, false)
+}
+
+func submitFuture[T any](p *Pool, fn func() (T, error), high bool) *Future[T] {
+	f := &Future[T]{done: make(chan struct{})}
+	p.submit(func() {
+		f.val, f.err = fn()
+		close(f.done)
+	}, high)
+	return f
+}
+
+// Resolved returns an already-completed Future holding val.
+func Resolved[T any](val T) *Future[T] {
+	f := &Future[T]{done: make(chan struct{}), val: val}
+	close(f.done)
+	return f
+}
+
+// Wait blocks until the task completes and returns its result.
+func (f *Future[T]) Wait() (T, error) {
+	<-f.done
+	return f.val, f.err
+}
+
+// Done returns a channel closed when the result is available, for use
+// in select loops that must service other events while waiting.
+func (f *Future[T]) Done() <-chan struct{} { return f.done }
+
+// Ready reports whether the result is available without blocking.
+func (f *Future[T]) Ready() bool {
+	select {
+	case <-f.done:
+		return true
+	default:
+		return false
+	}
+}

@@ -1,0 +1,105 @@
+package pool
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPoolRunsAllTasks(t *testing.T) {
+	p := New(4)
+	var count atomic.Int64
+	for i := 0; i < 100; i++ {
+		p.Submit(func() { count.Add(1) })
+	}
+	p.Close()
+	if count.Load() != 100 {
+		t.Fatalf("ran %d tasks", count.Load())
+	}
+}
+
+func TestFuture(t *testing.T) {
+	p := New(2)
+	defer p.Close()
+	f := Go(p, func() (int, error) { return 42, nil })
+	v, err := f.Wait()
+	if err != nil || v != 42 {
+		t.Fatalf("got %d, %v", v, err)
+	}
+	// Waiting again returns the same result.
+	v, _ = f.Wait()
+	if v != 42 {
+		t.Fatal("second wait")
+	}
+}
+
+func TestFutureError(t *testing.T) {
+	p := New(1)
+	defer p.Close()
+	wantErr := errors.New("boom")
+	f := Go(p, func() (string, error) { return "", wantErr })
+	_, err := f.Wait()
+	if err != wantErr {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestFutureReady(t *testing.T) {
+	p := New(1)
+	defer p.Close()
+	release := make(chan struct{})
+	f := Go(p, func() (int, error) { <-release; return 1, nil })
+	if f.Ready() {
+		t.Fatal("should not be ready")
+	}
+	close(release)
+	if v, _ := f.Wait(); v != 1 || !f.Ready() {
+		t.Fatal("should be ready after wait")
+	}
+}
+
+func TestResolved(t *testing.T) {
+	f := Resolved(7)
+	if !f.Ready() {
+		t.Fatal("resolved future not ready")
+	}
+	if v, err := f.Wait(); v != 7 || err != nil {
+		t.Fatalf("got %d, %v", v, err)
+	}
+}
+
+func TestParallelism(t *testing.T) {
+	// With n workers, n long tasks must overlap.
+	const n = 4
+	p := New(n)
+	defer p.Close()
+	var running, peak atomic.Int64
+	done := make(chan struct{}, n)
+	for i := 0; i < n; i++ {
+		p.Submit(func() {
+			cur := running.Add(1)
+			for {
+				old := peak.Load()
+				if cur <= old || peak.CompareAndSwap(old, cur) {
+					break
+				}
+			}
+			time.Sleep(30 * time.Millisecond)
+			running.Add(-1)
+			done <- struct{}{}
+		})
+	}
+	for i := 0; i < n; i++ {
+		<-done
+	}
+	if peak.Load() != n {
+		t.Fatalf("peak parallelism %d want %d", peak.Load(), n)
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	p := New(1)
+	p.Close()
+	p.Close() // must not panic
+}

@@ -1,0 +1,163 @@
+// Package prefetch implements the prefetching strategies of the paper's
+// chunk fetcher (§3.2, Figure 5): FetchNextFixed, FetchNextAdaptive and
+// FetchNextMultiStream. Strategies operate on chunk *indexes*, not byte
+// offsets; the fetcher maps between the two. A strategy only proposes
+// indexes — the fetcher filters out chunks that are already cached or in
+// flight (§3.2).
+package prefetch
+
+// Strategy proposes chunk indexes to prefetch based on recent accesses.
+type Strategy interface {
+	// Access records that the consumer requested chunk index.
+	Access(index uint64)
+	// Prefetch returns up to maxDegree candidate indexes, best first.
+	Prefetch(maxDegree int) []uint64
+}
+
+// Fixed always prefetches the next maxDegree chunks after the last
+// access — the FetchNextFixed strategy.
+type Fixed struct {
+	last     uint64
+	accessed bool
+}
+
+// NewFixed returns a Fixed strategy.
+func NewFixed() *Fixed { return &Fixed{} }
+
+// Access implements Strategy.
+func (f *Fixed) Access(index uint64) { f.last, f.accessed = index, true }
+
+// Prefetch implements Strategy.
+func (f *Fixed) Prefetch(maxDegree int) []uint64 {
+	if !f.accessed {
+		return nil
+	}
+	out := make([]uint64, 0, maxDegree)
+	for i := 1; i <= maxDegree; i++ {
+		out = append(out, f.last+uint64(i))
+	}
+	return out
+}
+
+// Adaptive ramps the prefetch degree exponentially while accesses remain
+// sequential and resets on random accesses — the paper's default
+// "exponentially incremented adaptive asynchronous" strategy. Matching
+// §3.2, the very first access already returns the full degree so that
+// whole-file decompression starts fully parallel.
+type Adaptive struct {
+	last      uint64
+	accessed  bool
+	streak    int // consecutive sequential accesses
+	firstSeen bool
+}
+
+// NewAdaptive returns an Adaptive strategy.
+func NewAdaptive() *Adaptive { return &Adaptive{} }
+
+// Access implements Strategy.
+func (a *Adaptive) Access(index uint64) {
+	switch {
+	case !a.accessed:
+		a.streak = 1
+	case index == a.last+1:
+		a.streak++
+	case index == a.last:
+		// Repeated access to the same chunk keeps the streak.
+	default:
+		a.streak = 1
+	}
+	a.last = index
+	a.accessed = true
+}
+
+// Prefetch implements Strategy.
+func (a *Adaptive) Prefetch(maxDegree int) []uint64 {
+	if !a.accessed || maxDegree <= 0 {
+		return nil
+	}
+	degree := maxDegree
+	if !a.firstSeen {
+		// Initial access: full degree (paper §3.2).
+		a.firstSeen = true
+	} else if a.streak < 32 {
+		degree = 1 << a.streak
+		if degree > maxDegree {
+			degree = maxDegree
+		}
+	}
+	out := make([]uint64, 0, degree)
+	for i := 1; i <= degree; i++ {
+		out = append(out, a.last+uint64(i))
+	}
+	return out
+}
+
+// MultiStream tracks several concurrent sequential access streams (for
+// example two readers extracting different files from one TAR archive)
+// and prefetches adaptively for each — FetchNextMultiStream, comparable
+// to the AMP multi-stream prefetcher the paper cites.
+type MultiStream struct {
+	streams []*Adaptive
+	// MaxStreams bounds tracked streams; least recently used is evicted.
+	MaxStreams int
+	order      []int // stream indexes, most recently used first
+}
+
+// NewMultiStream returns a MultiStream strategy tracking up to 8 streams.
+func NewMultiStream() *MultiStream { return &MultiStream{MaxStreams: 8} }
+
+// Access implements Strategy. An access within +-2 chunks of a known
+// stream head extends that stream; otherwise a new stream starts.
+func (m *MultiStream) Access(index uint64) {
+	for pos, si := range m.order {
+		s := m.streams[si]
+		if diff := int64(index) - int64(s.last); diff >= -2 && diff <= 2 {
+			s.Access(index)
+			m.touch(pos)
+			return
+		}
+	}
+	s := NewAdaptive()
+	s.Access(index)
+	if len(m.streams) >= m.MaxStreams && len(m.order) > 0 {
+		victim := m.order[len(m.order)-1]
+		m.order = m.order[:len(m.order)-1]
+		m.streams[victim] = s
+		m.order = append([]int{victim}, m.order...)
+		return
+	}
+	m.streams = append(m.streams, s)
+	m.order = append([]int{len(m.streams) - 1}, m.order...)
+}
+
+func (m *MultiStream) touch(pos int) {
+	si := m.order[pos]
+	copy(m.order[1:pos+1], m.order[:pos])
+	m.order[0] = si
+}
+
+// Prefetch implements Strategy: the degree is split across streams, the
+// most recently active stream first.
+func (m *MultiStream) Prefetch(maxDegree int) []uint64 {
+	if len(m.order) == 0 || maxDegree <= 0 {
+		return nil
+	}
+	per := maxDegree / len(m.order)
+	if per < 1 {
+		per = 1
+	}
+	var out []uint64
+	seen := map[uint64]bool{}
+	for _, si := range m.order {
+		for _, idx := range m.streams[si].Prefetch(per) {
+			if !seen[idx] {
+				seen[idx] = true
+				out = append(out, idx)
+			}
+			if len(out) >= maxDegree {
+				return out
+			}
+		}
+	}
+	return out
+}

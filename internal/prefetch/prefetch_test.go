@@ -1,0 +1,125 @@
+package prefetch
+
+import "testing"
+
+func TestFixed(t *testing.T) {
+	f := NewFixed()
+	if got := f.Prefetch(4); got != nil {
+		t.Fatalf("prefetch before access: %v", got)
+	}
+	f.Access(10)
+	got := f.Prefetch(3)
+	want := []uint64{11, 12, 13}
+	if len(got) != 3 || got[0] != want[0] || got[2] != want[2] {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestAdaptiveFullDegreeOnFirstAccess(t *testing.T) {
+	// Paper §3.2: the initial access returns the full degree so that
+	// decompression starts fully parallel.
+	a := NewAdaptive()
+	a.Access(0)
+	if got := a.Prefetch(16); len(got) != 16 {
+		t.Fatalf("first access prefetched %d, want 16", len(got))
+	}
+}
+
+func TestAdaptiveRampAndReset(t *testing.T) {
+	a := NewAdaptive()
+	a.Access(0)
+	a.Prefetch(64) // consume the initial full-degree grant
+	a.Access(1)
+	d1 := len(a.Prefetch(64))
+	a.Access(2)
+	d2 := len(a.Prefetch(64))
+	a.Access(3)
+	d3 := len(a.Prefetch(64))
+	if !(d1 < d2 && d2 < d3) {
+		t.Fatalf("degrees should ramp: %d %d %d", d1, d2, d3)
+	}
+	// Random access resets the streak.
+	a.Access(100)
+	dAfterJump := len(a.Prefetch(64))
+	if dAfterJump > d1*2 {
+		t.Fatalf("degree after random access = %d, expected small", dAfterJump)
+	}
+	// Prefetches follow the new position.
+	got := a.Prefetch(2)
+	if got[0] != 101 {
+		t.Fatalf("prefetch after jump starts at %d", got[0])
+	}
+}
+
+func TestAdaptiveSaturates(t *testing.T) {
+	a := NewAdaptive()
+	for i := uint64(0); i < 100; i++ {
+		a.Access(i)
+	}
+	if got := a.Prefetch(8); len(got) != 8 {
+		t.Fatalf("saturated degree %d want 8", len(got))
+	}
+}
+
+func TestMultiStreamTracksTwoStreams(t *testing.T) {
+	m := NewMultiStream()
+	// Interleaved sequential accesses at two distant positions, as when
+	// two files of a TAR are read concurrently (§3.2).
+	for i := 0; i < 5; i++ {
+		m.Access(uint64(10 + i))
+		m.Access(uint64(1000 + i))
+	}
+	got := m.Prefetch(8)
+	var near, far bool
+	for _, idx := range got {
+		if idx >= 15 && idx < 50 {
+			near = true
+		}
+		if idx >= 1005 && idx < 1050 {
+			far = true
+		}
+	}
+	if !near || !far {
+		t.Fatalf("prefetches %v should cover both streams", got)
+	}
+}
+
+func TestMultiStreamEviction(t *testing.T) {
+	m := NewMultiStream()
+	m.MaxStreams = 2
+	m.Access(10)
+	m.Access(1000)
+	m.Access(5000) // evicts stream at 10
+	if len(m.streams) > 2 {
+		t.Fatalf("%d streams tracked", len(m.streams))
+	}
+	got := m.Prefetch(8)
+	for _, idx := range got {
+		if idx > 10 && idx < 100 {
+			t.Fatalf("evicted stream still prefetched: %v", got)
+		}
+	}
+}
+
+func TestMultiStreamNoDuplicates(t *testing.T) {
+	m := NewMultiStream()
+	m.Access(5)
+	m.Access(6) // same stream
+	got := m.Prefetch(16)
+	seen := map[uint64]bool{}
+	for _, idx := range got {
+		if seen[idx] {
+			t.Fatalf("duplicate index %d in %v", idx, got)
+		}
+		seen[idx] = true
+	}
+}
+
+func TestPrefetchZeroDegree(t *testing.T) {
+	for _, s := range []Strategy{NewFixed(), NewAdaptive(), NewMultiStream()} {
+		s.Access(1)
+		if got := s.Prefetch(0); len(got) != 0 {
+			t.Fatalf("%T: %v", s, got)
+		}
+	}
+}

@@ -1,0 +1,294 @@
+// Package pugz reimplements the pugz baseline of Kerbiriou & Chikhi
+// (IPDPSW 2019), the system rapidgzip generalises (paper §1.2, §2.2):
+// two-stage parallel gzip decompression with a *fixed uniform* chunk
+// distribution, a printable-content (byte values 9–126) restriction
+// used to validate candidate blocks, libdeflate-style fixed output
+// buffers, and either synchronized (in-order) or unsynchronized output.
+//
+// Its known limitations are reproduced deliberately, because the
+// evaluation depends on them: it fails on files whose content falls
+// outside 9–126 (§4.5: pugz cannot decompress the Silesia corpus), it
+// fails when a chunk's decompressed size exceeds the fixed output
+// buffer (§1.2), and its synchronized mode scales poorly (§4.4).
+package pugz
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/bitio"
+	"repro/internal/blockfinder"
+	"repro/internal/deflate"
+	"repro/internal/gzformat"
+)
+
+// Options configures Decompress.
+type Options struct {
+	// Threads is the parallelism (default 1).
+	Threads int
+	// ChunkSize is the compressed bytes per chunk (pugz default 32 MiB,
+	// §1.2; Figure 12 sweeps it).
+	ChunkSize int
+	// Sync writes output in order ("pugz (sync)"); otherwise chunks are
+	// written as soon as they are ready, in undefined order ("pugz").
+	Sync bool
+	// OutputBufferRatio mimics libdeflate's preallocated output buffer:
+	// decompression fails when a chunk expands beyond this multiple of
+	// the chunk size (paper §1.2: 512 MiB per 32 MiB chunk = 16).
+	OutputBufferRatio int
+	// CheckPrintable enforces pugz's content restriction to byte values
+	// 9..126 when validating candidate blocks (§1.2). Disabling it
+	// makes the emulation accept arbitrary data (useful for ablation).
+	CheckPrintable bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Threads < 1 {
+		o.Threads = 1
+	}
+	if o.ChunkSize <= 0 {
+		o.ChunkSize = 32 << 20
+	}
+	if o.OutputBufferRatio <= 0 {
+		o.OutputBufferRatio = 16
+	}
+	return o
+}
+
+// ErrUnsupportedContent mirrors pugz quitting on data outside 9–126.
+var ErrUnsupportedContent = errors.New("pugz: decompressed data outside supported byte range 9-126")
+
+// ErrOutputBuffer mirrors the fixed-output-buffer failure mode.
+var ErrOutputBuffer = errors.New("pugz: chunk exceeds preallocated output buffer")
+
+type chunkRes struct {
+	res *deflate.ChunkResult
+	out [][]byte
+	err error
+}
+
+// Decompress inflates a gzip buffer with the pugz scheme, writing the
+// decompressed stream to w.
+func Decompress(data []byte, w io.Writer, opts Options) error {
+	opts = opts.withDefaults()
+	br := bitio.NewBitReaderBytes(data)
+	if _, err := gzformat.ParseHeader(br); err != nil {
+		return fmt.Errorf("pugz: %w", err)
+	}
+	firstBlock := br.BitPos()
+
+	totalBits := uint64(len(data)) * 8
+	chunkBits := uint64(opts.ChunkSize) * 8
+	nChunks := int((totalBits + chunkBits - 1) / chunkBits)
+	if nChunks < 1 {
+		nChunks = 1
+	}
+
+	results := make([]chunkRes, nChunks)
+	stage1Done := make([]chan struct{}, nChunks)
+	windowReady := make([]chan []byte, nChunks)
+	replaced := make([]chan struct{}, nChunks)
+	written := make([]chan struct{}, nChunks)
+	for i := range stage1Done {
+		stage1Done[i] = make(chan struct{})
+		windowReady[i] = make(chan []byte, 1)
+		replaced[i] = make(chan struct{})
+		written[i] = make(chan struct{})
+	}
+
+	// Stage 1: fixed uniform distribution of chunks to threads (§1.2:
+	// "chunks are distributed to the parallel threads in a fixed uniform
+	// manner"), each decoding with markers from the first found block.
+	var wg sync.WaitGroup
+	for t := 0; t < opts.Threads; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			finder := blockfinder.NewPugzFinder()
+			var dec deflate.Decoder
+			for k := t; k < nChunks; k += opts.Threads {
+				results[k].res, results[k].err = stage1(data, k, firstBlock, chunkBits, finder, &dec, opts)
+				close(stage1Done[k])
+			}
+		}(t)
+	}
+
+	// Window propagation chain: strictly sequential (§2.2: "The
+	// propagation of the windows cannot be parallelized").
+	go func() {
+		window := []byte{}
+		for k := 0; k < nChunks; k++ {
+			<-stage1Done[k]
+			if results[k].err != nil {
+				// Propagate an empty window; the error surfaces below.
+				windowReady[k] <- nil
+				continue
+			}
+			if results[k].res == nil {
+				// Empty chunk (no block started inside it): the window
+				// passes through unchanged.
+				windowReady[k] <- nil
+				continue
+			}
+			windowReady[k] <- window
+			res := results[k].res
+			next, err := res.WindowAt(res.TotalOut(), window)
+			if err != nil {
+				results[k].err = err
+				window = nil
+				continue
+			}
+			window = next
+		}
+	}()
+
+	// Stage 2: parallel marker replacement per chunk, same fixed
+	// distribution.
+	var mu sync.Mutex // serialises unsynchronized writes
+	var wg2 sync.WaitGroup
+	var unsyncErr error
+	var unsyncN int64
+	for t := 0; t < opts.Threads; t++ {
+		wg2.Add(1)
+		go func(t int) {
+			defer wg2.Done()
+			for k := t; k < nChunks; k += opts.Threads {
+				window := <-windowReady[k]
+				if results[k].err == nil && results[k].res != nil {
+					segs, err := results[k].res.Resolved(window)
+					if err != nil {
+						results[k].err = err
+					} else {
+						results[k].out = segs
+					}
+				}
+				if !opts.Sync && results[k].err == nil {
+					mu.Lock()
+					for _, seg := range results[k].out {
+						n, err := w.Write(seg)
+						unsyncN += int64(n)
+						if err != nil && unsyncErr == nil {
+							unsyncErr = err
+						}
+					}
+					results[k].out = nil
+					mu.Unlock()
+				}
+				close(replaced[k])
+				if opts.Sync {
+					// The defining cost of pugz's synchronized mode
+					// (§4.4: it "does not scale to more than 32
+					// cores"): a thread stalls until its chunk has been
+					// written in order before taking the next one.
+					<-written[k]
+				}
+			}
+		}(t)
+	}
+
+	// Output: synchronized mode writes strictly in order.
+	var firstErr error
+	for k := 0; k < nChunks; k++ {
+		<-replaced[k]
+		if results[k].err != nil && firstErr == nil {
+			firstErr = results[k].err
+		}
+		if opts.Sync && firstErr == nil {
+			for _, seg := range results[k].out {
+				if _, err := w.Write(seg); err != nil {
+					firstErr = err
+					break
+				}
+			}
+			results[k].out = nil
+		}
+		close(written[k])
+	}
+	wg.Wait()
+	wg2.Wait()
+	if firstErr == nil {
+		firstErr = unsyncErr
+	}
+	return firstErr
+}
+
+// stage1 finds the first block in chunk k and first-stage decodes it.
+func stage1(data []byte, k int, firstBlock uint64, chunkBits uint64, finder *blockfinder.PugzFinder, dec *deflate.Decoder, opts Options) (*deflate.ChunkResult, error) {
+	start := uint64(k) * chunkBits
+	stop := start + chunkBits
+	maxOut := uint64(opts.OutputBufferRatio) * uint64(opts.ChunkSize)
+	br := bitio.NewBitReaderBytes(data)
+
+	if k == 0 {
+		// The first chunk starts at the known first block with a known
+		// (empty) window.
+		res, err := dec.DecodeChunk(br, deflate.ChunkConfig{
+			Start: firstBlock, Stop: stop, StopOnlyAtDynamic: true, MaxDecompressed: maxOut,
+		})
+		if err == deflate.ErrOutputLimit {
+			return nil, ErrOutputBuffer
+		}
+		if err != nil {
+			return nil, err
+		}
+		if err := checkPrintable(res, opts); err != nil {
+			return nil, err
+		}
+		return res, nil
+	}
+
+	searchFrom := start
+	for {
+		cand, ok := finder.Next(data, searchFrom)
+		if !ok || cand >= stop {
+			// No (findable) block starts inside this chunk: the previous
+			// chunk's decode runs through it, so it contributes nothing.
+			return nil, nil
+		}
+		res, err := dec.DecodeChunk(br, deflate.ChunkConfig{
+			Start: cand, Stop: stop, StopOnlyAtDynamic: true, TwoStage: true, MaxDecompressed: maxOut,
+		})
+		if err == deflate.ErrOutputLimit {
+			return nil, ErrOutputBuffer
+		}
+		if err == nil {
+			if err := checkPrintable(res, opts); err != nil {
+				return nil, err
+			}
+			return res, nil
+		}
+		searchFrom = cand + 1
+	}
+}
+
+// checkPrintable enforces pugz's content restriction: decoded literals
+// must fall in 9..126 (§1.2). Only a prefix is checked, mirroring
+// pugz's validation of the first decoded bytes.
+func checkPrintable(res *deflate.ChunkResult, opts Options) error {
+	if !opts.CheckPrintable {
+		return nil
+	}
+	const probe = 64 << 10
+	n := 0
+	for _, v := range res.Marked {
+		if v < deflate.MarkerBase && (v < 9 || v > 126) {
+			return ErrUnsupportedContent
+		}
+		n++
+		if n >= probe {
+			return nil
+		}
+	}
+	for _, b := range res.Raw {
+		if b < 9 || b > 126 {
+			return ErrUnsupportedContent
+		}
+		n++
+		if n >= probe {
+			return nil
+		}
+	}
+	return nil
+}

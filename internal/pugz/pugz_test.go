@@ -1,0 +1,175 @@
+package pugz
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/gzipw"
+	"repro/internal/workloads"
+)
+
+// printable returns n bytes confined to pugz's supported range 9..126.
+func printable(n int, seed uint64) []byte {
+	b64 := workloads.Base64(n, seed)
+	return b64
+}
+
+func compress(t *testing.T, data []byte, opts gzipw.Options) []byte {
+	t.Helper()
+	comp, _, err := gzipw.Compress(data, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return comp
+}
+
+func TestSyncRoundTrip(t *testing.T) {
+	data := printable(700_000, 1)
+	comp := compress(t, data, gzipw.Options{Level: 6, BlockSize: 16 << 10})
+	for _, threads := range []int{1, 2, 4} {
+		var out bytes.Buffer
+		err := Decompress(comp, &out, Options{
+			Threads: threads, ChunkSize: 32 << 10, Sync: true, CheckPrintable: true,
+		})
+		if err != nil {
+			t.Fatalf("threads=%d: %v", threads, err)
+		}
+		if !bytes.Equal(out.Bytes(), data) {
+			t.Fatalf("threads=%d: mismatch (%d vs %d bytes)", threads, out.Len(), len(data))
+		}
+	}
+}
+
+func TestUnsyncWritesEverythingOnce(t *testing.T) {
+	data := printable(600_000, 2)
+	comp := compress(t, data, gzipw.Options{Level: 6, BlockSize: 16 << 10})
+	var out bytes.Buffer
+	err := Decompress(comp, &out, Options{
+		Threads: 4, ChunkSize: 32 << 10, Sync: false, CheckPrintable: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != len(data) {
+		t.Fatalf("unsync wrote %d bytes, want %d", out.Len(), len(data))
+	}
+	// Chunk order is undefined but byte content must be a permutation of
+	// contiguous chunk spans: compare histograms.
+	var want, got [256]int
+	for _, b := range data {
+		want[b]++
+	}
+	for _, b := range out.Bytes() {
+		got[b]++
+	}
+	if want != got {
+		t.Fatal("unsync output is not a byte permutation of the input")
+	}
+}
+
+func TestSingleThreadUnsyncIsOrdered(t *testing.T) {
+	data := printable(300_000, 3)
+	comp := compress(t, data, gzipw.Options{Level: 6, BlockSize: 16 << 10})
+	var out bytes.Buffer
+	if err := Decompress(comp, &out, Options{Threads: 1, ChunkSize: 32 << 10}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), data) {
+		t.Fatal("single-threaded unsync output must be in order")
+	}
+}
+
+func TestRejectsNonPrintableContent(t *testing.T) {
+	// Binary data falls outside 9..126; pugz quits with an error (§4.5:
+	// "It quits and returns an error when trying to do so").
+	data := workloads.Random(400_000, 4)
+	comp := compress(t, data, gzipw.Options{Level: 6, BlockSize: 16 << 10})
+	var out bytes.Buffer
+	err := Decompress(comp, &out, Options{
+		Threads: 2, ChunkSize: 32 << 10, Sync: true, CheckPrintable: true,
+	})
+	if !errors.Is(err, ErrUnsupportedContent) {
+		t.Fatalf("got %v, want ErrUnsupportedContent", err)
+	}
+}
+
+func TestNonPrintableAcceptedWithoutCheck(t *testing.T) {
+	// The ablation switch: same data passes with the restriction off.
+	data := workloads.Random(200_000, 5)
+	comp := compress(t, data, gzipw.Options{Level: 6, BlockSize: 16 << 10})
+	var out bytes.Buffer
+	err := Decompress(comp, &out, Options{
+		Threads: 2, ChunkSize: 32 << 10, Sync: true, CheckPrintable: false,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), data) {
+		t.Fatal("mismatch")
+	}
+}
+
+func TestOutputBufferLimit(t *testing.T) {
+	// A chunk that expands beyond OutputBufferRatio x ChunkSize fails,
+	// mirroring the libdeflate fixed-buffer limitation (§1.2).
+	data := bytes.Repeat([]byte(strings.Repeat("ab", 50)), 50_000) // highly compressible printable data
+	comp := compress(t, data, gzipw.Options{Level: 9, BlockSize: 64 << 10})
+	var out bytes.Buffer
+	err := Decompress(comp, &out, Options{
+		Threads: 2, ChunkSize: 4 << 10, Sync: true, OutputBufferRatio: 2,
+	})
+	if !errors.Is(err, ErrOutputBuffer) {
+		t.Fatalf("got %v, want ErrOutputBuffer", err)
+	}
+}
+
+func TestSingleBlockFileFails(t *testing.T) {
+	// pugz parallelizes on Deflate block granularity; a single-block file
+	// spanning several chunks leaves chunks with no block to find.
+	data := printable(600_000, 6)
+	comp := compress(t, data, gzipw.Options{Level: 1, SingleBlock: true, Strategy: gzipw.DynamicOnly})
+	var out bytes.Buffer
+	err := Decompress(comp, &out, Options{Threads: 4, ChunkSize: 32 << 10, Sync: true})
+	if err == nil {
+		t.Fatal("expected failure on single-block file spanning many chunks")
+	}
+}
+
+func TestChunkSizeSweep(t *testing.T) {
+	data := printable(500_000, 7)
+	comp := compress(t, data, gzipw.Options{Level: 6, BlockSize: 8 << 10})
+	for _, cs := range []int{8 << 10, 32 << 10, 128 << 10, 1 << 20} {
+		var out bytes.Buffer
+		err := Decompress(comp, &out, Options{Threads: 3, ChunkSize: cs, Sync: true})
+		if err != nil {
+			t.Fatalf("chunk size %d: %v", cs, err)
+		}
+		if !bytes.Equal(out.Bytes(), data) {
+			t.Fatalf("chunk size %d: mismatch", cs)
+		}
+	}
+}
+
+func TestPigzStyleInput(t *testing.T) {
+	// The paper's Figure 9 input: pigz-style independently compressed
+	// chunks joined by empty stored blocks.
+	data := printable(800_000, 8)
+	comp := compress(t, data, gzipw.Options{Level: 6, BlockSize: 32 << 10, IndependentChunks: 64 << 10})
+	var out bytes.Buffer
+	err := Decompress(comp, &out, Options{Threads: 4, ChunkSize: 64 << 10, Sync: true, CheckPrintable: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), data) {
+		t.Fatal("mismatch")
+	}
+}
+
+func TestEmptyInputRejected(t *testing.T) {
+	var out bytes.Buffer
+	if err := Decompress(nil, &out, Options{}); err == nil {
+		t.Fatal("expected error for empty input")
+	}
+}

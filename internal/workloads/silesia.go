@@ -1,0 +1,292 @@
+package workloads
+
+// SilesiaLike builds a TAR archive of mixed synthetic files emulating
+// the Silesia corpus's composition (English prose, XML, database rows,
+// binary/executable-like data, highly repetitive records, and noisy
+// samples). The mixture is tuned so that gzip -6 lands near Silesia's
+// compression ratio of ~3 and — crucially for Figure 10 — back-
+// references occur densely enough that first-stage markers survive past
+// 32 KiB, keeping the serial window-propagation term alive.
+func SilesiaLike(n int, seed uint64) []byte {
+	r := newRNG(seed)
+	var tw tarBuilder
+	kinds := []struct {
+		name string
+		gen  func(*rng, int) []byte
+	}{
+		{"dickens.txt", markovText},
+		{"webster.xml", xmlData},
+		{"osdb.bin", databaseRows},
+		{"mozilla.bin", executableLike},
+		{"nci.dat", repetitiveRecords},
+		{"x-ray.raw", noisySamples},
+	}
+	// Target per-file sizes proportional to remaining space.
+	part := 0
+	for tw.size() < n {
+		k := kinds[part%len(kinds)]
+		remaining := n - tw.size()
+		size := remaining / 3
+		if size < 16<<10 {
+			size = remaining
+		}
+		if size > 2<<20 {
+			size = 2 << 20
+		}
+		name := k.name
+		if part >= len(kinds) {
+			name = fileSuffix(name, part/len(kinds))
+		}
+		tw.addFile("silesia/"+name, k.gen(r, size))
+		part++
+	}
+	out := tw.finish()
+	if len(out) > n {
+		// TAR framing overshoots slightly; trim to the requested size at
+		// a 512 boundary so the archive stays parseable minus the tail.
+		return out[:n]
+	}
+	return out
+}
+
+func fileSuffix(name string, i int) string {
+	return name + "." + string(rune('0'+i%10))
+}
+
+// --- content generators -------------------------------------------------
+
+var wordList = []string{
+	"the", "of", "and", "a", "to", "in", "he", "have", "it", "that",
+	"for", "they", "with", "as", "not", "on", "she", "at", "by", "this",
+	"we", "you", "do", "but", "from", "or", "which", "one", "would",
+	"all", "will", "there", "say", "who", "make", "when", "can", "more",
+	"if", "no", "man", "out", "other", "so", "what", "time", "up", "go",
+	"about", "than", "into", "could", "state", "only", "new", "year",
+	"some", "take", "come", "these", "know", "see", "use", "get",
+	"like", "then", "first", "any", "work", "now", "may", "such",
+	"give", "over", "think", "most", "even", "find", "day", "also",
+	"after", "way", "many", "must", "look", "before", "great", "back",
+	"through", "long", "where", "much", "should", "well", "people",
+	"down", "own", "just", "because", "good", "each", "those", "feel",
+	"seem", "how", "high", "too", "place", "little", "world", "very",
+	"still", "nation", "hand", "old", "life", "tell", "write",
+	"become", "here", "show", "house", "both", "between", "need",
+	"mean", "call", "develop", "under", "last", "right", "move",
+	"thing", "general", "school", "never", "same", "another", "begin",
+	"while", "number", "part", "turn", "real", "leave", "might",
+	"want", "point", "form", "off", "child", "few", "small", "since",
+	"against", "ask", "late", "home", "interest", "large", "person",
+	"end", "open", "public", "follow", "during", "present", "without",
+	"again", "hold", "govern", "around", "possible", "head", "consider",
+	"word", "program", "problem", "however", "lead", "system", "set",
+	"order", "eye", "plan", "run", "keep", "face", "fact", "group",
+	"play", "stand", "increase", "early", "course", "change", "help",
+	"line",
+}
+
+// markovText emits English-like prose with Zipf-distributed words,
+// sentences and paragraphs — dense short- and mid-range duplicates
+// like Silesia's dickens.
+func markovText(r *rng, n int) []byte {
+	out := make([]byte, 0, n+64)
+	sentenceLen := 0
+	capitalize := true
+	for len(out) < n {
+		// Zipf-ish: prefer low word indexes.
+		idx := r.intn(len(wordList))
+		idx = idx * (r.intn(len(wordList)) + 1) / len(wordList)
+		w := wordList[idx]
+		if capitalize {
+			out = append(out, w[0]-'a'+'A')
+			out = append(out, w[1:]...)
+			capitalize = false
+		} else {
+			out = append(out, w...)
+		}
+		sentenceLen++
+		if sentenceLen > 6 && r.intn(10) == 0 {
+			out = append(out, '.')
+			sentenceLen = 0
+			capitalize = true
+			if r.intn(6) == 0 {
+				out = append(out, '\n', '\n')
+				continue
+			}
+		} else if r.intn(14) == 0 {
+			out = append(out, ',')
+		}
+		out = append(out, ' ')
+	}
+	return out[:n]
+}
+
+// xmlData emits nested markup with heavily repeated tags/attributes,
+// like Silesia's webster/xml entries.
+func xmlData(r *rng, n int) []byte {
+	out := make([]byte, 0, n+256)
+	out = append(out, "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n<dictionary>\n"...)
+	id := 0
+	for len(out) < n {
+		id++
+		out = append(out, "  <entry id=\""...)
+		out = appendInt(out, id)
+		out = append(out, "\" type=\"noun\" lang=\"en\">\n    <headword>"...)
+		out = append(out, wordList[r.intn(len(wordList))]...)
+		out = append(out, "</headword>\n    <definition>"...)
+		for i, k := 0, 3+r.intn(10); i < k; i++ {
+			out = append(out, wordList[r.intn(len(wordList))]...)
+			out = append(out, ' ')
+		}
+		out = append(out, "</definition>\n  </entry>\n"...)
+	}
+	out = append(out, "</dictionary>\n"...)
+	return out[:n]
+}
+
+// databaseRows emits fixed-width records with low-cardinality columns,
+// like Silesia's osdb sample database.
+func databaseRows(r *rng, n int) []byte {
+	out := make([]byte, 0, n+128)
+	cities := []string{"Dresden ", "Orlando ", "Gliwice ", "Tsukuba ", "Lyon    "}
+	for len(out) < n {
+		var rec [64]byte
+		binary := rec[:]
+		putU64(binary[0:], uint64(len(out)))
+		putU64(binary[8:], r.next()%1000)
+		copy(binary[16:], cities[r.intn(len(cities))])
+		copy(binary[24:], "ACTIVE  ")
+		putU64(binary[32:], uint64(r.intn(100)))
+		putU64(binary[40:], 0xDEADBEEF)
+		copy(binary[48:], "2023-06-1")
+		binary[57] = byte('0' + r.intn(10))
+		binary[58] = '\n'
+		out = append(out, rec[:]...)
+	}
+	return out[:n]
+}
+
+func putU64(dst []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		dst[i] = byte(v >> (8 * i))
+	}
+}
+
+// executableLike mixes repeated instruction-like byte patterns with
+// embedded strings and random sections, like mozilla.
+func executableLike(r *rng, n int) []byte {
+	out := make([]byte, 0, n+64)
+	patterns := [][]byte{
+		{0x55, 0x48, 0x89, 0xE5},
+		{0x48, 0x83, 0xEC, 0x20},
+		{0xE8, 0x00, 0x00, 0x00, 0x00},
+		{0x48, 0x8B, 0x45, 0xF8},
+		{0xC3, 0x90, 0x90, 0x90},
+	}
+	for len(out) < n {
+		switch r.intn(10) {
+		case 0: // random data section
+			k := 64 + r.intn(512)
+			for i := 0; i < k; i += 8 {
+				var tmp [8]byte
+				putU64(tmp[:], r.next())
+				out = append(out, tmp[:]...)
+			}
+		case 1: // embedded string table
+			for i := 0; i < 8; i++ {
+				out = append(out, "lib"...)
+				out = append(out, wordList[r.intn(64)]...)
+				out = append(out, ".so\x00"...)
+			}
+		default: // instruction stream
+			for i := 0; i < 32; i++ {
+				out = append(out, patterns[r.intn(len(patterns))]...)
+				out = append(out, byte(r.intn(16)))
+			}
+		}
+	}
+	return out[:n]
+}
+
+// repetitiveRecords emits extremely redundant line-oriented data like
+// Silesia's nci (chemical database) — compresses >10x.
+func repetitiveRecords(r *rng, n int) []byte {
+	out := make([]byte, 0, n+128)
+	for len(out) < n {
+		mol := r.intn(100000)
+		out = append(out, "  -OEChem-0"...)
+		out = appendInt(out, mol)
+		out = append(out, "\n  7  6  0     0  0  0  0  0  0999 V2000\n"...)
+		for i := 0; i < 7; i++ {
+			out = append(out, "    0.0000    0.0000    0.0000 C   0  0  0  0  0\n"...)
+		}
+		out = append(out, "M  END\n$$$$\n"...)
+	}
+	return out[:n]
+}
+
+// noisySamples emits 12-bit-ish sensor samples with smooth drift, like
+// x-ray: mildly compressible binary.
+func noisySamples(r *rng, n int) []byte {
+	out := make([]byte, 0, n+2)
+	level := 2048
+	for len(out) < n {
+		level += r.intn(65) - 32
+		if level < 0 {
+			level = 0
+		}
+		if level > 4095 {
+			level = 4095
+		}
+		out = append(out, byte(level), byte(level>>8))
+	}
+	return out[:n]
+}
+
+// --- minimal TAR builder --------------------------------------------------
+
+// tarBuilder writes a POSIX ustar archive; implemented here (rather
+// than archive/tar) so examples can show raw offsets and because the
+// generated archives must be byte-deterministic.
+type tarBuilder struct {
+	buf []byte
+}
+
+func (t *tarBuilder) size() int { return len(t.buf) }
+
+func (t *tarBuilder) addFile(name string, content []byte) {
+	var hdr [512]byte
+	copy(hdr[0:100], name)
+	copy(hdr[100:108], "0000644\x00")
+	copy(hdr[108:116], "0000000\x00")
+	copy(hdr[116:124], "0000000\x00")
+	octal(hdr[124:136], uint64(len(content)))
+	copy(hdr[136:148], "14000000000\x00") // mtime
+	copy(hdr[148:156], "        ")        // checksum placeholder
+	hdr[156] = '0'
+	copy(hdr[257:263], "ustar\x00")
+	copy(hdr[263:265], "00")
+	sum := 0
+	for _, b := range hdr {
+		sum += int(b)
+	}
+	octal(hdr[148:155], uint64(sum))
+	hdr[155] = 0
+	t.buf = append(t.buf, hdr[:]...)
+	t.buf = append(t.buf, content...)
+	if pad := (512 - len(content)%512) % 512; pad > 0 {
+		t.buf = append(t.buf, make([]byte, pad)...)
+	}
+}
+
+func (t *tarBuilder) finish() []byte {
+	t.buf = append(t.buf, make([]byte, 1024)...) // two zero blocks
+	return t.buf
+}
+
+func octal(dst []byte, v uint64) {
+	for i := len(dst) - 2; i >= 0; i-- {
+		dst[i] = byte('0' + v&7)
+		v >>= 3
+	}
+	dst[len(dst)-1] = 0
+}

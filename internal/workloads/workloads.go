@@ -1,0 +1,131 @@
+// Package workloads generates the deterministic synthetic datasets used
+// to reproduce the paper's evaluation:
+//
+//   - Base64: base64-encoded random data, the §4.4 workload — uniform
+//     compression ratio ~1.3, nearly no back-references, so two-stage
+//     decoding falls back to single-stage quickly.
+//   - FASTQ: synthetic sequencing reads, the §4.6 workload — repetitive
+//     record framing with incompressible payloads, ratio ~3.5.
+//   - SilesiaLike: a real TAR archive of mixed synthetic files standing
+//     in for the Silesia corpus (§4.5) — ratio ~3 with dense long-range
+//     back-references, which keeps markers alive across chunks and
+//     exposes the Amdahl window-propagation bottleneck.
+//   - Random: incompressible bytes (stored-block handling).
+//
+// All generators are deterministic in (size, seed).
+package workloads
+
+import "encoding/binary"
+
+// rng is a splitmix64 generator — tiny, fast, deterministic across
+// platforms and Go versions (unlike math/rand's global behaviours).
+type rng struct{ state uint64 }
+
+func newRNG(seed uint64) *rng { return &rng{state: seed ^ 0x9E3779B97F4A7C15} }
+
+func (r *rng) next() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ z>>30) * 0xBF58476D1CE4E5B9
+	z = (z ^ z>>27) * 0x94D049BB133111EB
+	return z ^ z>>31
+}
+
+func (r *rng) intn(n int) int {
+	return int(r.next() % uint64(n))
+}
+
+// Random returns n incompressible bytes.
+func Random(n int, seed uint64) []byte {
+	out := make([]byte, n)
+	r := newRNG(seed)
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		binary.LittleEndian.PutUint64(out[i:], r.next())
+	}
+	for ; i < n; i++ {
+		out[i] = byte(r.next())
+	}
+	return out
+}
+
+const base64Alphabet = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/"
+
+// Base64 returns n bytes of base64-encoded random data wrapped at 76
+// columns, like `base64 /dev/urandom` (paper §4.4).
+func Base64(n int, seed uint64) []byte {
+	out := make([]byte, n)
+	r := newRNG(seed)
+	for i := range out {
+		if i%77 == 76 {
+			out[i] = '\n'
+			continue
+		}
+		out[i] = base64Alphabet[r.intn(64)]
+	}
+	return out
+}
+
+// FASTQ returns about n bytes of synthetic sequencing records
+// (paper §4.6). Record structure follows the Illumina convention:
+// @instrument:run:flowcell:lane:tile:x:y, bases, '+', qualities.
+func FASTQ(n int, seed uint64) []byte {
+	r := newRNG(seed)
+	out := make([]byte, 0, n+512)
+	bases := []byte("ACGT")
+	read := make([]byte, 100)
+	qual := make([]byte, 100)
+	tile := 1101
+	x, y := 1000, 1000
+	for len(out) < n {
+		x += r.intn(200)
+		if x > 30000 {
+			x = 1000 + r.intn(100)
+			y += r.intn(300)
+		}
+		if y > 30000 {
+			y = 1000
+			tile++
+		}
+		out = append(out, "@SIM001:42:FCX42:1:"...)
+		out = appendInt(out, tile)
+		out = append(out, ':')
+		out = appendInt(out, x)
+		out = append(out, ':')
+		out = appendInt(out, y)
+		out = append(out, " 1:N:0:ATCCGA\n"...)
+		for i := range read {
+			read[i] = bases[r.intn(4)]
+		}
+		out = append(out, read...)
+		out = append(out, "\n+\n"...)
+		q := 38
+		for i := range qual {
+			q += r.intn(5) - 2
+			if q > 40 {
+				q = 40
+			}
+			if q < 2 {
+				q = 2
+			}
+			qual[i] = byte('!' + q)
+		}
+		out = append(out, qual...)
+		out = append(out, '\n')
+	}
+	return out[:n]
+}
+
+func appendInt(dst []byte, v int) []byte {
+	if v == 0 {
+		return append(dst, '0')
+	}
+	var tmp [20]byte
+	i := len(tmp)
+	for v > 0 {
+		i--
+		tmp[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return append(dst, tmp[i:]...)
+}

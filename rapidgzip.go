@@ -1,0 +1,221 @@
+// Package rapidgzip provides parallel decompression of, and constant-
+// time random access ("seeking") into, arbitrary gzip files.
+//
+// It is a from-scratch Go reproduction of the system described in
+// "Rapidgzip: Parallel Decompression and Seeking in Gzip Files Using
+// Cache Prefetching" (Knespel & Brunst, HPDC 2023): the compressed file
+// is split into chunks, a false-positive-tolerant block finder locates
+// Deflate block candidates inside each chunk, worker goroutines decode
+// the chunks speculatively into a 16-bit intermediate format whose
+// marker symbols stand in for the unknown 32 KiB LZ window, and a
+// cache-plus-prefetcher architecture stitches the speculative results
+// back into the exact decompressed stream — falling back to an
+// on-demand decode whenever a speculative result turns out to have
+// started at a false positive.
+//
+// Basic usage:
+//
+//	f, err := rapidgzip.Open("big.tar.gz")
+//	if err != nil { ... }
+//	defer f.Close()
+//	io.Copy(dst, f) // decompresses on all cores
+//
+// A seek-point index is built on the fly. Once present (or imported
+// from a previous run with ImportIndex), any offset of the decompressed
+// stream is reachable in constant time:
+//
+//	f.Seek(1<<40, io.SeekStart)
+//	f.Read(buf)
+//
+// The zero Options value selects runtime.NumCPU() workers and the
+// paper's default 4 MiB chunk size.
+package rapidgzip
+
+import (
+	"io"
+	"io/fs"
+	"os"
+	"runtime"
+
+	"repro/internal/core"
+	"repro/internal/filereader"
+	"repro/internal/prefetch"
+	"repro/internal/tarfs"
+)
+
+// Options tunes a Reader. The zero value is ready to use.
+type Options struct {
+	// Parallelism is the number of decompression workers. Zero selects
+	// runtime.NumCPU(); the paper's -P flag.
+	Parallelism int
+	// ChunkSize is the compressed bytes handed to one worker task.
+	// Zero selects the paper's 4 MiB default. Figure 12 of the paper
+	// sweeps this parameter: too small wastes time in the block finder,
+	// too large starves workers near the end of the file.
+	ChunkSize int
+	// VerifyChecksums enables CRC32 verification of every gzip member
+	// against its footer while the stream is consumed sequentially.
+	// Chunk checksums are combined with a GF(2) CRC-combine, so
+	// verification is parallel too.
+	VerifyChecksums bool
+	// MaxPrefetch bounds the number of speculative chunk decodes in
+	// flight. Zero selects twice the parallelism (the paper's default).
+	MaxPrefetch int
+	// AccessCacheSize is the capacity (in chunks) of the accessed-chunk
+	// cache. It only matters for concurrent random access; sequential
+	// decompression needs a single slot.
+	AccessCacheSize int
+	// Strategy selects the prefetch strategy: "adaptive" (default),
+	// "fixed", or "multistream" (for concurrent access at several
+	// offsets, e.g. serving a mounted TAR).
+	Strategy string
+}
+
+func (o Options) toCore() core.Config {
+	cfg := core.Config{
+		Parallelism:     o.Parallelism,
+		ChunkSize:       o.ChunkSize,
+		MaxPrefetch:     o.MaxPrefetch,
+		AccessCacheSize: o.AccessCacheSize,
+		VerifyChecksums: o.VerifyChecksums,
+	}
+	if cfg.Parallelism == 0 {
+		cfg.Parallelism = runtime.NumCPU()
+	}
+	switch o.Strategy {
+	case "fixed":
+		cfg.Strategy = prefetch.NewFixed()
+	case "multistream":
+		cfg.Strategy = prefetch.NewMultiStream()
+	}
+	return cfg
+}
+
+// Stats counts fetcher activity: speculative decodes issued, false
+// starts discarded, on-demand decodes, and chunks consumed.
+type Stats = core.FetcherStats
+
+// Reader decompresses a gzip file in parallel. It implements io.Reader,
+// io.Seeker, io.ReaderAt, io.WriterTo and io.Closer. All methods are
+// safe for concurrent use.
+type Reader struct {
+	pr    *core.ParallelGzipReader
+	owned io.Closer // closed together with the reader, if non-nil
+}
+
+// Open opens the gzip file at path for parallel decompression with
+// default options.
+func Open(path string) (*Reader, error) {
+	return OpenOptions(path, Options{})
+}
+
+// OpenOptions opens the gzip file at path with explicit options.
+func OpenOptions(path string, opts Options) (*Reader, error) {
+	src, err := filereader.OpenFile(path)
+	if err != nil {
+		return nil, err
+	}
+	pr, err := core.NewReader(src, opts.toCore())
+	if err != nil {
+		src.Close()
+		return nil, err
+	}
+	return &Reader{pr: pr, owned: src}, nil
+}
+
+// NewReader wraps an open *os.File.  The file must stay open for the
+// lifetime of the Reader; Close does not close it.
+func NewReader(f *os.File, opts Options) (*Reader, error) {
+	src, err := filereader.NewStandardFileReader(f)
+	if err != nil {
+		return nil, err
+	}
+	pr, err := core.NewReader(src, opts.toCore())
+	if err != nil {
+		return nil, err
+	}
+	return &Reader{pr: pr}, nil
+}
+
+// NewBytesReader decompresses an in-memory gzip buffer.
+func NewBytesReader(data []byte, opts Options) (*Reader, error) {
+	pr, err := core.NewReader(filereader.MemoryReader(data), opts.toCore())
+	if err != nil {
+		return nil, err
+	}
+	return &Reader{pr: pr}, nil
+}
+
+// Read implements io.Reader on the decompressed stream.
+func (r *Reader) Read(p []byte) (int, error) { return r.pr.Read(p) }
+
+// Seek implements io.Seeker on the decompressed stream. Seeking is
+// cheap: it only moves the cursor; decompression happens on the next
+// Read. io.SeekEnd completes the initial scan first, because the
+// decompressed size of a gzip file is only known after scanning it.
+func (r *Reader) Seek(offset int64, whence int) (int64, error) {
+	return r.pr.Seek(offset, whence)
+}
+
+// ReadAt implements io.ReaderAt without disturbing the Read cursor.
+// Concurrent ReadAt calls at different offsets share the chunk caches —
+// the access pattern of a mounted gzip-compressed TAR.
+func (r *Reader) ReadAt(p []byte, off int64) (int, error) { return r.pr.ReadAt(p, off) }
+
+// WriteTo implements io.WriterTo: the fast path for whole-file
+// decompression used by io.Copy.
+func (r *Reader) WriteTo(w io.Writer) (int64, error) { return r.pr.WriteTo(w) }
+
+// Size returns the decompressed size, scanning the remainder of the
+// file if it has not been fully indexed yet.
+func (r *Reader) Size() (int64, error) { return r.pr.Size() }
+
+// Close releases the worker pool (and the file, for readers created
+// with Open). Outstanding calls must have returned.
+func (r *Reader) Close() error {
+	err := r.pr.Close()
+	if r.owned != nil {
+		if cerr := r.owned.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// BuildIndex completes the seek-point index for the whole file, making
+// every subsequent Seek/ReadAt constant-time.
+func (r *Reader) BuildIndex() error { return r.pr.BuildIndex() }
+
+// ExportIndex serialises the seek-point index to w (completing it
+// first if necessary). A later run can ImportIndex it to skip the
+// initial decompression pass entirely — the paper's "(index)" mode,
+// which is both faster and perfectly load-balanced.
+func (r *Reader) ExportIndex(w io.Writer) error { return r.pr.ExportIndex(w) }
+
+// ImportIndex installs an index previously written by ExportIndex.
+// The index must belong to the same compressed file.
+func (r *Reader) ImportIndex(rd io.Reader) error { return r.pr.ImportIndex(rd) }
+
+// Stats returns a snapshot of fetcher activity counters.
+func (r *Reader) Stats() Stats { return r.pr.FetcherStats() }
+
+// CRCVerified reports whether sequential CRC verification is still
+// intact and how many mismatches were seen. It returns (false, 0) once
+// consumption leaves sequential order (verification is then skipped,
+// not failed). Requires Options.VerifyChecksums.
+func (r *Reader) CRCVerified() (bool, uint64) { return r.pr.CRCStatus() }
+
+// TarFS interprets the decompressed stream as a TAR archive and returns
+// a read-only filesystem over its members — the ratarmount use case the
+// paper describes (§1.3): after the initial scan, opening any member of
+// a multi-gigabyte .tar.gz costs an index lookup plus decompression of
+// the touched chunks only. The returned fs.FS also implements
+// fs.ReadDirFS and fs.StatFS, so it works with fs.WalkDir and
+// http.FileServerFS.
+func (r *Reader) TarFS() (fs.FS, error) {
+	size, err := r.Size()
+	if err != nil {
+		return nil, err
+	}
+	return tarfs.New(r, size)
+}

@@ -1,0 +1,205 @@
+package rapidgzip
+
+import (
+	"bytes"
+	"compress/gzip"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"io/fs"
+
+	"repro/internal/workloads"
+)
+
+func gzipBytes(t *testing.T, data []byte) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, _ := gzip.NewWriterLevel(&buf, 6)
+	if _, err := w.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	return buf.Bytes()
+}
+
+func TestOpenAndCopy(t *testing.T) {
+	data := workloads.Base64(1_000_000, 1)
+	path := filepath.Join(t.TempDir(), "data.gz")
+	if err := os.WriteFile(path, gzipBytes(t, data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, err := OpenOptions(path, Options{Parallelism: 4, ChunkSize: 64 << 10, VerifyChecksums: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	var out bytes.Buffer
+	if _, err := io.Copy(&out, r); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), data) {
+		t.Fatalf("mismatch: %d vs %d bytes", out.Len(), len(data))
+	}
+	if ok, fails := r.CRCVerified(); !ok || fails > 0 {
+		t.Fatalf("CRC: ok=%v fails=%d", ok, fails)
+	}
+	if s := r.Stats(); s.ChunksConsumed == 0 {
+		t.Fatal("no chunks consumed?")
+	}
+}
+
+func TestNewReaderFromFile(t *testing.T) {
+	data := workloads.FASTQ(400_000, 2)
+	path := filepath.Join(t.TempDir(), "reads.fastq.gz")
+	os.WriteFile(path, gzipBytes(t, data), 0o644)
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	r, err := NewReader(f, Options{Parallelism: 2, ChunkSize: 32 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	got, err := io.ReadAll(r)
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("mismatch (err=%v)", err)
+	}
+}
+
+func TestSeekReadAt(t *testing.T) {
+	data := workloads.SilesiaLike(800_000, 3)
+	r, err := NewBytesReader(gzipBytes(t, data), Options{Parallelism: 3, ChunkSize: 32 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	if size, err := r.Size(); err != nil || size != int64(len(data)) {
+		t.Fatalf("size %d err %v", size, err)
+	}
+	// Seek + Read.
+	if _, err := r.Seek(500_000, io.SeekStart); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 1024)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, data[500_000:501_024]) {
+		t.Fatal("seek+read mismatch")
+	}
+	// ReadAt does not disturb the cursor.
+	at := make([]byte, 512)
+	if _, err := r.ReadAt(at, 100); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(at, data[100:612]) {
+		t.Fatal("ReadAt mismatch")
+	}
+	if _, err := io.ReadFull(r, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, data[501_024:502_048]) {
+		t.Fatal("cursor was disturbed by ReadAt")
+	}
+}
+
+func TestIndexRoundTripPublicAPI(t *testing.T) {
+	data := workloads.Base64(600_000, 4)
+	comp := gzipBytes(t, data)
+
+	r1, err := NewBytesReader(comp, Options{Parallelism: 2, ChunkSize: 32 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ix bytes.Buffer
+	if err := r1.ExportIndex(&ix); err != nil {
+		t.Fatal(err)
+	}
+	r1.Close()
+
+	r2, err := NewBytesReader(comp, Options{Parallelism: 2, ChunkSize: 32 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	if err := r2.ImportIndex(bytes.NewReader(ix.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(r2)
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("index-primed read mismatch (err=%v)", err)
+	}
+	if s := r2.Stats(); s.GuessTasks != 0 {
+		t.Fatalf("index-primed read ran %d speculative decodes", s.GuessTasks)
+	}
+}
+
+func TestStrategyNames(t *testing.T) {
+	data := workloads.Base64(300_000, 5)
+	comp := gzipBytes(t, data)
+	for _, s := range []string{"", "adaptive", "fixed", "multistream"} {
+		r, err := NewBytesReader(comp, Options{Parallelism: 2, ChunkSize: 32 << 10, Strategy: s})
+		if err != nil {
+			t.Fatalf("%q: %v", s, err)
+		}
+		got, err := io.ReadAll(r)
+		r.Close()
+		if err != nil || !bytes.Equal(got, data) {
+			t.Fatalf("%q: mismatch (err=%v)", s, err)
+		}
+	}
+}
+
+func TestOpenErrors(t *testing.T) {
+	if _, err := Open(filepath.Join(t.TempDir(), "missing.gz")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	path := filepath.Join(t.TempDir(), "not.gz")
+	os.WriteFile(path, []byte("not gzip data"), 0o644)
+	if _, err := Open(path); err == nil {
+		t.Fatal("non-gzip file accepted")
+	}
+}
+
+func TestTarFS(t *testing.T) {
+	// The ratarmount scenario through the public API: list and read
+	// members of a .tar.gz via io/fs.
+	tarball := workloads.SilesiaLike(2<<20, 6) // a real TAR by construction
+	r, err := NewBytesReader(gzipBytes(t, tarball), Options{Parallelism: 3, ChunkSize: 64 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	fsys, err := r.TarFS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := fs.ReadDir(fsys, "silesia")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) < 3 {
+		t.Fatalf("only %d members", len(entries))
+	}
+	data, err := fs.ReadFile(fsys, "silesia/"+entries[0].Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Fatal("empty member")
+	}
+	// Walk the whole tree.
+	count := 0
+	err = fs.WalkDir(fsys, ".", func(string, fs.DirEntry, error) error {
+		count++
+		return nil
+	})
+	if err != nil || count < 4 {
+		t.Fatalf("walk: %d entries, %v", count, err)
+	}
+}
