@@ -48,27 +48,22 @@ func run() error {
 	}
 	path := flag.Arg(0)
 
-	r, err := rapidgzip.OpenOptions(path, rapidgzip.Options{
+	opts := rapidgzip.Options{
 		Parallelism:     *parallel,
 		ChunkSize:       *chunkSize,
 		VerifyChecksums: *verify,
-	})
+	}
+	var r *rapidgzip.Reader
+	var err error
+	if *importIndex != "" {
+		r, err = rapidgzip.OpenWithIndex(path, *importIndex, opts)
+	} else {
+		r, err = rapidgzip.OpenOptions(path, opts)
+	}
 	if err != nil {
 		return err
 	}
 	defer r.Close()
-
-	if *importIndex != "" {
-		f, err := os.Open(*importIndex)
-		if err != nil {
-			return err
-		}
-		err = r.ImportIndex(f)
-		f.Close()
-		if err != nil {
-			return err
-		}
-	}
 
 	var out io.Writer
 	switch {
@@ -129,8 +124,8 @@ func run() error {
 	}
 	if *stats {
 		s := r.Stats()
-		fmt.Fprintf(os.Stderr, "decompressed %d bytes; chunks=%d speculative=%d noBlock=%d falseStarts=%d onDemand=%d indexed=%d\n",
-			n, s.ChunksConsumed, s.GuessTasks, s.GuessNoBlock, s.GuessFalseStarts, s.OnDemandDecodes, s.IndexedDecodes)
+		fmt.Fprintf(os.Stderr, "decompressed %d bytes; chunks=%d speculative=%d finderProbes=%d noBlock=%d falseStarts=%d onDemand=%d indexed=%d delegated=%d\n",
+			n, s.ChunksConsumed, s.GuessTasks, s.FinderProbes, s.GuessNoBlock, s.GuessFalseStarts, s.OnDemandDecodes, s.IndexedDecodes, s.DelegatedDecodes)
 	}
 	return nil
 }

@@ -25,6 +25,7 @@ func (f *Fetcher) initBGZF() error {
 	var decomp uint64
 	groupStart := int64(0)
 	groupDecomp := uint64(0)
+	var groupMembers []memberMark
 
 	flush := func(end int64, endDecomp uint64, eof bool) error {
 		ci := chunkInfo{
@@ -35,13 +36,19 @@ func (f *Fetcher) initBGZF() error {
 			atMemberStart: true,
 			unitStart:     len(f.chunks),
 			endIsEOF:      eof,
+			members:       groupMembers,
 		}
+		groupMembers = nil
 		if err := f.index.Add(gzindex.SeekPoint{
 			CompressedBitOffset: ci.startBit,
 			UncompressedOffset:  ci.startDecomp,
 			AtMemberStart:       true,
 		}, nil); err != nil {
 			return err
+		}
+		for _, m := range ci.members {
+			f.index.AddMemberEnd(ci.startBit,
+				gzindex.MemberEnd{RelEnd: m.absEnd - ci.startDecomp, CRC32: m.crc})
 		}
 		f.chunks = append(f.chunks, ci)
 		groupStart = end
@@ -64,11 +71,17 @@ func (f *Fetcher) initBGZF() error {
 		if memberEnd > fileSize {
 			return fmt.Errorf("core: BGZF member at %d overruns the file", pos)
 		}
-		var isizeRaw [4]byte
-		if _, err := f.file.ReadAt(isizeRaw[:], memberEnd-4); err != nil {
+		// The footer is CRC32 then ISIZE; one read captures both, so the
+		// member marks enable architecture-level CRC verification too.
+		var footerRaw [8]byte
+		if _, err := f.file.ReadAt(footerRaw[:], memberEnd-8); err != nil {
 			return err
 		}
-		decomp += uint64(binary.LittleEndian.Uint32(isizeRaw[:]))
+		decomp += uint64(binary.LittleEndian.Uint32(footerRaw[4:]))
+		groupMembers = append(groupMembers, memberMark{
+			absEnd: decomp,
+			crc:    binary.LittleEndian.Uint32(footerRaw[:4]),
+		})
 		pos = memberEnd
 		if pos-groupStart >= int64(f.cfg.ChunkSize) || pos >= fileSize {
 			if err := flush(pos, decomp, pos >= fileSize); err != nil {

@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync/atomic"
 
 	"repro/internal/bitio"
 	"repro/internal/blockfinder"
@@ -56,6 +57,11 @@ type Config struct {
 	// decode (unlimited) remains correct. This is the §1.4 mitigation
 	// for worst-case memory usage.
 	GuessedRatioLimit int
+	// SkipMetadataScan suppresses the eager BGZF member-metadata scan
+	// at construction. Set it when an index import will immediately
+	// replace the chunk table anyway; without an import the file is
+	// simply handled by the generic (slower) path.
+	SkipMetadataScan bool
 }
 
 func (c Config) withDefaults() Config {
@@ -103,6 +109,19 @@ type chunkInfo struct {
 	// entries). After an index import every entry is its own unit.
 	unitStart int
 	endIsEOF  bool
+	// members records every gzip member end inside (or at the end of)
+	// this entry, captured when the entry was confirmed. Re-decodes of
+	// the entry — in particular the stdlib-delegated fast path, whose
+	// results carry no footer events — verify against these marks.
+	members []memberMark
+}
+
+// memberMark is the footer of a member ending inside a confirmed entry:
+// the absolute decompressed offset where the member ends and the CRC32
+// its footer declares.
+type memberMark struct {
+	absEnd uint64
+	crc    uint32
 }
 
 // chunkPayload is a decoded (possibly still marker-bearing) chunk.
@@ -120,9 +139,17 @@ type resolvedData struct {
 
 // crcPart carries the checksum of a member-delimited span of a chunk.
 type crcPart struct {
-	len    uint64
+	len       uint64
+	crc       uint32
+	expect    uint32 // footer CRC32 of the member ending after this part
+	hasExpect bool
+}
+
+// crcBound marks a member end within a resolved span: the offset
+// relative to the span start and the expected footer CRC32.
+type crcBound struct {
+	relEnd uint64
 	crc    uint32
-	footer *deflate.MemberEvent // member ends after this part, if non-nil
 }
 
 // ResolvedChunk is a fully decoded span ready for reading.
@@ -154,8 +181,12 @@ type FetcherStats struct {
 	GuessTasks       uint64
 	GuessNoBlock     uint64
 	GuessFalseStarts uint64 // speculative results that never matched
-	OnDemandDecodes  uint64
-	IndexedDecodes   uint64
+	// FinderProbes counts block-finder candidate probes across all
+	// speculative tasks. It stays exactly zero when a complete index
+	// was imported: known chunk offsets make the finder unnecessary.
+	FinderProbes    uint64
+	OnDemandDecodes uint64
+	IndexedDecodes  uint64
 	// DelegatedDecodes counts indexed chunk decodes served by the
 	// stdlib-delegation fast path (§3.3 "delegate decompression to
 	// zlib"); the remainder fell back to the custom decoder.
@@ -176,6 +207,12 @@ type Fetcher struct {
 
 	index  *gzindex.Index
 	chunks []chunkInfo
+	// marksKnown reports that the chunk table's member marks are
+	// authoritative: first-pass confirmation, BGZF metadata scan, or an
+	// imported index that persisted its marks. Only a legacy index
+	// import clears it; member verification then has to rely on the
+	// decode results' own footer events.
+	marksKnown bool
 
 	frontierBit    uint64
 	frontierDecomp uint64
@@ -203,7 +240,11 @@ type Fetcher struct {
 	crcAcc    uint32
 	crcBroken bool
 
-	Stats FetcherStats
+	// Stats is mutated on the consumer goroutine only; finderProbes is
+	// the one counter bumped from workers and so lives apart as an
+	// atomic. StatsSnapshot folds it in.
+	Stats        FetcherStats
+	finderProbes atomic.Uint64
 
 	closed bool
 }
@@ -216,24 +257,21 @@ func (f *Fetcher) chunkBits() uint64 { return uint64(f.cfg.ChunkSize) * 8 }
 func NewFetcher(src filereader.FileReader, cfg Config) (*Fetcher, error) {
 	cfg = cfg.withDefaults()
 	f := &Fetcher{
-		cfg:           cfg,
-		file:          filereader.NewShared(src),
-		fileBits:      uint64(src.Size()) * 8,
-		pool:          pool.New(cfg.Parallelism),
-		strategy:      cfg.Strategy,
-		index:         gzindex.New(cfg.ChunkSize),
-		results:       cache.NewLRUCache[uint64, *chunkPayload](max(2*cfg.MaxPrefetch, 4)),
-		access:        cache.NewLRUCache[int, *ResolvedChunk](cfg.AccessCacheSize),
-		inflightGuess: map[uint64]*pool.Future[*chunkPayload]{},
-		inflightIdx:   map[int]*pool.Future[*chunkPayload]{},
-		guessIssued:   map[uint64]bool{},
-		noBlock:       map[uint64]bool{},
-		completions:   make(chan struct{}, 4096),
+		cfg:         cfg,
+		file:        filereader.NewShared(src),
+		fileBits:    uint64(src.Size()) * 8,
+		pool:        pool.New(cfg.Parallelism),
+		strategy:    cfg.Strategy,
+		index:       gzindex.New(cfg.ChunkSize),
+		marksKnown:  true,
+		noBlock:     map[uint64]bool{},
+		completions: make(chan struct{}, 4096),
 	}
+	f.resetCaches()
 	f.index.CompressedSize = uint64(src.Size())
-	f.results.OnEvict = func(key uint64, _ *chunkPayload) {
-		delete(f.guessIssued, key/f.chunkBits())
-	}
+	// First-pass confirmation observes every footer, so the index it
+	// builds carries the complete set of member marks.
+	f.index.MemberMarksComplete = true
 
 	br := bitio.NewBitReader(f.file, src.Size())
 	hdr, err := gzformat.ParseHeader(br)
@@ -241,13 +279,28 @@ func NewFetcher(src filereader.FileReader, cfg Config) (*Fetcher, error) {
 		f.pool.Close()
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	if hdr.BGZFBlockSize > 0 {
+	if hdr.BGZFBlockSize > 0 && !cfg.SkipMetadataScan {
 		if err := f.initBGZF(); err != nil {
 			f.pool.Close()
 			return nil, err
 		}
 	}
 	return f, nil
+}
+
+// resetCaches (re)creates every cache keyed by the chunk table or grid
+// geometry, abandoning in-flight decodes (their tasks touch no mutable
+// fetcher state). Used at construction and when an index import
+// replaces the table.
+func (f *Fetcher) resetCaches() {
+	f.results = cache.NewLRUCache[uint64, *chunkPayload](max(2*f.cfg.MaxPrefetch, 4))
+	f.results.OnEvict = func(key uint64, _ *chunkPayload) {
+		delete(f.guessIssued, key/f.chunkBits())
+	}
+	f.access = cache.NewLRUCache[int, *ResolvedChunk](f.cfg.AccessCacheSize)
+	f.inflightGuess = map[uint64]*pool.Future[*chunkPayload]{}
+	f.inflightIdx = map[int]*pool.Future[*chunkPayload]{}
+	f.guessIssued = map[uint64]bool{}
 }
 
 // Close shuts the worker pool down.
@@ -367,12 +420,13 @@ func (f *Fetcher) extendFrontier() error {
 		startDecomp = f.frontierDecomp + sp.endDecomp
 	}
 	f.chunks[len(f.chunks)-1].endIsEOF = res.EndIsEOF
+	f.recordMemberMarks(unitStart, res)
 
 	// Dispatch this unit's full marker replacement to the pool right
 	// away (paper Figure 4, step 5: "Resolve the markers inside each
 	// chunk in parallel using the thread pool") — confirmation of the
 	// next unit does not wait for it, so replacements overlap.
-	rc := f.resolve(f.chunks[unitStart], cd)
+	rc := f.resolve(unitStart, cd)
 	rc.firstEntry, rc.lastEntry = unitStart, len(f.chunks)
 	for e := unitStart; e < len(f.chunks); e++ {
 		f.access.Put(e, rc)
@@ -385,8 +439,45 @@ func (f *Fetcher) extendFrontier() error {
 		f.eof = true
 		f.index.Finalized = true
 		f.index.UncompressedSize = f.frontierDecomp
+		f.drainGuesses()
 	}
 	return nil
+}
+
+// drainGuesses settles every speculative task still in flight once the
+// frontier has reached EOF. No future frontier request will ever wait
+// on them, so without this their outcomes (no-block cells, usable
+// results for later random access) would be recorded only if another
+// sweep happened to run — and a single-block file would report zero
+// no-block cells despite having probed every one of them.
+func (f *Fetcher) drainGuesses() {
+	for g, fut := range f.inflightGuess {
+		delete(f.inflightGuess, g)
+		cd, err := fut.Wait()
+		f.recordGuess(g, cd, err)
+	}
+}
+
+// recordMemberMarks distributes the footer events of a freshly
+// confirmed decode unit over its table entries [unitStart, len(chunks)).
+// A member ending at decompressed offset X belongs to the entry whose
+// span (start, start+size] contains X; the zero-length edge case (a
+// member boundary exactly at the unit start) attaches to the first
+// entry.
+func (f *Fetcher) recordMemberMarks(unitStart int, res *deflate.ChunkResult) {
+	e := unitStart
+	for i := range res.Members {
+		absEnd := f.frontierDecomp + res.Members[i].DecompOffset
+		for e < len(f.chunks)-1 && absEnd > f.chunks[e].startDecomp+f.chunks[e].size {
+			e++
+		}
+		crc := res.Members[i].Footer.CRC32
+		f.chunks[e].members = append(f.chunks[e].members, memberMark{absEnd: absEnd, crc: crc})
+		// Mirror the mark into the index so an export→import round trip
+		// restores it (and with it, full member verification).
+		f.index.AddMemberEnd(f.chunks[e].startBit,
+			gzindex.MemberEnd{RelEnd: absEnd - f.chunks[e].startDecomp, CRC32: crc})
+	}
 }
 
 // advanceReady confirms every decode unit whose speculative result is
@@ -567,12 +658,23 @@ func (f *Fetcher) dispatchIndexed(idx int) bool {
 		return false
 	}
 	f.Stats.IndexedDecodes++
+	allowDelegate := f.delegationOK()
 	fut := pool.GoLow(f.pool, func() (*chunkPayload, error) {
 		defer f.notifyCompletion()
-		return f.decodeIndexed(ci, window)
+		return f.decodeIndexed(ci, window, allowDelegate)
 	})
 	f.inflightIdx[idx] = fut
 	return true
+}
+
+// delegationOK reports whether indexed decodes may take the
+// stdlib-delegated fast path. Delegated results carry no footer
+// events, so when checksum verification is on, delegation requires the
+// chunk table's member marks to be authoritative — without them (a
+// legacy index import) every mid-stream footer would silently escape
+// verification and desynchronise the member CRC chain.
+func (f *Fetcher) delegationOK() bool {
+	return !f.cfg.VerifyChecksums || f.marksKnown
 }
 
 // notifyCompletion wakes a consumer blocked on the frontier so it can
@@ -603,14 +705,17 @@ func (f *Fetcher) waitServicing(fut *pool.Future[*chunkPayload]) (*chunkPayload,
 // decodeIndexed decodes a confirmed entry with its stored window — the
 // fast path used when an index exists (§3.3, §4.4: "the output buffer
 // can be allocated beforehand ... marker replacement can be skipped").
-// It first attempts the paper's zlib delegation (here: compress/flate
-// on a bit-realigned copy of the chunk, see deflate.DelegateWindow) and
-// falls back to the custom single-stage decoder when the chunk cannot
-// be delegated (e.g. a member boundary inside it). It is safe to call
-// from worker goroutines: it touches no mutable fetcher state.
-func (f *Fetcher) decodeIndexed(ci chunkInfo, window []byte) (*chunkPayload, error) {
-	if res, err := f.decodeDelegated(ci, window); err == nil {
-		return &chunkPayload{res: res, delegated: true}, nil
+// When allowDelegate is set it first attempts the paper's zlib
+// delegation (here: compress/flate on a bit-realigned copy of the
+// chunk, see deflate.DelegateWindow) and falls back to the custom
+// single-stage decoder when the chunk cannot be delegated (e.g. a
+// member boundary inside it). It is safe to call from worker
+// goroutines: it touches no mutable fetcher state.
+func (f *Fetcher) decodeIndexed(ci chunkInfo, window []byte, allowDelegate bool) (*chunkPayload, error) {
+	if allowDelegate {
+		if res, err := f.decodeDelegated(ci, window); err == nil {
+			return &chunkPayload{res: res, delegated: true}, nil
+		}
 	}
 	br := bitio.NewBitReader(f.file, int64(f.fileBits/8))
 	var dec deflate.Decoder
@@ -714,6 +819,7 @@ func (f *Fetcher) guessTask(g uint64) (*chunkPayload, error) {
 	var dec deflate.Decoder
 	searchFrom := B - uint64(bufStart)*8
 	for {
+		f.finderProbes.Add(1)
 		cand, ok := finder.Next(buf, searchFrom)
 		abs := uint64(bufStart)*8 + cand
 		if !ok || abs >= end {
@@ -797,13 +903,14 @@ func (f *Fetcher) ChunkByIndex(idx int) (*ResolvedChunk, error) {
 		span := f.chunks[last-1].startDecomp + f.chunks[last-1].size - unitCI.startDecomp
 		if cd.res.TotalOut() == span {
 			f.results.Delete(unitCI.startBit)
-			rc := f.resolve(unitCI, cd)
+			rc := f.resolve(unit, cd)
 			rc.firstEntry, rc.lastEntry = unit, last
 			for e := unit; e < last; e++ {
 				f.access.Put(e, rc)
 			}
 			f.verifySequential(unit, last, rc)
 			f.onAccess(idx)
+			rc.consumed = true
 			f.Stats.ChunksConsumed++
 			return rc, nil
 		}
@@ -815,11 +922,12 @@ func (f *Fetcher) ChunkByIndex(idx int) (*ResolvedChunk, error) {
 	if err != nil {
 		return nil, err
 	}
-	rc := f.resolve(ci, cd)
+	rc := f.resolve(idx, cd)
 	rc.firstEntry, rc.lastEntry = idx, idx+1
 	f.access.Put(idx, rc)
 	f.verifySequential(idx, idx+1, rc)
 	f.onAccess(idx)
+	rc.consumed = true
 	f.Stats.ChunksConsumed++
 	return rc, nil
 }
@@ -854,7 +962,7 @@ func (f *Fetcher) obtainEntry(idx int, ci chunkInfo) (*chunkPayload, error) {
 	if !hasWin && !ci.atMemberStart {
 		return nil, fmt.Errorf("core: no window for chunk at bit %d", ci.startBit)
 	}
-	cd, err := f.decodeIndexed(ci, window)
+	cd, err := f.decodeIndexed(ci, window, f.delegationOK())
 	if err != nil {
 		return nil, err
 	}
@@ -871,14 +979,20 @@ func (f *Fetcher) countDelegated(cd *chunkPayload) {
 
 // resolve dispatches full marker replacement (and CRC computation) to
 // the pool and returns the handle — paper Figure 4: "Resolve the
-// markers inside each chunk in parallel using the thread pool".
-func (f *Fetcher) resolve(ci chunkInfo, cd *chunkPayload) *ResolvedChunk {
+// markers inside each chunk in parallel using the thread pool". first
+// is the table index of the first entry the payload covers.
+func (f *Fetcher) resolve(first int, cd *chunkPayload) *ResolvedChunk {
+	ci := f.chunks[first]
 	res := cd.res
 	var window []byte
 	if len(res.Marked) > 0 {
 		window, _ = f.index.Window(ci.startBit)
 	}
 	verify := f.cfg.VerifyChecksums
+	var bounds []crcBound
+	if verify {
+		bounds = f.crcBounds(first, res)
+	}
 	rc := &ResolvedChunk{StartDecomp: ci.startDecomp, Size: res.TotalOut()}
 	rc.fut = pool.Go(f.pool, func() (*resolvedData, error) {
 		segs, err := res.Resolved(window)
@@ -887,15 +1001,40 @@ func (f *Fetcher) resolve(ci chunkInfo, cd *chunkPayload) *ResolvedChunk {
 		}
 		rd := &resolvedData{segs: segs}
 		if verify {
-			rd.parts = crcParts(res, segs)
+			rd.parts = crcParts(bounds, res.TotalOut(), segs)
 		}
 		return rd, nil
 	})
 	return rc
 }
 
+// crcBounds lists the member ends inside the span that starts at table
+// entry first and covers res.TotalOut() bytes. The confirmed table is
+// authoritative: its marks survive re-decodes through the delegated
+// fast path, whose results carry no footer events. Only when the table
+// came from a legacy index import (no marks persisted) do the decode
+// result's own footer events serve as the boundary source — and
+// delegation is disabled then (see delegationOK).
+func (f *Fetcher) crcBounds(first int, res *deflate.ChunkResult) []crcBound {
+	var bounds []crcBound
+	if f.marksKnown {
+		spanStart := f.chunks[first].startDecomp
+		spanEnd := spanStart + res.TotalOut()
+		for e := first; e < len(f.chunks) && f.chunks[e].startDecomp < spanEnd; e++ {
+			for _, m := range f.chunks[e].members {
+				bounds = append(bounds, crcBound{relEnd: m.absEnd - spanStart, crc: m.crc})
+			}
+		}
+		return bounds
+	}
+	for i := range res.Members {
+		bounds = append(bounds, crcBound{relEnd: res.Members[i].DecompOffset, crc: res.Members[i].Footer.CRC32})
+	}
+	return bounds
+}
+
 // crcParts computes member-delimited CRCs of the chunk bytes.
-func crcParts(res *deflate.ChunkResult, segs [][]byte) []crcPart {
+func crcParts(bounds []crcBound, total uint64, segs [][]byte) []crcPart {
 	var parts []crcPart
 	pos := uint64(0)
 	segIdx, segOff := 0, 0
@@ -917,13 +1056,12 @@ func crcParts(res *deflate.ChunkResult, segs [][]byte) []crcPart {
 		}
 		return crc
 	}
-	for i := range res.Members {
-		ev := &res.Members[i]
-		n := ev.DecompOffset - pos
-		parts = append(parts, crcPart{len: n, crc: advance(n), footer: ev})
-		pos = ev.DecompOffset
+	for _, b := range bounds {
+		n := b.relEnd - pos
+		parts = append(parts, crcPart{len: n, crc: advance(n), expect: b.crc, hasExpect: true})
+		pos = b.relEnd
 	}
-	if rest := res.TotalOut() - pos; rest > 0 || len(parts) == 0 {
+	if rest := total - pos; rest > 0 || len(parts) == 0 {
 		parts = append(parts, crcPart{len: rest, crc: advance(rest)})
 	}
 	return parts
@@ -950,8 +1088,8 @@ func (f *Fetcher) verifySequential(first, lastExclusive int, rc *ResolvedChunk) 
 	}
 	for _, p := range rd.parts {
 		f.crcAcc = crc32x.Combine(f.crcAcc, p.crc, int64(p.len))
-		if p.footer != nil {
-			if f.crcAcc != p.footer.Footer.CRC32 {
+		if p.hasExpect {
+			if f.crcAcc != p.expect {
 				f.crcBroken = true
 				f.Stats.CRCFailures++
 				return
@@ -966,6 +1104,14 @@ func (f *Fetcher) verifySequential(first, lastExclusive int, rc *ResolvedChunk) 
 // once consumption left sequential order or a mismatch occurred.
 func (f *Fetcher) CRCStatus() (bool, uint64) {
 	return !f.crcBroken, f.Stats.CRCFailures
+}
+
+// StatsSnapshot returns the activity counters, folding in the
+// worker-side finder-probe count.
+func (f *Fetcher) StatsSnapshot() FetcherStats {
+	s := f.Stats
+	s.FinderProbes = f.finderProbes.Load()
+	return s
 }
 
 // --- index import/export -------------------------------------------------
@@ -1006,10 +1152,28 @@ func (f *Fetcher) ImportIndex(ix *gzindex.Index) error {
 			ci.size = ix.UncompressedSize - p.UncompressedOffset
 			ci.endIsEOF = true
 		}
+		for _, m := range ix.MemberEnds(p.CompressedBitOffset) {
+			ci.members = append(ci.members,
+				memberMark{absEnd: p.UncompressedOffset + m.RelEnd, crc: m.CRC32})
+		}
 		chunks[i] = ci
 	}
+	// Discard everything derived from the previous chunk table: cached
+	// spans and in-flight decodes are keyed by the old geometry, and
+	// the sequential CRC cursor refers to the old entry numbering. An
+	// import mid-stream would otherwise serve stale chunk mappings.
+	f.resetCaches()
+	f.crcNext, f.crcAcc = 0, 0
+	// Re-arm sequential verification under the new table — unless a
+	// mismatch was already detected: an import must not launder a
+	// stream that has failed verification.
+	f.crcBroken = f.Stats.CRCFailures > 0
 	f.chunks = chunks
 	f.index = ix
+	// Indexes exported by this implementation persist the member marks,
+	// restoring full member verification; legacy (v1) indexes do not,
+	// and verification then has to lean on the decode results instead.
+	f.marksKnown = ix.MemberMarksComplete
 	f.eof = true
 	f.frontierBit = ix.CompressedSize * 8
 	f.frontierDecomp = ix.UncompressedSize

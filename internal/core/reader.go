@@ -190,7 +190,10 @@ func (r *ParallelGzipReader) ExportIndex(w io.Writer) error {
 }
 
 // ImportIndex installs a previously exported index, skipping the
-// initial decompression pass.
+// initial decompression pass. The deserializer reads varint-by-varint
+// and consumes exactly the index bytes; callers whose rd holds nothing
+// but the index (an index file, in particular) should pass a buffered
+// reader to avoid per-byte reads of the underlying source.
 func (r *ParallelGzipReader) ImportIndex(rd io.Reader) error {
 	ix, err := gzindex.Read(rd)
 	if err != nil {
@@ -212,7 +215,7 @@ func (r *ParallelGzipReader) Index() *gzindex.Index {
 func (r *ParallelGzipReader) FetcherStats() FetcherStats {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return r.f.Stats
+	return r.f.StatsSnapshot()
 }
 
 // CRCStatus reports checksum verification state (see Fetcher.CRCStatus).

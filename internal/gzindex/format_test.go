@@ -1,0 +1,485 @@
+package gzindex
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// goldenIndex is the index serialised into both testdata fixtures (the
+// v1 file was written by the legacy fixed-width writer before its
+// removal; the v2 file by the current writer). Any change that stops
+// either fixture from parsing back to exactly this index is an on-disk
+// format break and must bump the version magic instead.
+func goldenIndex(t *testing.T) *Index {
+	t.Helper()
+	ix := New(4 << 20)
+	ix.Finalized = true
+	ix.CompressedSize = 123456
+	ix.UncompressedSize = 654321
+	for _, e := range []struct {
+		p   SeekPoint
+		win []byte
+	}{
+		{SeekPoint{CompressedBitOffset: 0, UncompressedOffset: 0, AtMemberStart: true}, nil},
+		{SeekPoint{CompressedBitOffset: 100_003, UncompressedOffset: 262144}, bytes.Repeat([]byte("window!?"), 4096)},
+		{SeekPoint{CompressedBitOffset: 220_111, UncompressedOffset: 524288}, []byte("short tail window")},
+	} {
+		if err := ix.Add(e.p, e.win); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return ix
+}
+
+func assertEqualIndex(t *testing.T, got, want *Index) {
+	t.Helper()
+	if got.Len() != want.Len() || got.ChunkSize != want.ChunkSize ||
+		got.Finalized != want.Finalized ||
+		got.CompressedSize != want.CompressedSize ||
+		got.UncompressedSize != want.UncompressedSize {
+		t.Fatalf("metadata mismatch:\ngot  %+v\nwant %+v", got, want)
+	}
+	for i := 0; i < want.Len(); i++ {
+		if got.Point(i) != want.Point(i) {
+			t.Fatalf("point %d: got %+v want %+v", i, got.Point(i), want.Point(i))
+		}
+		w1, ok1 := want.Window(want.Point(i).CompressedBitOffset)
+		w2, ok2 := got.Window(want.Point(i).CompressedBitOffset)
+		if ok1 != ok2 || !bytes.Equal(w1, w2) {
+			t.Fatalf("window %d mismatch (ok %v/%v)", i, ok1, ok2)
+		}
+	}
+}
+
+func readGolden(t *testing.T, name string) []byte {
+	t.Helper()
+	raw, err := os.ReadFile(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+func TestGoldenV2(t *testing.T) {
+	raw := readGolden(t, "golden-v2.rgzidx")
+	got, err := Read(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertEqualIndex(t, got, goldenIndex(t))
+
+	// The writer must still produce the byte-identical file: the format
+	// is deterministic, so this locks the layout, not just parseability.
+	var buf bytes.Buffer
+	if _, err := goldenIndex(t).WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), raw) {
+		t.Fatalf("WriteTo output diverged from the golden fixture (%d vs %d bytes)", buf.Len(), len(raw))
+	}
+}
+
+func TestGoldenV1BackwardCompatible(t *testing.T) {
+	got, err := Read(bytes.NewReader(readGolden(t, "golden-v1.rgzidx")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertEqualIndex(t, got, goldenIndex(t))
+}
+
+// markedIndex is the sample serialised into golden-v2-marks.rgzidx:
+// member marks on two points, windows on two, MemberMarksComplete set.
+func markedIndex(t *testing.T) *Index {
+	t.Helper()
+	ix := New(1 << 20)
+	ix.Finalized = true
+	ix.MemberMarksComplete = true
+	ix.CompressedSize = 999_999
+	ix.UncompressedSize = 3_500_000
+	if err := ix.Add(SeekPoint{CompressedBitOffset: 0, UncompressedOffset: 0, AtMemberStart: true}, nil); err != nil {
+		t.Fatal(err)
+	}
+	ix.AddMemberEnd(0, MemberEnd{RelEnd: 700_000, CRC32: 0xDEADBEEF})
+	if err := ix.Add(SeekPoint{CompressedBitOffset: 2_000_001, UncompressedOffset: 1_000_000}, bytes.Repeat([]byte{0x5A}, 32768)); err != nil {
+		t.Fatal(err)
+	}
+	ix.AddMemberEnd(2_000_001, MemberEnd{RelEnd: 400_000, CRC32: 0x01020304})
+	ix.AddMemberEnd(2_000_001, MemberEnd{RelEnd: 900_000, CRC32: 0xCAFEBABE})
+	if err := ix.Add(SeekPoint{CompressedBitOffset: 5_500_007, UncompressedOffset: 2_500_000}, []byte("tail window")); err != nil {
+		t.Fatal(err)
+	}
+	return ix
+}
+
+func assertEqualMarks(t *testing.T, got, want *Index) {
+	t.Helper()
+	if got.MemberMarksComplete != want.MemberMarksComplete {
+		t.Fatalf("MemberMarksComplete: got %v want %v", got.MemberMarksComplete, want.MemberMarksComplete)
+	}
+	for i := 0; i < want.Len(); i++ {
+		off := want.Point(i).CompressedBitOffset
+		g, w := got.MemberEnds(off), want.MemberEnds(off)
+		if len(g) != len(w) {
+			t.Fatalf("point %d: %d marks, want %d", i, len(g), len(w))
+		}
+		for j := range w {
+			if g[j] != w[j] {
+				t.Fatalf("point %d mark %d: got %+v want %+v", i, j, g[j], w[j])
+			}
+		}
+	}
+}
+
+func TestGoldenV2WithMemberMarks(t *testing.T) {
+	raw := readGolden(t, "golden-v2-marks.rgzidx")
+	got, err := Read(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := markedIndex(t)
+	assertEqualIndex(t, got, want)
+	assertEqualMarks(t, got, want)
+
+	var buf bytes.Buffer
+	if _, err := want.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), raw) {
+		t.Fatalf("WriteTo output diverged from the marks golden fixture (%d vs %d bytes)", buf.Len(), len(raw))
+	}
+}
+
+func TestMemberMarksRoundTrip(t *testing.T) {
+	want := markedIndex(t)
+	var buf bytes.Buffer
+	if _, err := want.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertEqualIndex(t, got, want)
+	assertEqualMarks(t, got, want)
+}
+
+func TestReadRejectsOutOfSpanMemberMarks(t *testing.T) {
+	// A structurally valid, checksummed index whose member mark points
+	// past its seek point's span must be rejected: imported, it would
+	// desynchronise the member-CRC verification chain.
+	mk := func(relEnd uint64) []byte {
+		ix := New(1 << 20)
+		ix.Finalized = true
+		ix.MemberMarksComplete = true
+		ix.CompressedSize = 1000
+		ix.UncompressedSize = 5000
+		if err := ix.Add(SeekPoint{CompressedBitOffset: 0, UncompressedOffset: 0, AtMemberStart: true}, nil); err != nil {
+			t.Fatal(err)
+		}
+		if err := ix.Add(SeekPoint{CompressedBitOffset: 4000, UncompressedOffset: 3000}, []byte("w")); err != nil {
+			t.Fatal(err)
+		}
+		ix.AddMemberEnd(0, MemberEnd{RelEnd: relEnd, CRC32: 1})
+		var buf bytes.Buffer
+		if _, err := ix.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	if _, err := Read(bytes.NewReader(mk(3000))); err != nil {
+		t.Fatalf("mark at span edge rejected: %v", err)
+	}
+	if _, err := Read(bytes.NewReader(mk(3001))); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("out-of-span mark: got %v, want ErrCorrupt", err)
+	}
+}
+
+func TestReadRejectsInconsistentSizes(t *testing.T) {
+	// Declared file sizes must bound the seek points: importers derive
+	// the final chunk's extent from them by subtraction. A finalized
+	// index whose last point lies beyond either size is corrupt even
+	// when its checksum is intact.
+	mk := func(tweak func(*Index)) []byte {
+		ix := New(1 << 20)
+		ix.Finalized = true
+		ix.CompressedSize = 1000
+		ix.UncompressedSize = 5000
+		if err := ix.Add(SeekPoint{CompressedBitOffset: 0, UncompressedOffset: 0, AtMemberStart: true}, nil); err != nil {
+			t.Fatal(err)
+		}
+		if err := ix.Add(SeekPoint{CompressedBitOffset: 4000, UncompressedOffset: 3000}, []byte("w")); err != nil {
+			t.Fatal(err)
+		}
+		tweak(ix)
+		var buf bytes.Buffer
+		if _, err := ix.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	if _, err := Read(bytes.NewReader(mk(func(*Index) {}))); err != nil {
+		t.Fatalf("consistent index rejected: %v", err)
+	}
+	if _, err := Read(bytes.NewReader(mk(func(ix *Index) { ix.UncompressedSize = 2999 }))); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("undersized uncompressed size: got %v, want ErrCorrupt", err)
+	}
+	if _, err := Read(bytes.NewReader(mk(func(ix *Index) { ix.CompressedSize = 499 }))); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("undersized compressed size: got %v, want ErrCorrupt", err)
+	}
+}
+
+func TestNonFinalizedIndexWithMarksRoundTrips(t *testing.T) {
+	// An in-progress index (not finalized, sizes still zero) that
+	// already carries member marks must survive its own WriteTo→Read
+	// round trip: the last point's span is simply unknown yet.
+	ix := New(1 << 20)
+	ix.CompressedSize = 1000
+	if err := ix.Add(SeekPoint{CompressedBitOffset: 0, UncompressedOffset: 0, AtMemberStart: true}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Add(SeekPoint{CompressedBitOffset: 4000, UncompressedOffset: 3000}, []byte("w")); err != nil {
+		t.Fatal(err)
+	}
+	ix.AddMemberEnd(4000, MemberEnd{RelEnd: 500, CRC32: 7})
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("library rejected its own in-progress index: %v", err)
+	}
+	if len(got.MemberEnds(4000)) != 1 {
+		t.Fatal("mark lost in round trip")
+	}
+}
+
+func TestV1RejectsNonMonotonicPoints(t *testing.T) {
+	// The legacy fixed-width format has no trailing checksum, so
+	// structural validation is all that stands between a bit-flipped
+	// offset and an underflowing chunk-size subtraction at import.
+	mkV1 := func(off2 uint64) []byte {
+		var buf bytes.Buffer
+		buf.WriteString("RGZIDX01")
+		le := func(v any) { binary.Write(&buf, binary.LittleEndian, v) }
+		le(uint32(1))       // flags: finalized
+		le(uint64(1 << 20)) // chunk size
+		le(uint64(1000))    // compressed size
+		le(uint64(5000))    // uncompressed size
+		le(uint64(2))       // points
+		le(uint64(0))       // point 0: bit offset
+		le(uint64(0))       //          uncompressed offset
+		buf.WriteByte(1)    //          member start
+		le(uint32(0xFFFFFFFF))
+		le(uint64(4000)) // point 1: bit offset
+		le(off2)         //          uncompressed offset
+		buf.WriteByte(0)
+		le(uint32(0xFFFFFFFF))
+		return buf.Bytes()
+	}
+	if _, err := Read(bytes.NewReader(mkV1(3000))); err != nil {
+		t.Fatalf("valid v1 rejected: %v", err)
+	}
+	if _, err := Read(bytes.NewReader(mkV1(1 << 63))); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("v1 point beyond declared size: got %v, want ErrCorrupt", err)
+	}
+	// Non-monotonic uncompressed offset: point 1 "before" point 0.
+	raw := mkV1(3000)
+	// Overwrite point 0's uncompressed offset (the header is 44 bytes,
+	// the point's bit offset 8 more → byte 52) with a value above
+	// point 1's.
+	binary.LittleEndian.PutUint64(raw[52:], 4000)
+	if _, err := Read(bytes.NewReader(raw)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("non-monotonic v1 points: got %v, want ErrCorrupt", err)
+	}
+}
+
+func TestReadRejectsWrappingMarkDeltas(t *testing.T) {
+	// Marks are delta-coded; a delta that wraps uint64 would hide a
+	// huge intermediate mark from validate's last-mark span check (the
+	// wrapped final mark lands back in range). WriteTo reproduces the
+	// wire pattern faithfully when fed out-of-order marks, so the
+	// reader must reject it.
+	ix := New(1 << 20)
+	ix.Finalized = true
+	ix.MemberMarksComplete = true
+	ix.CompressedSize = 1000
+	ix.UncompressedSize = 5000
+	if err := ix.Add(SeekPoint{CompressedBitOffset: 0, UncompressedOffset: 0, AtMemberStart: true}, nil); err != nil {
+		t.Fatal(err)
+	}
+	ix.AddMemberEnd(0, MemberEnd{RelEnd: 1 << 62, CRC32: 1})
+	ix.AddMemberEnd(0, MemberEnd{RelEnd: 100, CRC32: 2}) // delta wraps
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(bytes.NewReader(buf.Bytes())); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("wrapping mark delta: got %v, want ErrCorrupt", err)
+	}
+}
+
+func TestMarkedIndexRejectsEveryByteFlip(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := markedIndex(t).WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for i := range raw {
+		bad := bytes.Clone(raw)
+		bad[i] ^= 0x40
+		if _, err := Read(bytes.NewReader(bad)); err == nil {
+			t.Fatalf("byte flip at offset %d accepted", i)
+		}
+	}
+}
+
+func TestReadSurvivesOverflowingVarints(t *testing.T) {
+	// A corrupt/hostile varint must produce ErrCorrupt, not feed a huge
+	// partial value into an allocation (historic panic: makeslice: len
+	// out of range on a ~24-byte input).
+	overflow := bytes.Repeat([]byte{0xFF}, 10)
+	craft := func(tail ...byte) []byte {
+		raw := []byte("RGZIDX02")
+		raw = append(raw, 0x01)                   // flags: finalized
+		raw = append(raw, 0x04, 0x0A, 0x0A, 0x01) // chunk, sizes, 1 point
+		raw = append(raw, 0x00, 0x00)             // point deltas
+		return append(raw, tail...)
+	}
+	cases := map[string][]byte{
+		"window-compLen-overflow": craft(append([]byte{0x02, 0x05}, overflow...)...),
+		"window-rawLen-overflow":  craft(append([]byte{0x02}, overflow...)...),
+		"mark-count-overflow":     craft(append([]byte{0x04}, overflow...)...),
+		"point-count-overflow": append([]byte("RGZIDX02\x01\x04\x0A\x0A"),
+			overflow...),
+	}
+	for name, raw := range cases {
+		if _, err := Read(bytes.NewReader(raw)); err == nil {
+			t.Fatalf("%s: accepted", name)
+		} // a panic fails the test; any error is a pass
+	}
+}
+
+func TestReadRejectsEveryByteFlip(t *testing.T) {
+	// The trailing CRC32 must catch a corruption of any single byte —
+	// including within the compressed windows and the checksum itself.
+	var buf bytes.Buffer
+	if _, err := goldenIndex(t).WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for i := range raw {
+		bad := bytes.Clone(raw)
+		bad[i] ^= 0x40
+		if _, err := Read(bytes.NewReader(bad)); err == nil {
+			t.Fatalf("byte flip at offset %d accepted", i)
+		}
+	}
+}
+
+func TestReadRejectsEveryTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := goldenIndex(t).WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for cut := 0; cut < len(raw); cut++ {
+		if _, err := Read(bytes.NewReader(raw[:cut])); err == nil {
+			t.Fatalf("truncation to %d of %d bytes accepted", cut, len(raw))
+		}
+	}
+}
+
+func TestReadErrorTaxonomy(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("GIF89a more bytes here........."))); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("foreign file: %v", err)
+	}
+	if _, err := Read(bytes.NewReader([]byte("RGZIDX99whatever"))); !errors.Is(err, ErrUnsupportedVersion) {
+		t.Fatalf("future version: %v", err)
+	}
+	var buf bytes.Buffer
+	goldenIndex(t).WriteTo(&buf)
+	raw := buf.Bytes()
+	raw[len(raw)-1] ^= 0xFF // corrupt only the stored checksum
+	if _, err := Read(bytes.NewReader(raw)); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("checksum corruption: %v", err)
+	}
+}
+
+func TestReadFrom(t *testing.T) {
+	want := goldenIndex(t)
+	var buf bytes.Buffer
+	n, err := want.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ix Index
+	m, err := ix.ReadFrom(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != n {
+		t.Fatalf("ReadFrom consumed %d bytes, WriteTo wrote %d", m, n)
+	}
+	assertEqualIndex(t, &ix, want)
+
+	// A failed ReadFrom must not leave partial state behind.
+	before := ix.Len()
+	if _, err := ix.ReadFrom(bytes.NewReader(buf.Bytes()[:40])); err == nil {
+		t.Fatal("truncated ReadFrom succeeded")
+	}
+	if ix.Len() != before {
+		t.Fatal("failed ReadFrom mutated the index")
+	}
+}
+
+func TestDeltaCodingIsCompact(t *testing.T) {
+	// 1000 windowless checkpoints with ~4 MiB compressed spacing: the
+	// v1 fixed-width encoding took 21 bytes per record; delta varints
+	// must stay below half that.
+	ix := New(4 << 20)
+	ix.Finalized = true
+	for i := uint64(1); i <= 1000; i++ {
+		if err := ix.Add(SeekPoint{
+			CompressedBitOffset: i * (4 << 23),
+			UncompressedOffset:  i * (10 << 20),
+		}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ix.CompressedSize = 1001 * (4 << 20)
+	ix.UncompressedSize = 1001 * (10 << 20)
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if perRecord := buf.Len() / 1000; perRecord > 10 {
+		t.Fatalf("%d bytes per checkpoint record; delta coding broken", perRecord)
+	}
+}
+
+func TestReadStopsAtIndexEnd(t *testing.T) {
+	// An index followed by trailing data (e.g. read from a combined
+	// stream) must parse without consuming past its own trailer.
+	var buf bytes.Buffer
+	goldenIndex(t).WriteTo(&buf)
+	indexLen := buf.Len()
+	buf.WriteString("TRAILING GARBAGE THAT IS NOT PART OF THE INDEX")
+	r := bytes.NewReader(buf.Bytes())
+	got, err := Read(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertEqualIndex(t, got, goldenIndex(t))
+	if consumed := int(r.Size()) - r.Len(); consumed != indexLen {
+		t.Fatalf("Read consumed %d bytes, index is %d", consumed, indexLen)
+	}
+}
+
+var _ io.ReaderFrom = (*Index)(nil)
+var _ io.WriterTo = (*Index)(nil)

@@ -14,6 +14,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"sort"
 )
@@ -32,11 +33,23 @@ type SeekPoint struct {
 	AtMemberStart bool
 }
 
+// MemberEnd marks a gzip member ending inside the span of a seek
+// point: the decompressed offset relative to the point and the CRC32
+// the member's footer declares. Persisting these with the index keeps
+// full member-checksum verification available after an import, when the
+// fast stdlib-delegated chunk decodes carry no footer events of their
+// own.
+type MemberEnd struct {
+	RelEnd uint64
+	CRC32  uint32
+}
+
 // Index is the seek-point database. It is not goroutine-safe; the chunk
 // fetcher serialises access.
 type Index struct {
-	points  []SeekPoint
-	windows map[uint64][]byte // keyed by CompressedBitOffset
+	points     []SeekPoint
+	windows    map[uint64][]byte      // keyed by CompressedBitOffset
+	memberEnds map[uint64][]MemberEnd // keyed by CompressedBitOffset
 
 	// Finalized is set once the whole file has been scanned, making
 	// sizes authoritative.
@@ -44,11 +57,19 @@ type Index struct {
 	CompressedSize   uint64 // bytes
 	UncompressedSize uint64
 	ChunkSize        int // compressed chunk size used during creation
+	// MemberMarksComplete asserts that every member boundary in the
+	// file is recorded via AddMemberEnd — i.e. the absence of marks for
+	// a point means "no member ends there", not "unknown".
+	MemberMarksComplete bool
 }
 
 // New returns an empty index.
 func New(chunkSize int) *Index {
-	return &Index{windows: map[uint64][]byte{}, ChunkSize: chunkSize}
+	return &Index{
+		windows:    map[uint64][]byte{},
+		memberEnds: map[uint64][]MemberEnd{},
+		ChunkSize:  chunkSize,
+	}
 }
 
 // Add appends a seek point; points must be added in stream order.
@@ -81,6 +102,18 @@ func (ix *Index) Window(compressedBitOffset uint64) ([]byte, bool) {
 	return w, ok
 }
 
+// AddMemberEnd records a member boundary within the seek point at the
+// given compressed offset. Marks must be added in increasing RelEnd
+// order per point.
+func (ix *Index) AddMemberEnd(compressedBitOffset uint64, m MemberEnd) {
+	ix.memberEnds[compressedBitOffset] = append(ix.memberEnds[compressedBitOffset], m)
+}
+
+// MemberEnds returns the member boundaries recorded for a seek point.
+func (ix *Index) MemberEnds(compressedBitOffset uint64) []MemberEnd {
+	return ix.memberEnds[compressedBitOffset]
+}
+
 // Find returns the index of the last seek point whose uncompressed
 // offset is <= target, or false when no point qualifies (empty index).
 func (ix *Index) Find(target uint64) (int, bool) {
@@ -97,57 +130,315 @@ func (ix *Index) Find(target uint64) (int, bool) {
 	return i - 1, true
 }
 
-const magic = "RGZIDX01"
+// --- serialization -------------------------------------------------------
+//
+// On-disk layout (version 2, all integers little-endian or unsigned
+// LEB128 varints):
+//
+//	offset  size      field
+//	0       8         magic "RGZIDX02"
+//	8       1         flags (bit 0: finalized, bit 1: member marks
+//	                  complete)
+//	9       varint    chunk size used during creation
+//	...     varint    compressed file size (bytes)
+//	...     varint    uncompressed file size (bytes)
+//	...     varint    number of checkpoint records
+//	...               checkpoint records (see below)
+//	end-4   4         CRC32 (IEEE) of every preceding byte
+//
+// Each checkpoint record is:
+//
+//	varint    compressed bit offset, delta-coded against the previous
+//	          record (absolute for the first record)
+//	varint    uncompressed byte offset, delta-coded likewise
+//	1         flags (bit 0: at member start, bit 1: window present,
+//	          bit 2: member marks present)
+//	varint    raw window length        | only when bit 1
+//	varint    compressed window length | is set; the window
+//	...       flate-compressed window  | bytes follow
+//	varint    member mark count                   | only when
+//	...       per mark: varint relative offset    | bit 2
+//	          (delta-coded within the record)     | is
+//	          plus 4 bytes footer CRC32           | set
+//
+// Checkpoints are strictly increasing in compressed offset, so the
+// deltas are non-negative and small; windows are the bulk of the file
+// and flate-compress well (often 3-10x). The trailing CRC32 makes any
+// single-byte corruption detectable before an import trusts the data.
 
-// WriteTo serialises the index. Windows are flate-compressed — they are
-// the bulk of the index and compress well.
+const (
+	magicV1 = "RGZIDX01" // legacy fixed-width format, still readable
+	magicV2 = "RGZIDX02" // current format, written by WriteTo
+)
+
+// maxWindowRaw bounds a stored window. Real windows are at most the
+// Deflate history size of 32 KiB; the margin is kept tight because the
+// bound is what caps decompression amplification when importing an
+// untrusted index (a future format carrying more context would bump
+// the version magic anyway).
+const maxWindowRaw = 64 << 10
+
+// Serialization errors. All of them (and any io error) abort an import.
+var (
+	// ErrBadMagic reports that the input is not a rapidgzip index.
+	ErrBadMagic = errors.New("gzindex: bad magic (not a rapidgzip index)")
+	// ErrUnsupportedVersion reports a magic of a newer, unknown format.
+	ErrUnsupportedVersion = errors.New("gzindex: unsupported index version")
+	// ErrChecksum reports that the trailing CRC32 does not match.
+	ErrChecksum = errors.New("gzindex: index checksum mismatch")
+	// ErrCorrupt reports a structurally invalid index.
+	ErrCorrupt = errors.New("gzindex: corrupt index")
+)
+
+func writeUvarint(buf *bytes.Buffer, v uint64) {
+	var tmp [binary.MaxVarintLen64]byte
+	buf.Write(tmp[:binary.PutUvarint(tmp[:], v)])
+}
+
+// WriteTo serialises the index in the version-2 format.
 func (ix *Index) WriteTo(w io.Writer) (int64, error) {
 	var buf bytes.Buffer
-	buf.WriteString(magic)
-	flags := uint32(0)
+	buf.WriteString(magicV2)
+	var flags uint8
 	if ix.Finalized {
 		flags |= 1
 	}
-	binary.Write(&buf, binary.LittleEndian, flags)
-	binary.Write(&buf, binary.LittleEndian, uint64(ix.ChunkSize))
-	binary.Write(&buf, binary.LittleEndian, ix.CompressedSize)
-	binary.Write(&buf, binary.LittleEndian, ix.UncompressedSize)
-	binary.Write(&buf, binary.LittleEndian, uint64(len(ix.points)))
-	for _, p := range ix.points {
-		binary.Write(&buf, binary.LittleEndian, p.CompressedBitOffset)
-		binary.Write(&buf, binary.LittleEndian, p.UncompressedOffset)
-		var memberFlag uint8
-		if p.AtMemberStart {
-			memberFlag = 1
-		}
-		buf.WriteByte(memberFlag)
-		win, ok := ix.windows[p.CompressedBitOffset]
-		if !ok {
-			binary.Write(&buf, binary.LittleEndian, uint32(0xFFFFFFFF))
-			continue
-		}
-		comp, err := flateCompress(win)
-		if err != nil {
-			return 0, err
-		}
-		binary.Write(&buf, binary.LittleEndian, uint32(len(win)))
-		binary.Write(&buf, binary.LittleEndian, uint32(len(comp)))
-		buf.Write(comp)
+	if ix.MemberMarksComplete {
+		flags |= 2
 	}
+	buf.WriteByte(flags)
+	writeUvarint(&buf, uint64(ix.ChunkSize))
+	writeUvarint(&buf, ix.CompressedSize)
+	writeUvarint(&buf, ix.UncompressedSize)
+	writeUvarint(&buf, uint64(len(ix.points)))
+	var prev SeekPoint
+	for _, p := range ix.points {
+		writeUvarint(&buf, p.CompressedBitOffset-prev.CompressedBitOffset)
+		writeUvarint(&buf, p.UncompressedOffset-prev.UncompressedOffset)
+		prev = p
+		win, hasWin := ix.windows[p.CompressedBitOffset]
+		marks := ix.memberEnds[p.CompressedBitOffset]
+		var pflags uint8
+		if p.AtMemberStart {
+			pflags |= 1
+		}
+		if hasWin {
+			pflags |= 2
+		}
+		if len(marks) > 0 {
+			pflags |= 4
+		}
+		buf.WriteByte(pflags)
+		if hasWin {
+			comp, err := flateCompress(win)
+			if err != nil {
+				return 0, err
+			}
+			writeUvarint(&buf, uint64(len(win)))
+			writeUvarint(&buf, uint64(len(comp)))
+			buf.Write(comp)
+		}
+		if len(marks) > 0 {
+			writeUvarint(&buf, uint64(len(marks)))
+			var prevEnd uint64
+			for _, m := range marks {
+				writeUvarint(&buf, m.RelEnd-prevEnd)
+				prevEnd = m.RelEnd
+				binary.Write(&buf, binary.LittleEndian, m.CRC32)
+			}
+		}
+	}
+	binary.Write(&buf, binary.LittleEndian, crc32.ChecksumIEEE(buf.Bytes()))
 	n, err := w.Write(buf.Bytes())
 	return int64(n), err
 }
 
-// Read deserialises an index written by WriteTo.
+// Read deserialises an index written by WriteTo, dispatching on the
+// format version named by the magic. The current version's trailing
+// CRC32 is verified; any mismatch or structural problem rejects the
+// whole index — a partially imported index would silently disable
+// seeking into the missing region.
 func Read(r io.Reader) (*Index, error) {
-	br := bufReader{r: r}
 	var m [8]byte
-	if err := br.full(m[:]); err != nil {
+	if _, err := io.ReadFull(r, m[:]); err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrBadMagic, err)
+	}
+	switch string(m[:]) {
+	case magicV2:
+		return readV2(r)
+	case magicV1:
+		return readV1(r)
+	}
+	if string(m[:6]) == magicV2[:6] {
+		return nil, fmt.Errorf("%w: %q", ErrUnsupportedVersion, m)
+	}
+	return nil, ErrBadMagic
+}
+
+// ReadFrom replaces the index contents with a serialised index read
+// from r, implementing io.ReaderFrom. Byte counting is best-effort (the
+// windows are read through a decompressor); the error is what matters.
+func (ix *Index) ReadFrom(r io.Reader) (int64, error) {
+	cr := &countingReader{r: r}
+	read, err := Read(cr)
+	if err != nil {
+		return cr.n, err
+	}
+	*ix = *read
+	return cr.n, nil
+}
+
+func readV2(r io.Reader) (*Index, error) {
+	cr := &crcReader{r: r}
+	cr.sum = crc32.Update(cr.sum, crc32.IEEETable, []byte(magicV2))
+	flags, _ := cr.ReadByte()
+	ix := New(int(cr.uvarint()))
+	ix.Finalized = flags&1 != 0
+	ix.MemberMarksComplete = flags&2 != 0
+	ix.CompressedSize = cr.uvarint()
+	ix.UncompressedSize = cr.uvarint()
+	n := cr.uvarint()
+	if cr.err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrCorrupt, cr.err)
+	}
+	if n > 1<<40 {
+		return nil, fmt.Errorf("%w: implausible point count %d", ErrCorrupt, n)
+	}
+	var prev SeekPoint
+	for i := uint64(0); i < n; i++ {
+		var p SeekPoint
+		p.CompressedBitOffset = prev.CompressedBitOffset + cr.uvarint()
+		p.UncompressedOffset = prev.UncompressedOffset + cr.uvarint()
+		pflags, _ := cr.ReadByte()
+		p.AtMemberStart = pflags&1 != 0
+		var win []byte
+		if pflags&2 != 0 {
+			rawLen := cr.uvarint()
+			compLen := cr.uvarint()
+			// The error check must precede the sanity check: a failed
+			// uvarint read leaves a huge partial value that would
+			// otherwise reach the allocation below.
+			if cr.err != nil {
+				return nil, fmt.Errorf("%w: %w", ErrCorrupt, cr.err)
+			}
+			var err error
+			if win, err = readWindow(cr.full, rawLen, compLen, i); err != nil {
+				return nil, err
+			}
+		}
+		var marks []MemberEnd
+		if pflags&4 != 0 {
+			mn := cr.uvarint()
+			if cr.err != nil {
+				return nil, fmt.Errorf("%w: %w", ErrCorrupt, cr.err)
+			}
+			if mn > 1<<32 {
+				return nil, fmt.Errorf("%w: implausible mark count %d at point %d", ErrCorrupt, mn, i)
+			}
+			var prevEnd uint64
+			for j := uint64(0); j < mn; j++ {
+				relEnd := prevEnd + cr.uvarint()
+				// A wrapping delta would sneak a huge intermediate mark
+				// past validate's last-mark span check and blow up the
+				// CRC part arithmetic downstream.
+				if relEnd < prevEnd {
+					return nil, fmt.Errorf("%w: member mark delta wraps at point %d", ErrCorrupt, i)
+				}
+				prevEnd = relEnd
+				var crcRaw [4]byte
+				if err := cr.full(crcRaw[:]); err != nil {
+					return nil, fmt.Errorf("%w: %w", ErrCorrupt, err)
+				}
+				marks = append(marks, MemberEnd{RelEnd: relEnd, CRC32: binary.LittleEndian.Uint32(crcRaw[:])})
+			}
+		}
+		if cr.err != nil {
+			return nil, fmt.Errorf("%w: %w", ErrCorrupt, cr.err)
+		}
+		if i > 0 && (p.CompressedBitOffset <= prev.CompressedBitOffset ||
+			p.UncompressedOffset < prev.UncompressedOffset) {
+			return nil, fmt.Errorf("%w: non-monotonic point %d", ErrCorrupt, i)
+		}
+		prev = p
+		ix.points = append(ix.points, p)
+		if win != nil {
+			ix.windows[p.CompressedBitOffset] = win
+		}
+		if marks != nil {
+			ix.memberEnds[p.CompressedBitOffset] = marks
+		}
+	}
+	want := cr.sum // the trailer itself is not part of the checksum
+	var trailer [4]byte
+	if err := cr.full(trailer[:]); err != nil {
+		return nil, fmt.Errorf("%w: missing checksum: %w", ErrCorrupt, err)
+	}
+	if binary.LittleEndian.Uint32(trailer[:]) != want {
+		return nil, ErrChecksum
+	}
+	if err := ix.validate(); err != nil {
 		return nil, err
 	}
-	if string(m[:]) != magic {
-		return nil, errors.New("gzindex: bad magic")
+	return ix, nil
+}
+
+// validate applies the structural sanity checks shared by both format
+// readers: the declared file sizes must bound the seek points (an
+// importer derives the final chunk's extent from them by subtraction,
+// which must not underflow), and member marks must stay within their
+// point's span (they feed the member-CRC part arithmetic, where an
+// out-of-span offset would turn into spurious verification results
+// instead of a clean import error).
+func (ix *Index) validate() error {
+	// Monotonicity is structural: an importer derives chunk extents by
+	// subtracting adjacent offsets. The v2 reader enforces it per
+	// record; checking here covers the checksum-less v1 format too.
+	for i := 1; i < len(ix.points); i++ {
+		if ix.points[i].CompressedBitOffset <= ix.points[i-1].CompressedBitOffset ||
+			ix.points[i].UncompressedOffset < ix.points[i-1].UncompressedOffset {
+			return fmt.Errorf("%w: non-monotonic point %d", ErrCorrupt, i)
+		}
 	}
+	if n := len(ix.points); n > 0 && ix.Finalized {
+		last := ix.points[n-1]
+		if last.UncompressedOffset > ix.UncompressedSize {
+			return fmt.Errorf("%w: last point at offset %d exceeds uncompressed size %d",
+				ErrCorrupt, last.UncompressedOffset, ix.UncompressedSize)
+		}
+		if last.CompressedBitOffset >= ix.CompressedSize*8 {
+			return fmt.Errorf("%w: last point at bit %d exceeds compressed size %d bytes",
+				ErrCorrupt, last.CompressedBitOffset, ix.CompressedSize)
+		}
+	}
+	for i, p := range ix.points {
+		marks := ix.memberEnds[p.CompressedBitOffset]
+		if len(marks) == 0 {
+			continue
+		}
+		var span uint64
+		if i+1 < len(ix.points) {
+			span = ix.points[i+1].UncompressedOffset - p.UncompressedOffset
+		} else if !ix.Finalized {
+			// The last point's span is unknown until the scan completes;
+			// rejecting here would make Read refuse WriteTo's own output
+			// for an in-progress index.
+			continue
+		} else {
+			// Safe: the finalized-size check above already established
+			// UncompressedSize >= the last point's offset.
+			span = ix.UncompressedSize - p.UncompressedOffset
+		}
+		if last := marks[len(marks)-1].RelEnd; last > span {
+			return fmt.Errorf("%w: member mark at +%d overruns point %d (span %d)",
+				ErrCorrupt, last, i, span)
+		}
+	}
+	return nil
+}
+
+// readV1 parses the legacy fixed-width format (no trailing checksum).
+func readV1(r io.Reader) (*Index, error) {
+	br := bufReader{r: r}
 	flags := br.u32()
 	ix := New(int(br.u64()))
 	ix.Finalized = flags&1 != 0
@@ -155,10 +446,10 @@ func Read(r io.Reader) (*Index, error) {
 	ix.UncompressedSize = br.u64()
 	n := br.u64()
 	if br.err != nil {
-		return nil, br.err
+		return nil, fmt.Errorf("%w: %w", ErrCorrupt, br.err)
 	}
 	if n > 1<<40 {
-		return nil, errors.New("gzindex: implausible point count")
+		return nil, fmt.Errorf("%w: implausible point count %d", ErrCorrupt, n)
 	}
 	for i := uint64(0); i < n; i++ {
 		var p SeekPoint
@@ -167,21 +458,16 @@ func Read(r io.Reader) (*Index, error) {
 		p.AtMemberStart = br.u8() == 1
 		rawLen := br.u32()
 		if br.err != nil {
-			return nil, br.err
+			return nil, fmt.Errorf("%w: %w", ErrCorrupt, br.err)
 		}
 		var win []byte
 		if rawLen != 0xFFFFFFFF {
-			if rawLen > 1<<20 {
-				return nil, errors.New("gzindex: implausible window size")
-			}
 			compLen := br.u32()
-			comp := make([]byte, compLen)
-			if err := br.full(comp); err != nil {
-				return nil, err
+			if br.err != nil {
+				return nil, fmt.Errorf("%w: %w", ErrCorrupt, br.err)
 			}
 			var err error
-			win, err = flateDecompress(comp, int(rawLen))
-			if err != nil {
+			if win, err = readWindow(br.full, uint64(rawLen), uint64(compLen), i); err != nil {
 				return nil, err
 			}
 		}
@@ -190,7 +476,30 @@ func Read(r io.Reader) (*Index, error) {
 			ix.windows[p.CompressedBitOffset] = win
 		}
 	}
-	return ix, br.err
+	if err := ix.validate(); err != nil {
+		return nil, err
+	}
+	return ix, nil
+}
+
+// readWindow bound-checks the declared window lengths and then reads
+// and inflates the window through full — the single validation path
+// shared by both format readers, so the amplification cap cannot
+// silently diverge between them. Lengths must already be known-good
+// reads (no pending reader error).
+func readWindow(full func([]byte) error, rawLen, compLen, point uint64) ([]byte, error) {
+	if rawLen > maxWindowRaw || compLen > rawLen+rawLen/255+64 {
+		return nil, fmt.Errorf("%w: window %d/%d bytes at point %d", ErrCorrupt, compLen, rawLen, point)
+	}
+	comp := make([]byte, compLen)
+	if err := full(comp); err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrCorrupt, err)
+	}
+	win, err := flateDecompress(comp, int(rawLen))
+	if err != nil {
+		return nil, fmt.Errorf("%w: window at point %d: %v", ErrCorrupt, point, err)
+	}
+	return win, nil
 }
 
 func flateCompress(data []byte) ([]byte, error) {
@@ -216,6 +525,58 @@ func flateDecompress(comp []byte, rawLen int) ([]byte, error) {
 		return nil, err
 	}
 	return out, nil
+}
+
+// crcReader reads sequentially while maintaining a running CRC32 of
+// every byte it has delivered, so the trailing checksum can be verified
+// without buffering the whole index.
+type crcReader struct {
+	r   io.Reader
+	sum uint32
+	err error
+}
+
+func (c *crcReader) full(p []byte) error {
+	if c.err != nil {
+		return c.err
+	}
+	if _, c.err = io.ReadFull(c.r, p); c.err != nil {
+		return c.err
+	}
+	c.sum = crc32.Update(c.sum, crc32.IEEETable, p)
+	return nil
+}
+
+// ReadByte implements io.ByteReader for binary.ReadUvarint.
+func (c *crcReader) ReadByte() (byte, error) {
+	var raw [1]byte
+	if err := c.full(raw[:]); err != nil {
+		return 0, err
+	}
+	return raw[0], nil
+}
+
+func (c *crcReader) uvarint() uint64 {
+	if c.err != nil {
+		return 0
+	}
+	v, err := binary.ReadUvarint(c)
+	if err != nil && c.err == nil {
+		c.err = err
+	}
+	return v
+}
+
+// countingReader counts bytes delivered to Read (for ReadFrom).
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
 }
 
 // bufReader wraps sequential little-endian primitive reads.

@@ -32,6 +32,7 @@
 package rapidgzip
 
 import (
+	"bufio"
 	"io"
 	"io/fs"
 	"os"
@@ -121,6 +122,76 @@ func OpenOptions(path string, opts Options) (*Reader, error) {
 		return nil, err
 	}
 	return &Reader{pr: pr, owned: src}, nil
+}
+
+// OpenWithIndex opens the gzip file at path and imports the seek-point
+// index previously saved at indexPath by ExportIndex. The reader is
+// fully indexed from the start: every Seek/ReadAt is constant-time, the
+// block finder never runs, and decompression is served chunk-exact from
+// the recorded offsets and windows — the paper's "(index)" mode.
+func OpenWithIndex(path, indexPath string, opts Options) (*Reader, error) {
+	ixf, err := os.Open(indexPath)
+	if err != nil {
+		return nil, err
+	}
+	defer ixf.Close()
+	src, err := filereader.OpenFile(path)
+	if err != nil {
+		return nil, err
+	}
+	r, err := newImportReader(src, opts)
+	if err != nil {
+		src.Close()
+		return nil, err
+	}
+	r.owned = src
+	// The file holds nothing but the index, so buffering is safe and
+	// spares the varint-level deserializer per-byte file reads.
+	if err := r.ImportIndex(bufio.NewReader(ixf)); err != nil {
+		r.Close()
+		return nil, err
+	}
+	return r, nil
+}
+
+// NewReaderWithIndex wraps an open *os.File and imports a serialised
+// seek-point index from index; exactly the index bytes are consumed
+// from it. The gzip file must stay open for the lifetime of the
+// Reader; Close does not close it. The index must have been exported
+// for the same compressed file: corrupt indexes and wrong-file imports
+// are rejected up front, though the wrong-file check currently
+// compares only the compressed size — an index for a different file of
+// identical length decodes garbage (caught when Options.VerifyChecksums
+// is on).
+func NewReaderWithIndex(f *os.File, index io.Reader, opts Options) (*Reader, error) {
+	src, err := filereader.NewStandardFileReader(f)
+	if err != nil {
+		return nil, err
+	}
+	r, err := newImportReader(src, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.ImportIndex(index); err != nil {
+		r.Close()
+		return nil, err
+	}
+	return r, nil
+}
+
+// newImportReader constructs a reader destined for an immediate index
+// import: the eager BGZF member-metadata scan is skipped, because the
+// imported table would replace its result anyway — for a BGZF file
+// with millions of members that scan is the exact startup cost
+// importing an index exists to avoid.
+func newImportReader(src filereader.FileReader, opts Options) (*Reader, error) {
+	cfg := opts.toCore()
+	cfg.SkipMetadataScan = true
+	pr, err := core.NewReader(src, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Reader{pr: pr}, nil
 }
 
 // NewReader wraps an open *os.File.  The file must stay open for the

@@ -139,6 +139,129 @@ func TestIndexRoundTripPublicAPI(t *testing.T) {
 	}
 }
 
+func TestOpenWithIndex(t *testing.T) {
+	data := workloads.SilesiaLike(900_000, 41)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "data.gz")
+	ixPath := filepath.Join(dir, "data.gz.rgzidx")
+	if err := os.WriteFile(path, gzipBytes(t, data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// First run: decompress once, save the index.
+	r1, err := OpenOptions(path, Options{Parallelism: 4, ChunkSize: 64 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ixf, err := os.Create(ixPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r1.ExportIndex(ixf); err != nil {
+		t.Fatal(err)
+	}
+	if err := ixf.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r1.Close()
+
+	// Second run: reopen with the saved index; no block-finder probes,
+	// no speculative decodes, byte-identical output.
+	r2, err := OpenWithIndex(path, ixPath, Options{Parallelism: 4, ChunkSize: 64 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	got, err := io.ReadAll(r2)
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("index-primed read mismatch (err=%v)", err)
+	}
+	if s := r2.Stats(); s.GuessTasks != 0 || s.FinderProbes != 0 {
+		t.Fatalf("import path ran the block finder: %d tasks, %d probes", s.GuessTasks, s.FinderProbes)
+	}
+
+	// ReadAt without any prior sequential read, straight off the index.
+	r3, err := OpenWithIndex(path, ixPath, Options{Parallelism: 2, ChunkSize: 64 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r3.Close()
+	buf := make([]byte, 4096)
+	off := len(data)/2 + 12345
+	if _, err := r3.ReadAt(buf, int64(off)); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, data[off:off+len(buf)]) {
+		t.Fatal("ReadAt with imported index mismatch")
+	}
+
+	// A wrong index file must be rejected at open time.
+	other := filepath.Join(dir, "other.gz")
+	os.WriteFile(other, gzipBytes(t, workloads.Base64(100_000, 42)), 0o644)
+	if _, err := OpenWithIndex(other, ixPath, Options{}); err == nil {
+		t.Fatal("index for a different file accepted")
+	}
+	if _, err := OpenWithIndex(path, other, Options{}); err == nil {
+		t.Fatal("gzip file accepted as an index")
+	}
+	if _, err := OpenWithIndex(path, filepath.Join(dir, "missing"), Options{}); err == nil {
+		t.Fatal("missing index file accepted")
+	}
+}
+
+func TestNewReaderWithIndex(t *testing.T) {
+	data := workloads.FASTQ(500_000, 43)
+	path := filepath.Join(t.TempDir(), "reads.fastq.gz")
+	os.WriteFile(path, gzipBytes(t, data), 0o644)
+
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	r1, err := NewReader(f, Options{Parallelism: 2, ChunkSize: 32 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ix bytes.Buffer
+	if err := r1.ExportIndex(&ix); err != nil {
+		t.Fatal(err)
+	}
+	r1.Close()
+
+	r2, err := NewReaderWithIndex(f, bytes.NewReader(ix.Bytes()), Options{Parallelism: 3, ChunkSize: 32 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	got, err := io.ReadAll(r2)
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("mismatch (err=%v)", err)
+	}
+	if s := r2.Stats(); s.FinderProbes != 0 {
+		t.Fatalf("import path probed the block finder %d times", s.FinderProbes)
+	}
+
+	// Truncated index bytes must fail the constructor, not poison reads.
+	if _, err := NewReaderWithIndex(f, bytes.NewReader(ix.Bytes()[:ix.Len()/2]), Options{}); err == nil {
+		t.Fatal("truncated index accepted")
+	}
+
+	// The import must consume exactly the index bytes: an index
+	// embedded in a larger stream leaves the following data unread.
+	stream := append(bytes.Clone(ix.Bytes()), []byte("TRAILER AFTER THE INDEX")...)
+	sr := bytes.NewReader(stream)
+	r3, err := NewReaderWithIndex(f, sr, Options{Parallelism: 2, ChunkSize: 32 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r3.Close()
+	rest, err := io.ReadAll(sr)
+	if err != nil || string(rest) != "TRAILER AFTER THE INDEX" {
+		t.Fatalf("import over-consumed the stream: %d bytes left (%q)", len(rest), rest)
+	}
+}
+
 func TestStrategyNames(t *testing.T) {
 	data := workloads.Base64(300_000, 5)
 	comp := gzipBytes(t, data)
