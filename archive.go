@@ -1,0 +1,358 @@
+package rapidgzip
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"repro/internal/bzip2x"
+	"repro/internal/core"
+	"repro/internal/filereader"
+	"repro/internal/lz4x"
+)
+
+// Archive is the format-agnostic face of the package: one interface
+// over the decompressed stream of a gzip, BGZF, bzip2 or LZ4 file,
+// served by whichever backend Open dispatched to. All methods are safe
+// for concurrent use.
+//
+// Index methods are honest about format limits: formats without
+// seek-point index support report Capabilities().Index == false and
+// return ErrNoIndexSupport from ExportIndex/ImportIndex.
+type Archive interface {
+	io.Reader
+	io.Seeker
+	io.ReaderAt
+	io.WriterTo
+	io.Closer
+
+	// Size returns the decompressed size, completing whatever scan the
+	// backend needs first.
+	Size() (int64, error)
+	// BuildIndex completes the backend's seek checkpoints for the whole
+	// file, making every subsequent Seek/ReadAt constant-time where the
+	// format allows it.
+	BuildIndex() error
+	// ExportIndex serialises the seek-point index (gzip/BGZF only).
+	ExportIndex(w io.Writer) error
+	// ImportIndex installs a previously exported index (gzip/BGZF only).
+	ImportIndex(rd io.Reader) error
+	// Stats returns a snapshot of fetcher activity counters; backends
+	// without a speculative fetcher report zeros.
+	Stats() Stats
+	// Format reports the detected (or forced) container format.
+	Format() Format
+	// Capabilities reports what this archive can actually do.
+	Capabilities() Capabilities
+}
+
+// IndexSuffix is the sibling-file extension Open probes for index
+// auto-discovery: "file.gz" → "file.gz.rgzidx".
+const IndexSuffix = ".rgzidx"
+
+// Open opens the compressed file at path behind one format-agnostic
+// front door: the content's magic bytes select the backend (gzip,
+// BGZF, bzip2 or LZ4 — WithFormat overrides), and the returned Archive
+// serves parallel decompression and, where the format allows,
+// checkpointed random access. Content that matches no supported magic
+// fails with ErrUnsupportedFormat.
+//
+// For indexable formats a sibling "path.rgzidx" index saved by a
+// previous run is imported automatically when present and valid
+// (disable with WithoutIndexDiscovery, force a specific file with
+// WithIndexFile).
+func Open(path string, opts ...Option) (Archive, error) {
+	cfg, err := resolve(opts)
+	if err != nil {
+		return nil, err
+	}
+	src, err := filereader.OpenFile(path)
+	if err != nil {
+		return nil, err
+	}
+	a, err := openArchive(src, path, cfg)
+	if err != nil {
+		src.Close()
+		return nil, err
+	}
+	if r, ok := a.(*Reader); ok {
+		r.owned = src
+	} else {
+		// In-memory backends copied the data out; the file is done.
+		src.Close()
+	}
+	return a, nil
+}
+
+// OpenBytes opens an in-memory compressed buffer with the same
+// sniffing dispatch as Open. No index auto-discovery (there is no
+// sibling file), but WithIndexFile still works for indexable formats.
+func OpenBytes(data []byte, opts ...Option) (Archive, error) {
+	cfg, err := resolve(opts)
+	if err != nil {
+		return nil, err
+	}
+	return openArchive(filereader.MemoryReader(data), "", cfg)
+}
+
+// openArchive dispatches src to a backend by sniffed or forced format.
+// path is only used to locate a sibling index ("" disables discovery).
+func openArchive(src filereader.FileReader, path string, cfg config) (Archive, error) {
+	format := cfg.format
+	if format == FormatUnknown {
+		prefix := make([]byte, SniffLen)
+		n, _ := src.ReadAt(prefix, 0)
+		format = DetectFormat(prefix[:n])
+	}
+	switch format {
+	case FormatGzip, FormatBGZF:
+		return openIndexed(src, path, cfg, format)
+	case FormatBzip2, FormatLZ4:
+		if cfg.indexFile != "" {
+			return nil, fmt.Errorf("%w: WithIndexFile on %v", ErrNoIndexSupport, format)
+		}
+		data, err := filereader.ReadAll(src)
+		if err != nil {
+			return nil, err
+		}
+		return newMemArchive(data, format, cfg)
+	}
+	return nil, fmt.Errorf("%w: content matches no supported magic", ErrUnsupportedFormat)
+}
+
+// openIndexed builds the gzip/BGZF backend, importing an explicit or
+// discovered index when available.
+func openIndexed(src filereader.FileReader, path string, cfg config, format Format) (*Reader, error) {
+	coreCfg, err := cfg.opts.toCore()
+	if err != nil {
+		return nil, err
+	}
+	if cfg.indexFile != "" {
+		// An explicit index must work; failure is the caller's answer.
+		return importIndexReader(src, coreCfg, cfg.indexFile, format)
+	}
+	if !cfg.noDiscovery && path != "" {
+		if _, err := os.Stat(path + IndexSuffix); err == nil {
+			// A sibling index is an optimisation: import it when valid,
+			// fall back to a normal scan when stale, corrupt, or built
+			// for a different file.
+			if r, err := importIndexReader(src, coreCfg, path+IndexSuffix, format); err == nil {
+				return r, nil
+			}
+		}
+	}
+	pr, err := core.NewReader(src, coreCfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Reader{pr: pr, format: format}, nil
+}
+
+// importIndexReader constructs a reader destined for an immediate index
+// import: the eager BGZF member-metadata scan is skipped, because the
+// imported table would replace its result anyway — for a BGZF file
+// with millions of members that scan is the exact startup cost
+// importing an index exists to avoid.
+func importIndexReader(src filereader.FileReader, coreCfg core.Config, indexPath string, format Format) (*Reader, error) {
+	ixf, err := os.Open(indexPath)
+	if err != nil {
+		return nil, err
+	}
+	defer ixf.Close()
+	coreCfg.SkipMetadataScan = true
+	pr, err := core.NewReader(src, coreCfg)
+	if err != nil {
+		return nil, err
+	}
+	r := &Reader{pr: pr, format: format}
+	// The file holds nothing but the index, so buffering is safe and
+	// spares the varint-level deserializer per-byte file reads.
+	if err := r.ImportIndex(bufio.NewReader(ixf)); err != nil {
+		pr.Close()
+		return nil, err
+	}
+	return r, nil
+}
+
+// --- in-memory backends (bzip2, LZ4) -------------------------------------
+
+// memBackend is the contract of the checkpointed in-memory readers
+// (bzip2x.Reader, lz4x.Reader): concurrent positional reads over the
+// decompressed stream, a size known after construction, and the
+// checkpoint table exposed as ordered chunks so sequential consumption
+// can decode ahead in parallel.
+type memBackend interface {
+	io.ReaderAt
+	Size() int64
+	NumChunks() int
+	ChunkExtent(i int) (off, size int64)
+	ChunkContent(i int) ([]byte, error)
+}
+
+// memArchive adapts a memBackend to the Archive interface: it adds the
+// sequential cursor (Read/Seek/WriteTo) and answers the index methods
+// truthfully for formats without index support.
+type memArchive struct {
+	back    memBackend
+	format  Format
+	caps    Capabilities
+	threads int
+
+	mu  sync.Mutex
+	pos int64
+}
+
+// newMemArchive constructs the backend for a whole-file buffer.
+func newMemArchive(data []byte, format Format, cfg config) (Archive, error) {
+	coreCfg, err := cfg.opts.toCore()
+	if err != nil {
+		return nil, err
+	}
+	threads := coreCfg.Parallelism
+	switch format {
+	case FormatBzip2:
+		br, err := bzip2x.NewReader(data, threads)
+		if err != nil {
+			return nil, err
+		}
+		multi := br.NumStreams() > 1
+		return &memArchive{
+			back:    br,
+			format:  format,
+			threads: threads,
+			// The stdlib bzip2 decoder verifies block CRCs on every
+			// decode, so Verify holds unconditionally.
+			caps: Capabilities{Seek: true, RandomAccess: multi, Parallel: multi, Verify: true},
+		}, nil
+	case FormatLZ4:
+		lr, err := lz4x.NewReader(data, threads)
+		if err != nil {
+			return nil, err
+		}
+		multi := lr.NumFrames() > 1
+		return &memArchive{
+			back:    lr,
+			format:  format,
+			threads: threads,
+			caps:    Capabilities{Seek: true, RandomAccess: multi, Parallel: multi, Verify: lr.Checksummed()},
+		}, nil
+	}
+	return nil, fmt.Errorf("%w: %v has no in-memory backend", ErrUnsupportedFormat, format)
+}
+
+func (a *memArchive) Read(p []byte) (int, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	n, err := a.back.ReadAt(p, a.pos)
+	a.pos += int64(n)
+	return n, err
+}
+
+func (a *memArchive) Seek(offset int64, whence int) (int64, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var base int64
+	switch whence {
+	case io.SeekStart:
+		base = 0
+	case io.SeekCurrent:
+		base = a.pos
+	case io.SeekEnd:
+		base = a.back.Size()
+	default:
+		return 0, fmt.Errorf("rapidgzip: bad whence %d", whence)
+	}
+	target := base + offset
+	if target < 0 {
+		return 0, fmt.Errorf("rapidgzip: negative seek position %d", target)
+	}
+	a.pos = target
+	return target, nil
+}
+
+func (a *memArchive) ReadAt(p []byte, off int64) (int, error) {
+	return a.back.ReadAt(p, off)
+}
+
+// WriteTo streams the remaining decompressed bytes in chunk order,
+// decoding up to `threads` upcoming chunks concurrently while earlier
+// ones are written — the sequential fast path io.Copy hits, and where
+// the Parallel capability of these backends materialises.
+func (a *memArchive) WriteTo(w io.Writer) (int64, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	n := a.back.NumChunks()
+	// First chunk covering the cursor (zero-size chunks cover nothing).
+	first := 0
+	for first < n {
+		off, size := a.back.ChunkExtent(first)
+		if size > 0 && off+size > a.pos {
+			break
+		}
+		first++
+	}
+	var written int64
+	batch := max(a.threads, 1)
+	outs := make([][]byte, batch)
+	errs := make([]error, batch)
+	for i := first; i < n; i += batch {
+		end := min(i+batch, n)
+		var wg sync.WaitGroup
+		for j := i; j < end; j++ {
+			wg.Add(1)
+			go func(j int) {
+				defer wg.Done()
+				outs[j-i], errs[j-i] = a.back.ChunkContent(j)
+			}(j)
+		}
+		wg.Wait()
+		for j := i; j < end; j++ {
+			if errs[j-i] != nil {
+				return written, errs[j-i]
+			}
+			off, _ := a.back.ChunkExtent(j)
+			seg := outs[j-i]
+			if skip := a.pos - off; skip > 0 {
+				seg = seg[skip:]
+			}
+			m, err := w.Write(seg)
+			written += int64(m)
+			a.pos += int64(m)
+			if err != nil {
+				return written, err
+			}
+		}
+	}
+	return written, nil
+}
+
+// Size returns the decompressed size, known since construction.
+func (a *memArchive) Size() (int64, error) { return a.back.Size(), nil }
+
+// BuildIndex is a no-op: the checkpoint table (stream spans, frame
+// table) is fully built at construction for these backends.
+func (a *memArchive) BuildIndex() error { return nil }
+
+func (a *memArchive) ExportIndex(io.Writer) error {
+	return fmt.Errorf("%w: %v", ErrNoIndexSupport, a.format)
+}
+
+func (a *memArchive) ImportIndex(io.Reader) error {
+	return fmt.Errorf("%w: %v", ErrNoIndexSupport, a.format)
+}
+
+// Stats reports zeros: these backends have no speculative fetcher.
+func (a *memArchive) Stats() Stats { return Stats{} }
+
+func (a *memArchive) Close() error { return nil }
+
+func (a *memArchive) Format() Format { return a.format }
+
+func (a *memArchive) Capabilities() Capabilities { return a.caps }
+
+var (
+	_ Archive = (*Reader)(nil)
+	_ Archive = (*memArchive)(nil)
+)

@@ -1,0 +1,181 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"runtime"
+	"time"
+
+	"repro"
+	"repro/internal/bzip2x"
+	"repro/internal/gzipw"
+	"repro/internal/lz4x"
+	"repro/internal/workloads"
+)
+
+// benchResult is one row of the JSON benchmark output.
+type benchResult struct {
+	Name       string  `json:"name"`
+	Format     string  `json:"format"`
+	InBytes    int     `json:"compressed_bytes"`
+	OutBytes   int     `json:"uncompressed_bytes"`
+	MBps       float64 `json:"mbps"`
+	StdDev     float64 `json:"stddev"`
+	Repeats    int     `json:"repeats"`
+	WithIndex  bool    `json:"with_index,omitempty"`
+	Parallel   int     `json:"parallelism"`
+	FailureMsg string  `json:"error,omitempty"`
+}
+
+// benchReport is the file-level JSON schema.
+type benchReport struct {
+	Timestamp string        `json:"timestamp"`
+	GoVersion string        `json:"go_version"`
+	NumCPU    int           `json:"num_cpu"`
+	Results   []benchResult `json:"results"`
+}
+
+// writeJSONBench measures whole-file decompression throughput of every
+// format through the public Open API on a generated corpus and writes
+// the rows as JSON — small and fast enough for a per-PR CI job, stable
+// enough in shape to diff across PRs.
+func writeJSONBench(path string, corpusBytes, repeats int) error {
+	if repeats < 1 {
+		repeats = 1
+	}
+	data := workloads.Base64(corpusBytes, 42)
+	threads := runtime.NumCPU()
+
+	type input struct {
+		name      string
+		comp      []byte
+		withIndex bool
+		err       error
+	}
+	var inputs []input
+
+	gz, _, gzErr := gzipw.Compress(data, gzipw.Options{Level: 6, BlockSize: 128 << 10})
+	inputs = append(inputs, input{name: "gzip", comp: gz, err: gzErr})
+	inputs = append(inputs, input{name: "gzip-index", comp: gz, withIndex: true, err: gzErr})
+	bgzf, _, bgzfErr := gzipw.Compress(data, gzipw.Options{Level: 6, BGZF: true})
+	inputs = append(inputs, input{name: "bgzf", comp: bgzf, err: bgzfErr})
+	bz, bzErr := bzip2x.Compress(data, bzip2x.WriterOptions{Level: 1, StreamSize: 1 << 20})
+	inputs = append(inputs, input{name: "bzip2", comp: bz, err: bzErr})
+	lz := lz4x.CompressFrames(data, lz4x.FrameOptions{FrameSize: 1 << 20})
+	inputs = append(inputs, input{name: "lz4", comp: lz})
+
+	report := benchReport{
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		NumCPU:    threads,
+	}
+	for _, in := range inputs {
+		res := benchResult{
+			Name:      in.name,
+			OutBytes:  len(data),
+			InBytes:   len(in.comp),
+			Repeats:   repeats,
+			WithIndex: in.withIndex,
+			Parallel:  threads,
+		}
+		if in.err != nil {
+			res.FailureMsg = in.err.Error()
+			report.Results = append(report.Results, res)
+			continue
+		}
+		var index []byte
+		if in.withIndex {
+			index, in.err = buildIndex(in.comp, threads)
+			if in.err != nil {
+				res.FailureMsg = in.err.Error()
+				report.Results = append(report.Results, res)
+				continue
+			}
+		}
+		var samples []float64
+		var format rapidgzip.Format
+		for rep := 0; rep < repeats; rep++ {
+			mbps, f, err := runOnce(in.comp, index, threads)
+			if err != nil {
+				res.FailureMsg = err.Error()
+				break
+			}
+			format = f
+			samples = append(samples, mbps)
+		}
+		if len(samples) == repeats {
+			res.Format = format.String()
+			res.MBps, res.StdDev = meanStd(samples)
+		}
+		report.Results = append(report.Results, res)
+		fmt.Fprintf(os.Stderr, "benchsuite: %-12s %8.1f MB/s ± %.1f (%s)\n", res.Name, res.MBps, res.StdDev, res.Format)
+	}
+
+	raw, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}
+
+// runOnce decompresses comp once through the public API and returns
+// the decompressed throughput in MB/s.
+func runOnce(comp, index []byte, threads int) (float64, rapidgzip.Format, error) {
+	start := time.Now()
+	var a rapidgzip.Archive
+	var err error
+	if index != nil {
+		var r *rapidgzip.Reader
+		r, err = rapidgzip.NewBytesReader(comp, rapidgzip.Options{Parallelism: threads})
+		if err == nil {
+			if err = r.ImportIndex(bytes.NewReader(index)); err == nil {
+				a = r
+			} else {
+				r.Close()
+			}
+		}
+	} else {
+		a, err = rapidgzip.OpenBytes(comp, rapidgzip.WithParallelism(threads))
+	}
+	if err != nil {
+		return 0, rapidgzip.FormatUnknown, err
+	}
+	defer a.Close()
+	n, err := io.Copy(io.Discard, a)
+	if err != nil {
+		return 0, rapidgzip.FormatUnknown, err
+	}
+	sec := time.Since(start).Seconds()
+	return float64(n) / 1e6 / sec, a.Format(), nil
+}
+
+// buildIndex exports a seek-point index for comp.
+func buildIndex(comp []byte, threads int) ([]byte, error) {
+	r, err := rapidgzip.NewBytesReader(comp, rapidgzip.Options{Parallelism: threads})
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	var buf bytes.Buffer
+	if err := r.ExportIndex(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func meanStd(samples []float64) (float64, float64) {
+	var sum float64
+	for _, s := range samples {
+		sum += s
+	}
+	mean := sum / float64(len(samples))
+	var variance float64
+	for _, s := range samples {
+		variance += (s - mean) * (s - mean)
+	}
+	return mean, math.Sqrt(variance / float64(len(samples)))
+}

@@ -7,6 +7,11 @@
 //
 // Output is plain text in the row layout of the corresponding paper
 // table/figure. EXPERIMENTS.md records a reference run.
+//
+// With -json FILE the suite instead runs the quick cross-format
+// benchmark (gzip, BGZF, bzip2, LZ4 through the public Open API on a
+// generated corpus) and writes machine-readable results — the per-PR
+// performance trajectory CI accumulates.
 package main
 
 import (
@@ -26,7 +31,20 @@ func main() {
 	coresStr := flag.String("cores", "", "comma-separated parallelism sweep (default 1,2,4,... up to NumCPU)")
 	repeats := flag.Int("repeats", 3, "measurements per cell")
 	positions := flag.Uint64("positions", 20_000_000, "bit positions for the table 1 funnel")
+	jsonOut := flag.String("json", "", "write quick cross-format benchmark results as JSON to this file (skips the paper experiments)")
+	jsonBytes := flag.String("json-bytes", "32M", "uncompressed corpus size for the -json benchmark")
 	flag.Parse()
+
+	if *jsonOut != "" {
+		n, err := parseSize(*jsonBytes)
+		if err != nil {
+			fatal(err)
+		}
+		if err := writeJSONBench(*jsonOut, n, *repeats); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	bpc, err := parseSize(*bytesPerCore)
 	if err != nil {

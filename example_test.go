@@ -1,0 +1,91 @@
+package rapidgzip_test
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+
+	"repro"
+	"repro/internal/lz4x"
+)
+
+// gzipped compresses data with the standard library, for examples.
+func gzipped(data []byte) []byte {
+	var buf bytes.Buffer
+	w := gzip.NewWriter(&buf)
+	w.Write(data)
+	w.Close()
+	return buf.Bytes()
+}
+
+// One Open for every format: the content's magic bytes select the
+// backend, and the Archive interface is the same regardless.
+func ExampleOpen() {
+	dir, _ := os.MkdirTemp("", "example")
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "hello.gz")
+	os.WriteFile(path, gzipped([]byte("hello, rapidgzip\n")), 0o644)
+
+	a, err := rapidgzip.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer a.Close()
+	fmt.Printf("format: %s\n", a.Format())
+	io.Copy(os.Stdout, a)
+	// Output:
+	// format: gzip
+	// hello, rapidgzip
+}
+
+// WithFormat skips sniffing and forces a backend — useful when magic
+// bytes are unavailable or only one format is acceptable.
+func ExampleWithFormat() {
+	comp := lz4x.CompressFrames([]byte("forced through the LZ4 backend\n"), lz4x.FrameOptions{})
+
+	a, err := rapidgzip.OpenBytes(comp, rapidgzip.WithFormat(rapidgzip.FormatLZ4))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer a.Close()
+	fmt.Printf("format: %s, seekable: %v\n", a.Format(), a.Capabilities().Seek)
+	io.Copy(os.Stdout, a)
+	// Output:
+	// format: lz4, seekable: true
+	// forced through the LZ4 backend
+}
+
+// Open transparently imports a sibling "<file>.rgzidx" index saved by
+// an earlier run, making the reader fully indexed from the start —
+// the block finder never runs (opt out with WithoutIndexDiscovery).
+func ExampleOpen_indexDiscovery() {
+	dir, _ := os.MkdirTemp("", "example")
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "data.gz")
+	os.WriteFile(path, gzipped(bytes.Repeat([]byte("log line\n"), 100_000)), 0o644)
+
+	// First run: decompress once and save the index next to the file.
+	first, err := rapidgzip.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ixf, _ := os.Create(path + rapidgzip.IndexSuffix)
+	first.ExportIndex(ixf)
+	ixf.Close()
+	first.Close()
+
+	// Later runs discover it automatically.
+	a, err := rapidgzip.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer a.Close()
+	n, _ := io.Copy(io.Discard, a)
+	fmt.Printf("decompressed %d bytes, finder probes: %d\n", n, a.Stats().FinderProbes)
+	// Output:
+	// decompressed 900000 bytes, finder probes: 0
+}

@@ -1,0 +1,78 @@
+// multiformat demonstrates the format-agnostic front door: the same
+// rapidgzip.Open call decompresses gzip, BGZF, bzip2 and LZ4 inputs,
+// dispatching on the content's magic bytes, and Capabilities reports
+// what each backend can do.
+//
+//	go run ./examples/multiformat
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+
+	"repro"
+	"repro/internal/bzip2x"
+	"repro/internal/gzipw"
+	"repro/internal/lz4x"
+	"repro/internal/workloads"
+)
+
+func main() {
+	data := workloads.Base64(4<<20, 7)
+	dir, err := os.MkdirTemp("", "rapidgzip-multiformat")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	files := map[string][]byte{}
+	if files["data.gz"], _, err = gzipw.Compress(data, gzipw.Options{Level: 6}); err != nil {
+		log.Fatal(err)
+	}
+	if files["data.bgzf.gz"], _, err = gzipw.Compress(data, gzipw.Options{Level: 6, BGZF: true}); err != nil {
+		log.Fatal(err)
+	}
+	if files["data.bz2"], err = bzip2x.Compress(data, bzip2x.WriterOptions{Level: 1, StreamSize: 1 << 20}); err != nil {
+		log.Fatal(err)
+	}
+	files["data.lz4"] = lz4x.CompressFrames(data, lz4x.FrameOptions{FrameSize: 1 << 20})
+
+	fmt.Printf("%-14s %-8s %-72s %s\n", "file", "format", "capabilities", "round trip")
+	for _, name := range []string{"data.gz", "data.bgzf.gz", "data.bz2", "data.lz4"} {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, files[name], 0o644); err != nil {
+			log.Fatal(err)
+		}
+
+		// One Open for every format: no hint, the content decides.
+		a, err := rapidgzip.Open(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var out bytes.Buffer
+		if _, err := io.Copy(&out, a); err != nil {
+			log.Fatal(err)
+		}
+		status := "ok"
+		if !bytes.Equal(out.Bytes(), data) {
+			status = "MISMATCH"
+		}
+		// Random access goes through the same interface where the
+		// format supports it.
+		if caps := a.Capabilities(); caps.Seek {
+			probe := make([]byte, 64)
+			if _, err := a.ReadAt(probe, int64(len(data)/2)); err != nil {
+				log.Fatal(err)
+			}
+			if !bytes.Equal(probe, data[len(data)/2:len(data)/2+64]) {
+				status = "READAT MISMATCH"
+			}
+		}
+		fmt.Printf("%-14s %-8s %-72s %s\n", name, a.Format(), fmt.Sprintf("%+v", a.Capabilities()), status)
+		a.Close()
+	}
+}

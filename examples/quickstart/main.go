@@ -28,11 +28,14 @@ func main() {
 		fmt.Printf("no input given; demo file: %s\n", path)
 	}
 
-	r, err := rapidgzip.OpenOptions(path, rapidgzip.Options{VerifyChecksums: true})
+	// Open sniffs the format from the content — the same call would
+	// handle a .bz2 or .lz4 input.
+	r, err := rapidgzip.Open(path, rapidgzip.WithVerify(true))
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer r.Close()
+	fmt.Printf("detected format: %s (capabilities %+v)\n", r.Format(), r.Capabilities())
 
 	start := time.Now()
 	n, err := io.Copy(io.Discard, r) // replace io.Discard with any sink
@@ -42,12 +45,14 @@ func main() {
 	elapsed := time.Since(start)
 
 	st := r.Stats()
-	ok, fails := r.CRCVerified()
 	fmt.Printf("decompressed %d MiB in %v (%.0f MB/s)\n", n>>20, elapsed.Round(time.Millisecond),
 		float64(n)/1e6/elapsed.Seconds())
 	fmt.Printf("chunks consumed: %d, speculative decodes: %d, on-demand decodes: %d\n",
 		st.ChunksConsumed, st.GuessTasks, st.OnDemandDecodes)
-	fmt.Printf("checksums verified: %v (%d failures)\n", ok, fails)
+	if gz, isGzip := r.(*rapidgzip.Reader); isGzip {
+		ok, fails := gz.CRCVerified()
+		fmt.Printf("checksums verified: %v (%d failures)\n", ok, fails)
+	}
 }
 
 // demoFile writes a pigz-style compressed base64 workload to a temp

@@ -36,9 +36,7 @@ func main() {
 		member = os.Args[2]
 	}
 
-	r, err := rapidgzip.OpenOptions(path, rapidgzip.Options{
-		Strategy: "multistream", // random access pattern
-	})
+	r, err := rapidgzip.Open(path, rapidgzip.WithStrategy("multistream")) // random access pattern
 	if err != nil {
 		log.Fatal(err)
 	}

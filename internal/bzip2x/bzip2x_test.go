@@ -2,6 +2,9 @@ package bzip2x
 
 import (
 	"bytes"
+	"io"
+	"math/rand"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -245,5 +248,109 @@ func TestCompressedPayloadProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestReaderReadAt(t *testing.T) {
+	data := workloads.SilesiaLike(500_000, 21)
+	comp, err := Compress(data, WriterOptions{Level: 1, StreamSize: 100_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(comp, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Size() != int64(len(data)) {
+		t.Fatalf("Size = %d, want %d", r.Size(), len(data))
+	}
+	if r.NumStreams() != 5 {
+		t.Fatalf("NumStreams = %d, want 5", r.NumStreams())
+	}
+	offs := []int64{0, 1, 99_999, 100_000, 100_001, 333_333, int64(len(data)) - 1}
+	for _, off := range offs {
+		buf := make([]byte, 4096)
+		n, err := r.ReadAt(buf, off)
+		want := len(data) - int(off)
+		if want > len(buf) {
+			want = len(buf)
+		}
+		if n != want || (err != nil && err != io.EOF) {
+			t.Fatalf("ReadAt(%d): n=%d err=%v, want n=%d", off, n, err, want)
+		}
+		if !bytes.Equal(buf[:n], data[off:int(off)+n]) {
+			t.Fatalf("ReadAt(%d): content mismatch", off)
+		}
+	}
+	if _, err := r.ReadAt(make([]byte, 1), r.Size()); err != io.EOF {
+		t.Fatalf("ReadAt(EOF) err = %v, want io.EOF", err)
+	}
+}
+
+func TestReaderSingleStream(t *testing.T) {
+	data := workloads.Base64(200_000, 22)
+	comp, err := Compress(data, WriterOptions{Level: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(comp, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NumStreams() != 1 {
+		t.Fatalf("NumStreams = %d, want 1", r.NumStreams())
+	}
+	buf := make([]byte, 1000)
+	if _, err := r.ReadAt(buf, 150_000); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, data[150_000:151_000]) {
+		t.Fatal("single-stream ReadAt mismatch")
+	}
+}
+
+func TestReaderConcurrentReadAt(t *testing.T) {
+	data := workloads.FASTQ(400_000, 23)
+	comp, err := Compress(data, WriterOptions{Level: 1, StreamSize: 50_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(comp, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rnd := rand.New(rand.NewSource(seed))
+			buf := make([]byte, 2048)
+			for i := 0; i < 30; i++ {
+				off := rnd.Int63n(int64(len(data)))
+				n, err := r.ReadAt(buf, off)
+				if err != nil && err != io.EOF {
+					t.Errorf("ReadAt(%d): %v", off, err)
+					return
+				}
+				if !bytes.Equal(buf[:n], data[off:off+int64(n)]) {
+					t.Errorf("ReadAt(%d): mismatch", off)
+					return
+				}
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+}
+
+func TestReaderRejectsCorrupt(t *testing.T) {
+	data := workloads.Base64(100_000, 24)
+	comp, err := Compress(data, WriterOptions{Level: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp[len(comp)/2] ^= 0xFF
+	if _, err := NewReader(comp, 2); err == nil {
+		t.Fatal("corrupt file accepted")
 	}
 }

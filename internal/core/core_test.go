@@ -7,8 +7,11 @@ import (
 	"math/rand"
 	"testing"
 
+	"strings"
+
 	"repro/internal/deflate"
 	"repro/internal/filereader"
+	"repro/internal/gzindex"
 	"repro/internal/gzipw"
 	"repro/internal/prefetch"
 )
@@ -261,6 +264,66 @@ func TestImportIndexWrongFile(t *testing.T) {
 	r2 := open(t, other, Config{Parallelism: 2})
 	if err := r2.ImportIndex(bytes.NewReader(ixBuf.Bytes())); err == nil {
 		t.Fatal("index for a different file accepted")
+	}
+}
+
+func TestImportIndexWrongFileSameSize(t *testing.T) {
+	// Two different files of identical compressed length: the size
+	// check alone cannot tell them apart, the source fingerprint must.
+	data := mkText(10, 100_000)
+	comp, _, _ := gzipw.Compress(data, gzipw.Options{Level: 6})
+	r1 := open(t, comp, Config{Parallelism: 2})
+	var ixBuf bytes.Buffer
+	if err := r1.ExportIndex(&ixBuf); err != nil {
+		t.Fatal(err)
+	}
+	other := bytes.Clone(comp)
+	other[100] ^= 0xFF // same length, different content
+	r2 := open(t, other, Config{Parallelism: 2})
+	err := r2.ImportIndex(bytes.NewReader(ixBuf.Bytes()))
+	if err == nil {
+		t.Fatal("index for a different file of identical size accepted")
+	}
+	if !strings.Contains(err.Error(), "fingerprint") {
+		t.Fatalf("rejected for the wrong reason: %v", err)
+	}
+}
+
+func TestImportFingerprintlessV2Index(t *testing.T) {
+	// Indexes saved before the fingerprint existed must keep importing
+	// (they just stay size-checked only) — and a re-export upgrades
+	// them to the fingerprinted format.
+	data := mkText(10, 100_000)
+	comp, _, _ := gzipw.Compress(data, gzipw.Options{Level: 6})
+	r1 := open(t, comp, Config{Parallelism: 2})
+	var ixBuf bytes.Buffer
+	if err := r1.ExportIndex(&ixBuf); err != nil {
+		t.Fatal(err)
+	}
+	// Strip the fingerprint to emulate a v2-era index.
+	ix, err := gzindex.Read(bytes.NewReader(ixBuf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix.SourceFP = nil
+	var v2ish bytes.Buffer
+	if _, err := ix.WriteTo(&v2ish); err != nil {
+		t.Fatal(err)
+	}
+	r2 := open(t, comp, Config{Parallelism: 2})
+	if err := r2.ImportIndex(bytes.NewReader(v2ish.Bytes())); err != nil {
+		t.Fatalf("fingerprint-less index rejected: %v", err)
+	}
+	var re bytes.Buffer
+	if err := r2.ExportIndex(&re); err != nil {
+		t.Fatal(err)
+	}
+	reIx, err := gzindex.Read(bytes.NewReader(re.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reIx.SourceFP == nil {
+		t.Fatal("re-export did not adopt the file fingerprint")
 	}
 }
 

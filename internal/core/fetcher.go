@@ -205,8 +205,12 @@ type Fetcher struct {
 	pool     *pool.Pool
 	strategy prefetch.Strategy
 
-	index  *gzindex.Index
-	chunks []chunkInfo
+	index *gzindex.Index
+	// sourceFP is the fingerprint of the open file, computed once at
+	// construction; exported indexes carry it and imports are checked
+	// against it.
+	sourceFP gzindex.Fingerprint
+	chunks   []chunkInfo
 	// marksKnown reports that the chunk table's member marks are
 	// authoritative: first-pass confirmation, BGZF metadata scan, or an
 	// imported index that persisted its marks. Only a legacy index
@@ -269,6 +273,13 @@ func NewFetcher(src filereader.FileReader, cfg Config) (*Fetcher, error) {
 	}
 	f.resetCaches()
 	f.index.CompressedSize = uint64(src.Size())
+	fp, err := gzindex.ComputeFingerprint(f.file, src.Size())
+	if err != nil {
+		f.pool.Close()
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	f.sourceFP = fp
+	f.index.SourceFP = &f.sourceFP
 	// First-pass confirmation observes every footer, so the index it
 	// builds carries the complete set of member marks.
 	f.index.MemberMarksComplete = true
@@ -1134,6 +1145,13 @@ func (f *Fetcher) ImportIndex(ix *gzindex.Index) error {
 		return fmt.Errorf("core: index is for a %d-byte file, have %d bytes",
 			ix.CompressedSize, f.fileBits/8)
 	}
+	if ix.SourceFP != nil && *ix.SourceFP != f.sourceFP {
+		return fmt.Errorf("core: index fingerprint %08x/%08x does not match the open file's %08x/%08x (index built for a different file of the same size)",
+			ix.SourceFP.Head, ix.SourceFP.Tail, f.sourceFP.Head, f.sourceFP.Tail)
+	}
+	// Adopt the file's own fingerprint so a re-export of an index
+	// imported from the fingerprint-less v2 format gains one.
+	ix.SourceFP = &f.sourceFP
 	chunks := make([]chunkInfo, ix.Len())
 	for i := range chunks {
 		p := ix.Point(i)

@@ -254,6 +254,83 @@ func BGZFExtra(bsize int) []byte {
 	return extra
 }
 
+// Kind is a compression container format recognisable from its leading
+// bytes. The sniffer lives in this package because the hard case —
+// telling BGZF apart from plain gzip — requires parsing the gzip header
+// this package models; the other magics are trivial byte comparisons.
+type Kind int
+
+const (
+	// KindUnknown means no supported magic matched.
+	KindUnknown Kind = iota
+	// KindGzip is a plain gzip/zlib-deflate file (RFC 1952).
+	KindGzip
+	// KindBGZF is gzip whose first member carries the BGZF "BC" extra
+	// subfield — the blocked variant used by bgzip/htslib.
+	KindBGZF
+	// KindBzip2 is a bzip2 stream ("BZh" + level + block magic).
+	KindBzip2
+	// KindLZ4 is an LZ4 frame (magic 0x184D2204, little-endian).
+	KindLZ4
+)
+
+// String names the kind the way the CLI's --format flag spells it.
+func (k Kind) String() string {
+	switch k {
+	case KindGzip:
+		return "gzip"
+	case KindBGZF:
+		return "bgzf"
+	case KindBzip2:
+		return "bzip2"
+	case KindLZ4:
+		return "lz4"
+	}
+	return "unknown"
+}
+
+// SniffLen is the prefix size that suffices for Sniff to classify every
+// supported format: a standard BGZF header is 18 bytes (12 fixed + the
+// 6-byte "BC" subfield), and some writers put other subfields first, so
+// a little headroom is kept. Shorter prefixes are fine — Sniff degrades
+// to the formats it can still tell apart.
+const SniffLen = 64
+
+// Sniff classifies a file by its leading bytes. A gzip member whose
+// extra field cannot be fully inspected within the prefix (oversized
+// foreign subfields) is reported as plain gzip — the safe default,
+// since BGZF handling is an optimisation, not a correctness split.
+func Sniff(prefix []byte) Kind {
+	if len(prefix) >= 4 && binary.LittleEndian.Uint32(prefix) == 0x184D2204 {
+		return KindLZ4
+	}
+	if len(prefix) >= 4 && prefix[0] == 'B' && prefix[1] == 'Z' && prefix[2] == 'h' &&
+		prefix[3] >= '1' && prefix[3] <= '9' {
+		return KindBzip2
+	}
+	if len(prefix) >= 3 && prefix[0] == ID1 && prefix[1] == ID2 && prefix[2] == CM {
+		if sniffBGZF(prefix) {
+			return KindBGZF
+		}
+		return KindGzip
+	}
+	return KindUnknown
+}
+
+// sniffBGZF reports whether a gzip prefix carries the BGZF "BC" extra
+// subfield in its first member header.
+func sniffBGZF(prefix []byte) bool {
+	if len(prefix) < 12 || prefix[3]&flagExtra == 0 {
+		return false
+	}
+	xlen := int(binary.LittleEndian.Uint16(prefix[10:12]))
+	extra := prefix[12:]
+	if xlen < len(extra) {
+		extra = extra[:xlen]
+	}
+	return parseBGZFExtra(extra) > 0
+}
+
 // NewCRC returns the running CRC32 (IEEE) used by gzip footers.
 func NewCRC() uint32 { return 0 }
 

@@ -170,3 +170,48 @@ func TestCRCMatchesStdlib(t *testing.T) {
 		t.Fatalf("crc %08x, want %08x", crc, want)
 	}
 }
+
+func TestSniff(t *testing.T) {
+	var gz bytes.Buffer
+	WriteHeader(&gz, WriteHeaderOptions{Name: "x"})
+
+	var bgzf bytes.Buffer
+	WriteHeader(&bgzf, WriteHeaderOptions{Extra: BGZFExtra(100)})
+
+	// BGZF with a foreign subfield before "BC" still classifies.
+	foreign := append([]byte{'X', 'Y', 2, 0, 7, 7}, BGZFExtra(100)...)
+	var bgzf2 bytes.Buffer
+	WriteHeader(&bgzf2, WriteHeaderOptions{Extra: foreign})
+
+	cases := []struct {
+		name   string
+		prefix []byte
+		want   Kind
+	}{
+		{"gzip", gz.Bytes(), KindGzip},
+		{"bgzf", bgzf.Bytes(), KindBGZF},
+		{"bgzf-foreign-subfield", bgzf2.Bytes(), KindBGZF},
+		{"gzip-extra-not-bgzf", append([]byte{ID1, ID2, CM, flagExtra, 0, 0, 0, 0, 0, 255, 4, 0}, 'Z', 'Z', 0, 0), KindGzip},
+		{"bzip2", []byte("BZh91AY&SY"), KindBzip2},
+		{"bzip2-bad-level", []byte("BZh01AY&SY"), KindUnknown},
+		{"lz4", []byte{0x04, 0x22, 0x4D, 0x18, 0x40}, KindLZ4},
+		{"zstd", []byte{0x28, 0xB5, 0x2F, 0xFD}, KindUnknown},
+		{"empty", nil, KindUnknown},
+		{"short-gzip", []byte{ID1, ID2}, KindUnknown},
+		{"text", []byte("hello world, definitely not compressed"), KindUnknown},
+	}
+	for _, c := range cases {
+		if got := Sniff(c.prefix); got != c.want {
+			t.Errorf("%s: Sniff = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestSniffTruncatedBGZFHeaderIsGzip(t *testing.T) {
+	var bgzf bytes.Buffer
+	WriteHeader(&bgzf, WriteHeaderOptions{Extra: BGZFExtra(100)})
+	// With the extra field cut off, the safe answer is plain gzip.
+	if got := Sniff(bgzf.Bytes()[:11]); got != KindGzip {
+		t.Fatalf("Sniff(truncated bgzf) = %v, want %v", got, KindGzip)
+	}
+}

@@ -10,11 +10,12 @@ import (
 	"testing"
 )
 
-// goldenIndex is the index serialised into both testdata fixtures (the
+// goldenIndex is the index serialised into the testdata fixtures (the
 // v1 file was written by the legacy fixed-width writer before its
-// removal; the v2 file by the current writer). Any change that stops
-// either fixture from parsing back to exactly this index is an on-disk
-// format break and must bump the version magic instead.
+// removal, the v2 file by the pre-fingerprint varint writer, the v3
+// file by the current writer). Any change that stops a fixture from
+// parsing back to exactly this index is an on-disk format break and
+// must bump the version magic instead.
 func goldenIndex(t *testing.T) *Index {
 	t.Helper()
 	ix := New(4 << 20)
@@ -65,18 +66,41 @@ func readGolden(t *testing.T, name string) []byte {
 	return raw
 }
 
-func TestGoldenV2(t *testing.T) {
+func TestGoldenV2BackwardCompatible(t *testing.T) {
 	raw := readGolden(t, "golden-v2.rgzidx")
 	got, err := Read(bytes.NewReader(raw))
 	if err != nil {
 		t.Fatal(err)
 	}
 	assertEqualIndex(t, got, goldenIndex(t))
+	if got.SourceFP != nil {
+		t.Fatal("v2 index has no fingerprint; got one")
+	}
+}
+
+// goldenIndexV3 is goldenIndex plus the v3 source fingerprint.
+func goldenIndexV3(t *testing.T) *Index {
+	ix := goldenIndex(t)
+	ix.SourceFP = &Fingerprint{Head: 0x11223344, Tail: 0x55667788}
+	return ix
+}
+
+func TestGoldenV3(t *testing.T) {
+	raw := readGolden(t, "golden-v3.rgzidx")
+	got, err := Read(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := goldenIndexV3(t)
+	assertEqualIndex(t, got, want)
+	if got.SourceFP == nil || *got.SourceFP != *want.SourceFP {
+		t.Fatalf("fingerprint: got %+v, want %+v", got.SourceFP, want.SourceFP)
+	}
 
 	// The writer must still produce the byte-identical file: the format
 	// is deterministic, so this locks the layout, not just parseability.
 	var buf bytes.Buffer
-	if _, err := goldenIndex(t).WriteTo(&buf); err != nil {
+	if _, err := want.WriteTo(&buf); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(buf.Bytes(), raw) {
@@ -144,6 +168,17 @@ func TestGoldenV2WithMemberMarks(t *testing.T) {
 	want := markedIndex(t)
 	assertEqualIndex(t, got, want)
 	assertEqualMarks(t, got, want)
+}
+
+func TestGoldenV3WithMemberMarks(t *testing.T) {
+	raw := readGolden(t, "golden-v3-marks.rgzidx")
+	got, err := Read(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := markedIndex(t)
+	assertEqualIndex(t, got, want)
+	assertEqualMarks(t, got, want)
 
 	var buf bytes.Buffer
 	if _, err := want.WriteTo(&buf); err != nil {
@@ -151,6 +186,59 @@ func TestGoldenV2WithMemberMarks(t *testing.T) {
 	}
 	if !bytes.Equal(buf.Bytes(), raw) {
 		t.Fatalf("WriteTo output diverged from the marks golden fixture (%d vs %d bytes)", buf.Len(), len(raw))
+	}
+}
+
+func TestFingerprintRoundTrip(t *testing.T) {
+	want := goldenIndexV3(t)
+	var buf bytes.Buffer
+	if _, err := want.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SourceFP == nil || *got.SourceFP != *want.SourceFP {
+		t.Fatalf("fingerprint: got %+v, want %+v", got.SourceFP, want.SourceFP)
+	}
+}
+
+func TestComputeFingerprint(t *testing.T) {
+	// Distinct content of identical length must yield distinct
+	// fingerprints — the wrong-file import hole this exists to close.
+	a := bytes.Repeat([]byte("abcdefgh"), 2048) // 16 KiB
+	b := bytes.Clone(a)
+	b[10_000] ^= 1 // differs only in the middle... which neither span covers
+	c := bytes.Clone(a)
+	c[1] ^= 1 // head difference
+	d := bytes.Clone(a)
+	d[len(d)-2] ^= 1 // tail difference
+
+	fa, err := ComputeFingerprint(bytes.NewReader(a), int64(len(a)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, _ := ComputeFingerprint(bytes.NewReader(b), int64(len(b)))
+	fc, _ := ComputeFingerprint(bytes.NewReader(c), int64(len(c)))
+	fd, _ := ComputeFingerprint(bytes.NewReader(d), int64(len(d)))
+	if fa != fb {
+		t.Fatal("a mid-file difference outside both spans should not change the fingerprint")
+	}
+	if fa == fc || fa == fd {
+		t.Fatal("head/tail differences must change the fingerprint")
+	}
+	// Short files: spans overlap, still deterministic.
+	s1, err := ComputeFingerprint(bytes.NewReader([]byte("tiny")), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, _ := ComputeFingerprint(bytes.NewReader([]byte("tinz")), 4)
+	if s1 == s2 {
+		t.Fatal("short-file fingerprints collide")
+	}
+	if _, err := ComputeFingerprint(bytes.NewReader(nil), 0); err != nil {
+		t.Fatalf("empty file: %v", err)
 	}
 }
 

@@ -44,6 +44,51 @@ type MemberEnd struct {
 	CRC32  uint32
 }
 
+// Fingerprint identifies the source file an index was built for beyond
+// its length: CRC32s of the file's first and last FingerprintSpan
+// bytes. Together with CompressedSize it rejects an import whose index
+// belongs to a different file of identical size — which would
+// otherwise decode garbage from the recorded offsets.
+type Fingerprint struct {
+	Head uint32 // CRC32 (IEEE) of the first min(FingerprintSpan, size) bytes
+	Tail uint32 // CRC32 (IEEE) of the last min(FingerprintSpan, size) bytes
+}
+
+// FingerprintSpan is the number of bytes hashed at each end of the
+// source file. It is part of the on-disk format: changing it would make
+// every stored fingerprint mismatch its file.
+const FingerprintSpan = 4 << 10
+
+// ComputeFingerprint hashes the head and tail of a source file. The two
+// spans overlap for files shorter than 2*FingerprintSpan; that is fine,
+// the comparison just needs determinism.
+func ComputeFingerprint(r io.ReaderAt, size int64) (Fingerprint, error) {
+	span := int64(FingerprintSpan)
+	if span > size {
+		span = size
+	}
+	read := func(off int64) (uint32, error) {
+		buf := make([]byte, span)
+		n, err := r.ReadAt(buf, off)
+		if int64(n) < span {
+			if err == nil {
+				err = io.ErrUnexpectedEOF
+			}
+			return 0, fmt.Errorf("gzindex: fingerprinting source: %w", err)
+		}
+		return crc32.ChecksumIEEE(buf), nil
+	}
+	head, err := read(0)
+	if err != nil {
+		return Fingerprint{}, err
+	}
+	tail, err := read(size - span)
+	if err != nil {
+		return Fingerprint{}, err
+	}
+	return Fingerprint{Head: head, Tail: tail}, nil
+}
+
 // Index is the seek-point database. It is not goroutine-safe; the chunk
 // fetcher serialises access.
 type Index struct {
@@ -61,6 +106,9 @@ type Index struct {
 	// file is recorded via AddMemberEnd — i.e. the absence of marks for
 	// a point means "no member ends there", not "unknown".
 	MemberMarksComplete bool
+	// SourceFP is the source-file fingerprint, or nil when unknown
+	// (indexes read from the fingerprint-less v1/v2 formats).
+	SourceFP *Fingerprint
 }
 
 // New returns an empty index.
@@ -132,16 +180,19 @@ func (ix *Index) Find(target uint64) (int, bool) {
 
 // --- serialization -------------------------------------------------------
 //
-// On-disk layout (version 2, all integers little-endian or unsigned
-// LEB128 varints):
+// On-disk layout (version 3, all integers little-endian or unsigned
+// LEB128 varints). Version 3 differs from version 2 only in the magic
+// and the optional source fingerprint (flag bit 2):
 //
 //	offset  size      field
-//	0       8         magic "RGZIDX02"
+//	0       8         magic "RGZIDX03"
 //	8       1         flags (bit 0: finalized, bit 1: member marks
-//	                  complete)
+//	                  complete, bit 2: source fingerprint present)
 //	9       varint    chunk size used during creation
 //	...     varint    compressed file size (bytes)
 //	...     varint    uncompressed file size (bytes)
+//	...     4+4       head and tail CRC32 of the source file (only when
+//	                  flag bit 2 is set)
 //	...     varint    number of checkpoint records
 //	...               checkpoint records (see below)
 //	end-4   4         CRC32 (IEEE) of every preceding byte
@@ -168,7 +219,8 @@ func (ix *Index) Find(target uint64) (int, bool) {
 
 const (
 	magicV1 = "RGZIDX01" // legacy fixed-width format, still readable
-	magicV2 = "RGZIDX02" // current format, written by WriteTo
+	magicV2 = "RGZIDX02" // fingerprint-less varint format, still readable
+	magicV3 = "RGZIDX03" // current format, written by WriteTo
 )
 
 // maxWindowRaw bounds a stored window. Real windows are at most the
@@ -195,10 +247,10 @@ func writeUvarint(buf *bytes.Buffer, v uint64) {
 	buf.Write(tmp[:binary.PutUvarint(tmp[:], v)])
 }
 
-// WriteTo serialises the index in the version-2 format.
+// WriteTo serialises the index in the version-3 format.
 func (ix *Index) WriteTo(w io.Writer) (int64, error) {
 	var buf bytes.Buffer
-	buf.WriteString(magicV2)
+	buf.WriteString(magicV3)
 	var flags uint8
 	if ix.Finalized {
 		flags |= 1
@@ -206,10 +258,17 @@ func (ix *Index) WriteTo(w io.Writer) (int64, error) {
 	if ix.MemberMarksComplete {
 		flags |= 2
 	}
+	if ix.SourceFP != nil {
+		flags |= 4
+	}
 	buf.WriteByte(flags)
 	writeUvarint(&buf, uint64(ix.ChunkSize))
 	writeUvarint(&buf, ix.CompressedSize)
 	writeUvarint(&buf, ix.UncompressedSize)
+	if ix.SourceFP != nil {
+		binary.Write(&buf, binary.LittleEndian, ix.SourceFP.Head)
+		binary.Write(&buf, binary.LittleEndian, ix.SourceFP.Tail)
+	}
 	writeUvarint(&buf, uint64(len(ix.points)))
 	var prev SeekPoint
 	for _, p := range ix.points {
@@ -264,8 +323,10 @@ func Read(r io.Reader) (*Index, error) {
 		return nil, fmt.Errorf("%w: %w", ErrBadMagic, err)
 	}
 	switch string(m[:]) {
+	case magicV3:
+		return readV23(r, magicV3)
 	case magicV2:
-		return readV2(r)
+		return readV23(r, magicV2)
 	case magicV1:
 		return readV1(r)
 	}
@@ -288,15 +349,27 @@ func (ix *Index) ReadFrom(r io.Reader) (int64, error) {
 	return cr.n, nil
 }
 
-func readV2(r io.Reader) (*Index, error) {
+// readV23 parses the varint formats. Versions 2 and 3 share the whole
+// layout except the optional source fingerprint of v3.
+func readV23(r io.Reader, magic string) (*Index, error) {
 	cr := &crcReader{r: r}
-	cr.sum = crc32.Update(cr.sum, crc32.IEEETable, []byte(magicV2))
+	cr.sum = crc32.Update(cr.sum, crc32.IEEETable, []byte(magic))
 	flags, _ := cr.ReadByte()
 	ix := New(int(cr.uvarint()))
 	ix.Finalized = flags&1 != 0
 	ix.MemberMarksComplete = flags&2 != 0
 	ix.CompressedSize = cr.uvarint()
 	ix.UncompressedSize = cr.uvarint()
+	if magic == magicV3 && flags&4 != 0 {
+		var raw [8]byte
+		if err := cr.full(raw[:]); err != nil {
+			return nil, fmt.Errorf("%w: %w", ErrCorrupt, err)
+		}
+		ix.SourceFP = &Fingerprint{
+			Head: binary.LittleEndian.Uint32(raw[0:4]),
+			Tail: binary.LittleEndian.Uint32(raw[4:8]),
+		}
+	}
 	n := cr.uvarint()
 	if cr.err != nil {
 		return nil, fmt.Errorf("%w: %w", ErrCorrupt, cr.err)

@@ -146,6 +146,10 @@ type FrameInfo struct {
 	ContentSize int
 	// ContentStart is the uncompressed offset of this frame's content.
 	ContentStart int
+
+	// flg is the frame descriptor byte, kept so consumers of the scan
+	// (Reader capability reporting) need not re-parse the header.
+	flg byte
 }
 
 // frameHeader is the parsed fixed part of a frame.
@@ -228,6 +232,7 @@ func ScanFrames(data []byte) ([]FrameInfo, error) {
 		}
 		frames = append(frames, FrameInfo{
 			Offset: pos, End: p, ContentSize: h.contentSize, ContentStart: contentPos,
+			flg: h.flg,
 		})
 		contentPos += h.contentSize
 		pos = p
@@ -285,7 +290,16 @@ func decompressFrame(data []byte, dst []byte) error {
 			if end > len(dst) {
 				end = len(dst)
 			}
-			out, err := decompressBlockInto(payload, dst[dp:end])
+			var out int
+			var err error
+			if h.flg&flgBlockIndep != 0 {
+				out, err = decompressBlockInto(payload, dst[dp:end])
+			} else {
+				// Linked blocks: matches may reach back into earlier
+				// blocks of the same frame, so decode with the frame
+				// output so far as history.
+				out, err = decompressBlockLoose(payload, dst[:end], dp)
+			}
 			if err != nil {
 				return err
 			}
@@ -317,13 +331,15 @@ func decompressBlockInto(src, dst []byte) (int, error) {
 		return n, nil
 	}
 	// Fallback: decode with a tolerant variant.
-	return decompressBlockLoose(src, dst)
+	return decompressBlockLoose(src, dst, 0)
 }
 
-// decompressBlockLoose decodes src into dst, allowing the output to end
-// before dst is full.
-func decompressBlockLoose(src, dst []byte) (int, error) {
-	sp, dp := 0, 0
+// decompressBlockLoose decodes src into dst starting at position start,
+// allowing the output to end before dst is full. dst[:start] is match
+// history: offsets may reach into it (the linked-block mode of the
+// frame format). It returns the number of bytes produced.
+func decompressBlockLoose(src, dst []byte, start int) (int, error) {
+	sp, dp := 0, start
 	readLen := func(base int) (int, error) {
 		v := base
 		for {
@@ -345,36 +361,36 @@ func decompressBlockLoose(src, dst []byte) (int, error) {
 		if litLen == 15 {
 			var err error
 			if litLen, err = readLen(15); err != nil {
-				return dp, err
+				return dp - start, err
 			}
 		}
 		if sp+litLen > len(src) || dp+litLen > len(dst) {
-			return dp, ErrCorrupt
+			return dp - start, ErrCorrupt
 		}
 		copy(dst[dp:], src[sp:sp+litLen])
 		sp += litLen
 		dp += litLen
 		if sp == len(src) {
-			return dp, nil
+			return dp - start, nil
 		}
 		if sp+2 > len(src) {
-			return dp, ErrCorrupt
+			return dp - start, ErrCorrupt
 		}
 		offset := int(binary.LittleEndian.Uint16(src[sp:]))
 		sp += 2
 		if offset == 0 || offset > dp {
-			return dp, ErrCorrupt
+			return dp - start, ErrCorrupt
 		}
 		matchLen := int(token & 15)
 		if matchLen == 15 {
 			var err error
 			if matchLen, err = readLen(15); err != nil {
-				return dp, err
+				return dp - start, err
 			}
 		}
 		matchLen += minMatch
 		if dp+matchLen > len(dst) {
-			return dp, ErrCorrupt
+			return dp - start, ErrCorrupt
 		}
 		m := dp - offset
 		for i := 0; i < matchLen; i++ {
@@ -382,7 +398,7 @@ func decompressBlockLoose(src, dst []byte) (int, error) {
 		}
 		dp += matchLen
 	}
-	return dp, nil
+	return dp - start, nil
 }
 
 // Decompress inflates a (possibly multi-frame) LZ4 file serially.

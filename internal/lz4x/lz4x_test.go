@@ -2,6 +2,10 @@ package lz4x
 
 import (
 	"bytes"
+	"encoding/binary"
+	"io"
+	"math/rand"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -218,5 +222,124 @@ func TestTruncatedFrame(t *testing.T) {
 		if _, err := Decompress(comp[:cut]); err == nil {
 			t.Fatalf("truncation at %d accepted", cut)
 		}
+	}
+}
+
+func TestReaderReadAt(t *testing.T) {
+	data := workloads.Base64(600_000, 11)
+	comp := CompressFrames(data, FrameOptions{FrameSize: 100_000, BlockSize: 16 << 10})
+	r, err := NewReader(comp, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Size() != int64(len(data)) {
+		t.Fatalf("Size = %d, want %d", r.Size(), len(data))
+	}
+	if r.NumFrames() != 6 {
+		t.Fatalf("NumFrames = %d, want 6", r.NumFrames())
+	}
+	if !r.BlockIndependent() {
+		t.Fatal("CompressFrames output should be block-independent")
+	}
+	// Arbitrary offsets, including frame-straddling and tail reads.
+	offs := []int64{0, 1, 99_999, 100_000, 100_001, 250_000, 599_000, int64(len(data)) - 1}
+	for _, off := range offs {
+		buf := make([]byte, 5000)
+		n, err := r.ReadAt(buf, off)
+		want := len(data) - int(off)
+		if want > len(buf) {
+			want = len(buf)
+		}
+		if n != want || (err != nil && err != io.EOF) {
+			t.Fatalf("ReadAt(%d): n=%d err=%v, want n=%d", off, n, err, want)
+		}
+		if !bytes.Equal(buf[:n], data[off:int(off)+n]) {
+			t.Fatalf("ReadAt(%d): content mismatch", off)
+		}
+	}
+	if _, err := r.ReadAt(make([]byte, 1), r.Size()); err != io.EOF {
+		t.Fatalf("ReadAt(EOF) err = %v, want io.EOF", err)
+	}
+}
+
+func TestReaderConcurrentReadAt(t *testing.T) {
+	data := workloads.FASTQ(300_000, 3)
+	comp := CompressFrames(data, FrameOptions{FrameSize: 50_000, ContentChecksum: true})
+	r, err := NewReader(comp, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Checksummed() {
+		t.Fatal("expected Checksummed")
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rnd := rand.New(rand.NewSource(seed))
+			buf := make([]byte, 3000)
+			for i := 0; i < 40; i++ {
+				off := rnd.Int63n(int64(len(data)))
+				n, err := r.ReadAt(buf, off)
+				if err != nil && err != io.EOF {
+					t.Errorf("ReadAt(%d): %v", off, err)
+					return
+				}
+				if !bytes.Equal(buf[:n], data[off:off+int64(n)]) {
+					t.Errorf("ReadAt(%d): mismatch", off)
+					return
+				}
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+}
+
+// linkedFrame hand-crafts a frame in linked-block (dependent) mode: a
+// stored first block and a compressed second block whose match reaches
+// back into the first block — illegal for an independent-block decoder.
+func linkedFrame(t *testing.T) (comp, content []byte) {
+	t.Helper()
+	var out []byte
+	out = binary.LittleEndian.AppendUint32(out, FrameMagic)
+	flg := byte(flgVersion | flgContentSize) // no flgBlockIndep
+	bd := byte(4 << 4)
+	descStart := len(out)
+	out = append(out, flg, bd)
+	out = binary.LittleEndian.AppendUint64(out, 12)
+	out = append(out, byte(XXH32(out[descStart:], 0)>>8))
+	// Block 1: stored "ABCDEFGH".
+	out = binary.LittleEndian.AppendUint32(out, 8|1<<31)
+	out = append(out, "ABCDEFGH"...)
+	// Block 2: one sequence, zero literals, 4-byte match at offset 8.
+	out = binary.LittleEndian.AppendUint32(out, 3)
+	out = append(out, 0x00, 0x08, 0x00)
+	out = binary.LittleEndian.AppendUint32(out, 0) // EndMark
+	return out, []byte("ABCDEFGHABCD")
+}
+
+func TestLinkedBlockFrameDecodes(t *testing.T) {
+	comp, want := linkedFrame(t)
+	got, err := Decompress(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("got %q, want %q", got, want)
+	}
+	r, err := NewReader(comp, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.BlockIndependent() {
+		t.Fatal("linked frame reported as block-independent")
+	}
+	buf := make([]byte, 4)
+	if _, err := r.ReadAt(buf, 8); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if string(buf) != "ABCD" {
+		t.Fatalf("ReadAt tail = %q", buf)
 	}
 }

@@ -2,7 +2,11 @@ package lz4x
 
 import (
 	"fmt"
+	"io"
+	"sort"
+	"sync"
 
+	"repro/internal/cache"
 	"repro/internal/pool"
 )
 
@@ -40,4 +44,145 @@ func DecompressParallel(data []byte, threads int) ([]byte, error) {
 		}
 	}
 	return out, nil
+}
+
+// Reader provides checkpointed random access into a (possibly
+// multi-frame) LZ4 file: the frame table from ScanFrames is the
+// checkpoint database — every frame header declares its content size,
+// so all decompressed extents are known without decoding anything —
+// and ReadAt inflates only the frames overlapping the request, keeping
+// recently used frame outputs in a small LRU cache.
+//
+// This is the LZ4 instantiation of the paper's chunk-fetcher pattern
+// (Figure 5), degenerate in the best way: where gzip needs speculative
+// two-stage decoding to discover chunk boundaries, the LZ4 frame
+// format hands the whole chunk table over for free.
+//
+// All methods are safe for concurrent use.
+type Reader struct {
+	data    []byte
+	frames  []FrameInfo
+	size    int64
+	threads int
+	indep   bool // every frame flags block independence
+	checked bool // any frame carries block or content checksums
+
+	mu    sync.Mutex
+	cache *cache.Cache[int, []byte] // frame index -> decompressed content
+}
+
+// NewReader scans data and returns a random-access reader. It fails on
+// anything ScanFrames cannot plan — in particular frames that omit the
+// content-size field.
+func NewReader(data []byte, threads int) (*Reader, error) {
+	frames, err := ScanFrames(data)
+	if err != nil {
+		return nil, err
+	}
+	if threads < 1 {
+		threads = 1
+	}
+	r := &Reader{
+		data:    data,
+		frames:  frames,
+		threads: threads,
+		indep:   true,
+		cache:   cache.NewLRUCache[int, []byte](max(2*threads, 4)),
+	}
+	for _, f := range frames {
+		if f.flg&flgBlockIndep == 0 {
+			r.indep = false
+		}
+		if f.flg&(flgBlockCheck|flgContentCheck) != 0 {
+			r.checked = true
+		}
+		r.size += int64(f.ContentSize)
+	}
+	return r, nil
+}
+
+// Size returns the total decompressed size (known up front from the
+// frame headers).
+func (r *Reader) Size() int64 { return r.size }
+
+// NumFrames returns the number of checkpoints (frames).
+func (r *Reader) NumFrames() int { return len(r.frames) }
+
+// BlockIndependent reports whether every frame declares independent
+// blocks. Dependent blocks decode fine (the whole frame is always
+// inflated as a unit) but make the frame the smallest seekable grain.
+func (r *Reader) BlockIndependent() bool { return r.indep }
+
+// Checksummed reports whether any frame carries xxHash32 block or
+// content checksums, i.e. whether decoding verifies payload integrity.
+func (r *Reader) Checksummed() bool { return r.checked }
+
+// frameContent returns the decompressed content of frame i, serving it
+// from the LRU cache when possible. The decode itself runs outside the
+// lock so concurrent reads of different frames overlap on multiple
+// cores; two goroutines racing on the same frame duplicate work, not
+// results.
+func (r *Reader) frameContent(i int) ([]byte, error) {
+	r.mu.Lock()
+	if out, ok := r.cache.Get(i); ok {
+		r.mu.Unlock()
+		return out, nil
+	}
+	r.mu.Unlock()
+	f := r.frames[i]
+	out := make([]byte, f.ContentSize)
+	if err := decompressFrame(r.data[f.Offset:f.End], out); err != nil {
+		return nil, fmt.Errorf("lz4x: frame %d: %w", i, err)
+	}
+	r.mu.Lock()
+	r.cache.Put(i, out)
+	r.mu.Unlock()
+	return out, nil
+}
+
+// NumChunks, ChunkExtent and ChunkContent expose the checkpoint table
+// generically (one chunk = one frame), so a consumer can pipeline
+// ordered sequential reads with parallel decodes.
+func (r *Reader) NumChunks() int { return len(r.frames) }
+
+// ChunkExtent returns the decompressed offset and size of chunk i.
+func (r *Reader) ChunkExtent(i int) (off, size int64) {
+	return int64(r.frames[i].ContentStart), int64(r.frames[i].ContentSize)
+}
+
+// ChunkContent returns the decompressed content of chunk i. The
+// returned slice is shared with the cache and must not be modified.
+func (r *Reader) ChunkContent(i int) ([]byte, error) { return r.frameContent(i) }
+
+// ReadAt implements io.ReaderAt over the decompressed stream.
+func (r *Reader) ReadAt(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("lz4x: negative offset %d", off)
+	}
+	n := 0
+	for n < len(p) {
+		if off >= r.size {
+			return n, io.EOF
+		}
+		// Last frame whose content starts at or before off. Frames with
+		// ContentSize 0 never cover any offset; skip past them.
+		i := sort.Search(len(r.frames), func(i int) bool {
+			return int64(r.frames[i].ContentStart) > off
+		}) - 1
+		for i < len(r.frames) && int64(r.frames[i].ContentStart+r.frames[i].ContentSize) <= off {
+			i++
+		}
+		if i < 0 || i >= len(r.frames) {
+			return n, io.EOF
+		}
+		out, err := r.frameContent(i)
+		if err != nil {
+			return n, err
+		}
+		within := off - int64(r.frames[i].ContentStart)
+		c := copy(p[n:], out[within:])
+		n += c
+		off += int64(c)
+	}
+	return n, nil
 }

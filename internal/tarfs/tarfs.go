@@ -47,6 +47,26 @@ func (c *countingReader) Read(p []byte) (int, error) {
 	return n, err
 }
 
+// Source is what tarfs needs from a decompressor: concurrent
+// positional reads over the decompressed stream plus its total size.
+// Every rapidgzip Archive satisfies it.
+type Source interface {
+	io.ReaderAt
+	Size() (int64, error)
+}
+
+// Open scans the TAR structure inside src and returns the filesystem —
+// the format-agnostic entry point: any Archive (gzip, BGZF, bzip2,
+// LZ4) works, at whatever random-access granularity its capabilities
+// admit.
+func Open(src Source) (*FS, error) {
+	size, err := src.Size()
+	if err != nil {
+		return nil, err
+	}
+	return New(src, size)
+}
+
 // New scans the TAR structure once (sequentially, which on a rapidgzip
 // reader builds the seek-point index as a side effect) and returns the
 // filesystem. size is the decompressed size of the archive.

@@ -1,0 +1,216 @@
+package rapidgzip
+
+import (
+	"fmt"
+	"runtime"
+
+	"repro/internal/core"
+	"repro/internal/prefetch"
+)
+
+// Options tunes a Reader. The zero value is ready to use.
+//
+// Deprecated: Options is the legacy flat configuration struct, kept so
+// existing call sites compile and behave identically. New code should
+// pass functional options (WithParallelism, WithChunkSize, ...) to Open
+// or OpenBytes.
+type Options struct {
+	// Parallelism is the number of decompression workers. Zero selects
+	// runtime.NumCPU(); the paper's -P flag.
+	Parallelism int
+	// ChunkSize is the compressed bytes handed to one worker task.
+	// Zero selects the paper's 4 MiB default. Figure 12 of the paper
+	// sweeps this parameter: too small wastes time in the block finder,
+	// too large starves workers near the end of the file.
+	ChunkSize int
+	// VerifyChecksums enables CRC32 verification of every gzip member
+	// against its footer while the stream is consumed sequentially.
+	// Chunk checksums are combined with a GF(2) CRC-combine, so
+	// verification is parallel too.
+	VerifyChecksums bool
+	// MaxPrefetch bounds the number of speculative chunk decodes in
+	// flight. Zero selects twice the parallelism (the paper's default).
+	MaxPrefetch int
+	// AccessCacheSize is the capacity (in chunks) of the accessed-chunk
+	// cache. It only matters for concurrent random access; sequential
+	// decompression needs a single slot.
+	AccessCacheSize int
+	// Strategy selects the prefetch strategy: "adaptive" (default),
+	// "fixed", or "multistream" (for concurrent access at several
+	// offsets, e.g. serving a mounted TAR). Unknown names are rejected
+	// when the reader is constructed.
+	Strategy string
+}
+
+func (o Options) toCore() (core.Config, error) {
+	cfg := core.Config{
+		Parallelism:     o.Parallelism,
+		ChunkSize:       o.ChunkSize,
+		MaxPrefetch:     o.MaxPrefetch,
+		AccessCacheSize: o.AccessCacheSize,
+		VerifyChecksums: o.VerifyChecksums,
+	}
+	if cfg.Parallelism == 0 {
+		cfg.Parallelism = runtime.NumCPU()
+	}
+	switch o.Strategy {
+	case "", "adaptive":
+		// core defaults to adaptive.
+	case "fixed":
+		cfg.Strategy = prefetch.NewFixed()
+	case "multistream":
+		cfg.Strategy = prefetch.NewMultiStream()
+	default:
+		return core.Config{}, fmt.Errorf("rapidgzip: unknown prefetch strategy %q (want adaptive, fixed or multistream)", o.Strategy)
+	}
+	return cfg, nil
+}
+
+// config is the resolved configuration an Open call operates with.
+type config struct {
+	opts        Options
+	format      Format // FormatUnknown means sniff the content
+	indexFile   string // explicit index to import; implies no discovery
+	noDiscovery bool
+}
+
+// An Option configures Open, OpenBytes or any of the constructors that
+// accept functional options. Invalid settings (an unknown strategy, a
+// non-positive chunk size, ...) are reported by the constructor — each
+// With* function validates eagerly and the first error wins.
+type Option func(*config) error
+
+func resolve(opts []Option) (config, error) {
+	var cfg config
+	for _, o := range opts {
+		if err := o(&cfg); err != nil {
+			return config{}, err
+		}
+	}
+	return cfg, nil
+}
+
+// WithParallelism sets the number of decompression workers. Zero (the
+// default) selects runtime.NumCPU().
+func WithParallelism(n int) Option {
+	return func(c *config) error {
+		if n < 0 {
+			return fmt.Errorf("rapidgzip: negative parallelism %d", n)
+		}
+		c.opts.Parallelism = n
+		return nil
+	}
+}
+
+// WithChunkSize sets the compressed bytes handed to one worker task.
+// Zero selects the paper's 4 MiB default.
+func WithChunkSize(n int) Option {
+	return func(c *config) error {
+		if n < 0 {
+			return fmt.Errorf("rapidgzip: negative chunk size %d", n)
+		}
+		c.opts.ChunkSize = n
+		return nil
+	}
+}
+
+// WithVerify enables (or disables) checksum verification where the
+// format supports it — gzip member CRC32s during sequential
+// consumption; bzip2 and LZ4 verify during every decode when the file
+// carries checksums, regardless of this option.
+func WithVerify(v bool) Option {
+	return func(c *config) error {
+		c.opts.VerifyChecksums = v
+		return nil
+	}
+}
+
+// WithMaxPrefetch bounds the number of speculative chunk decodes in
+// flight (gzip/BGZF only). Zero selects the default.
+func WithMaxPrefetch(n int) Option {
+	return func(c *config) error {
+		if n < 0 {
+			return fmt.Errorf("rapidgzip: negative prefetch bound %d", n)
+		}
+		c.opts.MaxPrefetch = n
+		return nil
+	}
+}
+
+// WithAccessCacheSize sets the accessed-chunk cache capacity
+// (gzip/BGZF only). Zero selects the default.
+func WithAccessCacheSize(n int) Option {
+	return func(c *config) error {
+		if n < 0 {
+			return fmt.Errorf("rapidgzip: negative cache size %d", n)
+		}
+		c.opts.AccessCacheSize = n
+		return nil
+	}
+}
+
+// WithStrategy selects the prefetch strategy by name: "adaptive" (the
+// default), "fixed", or "multistream". Unknown names fail here, at
+// option time — not silently at some later decode.
+func WithStrategy(name string) Option {
+	return func(c *config) error {
+		probe := Options{Strategy: name}
+		if _, err := probe.toCore(); err != nil {
+			return err
+		}
+		c.opts.Strategy = name
+		return nil
+	}
+}
+
+// WithFormat forces the container format instead of sniffing the
+// content — for data whose magic bytes are unavailable (streams with
+// stripped headers) or to fail fast when only one format is
+// acceptable. Opening a file of a different format then fails with the
+// backend's parse error.
+func WithFormat(f Format) Option {
+	return func(c *config) error {
+		switch f {
+		case FormatGzip, FormatBGZF, FormatBzip2, FormatLZ4:
+			c.format = f
+			return nil
+		}
+		return fmt.Errorf("%w: cannot force %v", ErrUnsupportedFormat, f)
+	}
+}
+
+// WithIndexFile imports the seek-point index at path during Open,
+// making the reader fully indexed from the start (the paper's
+// "(index)" mode). It implies WithoutIndexDiscovery and is only valid
+// for formats whose Capabilities report Index support.
+func WithIndexFile(path string) Option {
+	return func(c *config) error {
+		if path == "" {
+			return fmt.Errorf("rapidgzip: empty index file path")
+		}
+		c.indexFile = path
+		return nil
+	}
+}
+
+// WithoutIndexDiscovery disables the automatic import of a sibling
+// "<file>.rgzidx" index that Open performs by default for indexable
+// formats.
+func WithoutIndexDiscovery() Option {
+	return func(c *config) error {
+		c.noDiscovery = true
+		return nil
+	}
+}
+
+// WithOptions applies a legacy Options struct wholesale — the bridge
+// for call sites migrating to functional options one knob at a time.
+func WithOptions(o Options) Option {
+	return func(c *config) error {
+		if _, err := o.toCore(); err != nil {
+			return err
+		}
+		c.opts = o
+		return nil
+	}
+}

@@ -1,5 +1,7 @@
 // Package rapidgzip provides parallel decompression of, and constant-
-// time random access ("seeking") into, arbitrary gzip files.
+// time random access ("seeking") into, compressed files — gzip first
+// and foremost, plus the BGZF, bzip2 and LZ4 instantiations of the
+// same chunk-fetcher architecture.
 //
 // It is a from-scratch Go reproduction of the system described in
 // "Rapidgzip: Parallel Decompression and Seeking in Gzip Files Using
@@ -13,7 +15,8 @@
 // on-demand decode whenever a speculative result turns out to have
 // started at a false positive.
 //
-// Basic usage:
+// Basic usage — Open sniffs the format from the content, so the same
+// call handles gzip, BGZF, bzip2 and LZ4:
 //
 //	f, err := rapidgzip.Open("big.tar.gz")
 //	if err != nil { ... }
@@ -21,107 +24,60 @@
 //	io.Copy(dst, f) // decompresses on all cores
 //
 // A seek-point index is built on the fly. Once present (or imported
-// from a previous run with ImportIndex), any offset of the decompressed
-// stream is reachable in constant time:
+// from a previous run — a sibling "big.tar.gz.rgzidx" is picked up
+// automatically), any offset of the decompressed stream is reachable
+// in constant time:
 //
 //	f.Seek(1<<40, io.SeekStart)
 //	f.Read(buf)
 //
-// The zero Options value selects runtime.NumCPU() workers and the
-// paper's default 4 MiB chunk size.
+// Formats differ in what they can do; Capabilities reports it:
+//
+//	if f.Capabilities().RandomAccess { ... }
+//
+// Open takes functional options (WithParallelism, WithChunkSize,
+// WithVerify, WithStrategy, WithFormat, WithIndexFile, ...). The
+// legacy Options struct and its constructors remain for existing call
+// sites.
 package rapidgzip
 
 import (
-	"bufio"
 	"io"
 	"io/fs"
 	"os"
-	"runtime"
 
 	"repro/internal/core"
 	"repro/internal/filereader"
-	"repro/internal/prefetch"
 	"repro/internal/tarfs"
 )
-
-// Options tunes a Reader. The zero value is ready to use.
-type Options struct {
-	// Parallelism is the number of decompression workers. Zero selects
-	// runtime.NumCPU(); the paper's -P flag.
-	Parallelism int
-	// ChunkSize is the compressed bytes handed to one worker task.
-	// Zero selects the paper's 4 MiB default. Figure 12 of the paper
-	// sweeps this parameter: too small wastes time in the block finder,
-	// too large starves workers near the end of the file.
-	ChunkSize int
-	// VerifyChecksums enables CRC32 verification of every gzip member
-	// against its footer while the stream is consumed sequentially.
-	// Chunk checksums are combined with a GF(2) CRC-combine, so
-	// verification is parallel too.
-	VerifyChecksums bool
-	// MaxPrefetch bounds the number of speculative chunk decodes in
-	// flight. Zero selects twice the parallelism (the paper's default).
-	MaxPrefetch int
-	// AccessCacheSize is the capacity (in chunks) of the accessed-chunk
-	// cache. It only matters for concurrent random access; sequential
-	// decompression needs a single slot.
-	AccessCacheSize int
-	// Strategy selects the prefetch strategy: "adaptive" (default),
-	// "fixed", or "multistream" (for concurrent access at several
-	// offsets, e.g. serving a mounted TAR).
-	Strategy string
-}
-
-func (o Options) toCore() core.Config {
-	cfg := core.Config{
-		Parallelism:     o.Parallelism,
-		ChunkSize:       o.ChunkSize,
-		MaxPrefetch:     o.MaxPrefetch,
-		AccessCacheSize: o.AccessCacheSize,
-		VerifyChecksums: o.VerifyChecksums,
-	}
-	if cfg.Parallelism == 0 {
-		cfg.Parallelism = runtime.NumCPU()
-	}
-	switch o.Strategy {
-	case "fixed":
-		cfg.Strategy = prefetch.NewFixed()
-	case "multistream":
-		cfg.Strategy = prefetch.NewMultiStream()
-	}
-	return cfg
-}
 
 // Stats counts fetcher activity: speculative decodes issued, false
 // starts discarded, on-demand decodes, and chunks consumed.
 type Stats = core.FetcherStats
 
-// Reader decompresses a gzip file in parallel. It implements io.Reader,
-// io.Seeker, io.ReaderAt, io.WriterTo and io.Closer. All methods are
-// safe for concurrent use.
+// Reader decompresses a gzip (or BGZF) file in parallel. It implements
+// Archive; all methods are safe for concurrent use.
 type Reader struct {
-	pr    *core.ParallelGzipReader
-	owned io.Closer // closed together with the reader, if non-nil
+	pr     *core.ParallelGzipReader
+	format Format
+	owned  io.Closer // closed together with the reader, if non-nil
 }
 
-// Open opens the gzip file at path for parallel decompression with
-// default options.
-func Open(path string) (*Reader, error) {
-	return OpenOptions(path, Options{})
-}
-
-// OpenOptions opens the gzip file at path with explicit options.
+// OpenOptions opens the gzip file at path with explicit legacy
+// options. Unlike Open it never sniffs for other formats and never
+// auto-discovers a sibling index.
 func OpenOptions(path string, opts Options) (*Reader, error) {
 	src, err := filereader.OpenFile(path)
 	if err != nil {
 		return nil, err
 	}
-	pr, err := core.NewReader(src, opts.toCore())
+	r, err := newGzipReader(src, opts)
 	if err != nil {
 		src.Close()
 		return nil, err
 	}
-	return &Reader{pr: pr, owned: src}, nil
+	r.owned = src
+	return r, nil
 }
 
 // OpenWithIndex opens the gzip file at path and imports the seek-point
@@ -130,27 +86,20 @@ func OpenOptions(path string, opts Options) (*Reader, error) {
 // block finder never runs, and decompression is served chunk-exact from
 // the recorded offsets and windows — the paper's "(index)" mode.
 func OpenWithIndex(path, indexPath string, opts Options) (*Reader, error) {
-	ixf, err := os.Open(indexPath)
+	cfg, err := opts.toCore()
 	if err != nil {
 		return nil, err
 	}
-	defer ixf.Close()
 	src, err := filereader.OpenFile(path)
 	if err != nil {
 		return nil, err
 	}
-	r, err := newImportReader(src, opts)
+	r, err := importIndexReader(src, cfg, indexPath, sniffGzipFormat(src))
 	if err != nil {
 		src.Close()
 		return nil, err
 	}
 	r.owned = src
-	// The file holds nothing but the index, so buffering is safe and
-	// spares the varint-level deserializer per-byte file reads.
-	if err := r.ImportIndex(bufio.NewReader(ixf)); err != nil {
-		r.Close()
-		return nil, err
-	}
 	return r, nil
 }
 
@@ -159,39 +108,29 @@ func OpenWithIndex(path, indexPath string, opts Options) (*Reader, error) {
 // from it. The gzip file must stay open for the lifetime of the
 // Reader; Close does not close it. The index must have been exported
 // for the same compressed file: corrupt indexes and wrong-file imports
-// are rejected up front, though the wrong-file check currently
-// compares only the compressed size — an index for a different file of
-// identical length decodes garbage (caught when Options.VerifyChecksums
-// is on).
+// are rejected up front — the index header carries the compressed size
+// and a head/tail fingerprint of the source file, so even an index for
+// a different file of identical length is refused at import.
 func NewReaderWithIndex(f *os.File, index io.Reader, opts Options) (*Reader, error) {
+	cfg, err := opts.toCore()
+	if err != nil {
+		return nil, err
+	}
 	src, err := filereader.NewStandardFileReader(f)
 	if err != nil {
 		return nil, err
 	}
-	r, err := newImportReader(src, opts)
-	if err != nil {
-		return nil, err
-	}
-	if err := r.ImportIndex(index); err != nil {
-		r.Close()
-		return nil, err
-	}
-	return r, nil
-}
-
-// newImportReader constructs a reader destined for an immediate index
-// import: the eager BGZF member-metadata scan is skipped, because the
-// imported table would replace its result anyway — for a BGZF file
-// with millions of members that scan is the exact startup cost
-// importing an index exists to avoid.
-func newImportReader(src filereader.FileReader, opts Options) (*Reader, error) {
-	cfg := opts.toCore()
 	cfg.SkipMetadataScan = true
 	pr, err := core.NewReader(src, cfg)
 	if err != nil {
 		return nil, err
 	}
-	return &Reader{pr: pr}, nil
+	r := &Reader{pr: pr, format: sniffGzipFormat(src)}
+	if err := r.ImportIndex(index); err != nil {
+		r.Close()
+		return nil, err
+	}
+	return r, nil
 }
 
 // NewReader wraps an open *os.File.  The file must stay open for the
@@ -201,20 +140,38 @@ func NewReader(f *os.File, opts Options) (*Reader, error) {
 	if err != nil {
 		return nil, err
 	}
-	pr, err := core.NewReader(src, opts.toCore())
-	if err != nil {
-		return nil, err
-	}
-	return &Reader{pr: pr}, nil
+	return newGzipReader(src, opts)
 }
 
 // NewBytesReader decompresses an in-memory gzip buffer.
 func NewBytesReader(data []byte, opts Options) (*Reader, error) {
-	pr, err := core.NewReader(filereader.MemoryReader(data), opts.toCore())
+	return newGzipReader(filereader.MemoryReader(data), opts)
+}
+
+// newGzipReader is the common legacy-constructor tail: resolve the
+// options and stand up the parallel gzip core over src.
+func newGzipReader(src filereader.FileReader, opts Options) (*Reader, error) {
+	cfg, err := opts.toCore()
 	if err != nil {
 		return nil, err
 	}
-	return &Reader{pr: pr}, nil
+	pr, err := core.NewReader(src, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Reader{pr: pr, format: sniffGzipFormat(src)}, nil
+}
+
+// sniffGzipFormat distinguishes BGZF from plain gzip for Format
+// reporting. Anything else would have failed gzip header parsing, so
+// unknown sniffs default to FormatGzip.
+func sniffGzipFormat(src filereader.FileReader) Format {
+	prefix := make([]byte, SniffLen)
+	n, _ := src.ReadAt(prefix, 0)
+	if f := DetectFormat(prefix[:n]); f == FormatBGZF {
+		return FormatBGZF
+	}
+	return FormatGzip
 }
 
 // Read implements io.Reader on the decompressed stream.
@@ -264,16 +221,28 @@ func (r *Reader) BuildIndex() error { return r.pr.BuildIndex() }
 func (r *Reader) ExportIndex(w io.Writer) error { return r.pr.ExportIndex(w) }
 
 // ImportIndex installs an index previously written by ExportIndex.
-// The index must belong to the same compressed file.
+// The index must belong to the same compressed file (enforced via the
+// compressed size and the source fingerprint stored in the index).
 func (r *Reader) ImportIndex(rd io.Reader) error { return r.pr.ImportIndex(rd) }
 
 // Stats returns a snapshot of fetcher activity counters.
 func (r *Reader) Stats() Stats { return r.pr.FetcherStats() }
 
+// Format reports the container format this reader decodes (FormatGzip
+// or FormatBGZF).
+func (r *Reader) Format() Format { return r.format }
+
+// Capabilities reports the gzip backend's full feature set: seekable,
+// constant-time random access once indexed, parallel decompression,
+// index export/import, and opt-in CRC verification.
+func (r *Reader) Capabilities() Capabilities {
+	return Capabilities{Seek: true, RandomAccess: true, Parallel: true, Index: true, Verify: true}
+}
+
 // CRCVerified reports whether sequential CRC verification is still
 // intact and how many mismatches were seen. It returns (false, 0) once
 // consumption leaves sequential order (verification is then skipped,
-// not failed). Requires Options.VerifyChecksums.
+// not failed). Requires Options.VerifyChecksums / WithVerify.
 func (r *Reader) CRCVerified() (bool, uint64) { return r.pr.CRCStatus() }
 
 // TarFS interprets the decompressed stream as a TAR archive and returns
@@ -283,10 +252,11 @@ func (r *Reader) CRCVerified() (bool, uint64) { return r.pr.CRCStatus() }
 // the touched chunks only. The returned fs.FS also implements
 // fs.ReadDirFS and fs.StatFS, so it works with fs.WalkDir and
 // http.FileServerFS.
-func (r *Reader) TarFS() (fs.FS, error) {
-	size, err := r.Size()
-	if err != nil {
-		return nil, err
-	}
-	return tarfs.New(r, size)
-}
+func (r *Reader) TarFS() (fs.FS, error) { return TarFS(r) }
+
+// TarFS interprets any Archive's decompressed stream as a TAR archive
+// and returns a read-only filesystem over its members. It works for
+// every format Open handles — a .tar.bz2 or .tar.lz4 serves files the
+// same way a .tar.gz does, at whatever random-access granularity the
+// format's Capabilities admit.
+func TarFS(a Archive) (fs.FS, error) { return tarfs.Open(a) }
