@@ -2,6 +2,7 @@ package rapidgzip
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -11,6 +12,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/filereader"
 	"repro/internal/lz4x"
+	"repro/internal/zstdx"
 )
 
 // Archive is the format-agnostic face of the package: one interface
@@ -103,13 +105,29 @@ func openArchive(src filereader.FileReader, path string, cfg config) (Archive, e
 	format := cfg.format
 	if format == FormatUnknown {
 		prefix := make([]byte, SniffLen)
-		n, _ := src.ReadAt(prefix, 0)
+		n, rerr := src.ReadAt(prefix, 0)
 		format = DetectFormat(prefix[:n])
+		if format == FormatUnknown {
+			// A real read failure is an I/O problem, not a format
+			// verdict — callers branching on ErrUnsupportedFormat must
+			// not mistake a flaky disk for a wrong file type. (EOF just
+			// means the file is shorter than the sniff window.)
+			if rerr != nil && !errors.Is(rerr, io.EOF) {
+				return nil, fmt.Errorf("rapidgzip: sniffing input: %w", rerr)
+			}
+			// Classify here, before any backend sees the data: an
+			// empty or undersized file must fail with the typed sniff
+			// error, not a short-read error from deeper in a decoder.
+			if n == 0 {
+				return nil, fmt.Errorf("%w: empty input", ErrUnsupportedFormat)
+			}
+			return nil, fmt.Errorf("%w: %d-byte prefix matches no supported magic", ErrUnsupportedFormat, n)
+		}
 	}
 	switch format {
 	case FormatGzip, FormatBGZF:
 		return openIndexed(src, path, cfg, format)
-	case FormatBzip2, FormatLZ4:
+	case FormatBzip2, FormatLZ4, FormatZstd:
 		if cfg.indexFile != "" {
 			return nil, fmt.Errorf("%w: WithIndexFile on %v", ErrNoIndexSupport, format)
 		}
@@ -237,6 +255,22 @@ func newMemArchive(data []byte, format Format, cfg config) (Archive, error) {
 			format:  format,
 			threads: threads,
 			caps:    Capabilities{Seek: true, RandomAccess: multi, Parallel: multi, Verify: lr.Checksummed()},
+		}, nil
+	case FormatZstd:
+		zr, err := zstdx.NewReader(data, threads)
+		if err != nil {
+			return nil, err
+		}
+		// Parallelism and metadata-only random access need the frame
+		// table complete from headers alone: multiple frames, each
+		// declaring its content size. Unsized files were sized by a
+		// sequential decode on open and stay honest about it.
+		multi := zr.NumFrames() > 1 && zr.Sized()
+		return &memArchive{
+			back:    zr,
+			format:  format,
+			threads: threads,
+			caps:    Capabilities{Seek: true, RandomAccess: multi, Parallel: multi, Verify: zr.Checksummed()},
 		}, nil
 	}
 	return nil, fmt.Errorf("%w: %v has no in-memory backend", ErrUnsupportedFormat, format)

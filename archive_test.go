@@ -14,6 +14,7 @@ import (
 	"repro/internal/gzipw"
 	"repro/internal/lz4x"
 	"repro/internal/workloads"
+	"repro/internal/zstdx"
 )
 
 // fixtureSet builds one compressed fixture per supported format from
@@ -33,11 +34,13 @@ func fixtureSet(t *testing.T, data []byte) map[Format][]byte {
 		t.Fatal(err)
 	}
 	lz := lz4x.CompressFrames(data, lz4x.FrameOptions{FrameSize: 100 << 10, ContentChecksum: true})
+	zs := zstdx.CompressFrames(data, zstdx.FrameOptions{Level: 1, FrameSize: 100 << 10, ContentChecksum: true})
 	return map[Format][]byte{
 		FormatGzip:  gz,
 		FormatBGZF:  bgzf,
 		FormatBzip2: bz,
 		FormatLZ4:   lz,
+		FormatZstd:  zs,
 	}
 }
 
@@ -155,13 +158,44 @@ func TestOpenBytesSniffMatrix(t *testing.T) {
 }
 
 func TestOpenUnsupportedFormat(t *testing.T) {
-	path := filepath.Join(t.TempDir(), "data.zst")
-	// Zstandard magic: recognised by nothing here.
-	if err := os.WriteFile(path, []byte{0x28, 0xB5, 0x2F, 0xFD, 1, 2, 3, 4}, 0o644); err != nil {
+	path := filepath.Join(t.TempDir(), "data.xz")
+	// XZ magic: recognised by nothing here.
+	if err := os.WriteFile(path, []byte{0xFD, '7', 'z', 'X', 'Z', 0x00, 1, 2}, 0o644); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := Open(path); !errors.Is(err, ErrUnsupportedFormat) {
 		t.Fatalf("err = %v, want ErrUnsupportedFormat", err)
+	}
+}
+
+// TestOpenDegenerateInputs pins the sniffing contract for inputs too
+// short to carry any magic: Open and OpenBytes must fail with the typed
+// ErrUnsupportedFormat from the sniffer, never a short-read error
+// surfacing from inside a backend.
+func TestOpenDegenerateInputs(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":        {},
+		"one-byte":     {0x1F},
+		"two-bytes":    {0x1F, 0x8B},
+		"three-bytes":  {0x28, 0xB5, 0x2F},
+		"garbage":      {0xDE, 0xAD, 0xBE, 0xEF, 0x00, 0x11, 0x22, 0x33},
+		"text":         []byte("hi"),
+		"magic-prefix": {'B', 'Z'},
+	}
+	dir := t.TempDir()
+	for name, content := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := OpenBytes(content); !errors.Is(err, ErrUnsupportedFormat) {
+				t.Fatalf("OpenBytes: err = %v, want ErrUnsupportedFormat", err)
+			}
+			path := filepath.Join(dir, name)
+			if err := os.WriteFile(path, content, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := Open(path); !errors.Is(err, ErrUnsupportedFormat) {
+				t.Fatalf("Open: err = %v, want ErrUnsupportedFormat", err)
+			}
+		})
 	}
 }
 

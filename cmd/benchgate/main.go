@@ -1,0 +1,73 @@
+// Command benchgate is the CI benchmark-regression gate: it compares a
+// freshly measured cross-format report (`benchsuite -json`) against the
+// checked-in baseline and fails when any format's decompression
+// throughput regressed beyond the tolerance.
+//
+//	benchgate -baseline BENCH_BASELINE.json -current BENCH_PR3.json
+//	benchgate -baseline BENCH_BASELINE.json -current new.json -tolerance 10
+//	benchgate -baseline BENCH_BASELINE.json -current new.json -update
+//
+// The exit status is the contract: 0 means every row held (new rows
+// are allowed), 1 means at least one row slowed beyond tolerance,
+// disappeared, or now errors. -update rewrites the baseline from the
+// current report instead of gating — run it when the benchmark
+// hardware or the corpus legitimately changes, and commit the result.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/benchfmt"
+)
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_BASELINE.json", "checked-in baseline report")
+	currentPath := flag.String("current", "", "freshly measured report to gate")
+	tolerance := flag.Float64("tolerance", 25, "maximum allowed per-format slowdown, in percent")
+	update := flag.Bool("update", false, "rewrite the baseline from -current instead of gating")
+	flag.Parse()
+
+	if *currentPath == "" {
+		fatal(fmt.Errorf("missing -current report"))
+	}
+	if *tolerance < 0 || *tolerance >= 100 {
+		fatal(fmt.Errorf("tolerance %v%% out of range [0, 100)", *tolerance))
+	}
+	current, err := benchfmt.Load(*currentPath)
+	if err != nil {
+		fatal(err)
+	}
+	if *update {
+		if err := benchfmt.Save(*baselinePath, current); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "benchgate: baseline %s rewritten from %s\n", *baselinePath, *currentPath)
+		return
+	}
+	baseline, err := benchfmt.Load(*baselinePath)
+	if err != nil {
+		fatal(err)
+	}
+
+	tol := *tolerance / 100
+	deltas := benchfmt.Compare(baseline, current)
+	fmt.Printf("benchgate: %s (cpu=%d) vs baseline %s (cpu=%d), tolerance -%.0f%%\n",
+		*currentPath, current.NumCPU, *baselinePath, baseline.NumCPU, *tolerance)
+	fmt.Print(benchfmt.FormatTable(deltas, tol))
+
+	if regs := benchfmt.Regressions(deltas, tol); len(regs) > 0 {
+		fmt.Fprintln(os.Stderr, "benchgate: FAIL")
+		for _, r := range regs {
+			fmt.Fprintln(os.Stderr, "  "+r)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("benchgate: OK")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchgate:", err)
+	os.Exit(1)
+}

@@ -2,7 +2,6 @@ package main
 
 import (
 	"bytes"
-	"encoding/json"
 	"fmt"
 	"io"
 	"math"
@@ -11,44 +10,31 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/benchfmt"
 	"repro/internal/bzip2x"
 	"repro/internal/gzipw"
 	"repro/internal/lz4x"
 	"repro/internal/workloads"
+	"repro/internal/zstdx"
 )
-
-// benchResult is one row of the JSON benchmark output.
-type benchResult struct {
-	Name       string  `json:"name"`
-	Format     string  `json:"format"`
-	InBytes    int     `json:"compressed_bytes"`
-	OutBytes   int     `json:"uncompressed_bytes"`
-	MBps       float64 `json:"mbps"`
-	StdDev     float64 `json:"stddev"`
-	Repeats    int     `json:"repeats"`
-	WithIndex  bool    `json:"with_index,omitempty"`
-	Parallel   int     `json:"parallelism"`
-	FailureMsg string  `json:"error,omitempty"`
-}
-
-// benchReport is the file-level JSON schema.
-type benchReport struct {
-	Timestamp string        `json:"timestamp"`
-	GoVersion string        `json:"go_version"`
-	NumCPU    int           `json:"num_cpu"`
-	Results   []benchResult `json:"results"`
-}
 
 // writeJSONBench measures whole-file decompression throughput of every
 // format through the public Open API on a generated corpus and writes
-// the rows as JSON — small and fast enough for a per-PR CI job, stable
-// enough in shape to diff across PRs.
-func writeJSONBench(path string, corpusBytes, repeats int) error {
+// the rows as JSON (schema: internal/benchfmt) — small and fast enough
+// for a per-PR CI job, and the input of the benchgate regression gate.
+//
+// coreCounts selects the parallelism sweep; an empty list measures at
+// NumCPU only. With more than one entry, row names gain a "-pN"
+// suffix so the gate tracks each point separately.
+func writeJSONBench(path string, corpusBytes, repeats int, coreCounts []int) error {
 	if repeats < 1 {
 		repeats = 1
 	}
+	if len(coreCounts) == 0 {
+		coreCounts = []int{runtime.NumCPU()}
+	}
+	suffixed := len(coreCounts) > 1
 	data := workloads.Base64(corpusBytes, 42)
-	threads := runtime.NumCPU()
 
 	type input struct {
 		name      string
@@ -67,90 +53,121 @@ func writeJSONBench(path string, corpusBytes, repeats int) error {
 	inputs = append(inputs, input{name: "bzip2", comp: bz, err: bzErr})
 	lz := lz4x.CompressFrames(data, lz4x.FrameOptions{FrameSize: 1 << 20})
 	inputs = append(inputs, input{name: "lz4", comp: lz})
+	// Multi-frame zstd is §4.9's trivially parallelizable shape; the
+	// single-frame row shows what the same bytes cost without it.
+	zsMulti := zstdx.CompressFrames(data, zstdx.FrameOptions{Level: 1, FrameSize: 1 << 20, ContentChecksum: true})
+	inputs = append(inputs, input{name: "zstd", comp: zsMulti})
+	zsSingle := zstdx.CompressFrames(data, zstdx.FrameOptions{Level: 1, ContentChecksum: true})
+	inputs = append(inputs, input{name: "zstd-1frame", comp: zsSingle})
 
-	report := benchReport{
+	report := benchfmt.Report{
 		Timestamp: time.Now().UTC().Format(time.RFC3339),
 		GoVersion: runtime.Version(),
-		NumCPU:    threads,
+		NumCPU:    runtime.NumCPU(),
 	}
 	for _, in := range inputs {
-		res := benchResult{
-			Name:      in.name,
-			OutBytes:  len(data),
-			InBytes:   len(in.comp),
-			Repeats:   repeats,
-			WithIndex: in.withIndex,
-			Parallel:  threads,
-		}
-		if in.err != nil {
-			res.FailureMsg = in.err.Error()
-			report.Results = append(report.Results, res)
-			continue
-		}
-		var index []byte
-		if in.withIndex {
-			index, in.err = buildIndex(in.comp, threads)
+		for _, threads := range coreCounts {
+			res := benchfmt.Result{
+				Name:      in.name,
+				OutBytes:  len(data),
+				InBytes:   len(in.comp),
+				Repeats:   repeats,
+				WithIndex: in.withIndex,
+				Parallel:  threads,
+			}
+			if suffixed {
+				res.Name = fmt.Sprintf("%s-p%d", in.name, threads)
+			}
 			if in.err != nil {
 				res.FailureMsg = in.err.Error()
 				report.Results = append(report.Results, res)
 				continue
 			}
-		}
-		var samples []float64
-		var format rapidgzip.Format
-		for rep := 0; rep < repeats; rep++ {
-			mbps, f, err := runOnce(in.comp, index, threads)
-			if err != nil {
-				res.FailureMsg = err.Error()
-				break
+			var index []byte
+			var err error
+			if in.withIndex {
+				index, err = buildIndex(in.comp, threads)
+				if err != nil {
+					res.FailureMsg = err.Error()
+					report.Results = append(report.Results, res)
+					continue
+				}
 			}
-			format = f
-			samples = append(samples, mbps)
+			var samples []float64
+			var format rapidgzip.Format
+			for rep := 0; rep < repeats; rep++ {
+				mbps, f, err := runOnce(in.comp, index, threads)
+				if err != nil {
+					res.FailureMsg = err.Error()
+					break
+				}
+				format = f
+				samples = append(samples, mbps)
+			}
+			if len(samples) == repeats {
+				res.Format = format.String()
+				// The gate compares best-of-repeats: scheduler noise only
+				// ever slows a run down, so the fastest sample is the
+				// stablest estimate of what the code can do. The stddev
+				// of the whole sample set still records the spread.
+				_, res.StdDev = meanStd(samples)
+				for _, s := range samples {
+					res.MBps = max(res.MBps, s)
+				}
+			}
+			report.Results = append(report.Results, res)
+			fmt.Fprintf(os.Stderr, "benchsuite: %-14s %8.1f MB/s ± %.1f (%s, P=%d)\n",
+				res.Name, res.MBps, res.StdDev, res.Format, threads)
 		}
-		if len(samples) == repeats {
-			res.Format = format.String()
-			res.MBps, res.StdDev = meanStd(samples)
-		}
-		report.Results = append(report.Results, res)
-		fmt.Fprintf(os.Stderr, "benchsuite: %-12s %8.1f MB/s ± %.1f (%s)\n", res.Name, res.MBps, res.StdDev, res.Format)
 	}
-
-	raw, err := json.MarshalIndent(report, "", "  ")
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(path, append(raw, '\n'), 0o644)
+	return benchfmt.Save(path, report)
 }
 
-// runOnce decompresses comp once through the public API and returns
-// the decompressed throughput in MB/s.
+// minSampleTime is the floor for one throughput sample: fast formats
+// (LZ4 chews 32 MiB in tens of milliseconds) repeat the decode until
+// the clock has something real to measure, or scheduler noise swamps
+// the number and the regression gate turns flaky.
+const minSampleTime = 300 * time.Millisecond
+
+// runOnce measures one decompression throughput sample (MB/s of
+// decompressed output) through the public API, decoding as many times
+// as minSampleTime requires.
 func runOnce(comp, index []byte, threads int) (float64, rapidgzip.Format, error) {
+	var total int64
+	var format rapidgzip.Format
 	start := time.Now()
-	var a rapidgzip.Archive
-	var err error
-	if index != nil {
-		var r *rapidgzip.Reader
-		r, err = rapidgzip.NewBytesReader(comp, rapidgzip.Options{Parallelism: threads})
-		if err == nil {
-			if err = r.ImportIndex(bytes.NewReader(index)); err == nil {
-				a = r
-			} else {
-				r.Close()
+	for {
+		var a rapidgzip.Archive
+		var err error
+		if index != nil {
+			var r *rapidgzip.Reader
+			r, err = rapidgzip.NewBytesReader(comp, rapidgzip.Options{Parallelism: threads})
+			if err == nil {
+				if err = r.ImportIndex(bytes.NewReader(index)); err == nil {
+					a = r
+				} else {
+					r.Close()
+				}
 			}
+		} else {
+			a, err = rapidgzip.OpenBytes(comp, rapidgzip.WithParallelism(threads))
 		}
-	} else {
-		a, err = rapidgzip.OpenBytes(comp, rapidgzip.WithParallelism(threads))
-	}
-	if err != nil {
-		return 0, rapidgzip.FormatUnknown, err
-	}
-	defer a.Close()
-	n, err := io.Copy(io.Discard, a)
-	if err != nil {
-		return 0, rapidgzip.FormatUnknown, err
+		if err != nil {
+			return 0, rapidgzip.FormatUnknown, err
+		}
+		n, err := io.Copy(io.Discard, a)
+		format = a.Format()
+		a.Close()
+		if err != nil {
+			return 0, rapidgzip.FormatUnknown, err
+		}
+		total += n
+		if time.Since(start) >= minSampleTime {
+			break
+		}
 	}
 	sec := time.Since(start).Seconds()
-	return float64(n) / 1e6 / sec, a.Format(), nil
+	return float64(total) / 1e6 / sec, format, nil
 }
 
 // buildIndex exports a seek-point index for comp.

@@ -33,6 +33,7 @@ func main() {
 	positions := flag.Uint64("positions", 20_000_000, "bit positions for the table 1 funnel")
 	jsonOut := flag.String("json", "", "write quick cross-format benchmark results as JSON to this file (skips the paper experiments)")
 	jsonBytes := flag.String("json-bytes", "32M", "uncompressed corpus size for the -json benchmark")
+	jsonCores := flag.String("json-cores", "", "comma-separated parallelism sweep for the -json benchmark (default: NumCPU only; rows gain a -pN suffix when several)")
 	flag.Parse()
 
 	if *jsonOut != "" {
@@ -40,7 +41,17 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		if err := writeJSONBench(*jsonOut, n, *repeats); err != nil {
+		var cores []int
+		if *jsonCores != "" {
+			for _, f := range strings.Split(*jsonCores, ",") {
+				c, err := strconv.Atoi(strings.TrimSpace(f))
+				if err != nil || c < 1 {
+					fatal(fmt.Errorf("bad -json-cores: %q", f))
+				}
+				cores = append(cores, c)
+			}
+		}
+		if err := writeJSONBench(*jsonOut, n, *repeats, cores); err != nil {
 			fatal(err)
 		}
 		return

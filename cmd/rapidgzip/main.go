@@ -6,9 +6,10 @@
 //	rapidgzip --import-index big.gzidx -c big.tar.gz > big.tar
 //	rapidgzip --count-lines big.log.gz
 //	rapidgzip -c reads.fastq.bz2 > reads.fastq   # format is sniffed
+//	rapidgzip --count-lines logs.tar.zst         # multi-frame zstd in parallel
 //	rapidgzip --format lz4 -c blob > blob.out    # ...or forced
 //
-// The input format (gzip, BGZF, bzip2, LZ4) is detected from the
+// The input format (gzip, BGZF, bzip2, LZ4, zstd) is detected from the
 // content's magic bytes; --format overrides the detection. A sibling
 // "<FILE>.rgzidx" index saved by --export-index is picked up
 // automatically on later runs (disable with --no-index-discovery).
@@ -45,6 +46,7 @@ var outSuffixes = map[rapidgzip.Format][]string{
 	rapidgzip.FormatBGZF:  {".gz", ".bgz", ".bgzf"},
 	rapidgzip.FormatBzip2: {".bz2", ".bzip2"},
 	rapidgzip.FormatLZ4:   {".lz4"},
+	rapidgzip.FormatZstd:  {".zst", ".zstd"},
 }
 
 func run() error {
@@ -56,7 +58,7 @@ func run() error {
 	countLines := flag.Bool("count-lines", false, "count newlines instead of writing output")
 	exportIndex := flag.String("export-index", "", "write the seek-point index to this file")
 	importIndex := flag.String("import-index", "", "load a seek-point index from this file")
-	formatName := flag.String("format", "auto", "input format: auto, gzip, bgzf, bzip2 or lz4")
+	formatName := flag.String("format", "auto", "input format: auto, gzip, bgzf, bzip2, lz4 or zstd")
 	noDiscovery := flag.Bool("no-index-discovery", false, "do not auto-import a sibling .rgzidx index")
 	stats := flag.Bool("stats", false, "print fetcher statistics to stderr")
 	flag.Parse()

@@ -1,5 +1,5 @@
 // multiformat demonstrates the format-agnostic front door: the same
-// rapidgzip.Open call decompresses gzip, BGZF, bzip2 and LZ4 inputs,
+// rapidgzip.Open call decompresses gzip, BGZF, bzip2, LZ4 and zstd inputs,
 // dispatching on the content's magic bytes, and Capabilities reports
 // what each backend can do.
 //
@@ -19,6 +19,7 @@ import (
 	"repro/internal/gzipw"
 	"repro/internal/lz4x"
 	"repro/internal/workloads"
+	"repro/internal/zstdx"
 )
 
 func main() {
@@ -40,9 +41,10 @@ func main() {
 		log.Fatal(err)
 	}
 	files["data.lz4"] = lz4x.CompressFrames(data, lz4x.FrameOptions{FrameSize: 1 << 20})
+	files["data.zst"] = zstdx.CompressFrames(data, zstdx.FrameOptions{Level: 1, FrameSize: 1 << 20, ContentChecksum: true})
 
 	fmt.Printf("%-14s %-8s %-72s %s\n", "file", "format", "capabilities", "round trip")
-	for _, name := range []string{"data.gz", "data.bgzf.gz", "data.bz2", "data.lz4"} {
+	for _, name := range []string{"data.gz", "data.bgzf.gz", "data.bz2", "data.lz4", "data.zst"} {
 		path := filepath.Join(dir, name)
 		if err := os.WriteFile(path, files[name], 0o644); err != nil {
 			log.Fatal(err)

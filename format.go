@@ -27,6 +27,10 @@ const (
 	// FormatLZ4 is the LZ4 frame format, with frame-level parallelism
 	// and checkpointed per-frame random access.
 	FormatLZ4
+	// FormatZstd is Zstandard (RFC 8878), with pzstd-style frame-level
+	// parallelism for multi-frame files (§4.9's trivially
+	// parallelizable case) and checkpointed per-frame random access.
+	FormatZstd
 )
 
 // String returns the name the CLI's --format flag uses.
@@ -40,6 +44,8 @@ func (f Format) String() string {
 		return "bzip2"
 	case FormatLZ4:
 		return "lz4"
+	case FormatZstd:
+		return "zstd"
 	}
 	return "unknown"
 }
@@ -58,8 +64,10 @@ func ParseFormat(s string) (Format, error) {
 		return FormatBzip2, nil
 	case "lz4":
 		return FormatLZ4, nil
+	case "zstd", "zst":
+		return FormatZstd, nil
 	}
-	return FormatUnknown, fmt.Errorf("%w: %q (want auto, gzip, bgzf, bzip2 or lz4)", ErrUnsupportedFormat, s)
+	return FormatUnknown, fmt.Errorf("%w: %q (want auto, gzip, bgzf, bzip2, lz4 or zstd)", ErrUnsupportedFormat, s)
 }
 
 // ErrUnsupportedFormat reports content that matched no supported
@@ -85,6 +93,8 @@ func DetectFormat(prefix []byte) Format {
 		return FormatBzip2
 	case gzformat.KindLZ4:
 		return FormatLZ4
+	case gzformat.KindZstd:
+		return FormatZstd
 	}
 	return FormatUnknown
 }

@@ -1,0 +1,172 @@
+// Package benchfmt defines the JSON schema of the cross-format
+// benchmark reports CI produces (`benchsuite -json`) and the
+// comparison logic behind the CI regression gate (`benchgate`). One
+// package owns both so the producer and the gate can never drift.
+package benchfmt
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Result is one benchmark row: the decompression throughput of one
+// input through the public Open API.
+type Result struct {
+	Name       string  `json:"name"`
+	Format     string  `json:"format"`
+	InBytes    int     `json:"compressed_bytes"`
+	OutBytes   int     `json:"uncompressed_bytes"`
+	MBps       float64 `json:"mbps"`
+	StdDev     float64 `json:"stddev"`
+	Repeats    int     `json:"repeats"`
+	WithIndex  bool    `json:"with_index,omitempty"`
+	Parallel   int     `json:"parallelism"`
+	FailureMsg string  `json:"error,omitempty"`
+}
+
+// Report is the file-level schema.
+type Report struct {
+	Timestamp string   `json:"timestamp"`
+	GoVersion string   `json:"go_version"`
+	NumCPU    int      `json:"num_cpu"`
+	Results   []Result `json:"results"`
+}
+
+// Load reads a report from disk.
+func Load(path string) (Report, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return Report{}, err
+	}
+	var r Report
+	if err := json.Unmarshal(raw, &r); err != nil {
+		return Report{}, fmt.Errorf("benchfmt: parsing %s: %w", path, err)
+	}
+	return r, nil
+}
+
+// Save writes a report to disk.
+func Save(path string, r Report) error {
+	raw, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}
+
+// Delta is the comparison of one named row across two reports.
+type Delta struct {
+	Name     string
+	Baseline float64 // MB/s in the baseline report (0 when New)
+	Current  float64 // MB/s in the current report (0 when Missing)
+	// Change is Current/Baseline - 1 (e.g. -0.30 for a 30% slowdown);
+	// meaningless when Missing, New or Failed.
+	Change  float64
+	Missing bool   // row present in baseline but absent now
+	New     bool   // row absent from the baseline
+	Failed  string // current run's error message, when it errored
+}
+
+// Regressed reports whether this delta violates tolerance: a slowdown
+// beyond it, a row that vanished, or a row that errors — including a
+// brand-new row, since a benchmark that never worked must not merge
+// silently. tolerance is a fraction (0.25 = fail below 75% of
+// baseline throughput).
+func (d Delta) Regressed(tolerance float64) bool {
+	if d.Failed != "" || d.Missing {
+		return true
+	}
+	if d.New {
+		return false
+	}
+	return d.Change < -tolerance
+}
+
+// Compare matches rows by name and computes per-row deltas, ordered by
+// name for stable output.
+func Compare(baseline, current Report) []Delta {
+	cur := map[string]Result{}
+	for _, r := range current.Results {
+		cur[r.Name] = r
+	}
+	seen := map[string]bool{}
+	var deltas []Delta
+	for _, b := range baseline.Results {
+		seen[b.Name] = true
+		if b.FailureMsg != "" {
+			// A baseline row that never worked cannot gate anything —
+			// and its continued failure is not "new" either.
+			continue
+		}
+		c, ok := cur[b.Name]
+		switch {
+		case !ok:
+			deltas = append(deltas, Delta{Name: b.Name, Baseline: b.MBps, Missing: true})
+		case c.FailureMsg != "":
+			deltas = append(deltas, Delta{Name: b.Name, Baseline: b.MBps, Failed: c.FailureMsg})
+		default:
+			deltas = append(deltas, Delta{
+				Name: b.Name, Baseline: b.MBps, Current: c.MBps,
+				Change: c.MBps/b.MBps - 1,
+			})
+		}
+	}
+	for _, c := range current.Results {
+		if !seen[c.Name] {
+			deltas = append(deltas, Delta{Name: c.Name, Current: c.MBps, New: true, Failed: c.FailureMsg})
+		}
+	}
+	sort.Slice(deltas, func(i, j int) bool { return deltas[i].Name < deltas[j].Name })
+	return deltas
+}
+
+// FormatTable renders the deltas as the human-readable table the CI
+// log shows, flagging every row the tolerance would fail.
+func FormatTable(deltas []Delta, tolerance float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s %14s %14s %9s\n", "format", "baseline MB/s", "current MB/s", "delta")
+	for _, d := range deltas {
+		switch {
+		case d.New && d.Failed != "":
+			fmt.Fprintf(&b, "%-16s %14s %14s %9s  <-- FAIL (new row errors: %s)\n", d.Name, "-", "-", "new", d.Failed)
+		case d.New:
+			fmt.Fprintf(&b, "%-16s %14s %14.1f %9s\n", d.Name, "-", d.Current, "new")
+		case d.Missing:
+			fmt.Fprintf(&b, "%-16s %14.1f %14s %9s  <-- FAIL (row disappeared)\n", d.Name, d.Baseline, "-", "gone")
+		case d.Failed != "":
+			fmt.Fprintf(&b, "%-16s %14.1f %14s %9s  <-- FAIL (%s)\n", d.Name, d.Baseline, "-", "error", d.Failed)
+		default:
+			mark := ""
+			if d.Regressed(tolerance) {
+				mark = fmt.Sprintf("  <-- FAIL (worse than -%.0f%%)", tolerance*100)
+			}
+			fmt.Fprintf(&b, "%-16s %14.1f %14.1f %+8.1f%%%s\n", d.Name, d.Baseline, d.Current, d.Change*100, mark)
+		}
+	}
+	return b.String()
+}
+
+// Regressions filters the deltas the tolerance fails, as messages.
+func Regressions(deltas []Delta, tolerance float64) []string {
+	var out []string
+	for _, d := range deltas {
+		if !d.Regressed(tolerance) {
+			continue
+		}
+		switch {
+		case d.Missing:
+			out = append(out, fmt.Sprintf("%s: present in baseline (%.1f MB/s) but missing from current report", d.Name, d.Baseline))
+		case d.Failed != "" && d.New:
+			out = append(out, fmt.Sprintf("%s: new row errors: %s", d.Name, d.Failed))
+		case d.Failed != "":
+			out = append(out, fmt.Sprintf("%s: current run failed: %s", d.Name, d.Failed))
+		default:
+			out = append(out, fmt.Sprintf("%s: %.1f -> %.1f MB/s (%.1f%%, tolerance -%.0f%%)",
+				d.Name, d.Baseline, d.Current, d.Change*100, tolerance*100))
+		}
+	}
+	return out
+}

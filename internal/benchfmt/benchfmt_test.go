@@ -1,0 +1,102 @@
+package benchfmt
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func report(rows ...Result) Report {
+	return Report{Timestamp: "t", GoVersion: "go", NumCPU: 4, Results: rows}
+}
+
+func TestCompareAndTolerance(t *testing.T) {
+	base := report(
+		Result{Name: "gzip", MBps: 100},
+		Result{Name: "zstd", MBps: 200},
+		Result{Name: "lz4", MBps: 400},
+		Result{Name: "flaky", MBps: 50, FailureMsg: "never worked"},
+		Result{Name: "gone", MBps: 80},
+	)
+	cur := report(
+		Result{Name: "gzip", MBps: 80},                             // -20%: inside a 25% tolerance
+		Result{Name: "zstd", MBps: 140},                            // -30%: regression
+		Result{Name: "lz4", MBps: 440},                             // +10%: fine
+		Result{Name: "flaky", MBps: 0, FailureMsg: "still broken"}, // ignored: broken in baseline
+		Result{Name: "new-format", MBps: 10},
+	)
+	deltas := Compare(base, cur)
+	regs := Regressions(deltas, 0.25)
+	if len(regs) != 2 {
+		t.Fatalf("regressions = %v, want zstd slowdown + gone row", regs)
+	}
+	joined := strings.Join(regs, "\n")
+	if !strings.Contains(joined, "zstd") || !strings.Contains(joined, "gone") {
+		t.Fatalf("unexpected regression set: %v", regs)
+	}
+	// The same comparison passes at a looser tolerance (minus the
+	// disappeared row, which no tolerance forgives).
+	if regs := Regressions(deltas, 0.50); len(regs) != 1 || !strings.Contains(regs[0], "gone") {
+		t.Fatalf("loose tolerance regressions = %v", regs)
+	}
+
+	table := FormatTable(deltas, 0.25)
+	for _, want := range []string{"gzip", "zstd", "new", "FAIL"} {
+		if !strings.Contains(table, want) {
+			t.Fatalf("table missing %q:\n%s", want, table)
+		}
+	}
+}
+
+func TestCurrentRowErrorFails(t *testing.T) {
+	base := report(Result{Name: "bzip2", MBps: 30})
+	cur := report(Result{Name: "bzip2", FailureMsg: "decode exploded"})
+	regs := Regressions(Compare(base, cur), 0.25)
+	if len(regs) != 1 || !strings.Contains(regs[0], "decode exploded") {
+		t.Fatalf("regressions = %v", regs)
+	}
+}
+
+// A brand-new row that errors must gate (and render): a benchmark that
+// never worked must not merge silently.
+func TestNewRowErrorFails(t *testing.T) {
+	base := report(Result{Name: "gzip", MBps: 100})
+	cur := report(
+		Result{Name: "gzip", MBps: 100},
+		Result{Name: "xz", FailureMsg: "not wired up"},
+	)
+	deltas := Compare(base, cur)
+	regs := Regressions(deltas, 0.25)
+	if len(regs) != 1 || !strings.Contains(regs[0], "not wired up") {
+		t.Fatalf("regressions = %v", regs)
+	}
+	if table := FormatTable(deltas, 0.25); !strings.Contains(table, "not wired up") {
+		t.Fatalf("table hides the erroring new row:\n%s", table)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "r.json")
+	in := report(Result{Name: "gzip", Format: "gzip", MBps: 123.4, Parallel: 4, Repeats: 3})
+	if err := Save(path, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Results) != 1 || out.Results[0] != in.Results[0] {
+		t.Fatalf("round trip mismatch: %+v", out)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Fatal("garbage JSON loaded")
+	}
+}

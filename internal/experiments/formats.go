@@ -11,6 +11,7 @@ import (
 	"repro/internal/gzipw"
 	"repro/internal/lz4x"
 	"repro/internal/workloads"
+	"repro/internal/zstdx"
 )
 
 // Table3 decompresses the Silesia-like corpus compressed by every
@@ -49,8 +50,9 @@ func Table3(cfg Config) error {
 
 // Table4 compares formats and decompressors at P = 1, 16, max (paper
 // Table 4). Stand-ins per DESIGN.md: lbzip2 -> bzip2x.DecompressParallel,
-// lz4 -> lz4x serial, pzstd -> lz4x multi-frame parallel (a format whose
-// per-frame metadata makes parallel decompression trivial).
+// lz4 -> lz4x serial; the pzstd row is real multi-frame Zstandard
+// (zstdx.DecompressParallel), the format whose per-frame metadata makes
+// parallel decompression trivial (§4.9).
 func Table4(cfg Config) error {
 	cfg = cfg.WithDefaults()
 	cores := clipCores(cfg.Cores)
@@ -116,13 +118,15 @@ func Table4(cfg Config) error {
 		})
 		fmt.Fprintf(cfg.Out, "%-10s %-8.2f %-26s %-4d %s\n", "bzip2", ratioOf(data, bz), "lbzip2 (bzip2x)", p, m)
 
-		// Multi-frame LZ4: the pzstd analog (per-frame content sizes).
-		pz := lz4x.CompressFrames(data, lz4x.FrameOptions{FrameSize: 1 << 20, BlockSize: 256 << 10})
+		// Multi-frame Zstandard: the paper's pzstd row (§4.9), no longer
+		// a stand-in — per-frame content sizes make the decode
+		// trivially parallelizable.
+		pz := zstdx.CompressFrames(data, zstdx.FrameOptions{Level: 1, FrameSize: 1 << 20, ContentChecksum: true})
 		m = measure(cfg.Repeats, func() (int64, error) {
-			out, err := lz4x.DecompressParallel(pz, p)
+			out, err := zstdx.DecompressParallel(pz, p)
 			return int64(len(out)), err
 		})
-		fmt.Fprintf(cfg.Out, "%-10s %-8.2f %-26s %-4d %s\n", "pzstd*", ratioOf(data, pz), "pzstd-analog (lz4x frames)", p, m)
+		fmt.Fprintf(cfg.Out, "%-10s %-8.2f %-26s %-4d %s\n", "pzstd", ratioOf(data, pz), "pzstd (zstdx frames)", p, m)
 
 		// Single-frame LZ4, serial (the lz4 row; only meaningful at P=1).
 		if p == 1 {
@@ -134,7 +138,7 @@ func Table4(cfg Config) error {
 			fmt.Fprintf(cfg.Out, "%-10s %-8.2f %-26s %-4d %s\n", "lz4", ratioOf(data, lz), "lz4x (serial)", p, m)
 		}
 	}
-	fmt.Fprintf(cfg.Out, "(* pzstd stand-in: multi-frame LZ4 with per-frame content sizes; see DESIGN.md §2. host cores: %d)\n", runtime.NumCPU())
+	fmt.Fprintf(cfg.Out, "(pzstd: multi-frame Zstandard via internal/zstdx. host cores: %d)\n", runtime.NumCPU())
 	return nil
 }
 

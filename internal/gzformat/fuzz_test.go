@@ -1,0 +1,50 @@
+package gzformat
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/bitio"
+)
+
+// FuzzSniff asserts the sniffing path never panics and every verdict
+// is anchored to the right magic bytes — it is the first code every
+// byte of untrusted input reaches through Open.
+func FuzzSniff(f *testing.F) {
+	f.Add([]byte{ID1, ID2, CM})
+	f.Add([]byte{0x28, 0xB5, 0x2F, 0xFD})
+	f.Add([]byte{0x04, 0x22, 0x4D, 0x18})
+	f.Add([]byte{0x50, 0x2A, 0x4D, 0x18, 0, 0, 0, 0})
+	f.Add([]byte("BZh91AY&SY"))
+	f.Add([]byte{ID1, ID2, CM, flagExtra, 0, 0, 0, 0, 0, 255, 6, 0, 'B', 'C', 2, 0, 0xFF, 0xFF})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, prefix []byte) {
+		switch Sniff(prefix) {
+		case KindGzip, KindBGZF:
+			if len(prefix) < 3 || prefix[0] != ID1 || prefix[1] != ID2 || prefix[2] != CM {
+				t.Fatalf("gzip verdict without gzip magic: % x", prefix[:min(len(prefix), 4)])
+			}
+		case KindBzip2:
+			if len(prefix) < 4 || prefix[0] != 'B' || prefix[1] != 'Z' || prefix[2] != 'h' {
+				t.Fatalf("bzip2 verdict without BZh magic: % x", prefix[:min(len(prefix), 4)])
+			}
+		case KindLZ4, KindZstd:
+			if len(prefix) < 4 {
+				t.Fatalf("frame-format verdict on %d-byte prefix", len(prefix))
+			}
+		}
+	})
+}
+
+// FuzzParseHeader hardens the member-header parser against truncated
+// and corrupt input: errors are fine, panics are not.
+func FuzzParseHeader(f *testing.F) {
+	var ok bytes.Buffer
+	WriteHeader(&ok, WriteHeaderOptions{Name: "n", Comment: "c", Extra: BGZFExtra(100)})
+	f.Add(ok.Bytes())
+	f.Add([]byte{ID1, ID2, CM, 0xE0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		br := bitio.NewBitReaderBytes(data)
+		_, _ = ParseHeader(br)
+	})
+}

@@ -272,6 +272,9 @@ const (
 	KindBzip2
 	// KindLZ4 is an LZ4 frame (magic 0x184D2204, little-endian).
 	KindLZ4
+	// KindZstd is a Zstandard frame (magic 0xFD2FB528, little-endian),
+	// or a skippable frame (0x184D2A50–5F) leading a Zstandard file.
+	KindZstd
 )
 
 // String names the kind the way the CLI's --format flag spells it.
@@ -285,6 +288,8 @@ func (k Kind) String() string {
 		return "bzip2"
 	case KindLZ4:
 		return "lz4"
+	case KindZstd:
+		return "zstd"
 	}
 	return "unknown"
 }
@@ -301,6 +306,16 @@ const SniffLen = 64
 // foreign subfields) is reported as plain gzip — the safe default,
 // since BGZF handling is an optimisation, not a correctness split.
 func Sniff(prefix []byte) Kind {
+	if len(prefix) >= 4 && binary.LittleEndian.Uint32(prefix) == 0xFD2FB528 {
+		return KindZstd
+	}
+	if len(prefix) >= 4 && binary.LittleEndian.Uint32(prefix)&^0xF == 0x184D2A50 {
+		// A skippable frame: the range is shared by the LZ4 and
+		// Zstandard frame specs, but only zstd tooling emits files that
+		// lead with one, so classify as Zstandard (whose scanner skips
+		// it and finds the data frames behind).
+		return KindZstd
+	}
 	if len(prefix) >= 4 && binary.LittleEndian.Uint32(prefix) == 0x184D2204 {
 		return KindLZ4
 	}

@@ -195,7 +195,10 @@ func TestSniff(t *testing.T) {
 		{"bzip2", []byte("BZh91AY&SY"), KindBzip2},
 		{"bzip2-bad-level", []byte("BZh01AY&SY"), KindUnknown},
 		{"lz4", []byte{0x04, 0x22, 0x4D, 0x18, 0x40}, KindLZ4},
-		{"zstd", []byte{0x28, 0xB5, 0x2F, 0xFD}, KindUnknown},
+		{"zstd", []byte{0x28, 0xB5, 0x2F, 0xFD}, KindZstd},
+		{"zstd-skippable-lead", []byte{0x50, 0x2A, 0x4D, 0x18, 4, 0, 0, 0}, KindZstd},
+		{"zstd-skippable-max", []byte{0x5F, 0x2A, 0x4D, 0x18, 0, 0, 0, 0}, KindZstd},
+		{"zstd-short", []byte{0x28, 0xB5, 0x2F}, KindUnknown},
 		{"empty", nil, KindUnknown},
 		{"short-gzip", []byte{ID1, ID2}, KindUnknown},
 		{"text", []byte("hello world, definitely not compressed"), KindUnknown},

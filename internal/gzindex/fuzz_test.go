@@ -1,0 +1,48 @@
+package gzindex
+
+import (
+	"bytes"
+	"os"
+	"testing"
+)
+
+// FuzzReadIndex hardens index import against corrupt, truncated and
+// adversarial files: Read must reject them with an error, never panic
+// or over-allocate — a stale sibling .rgzidx is auto-imported by Open,
+// so this parser sees unvetted bytes in normal operation.
+func FuzzReadIndex(f *testing.F) {
+	for _, golden := range []string{
+		"testdata/golden-v1.rgzidx",
+		"testdata/golden-v2.rgzidx",
+		"testdata/golden-v2-marks.rgzidx",
+		"testdata/golden-v3.rgzidx",
+		"testdata/golden-v3-marks.rgzidx",
+	} {
+		if raw, err := os.ReadFile(golden); err == nil {
+			f.Add(raw)
+		}
+	}
+	// A fresh valid index as a well-formed seed.
+	ix := New(4 << 20)
+	ix.Add(SeekPoint{CompressedBitOffset: 80, UncompressedOffset: 0}, nil)
+	ix.Add(SeekPoint{CompressedBitOffset: 4096, UncompressedOffset: 70_000}, []byte("window bytes"))
+	ix.Finalized = true
+	ix.CompressedSize = 9_000
+	ix.UncompressedSize = 140_000
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err == nil {
+		f.Add(buf.Bytes())
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accepted indexes must be internally consistent enough to
+		// re-serialise without panicking.
+		var out bytes.Buffer
+		if _, err := got.WriteTo(&out); err != nil {
+			t.Fatalf("accepted index failed to re-serialise: %v", err)
+		}
+	})
+}

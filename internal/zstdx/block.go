@@ -1,0 +1,314 @@
+package zstdx
+
+// maxBlockSize is the format's Block_Maximum_Size ceiling (128 KiB).
+const maxBlockSize = 128 << 10
+
+// frameDecoder carries the state that persists across the blocks of
+// one frame: the three repeat offsets, the last Huffman table (for
+// treeless literals) and the last FSE tables (for repeat mode).
+type frameDecoder struct {
+	reps [3]uint32
+	huff *huffTable
+	ll   *fseTable
+	of   *fseTable
+	ml   *fseTable
+}
+
+func newFrameDecoder() *frameDecoder {
+	return &frameDecoder{reps: [3]uint32{1, 4, 8}}
+}
+
+// literalsBlockType values (§3.1.1.3.1.1).
+const (
+	litRaw = iota
+	litRLE
+	litCompressed
+	litTreeless
+)
+
+// decodeLiterals parses the literals section at the start of a
+// compressed block, returning the literal bytes and the section length.
+func (d *frameDecoder) decodeLiterals(in []byte) ([]byte, int, error) {
+	if len(in) < 1 {
+		return nil, 0, errCorrupt("empty literals section")
+	}
+	litType := int(in[0] & 3)
+	sizeFormat := int(in[0]>>2) & 3
+	var regen, comp, hdr int
+	fourStreams := false
+	switch litType {
+	case litRaw, litRLE:
+		switch sizeFormat {
+		case 0, 2:
+			regen = int(in[0] >> 3)
+			hdr = 1
+		case 1:
+			if len(in) < 2 {
+				return nil, 0, errCorrupt("truncated literals header")
+			}
+			regen = int(in[0]>>4) | int(in[1])<<4
+			hdr = 2
+		case 3:
+			if len(in) < 3 {
+				return nil, 0, errCorrupt("truncated literals header")
+			}
+			regen = int(in[0]>>4) | int(in[1])<<4 | int(in[2])<<12
+			hdr = 3
+		}
+	case litCompressed, litTreeless:
+		switch sizeFormat {
+		case 0, 1:
+			if len(in) < 3 {
+				return nil, 0, errCorrupt("truncated literals header")
+			}
+			n := int(in[0]>>4) | int(in[1])<<4 | int(in[2])<<12
+			regen = n & 1023
+			comp = n >> 10
+			fourStreams = sizeFormat == 1
+			hdr = 3
+		case 2:
+			if len(in) < 4 {
+				return nil, 0, errCorrupt("truncated literals header")
+			}
+			n := int(in[0]>>4) | int(in[1])<<4 | int(in[2])<<12 | int(in[3])<<20
+			regen = n & 16383
+			comp = n >> 14
+			fourStreams = true
+			hdr = 4
+		case 3:
+			if len(in) < 5 {
+				return nil, 0, errCorrupt("truncated literals header")
+			}
+			n := int(in[0]>>4) | int(in[1])<<4 | int(in[2])<<12 | int(in[3])<<20 | int(in[4])<<28
+			regen = n & 262143
+			comp = n >> 18
+			fourStreams = true
+			hdr = 5
+		}
+	}
+	if regen > maxBlockSize {
+		return nil, 0, errCorrupt("literals larger than a block")
+	}
+	body := in[hdr:]
+	switch litType {
+	case litRaw:
+		if len(body) < regen {
+			return nil, 0, errCorrupt("truncated raw literals")
+		}
+		return body[:regen], hdr + regen, nil
+	case litRLE:
+		if len(body) < 1 {
+			return nil, 0, errCorrupt("truncated RLE literals")
+		}
+		lit := make([]byte, regen)
+		for i := range lit {
+			lit[i] = body[0]
+		}
+		return lit, hdr + 1, nil
+	}
+	if len(body) < comp {
+		return nil, 0, errCorrupt("truncated compressed literals")
+	}
+	stream := body[:comp]
+	if litType == litCompressed {
+		t, n, err := readHuffTable(stream)
+		if err != nil {
+			return nil, 0, err
+		}
+		d.huff = t
+		stream = stream[n:]
+	} else if d.huff == nil {
+		return nil, 0, errCorrupt("treeless literals without a previous Huffman table")
+	}
+	lit, err := d.huff.decodeLiterals(stream, regen, fourStreams)
+	if err != nil {
+		return nil, 0, err
+	}
+	return lit, hdr + comp, nil
+}
+
+// seqTables resolves the three compression modes of the sequences
+// section header, reading RLE symbols and FSE table descriptions.
+func (d *frameDecoder) seqTables(in []byte, modes byte) (int, error) {
+	p := 0
+	for i := 0; i < 3; i++ {
+		mode := int(modes>>(6-2*i)) & 3
+		var table **fseTable
+		var predef *fseTable
+		var maxLog, maxSym int
+		switch i {
+		case 0:
+			table, predef, maxLog, maxSym = &d.ll, llPredefTable, llMaxLog, len(llCodeTable)
+		case 1:
+			table, predef, maxLog, maxSym = &d.of, ofPredefTable, ofMaxLog, len(ofCodeTable)
+		default:
+			table, predef, maxLog, maxSym = &d.ml, mlPredefTable, mlMaxLog, len(mlCodeTable)
+		}
+		switch mode {
+		case 0:
+			*table = predef
+		case 1:
+			if p >= len(in) {
+				return 0, errCorrupt("truncated RLE sequence symbol")
+			}
+			if int(in[p]) >= maxSym {
+				return 0, errCorrupt("RLE sequence symbol out of range")
+			}
+			*table = rleFSETable(in[p])
+			p++
+		case 2:
+			t, n, err := readFSETableDesc(in[p:], maxLog, maxSym)
+			if err != nil {
+				return 0, err
+			}
+			*table = t
+			p += n
+		default:
+			if *table == nil {
+				return 0, errCorrupt("repeat mode without a previous table")
+			}
+		}
+	}
+	return p, nil
+}
+
+// decodeBlock inflates one compressed block, appending to out (which
+// holds the frame's earlier output — the match window).
+func (d *frameDecoder) decodeBlock(in []byte, out []byte) ([]byte, error) {
+	lit, n, err := d.decodeLiterals(in)
+	if err != nil {
+		return nil, err
+	}
+	in = in[n:]
+
+	if len(in) < 1 {
+		return nil, errCorrupt("missing sequences header")
+	}
+	nbSeq := 0
+	switch b0 := int(in[0]); {
+	case b0 < 128:
+		nbSeq = b0
+		in = in[1:]
+	case b0 < 255:
+		if len(in) < 2 {
+			return nil, errCorrupt("truncated sequences header")
+		}
+		nbSeq = (b0-128)<<8 | int(in[1])
+		in = in[2:]
+	default:
+		if len(in) < 3 {
+			return nil, errCorrupt("truncated sequences header")
+		}
+		nbSeq = 0x7F00 + int(in[1]) + int(in[2])<<8
+		in = in[3:]
+	}
+	if nbSeq == 0 {
+		if len(in) != 0 {
+			return nil, errCorrupt("trailing bytes after literals-only block")
+		}
+		return append(out, lit...), nil
+	}
+
+	if len(in) < 1 {
+		return nil, errCorrupt("missing sequence compression modes")
+	}
+	modes := in[0]
+	if modes&3 != 0 {
+		return nil, errCorrupt("reserved sequence mode bits set")
+	}
+	n, err = d.seqTables(in[1:], modes)
+	if err != nil {
+		return nil, err
+	}
+	in = in[1+n:]
+
+	br, err := newRevBitReader(in)
+	if err != nil {
+		return nil, err
+	}
+	llState := br.read(d.ll.log)
+	ofState := br.read(d.of.log)
+	mlState := br.read(d.ml.log)
+	if br.overflowed() {
+		return nil, errCorrupt("sequence bitstream too short")
+	}
+
+	base := len(out)
+	for s := 0; s < nbSeq; s++ {
+		ofCode := d.of.entries[ofState].symbol
+		mlCode := d.ml.entries[mlState].symbol
+		llCode := d.ll.entries[llState].symbol
+		if int(ofCode) >= len(ofCodeTable) || int(mlCode) >= len(mlCodeTable) || int(llCode) >= len(llCodeTable) {
+			return nil, errCorrupt("sequence code out of range")
+		}
+		// Extra bits come back in reverse write order: offset, match
+		// length, literal length.
+		offVal := ofCodeTable[ofCode].baseline + br.read(int(ofCodeTable[ofCode].bits))
+		ml := int(mlCodeTable[mlCode].baseline) + int(br.read(int(mlCodeTable[mlCode].bits)))
+		ll := int(llCodeTable[llCode].baseline) + int(br.read(int(llCodeTable[llCode].bits)))
+		if br.overflowed() {
+			return nil, errCorrupt("sequence bitstream overrun")
+		}
+
+		var offset uint32
+		if offVal > 3 {
+			offset = offVal - 3
+			d.reps[2], d.reps[1], d.reps[0] = d.reps[1], d.reps[0], offset
+		} else {
+			idx := offVal
+			if ll == 0 {
+				idx++
+			}
+			switch idx {
+			case 1:
+				offset = d.reps[0]
+			case 2:
+				offset = d.reps[1]
+				d.reps[1], d.reps[0] = d.reps[0], offset
+			case 3:
+				offset = d.reps[2]
+				d.reps[2], d.reps[1], d.reps[0] = d.reps[1], d.reps[0], offset
+			default: // 4: repeat offset 1 minus one byte
+				offset = d.reps[0] - 1
+				if offset == 0 {
+					return nil, errCorrupt("zero repeat offset")
+				}
+				d.reps[2], d.reps[1], d.reps[0] = d.reps[1], d.reps[0], offset
+			}
+		}
+
+		if ll > len(lit) {
+			return nil, errCorrupt("sequence consumes more literals than present")
+		}
+		out = append(out, lit[:ll]...)
+		lit = lit[ll:]
+		if int(offset) > len(out) {
+			return nil, errCorrupt("match offset beyond window")
+		}
+		if len(out)+ml-base > maxBlockSize {
+			return nil, errCorrupt("block output too large")
+		}
+		m := len(out) - int(offset)
+		for i := 0; i < ml; i++ {
+			out = append(out, out[m+i])
+		}
+
+		if s+1 < nbSeq {
+			// State updates also mirror write order: literal length,
+			// match length, offset.
+			e := d.ll.entries[llState]
+			llState = uint32(e.newState) + br.read(int(e.nbBits))
+			e = d.ml.entries[mlState]
+			mlState = uint32(e.newState) + br.read(int(e.nbBits))
+			e = d.of.entries[ofState]
+			ofState = uint32(e.newState) + br.read(int(e.nbBits))
+			if br.overflowed() {
+				return nil, errCorrupt("sequence state update overrun")
+			}
+		}
+	}
+	if !br.finished() {
+		return nil, errCorrupt("sequence bitstream not fully consumed")
+	}
+	return append(out, lit...), nil
+}

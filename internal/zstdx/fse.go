@@ -1,0 +1,214 @@
+package zstdx
+
+import "math/bits"
+
+// fseEntry is one cell of an FSE decoding table: emitting symbol, then
+// consuming nbBits to move to newState+bits.
+type fseEntry struct {
+	symbol   uint8
+	nbBits   uint8
+	newState uint16
+}
+
+type fseTable struct {
+	log     int
+	entries []fseEntry
+}
+
+// buildFSETable constructs the decoding table for normalized counts
+// (probabilities over 1<<log cells; -1 marks a less-than-one symbol
+// that gets a single cell at the high end of the table).
+func buildFSETable(probs []int16, log int) (*fseTable, error) {
+	size := 1 << log
+	t := &fseTable{log: log, entries: make([]fseEntry, size)}
+	symbols := make([]uint8, size)
+	next := make([]uint16, len(probs))
+	high := size - 1
+	for s, p := range probs {
+		if p == -1 {
+			if high < 0 {
+				return nil, errCorrupt("FSE low-prob symbols overflow table")
+			}
+			symbols[high] = uint8(s)
+			high--
+			next[s] = 1
+		} else {
+			next[s] = uint16(p)
+		}
+	}
+	step := size>>1 + size>>3 + 3
+	mask := size - 1
+	pos := 0
+	for s, p := range probs {
+		for i := 0; i < int(p); i++ {
+			symbols[pos] = uint8(s)
+			pos = (pos + step) & mask
+			for pos > high {
+				pos = (pos + step) & mask
+			}
+		}
+	}
+	if pos != 0 {
+		return nil, errCorrupt("FSE spread did not close")
+	}
+	for i := 0; i < size; i++ {
+		s := symbols[i]
+		x := next[s]
+		next[s]++
+		nb := log - (bits.Len16(x) - 1)
+		t.entries[i] = fseEntry{symbol: s, nbBits: uint8(nb), newState: uint16(int(x)<<nb - size)}
+	}
+	return t, nil
+}
+
+// rleFSETable is the degenerate table the RLE compression mode selects:
+// a single zero-bit state that always emits sym.
+func rleFSETable(sym uint8) *fseTable {
+	return &fseTable{log: 0, entries: []fseEntry{{symbol: sym}}}
+}
+
+// readFSETableDesc parses an FSE table description (RFC 8878 §4.1.1)
+// from the start of data, returning the table and the byte-aligned
+// length consumed.
+func readFSETableDesc(data []byte, maxLog, maxSymbols int) (*fseTable, int, error) {
+	br := &fwdBitReader{data: data}
+	al, ok := br.read(4)
+	if !ok {
+		return nil, 0, errCorrupt("truncated FSE table")
+	}
+	log := int(al) + 5
+	if log > maxLog {
+		return nil, 0, errCorrupt("FSE accuracy log too large")
+	}
+	cells := 1 << log
+	var probs []int16
+	for cells > 0 && len(probs) < maxSymbols {
+		// Probabilities in [-1, cells] need cells+2 values; the short
+		// codes (one bit less) cover the gap up to the next power of 2.
+		nb := bits.Len32(uint32(cells + 1))
+		v, ok := br.read(nb)
+		if !ok {
+			return nil, 0, errCorrupt("truncated FSE table")
+		}
+		lowMask := uint32(1)<<(nb-1) - 1
+		short := uint32(1)<<nb - 1 - uint32(cells+1)
+		if v&lowMask < short {
+			br.rewind(1)
+			v &= lowMask
+		} else if v > lowMask {
+			v -= short
+		}
+		p := int16(v) - 1
+		probs = append(probs, p)
+		if p < 0 {
+			cells--
+		} else {
+			cells -= int(p)
+		}
+		if cells < 0 {
+			return nil, 0, errCorrupt("FSE probabilities exceed table")
+		}
+		if p == 0 {
+			for {
+				rep, ok := br.read(2)
+				if !ok {
+					return nil, 0, errCorrupt("truncated FSE zero run")
+				}
+				for i := uint32(0); i < rep; i++ {
+					probs = append(probs, 0)
+				}
+				if rep != 3 {
+					break
+				}
+			}
+		}
+	}
+	if cells != 0 {
+		return nil, 0, errCorrupt("FSE probabilities do not fill table")
+	}
+	if len(probs) > maxSymbols {
+		return nil, 0, errCorrupt("too many FSE symbols")
+	}
+	t, err := buildFSETable(probs, log)
+	if err != nil {
+		return nil, 0, err
+	}
+	return t, br.bytesConsumed(), nil
+}
+
+// --- sequence code value tables (RFC 8878 §3.1.1.3.2.1) -------------------
+
+type codeExtra struct {
+	baseline uint32
+	bits     uint8
+}
+
+func fillExtra(dst []codeExtra, base uint32, extra ...uint8) {
+	for i, b := range extra {
+		dst[i] = codeExtra{baseline: base, bits: b}
+		base += 1 << b
+	}
+}
+
+// The code tables are built by variable initializers (not init
+// functions) so dependent package variables — the encoder's reverse
+// lookup tables — are ordered after them.
+var llCodeTable = func() []codeExtra {
+	t := make([]codeExtra, 36)
+	for i := 0; i < 16; i++ {
+		t[i] = codeExtra{baseline: uint32(i)}
+	}
+	fillExtra(t[16:], 16, 1, 1, 1, 1, 2, 2, 3, 3, 4, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16)
+	return t
+}()
+
+var mlCodeTable = func() []codeExtra {
+	t := make([]codeExtra, 53)
+	for i := 0; i < 32; i++ {
+		t[i] = codeExtra{baseline: uint32(i) + 3}
+	}
+	fillExtra(t[32:], 35, 1, 1, 1, 1, 2, 2, 3, 3, 4, 4, 5, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16)
+	return t
+}()
+
+var ofCodeTable = func() []codeExtra {
+	t := make([]codeExtra, 32)
+	for i := range t {
+		t[i] = codeExtra{baseline: 1 << i, bits: uint8(i)}
+	}
+	return t
+}()
+
+// Predefined FSE distributions (RFC 8878 §3.1.1.3.2.2).
+var (
+	llPredefProbs = []int16{4, 3, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 1, 1, 1,
+		2, 2, 2, 2, 2, 2, 2, 2, 2, 3, 2, 1, 1, 1, 1, 1,
+		-1, -1, -1, -1}
+	mlPredefProbs = []int16{1, 4, 3, 2, 2, 2, 2, 2, 2, 1, 1, 1, 1, 1, 1, 1,
+		1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1,
+		1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, -1, -1,
+		-1, -1, -1, -1, -1}
+	ofPredefProbs = []int16{1, 1, 1, 1, 1, 1, 2, 2, 2, 1, 1, 1, 1, 1, 1, 1,
+		1, 1, 1, 1, 1, 1, 1, 1, -1, -1, -1, -1, -1}
+
+	llPredefTable, mlPredefTable, ofPredefTable *fseTable
+)
+
+const (
+	llMaxLog = 9
+	ofMaxLog = 8
+	mlMaxLog = 9
+)
+
+func init() {
+	var err error
+	if llPredefTable, err = buildFSETable(llPredefProbs, 6); err != nil {
+		panic(err)
+	}
+	if mlPredefTable, err = buildFSETable(mlPredefProbs, 6); err != nil {
+		panic(err)
+	}
+	if ofPredefTable, err = buildFSETable(ofPredefProbs, 5); err != nil {
+		panic(err)
+	}
+}

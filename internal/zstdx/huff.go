@@ -1,0 +1,259 @@
+package zstdx
+
+import "math/bits"
+
+// maxHuffBits is the format's limit on Huffman code lengths (§4.2.1).
+const maxHuffBits = 11
+
+type huffEntry struct {
+	symbol uint8
+	nbBits uint8
+}
+
+// huffTable is a single-level Huffman decoding table of 1<<maxBits
+// cells, plus the canonical code of every symbol for the encoder.
+type huffTable struct {
+	maxBits int
+	entries []huffEntry
+	codes   [256]uint16
+	lens    [256]uint8
+}
+
+// buildHuffTable builds the table from complete weights (the implied
+// last weight already appended). Weight w>0 means a code of
+// maxBits+1-w bits; cells are filled by ascending weight, symbols in
+// natural order within a weight — the canonical zstd assignment.
+func buildHuffTable(weights []uint8) (*huffTable, error) {
+	if len(weights) > 256 {
+		return nil, errCorrupt("more than 256 Huffman symbols")
+	}
+	total := 0
+	var rank [maxHuffBits + 2]int
+	for _, w := range weights {
+		if w > maxHuffBits {
+			return nil, errCorrupt("Huffman weight too large")
+		}
+		if w > 0 {
+			total += 1 << (w - 1)
+			rank[w]++
+		}
+	}
+	if total == 0 || total&(total-1) != 0 {
+		return nil, errCorrupt("Huffman weights do not sum to a power of two")
+	}
+	maxBits := bits.Len(uint(total)) - 1
+	if maxBits > maxHuffBits {
+		return nil, errCorrupt("Huffman table log too large")
+	}
+	if rank[1] < 2 || rank[1]&1 != 0 {
+		return nil, errCorrupt("Huffman weight-one count must be even and at least 2")
+	}
+	t := &huffTable{maxBits: maxBits, entries: make([]huffEntry, total)}
+	// Starting cell for each weight: all lighter weights come first.
+	var start [maxHuffBits + 2]int
+	pos := 0
+	for w := 1; w <= maxBits; w++ {
+		start[w] = pos
+		pos += rank[w] << (w - 1)
+	}
+	for s, w := range weights {
+		if w == 0 {
+			continue
+		}
+		span := 1 << (w - 1)
+		nb := uint8(maxBits + 1 - int(w))
+		e := huffEntry{symbol: uint8(s), nbBits: nb}
+		for i := start[w]; i < start[w]+span; i++ {
+			t.entries[i] = e
+		}
+		t.codes[s] = uint16(start[w] >> (maxBits - int(nb)))
+		t.lens[s] = nb
+		start[w] += span
+	}
+	return t, nil
+}
+
+// completeWeights reconstructs the implied last weight (§4.2.1: the
+// total must complete to a power of two) and returns the full set.
+func completeWeights(explicit []uint8) ([]uint8, error) {
+	total := 0
+	for _, w := range explicit {
+		if w > maxHuffBits {
+			return nil, errCorrupt("Huffman weight too large")
+		}
+		if w > 0 {
+			total += 1 << (w - 1)
+		}
+	}
+	if total == 0 {
+		return nil, errCorrupt("Huffman weights all zero")
+	}
+	tableLog := bits.Len(uint(total))
+	if tableLog > maxHuffBits {
+		return nil, errCorrupt("Huffman table log too large")
+	}
+	rest := 1<<tableLog - total
+	if rest&(rest-1) != 0 {
+		return nil, errCorrupt("implied Huffman weight not a power of two")
+	}
+	last := uint8(bits.Len(uint(rest)))
+	return append(append([]uint8{}, explicit...), last), nil
+}
+
+// readHuffTable parses a Huffman tree description (direct 4-bit
+// weights, or FSE-compressed with two interleaved states) and returns
+// the decoding table plus bytes consumed.
+func readHuffTable(data []byte) (*huffTable, int, error) {
+	if len(data) < 1 {
+		return nil, 0, errCorrupt("missing Huffman tree header")
+	}
+	hb := int(data[0])
+	var explicit []uint8
+	var consumed int
+	if hb >= 128 {
+		num := hb - 127
+		nBytes := (num + 1) / 2
+		if len(data) < 1+nBytes {
+			return nil, 0, errCorrupt("truncated direct Huffman weights")
+		}
+		explicit = make([]uint8, num)
+		for i := 0; i < num; i++ {
+			v := data[1+i/2]
+			if i%2 == 0 {
+				explicit[i] = v >> 4
+			} else {
+				explicit[i] = v & 15
+			}
+		}
+		consumed = 1 + nBytes
+	} else {
+		if len(data) < 1+hb {
+			return nil, 0, errCorrupt("truncated FSE Huffman weights")
+		}
+		var err error
+		explicit, err = readFSEWeights(data[1 : 1+hb])
+		if err != nil {
+			return nil, 0, err
+		}
+		consumed = 1 + hb
+	}
+	weights, err := completeWeights(explicit)
+	if err != nil {
+		return nil, 0, err
+	}
+	t, err := buildHuffTable(weights)
+	if err != nil {
+		return nil, 0, err
+	}
+	return t, consumed, nil
+}
+
+// readFSEWeights decodes FSE-compressed Huffman weights: a table
+// description followed by a backward bitstream with two interleaved
+// states, drained until the stream is exhausted (§4.2.1.2).
+func readFSEWeights(data []byte) ([]uint8, error) {
+	table, n, err := readFSETableDesc(data, 6, 256)
+	if err != nil {
+		return nil, err
+	}
+	br, err := newRevBitReader(data[n:])
+	if err != nil {
+		return nil, err
+	}
+	s1 := br.read(table.log)
+	s2 := br.read(table.log)
+	if br.overflowed() {
+		return nil, errCorrupt("FSE weight stream too short")
+	}
+	var weights []uint8
+	for {
+		// A state whose next hop needs more bits than remain holds the
+		// second-to-last symbol; the other state holds the last.
+		e1 := table.entries[s1]
+		if br.finished() && e1.nbBits > 0 {
+			weights = append(weights, e1.symbol, table.entries[s2].symbol)
+			break
+		}
+		weights = append(weights, e1.symbol)
+		s1 = uint32(e1.newState) + br.read(int(e1.nbBits))
+		if br.overflowed() {
+			return nil, errCorrupt("FSE weight stream overrun")
+		}
+		e2 := table.entries[s2]
+		if br.finished() && e2.nbBits > 0 {
+			weights = append(weights, e2.symbol, table.entries[s1].symbol)
+			break
+		}
+		weights = append(weights, e2.symbol)
+		s2 = uint32(e2.newState) + br.read(int(e2.nbBits))
+		if br.overflowed() {
+			return nil, errCorrupt("FSE weight stream overrun")
+		}
+		if len(weights) > 254 {
+			return nil, errCorrupt("FSE weight stream does not terminate")
+		}
+	}
+	if len(weights) > 255 {
+		return nil, errCorrupt("too many Huffman weights")
+	}
+	return weights, nil
+}
+
+// decodeStream inflates one Huffman bitstream into exactly len(dst)
+// symbols; the stream must be consumed exactly (§4.2.2).
+func (t *huffTable) decodeStream(src []byte, dst []byte) error {
+	br, err := newRevBitReader(src)
+	if err != nil {
+		return err
+	}
+	for i := range dst {
+		e := t.entries[br.peek(t.maxBits)]
+		br.consumed += int(e.nbBits)
+		if br.overflowed() {
+			return errCorrupt("Huffman stream overrun")
+		}
+		dst[i] = e.symbol
+	}
+	if !br.finished() {
+		return errCorrupt("Huffman stream not fully consumed")
+	}
+	return nil
+}
+
+// decodeLiterals inflates the 1- or 4-stream Huffman literal payload.
+func (t *huffTable) decodeLiterals(src []byte, regen int, fourStreams bool) ([]byte, error) {
+	out := make([]byte, regen)
+	if !fourStreams {
+		return out, t.decodeStream(src, out)
+	}
+	if len(src) < 6 {
+		return nil, errCorrupt("missing Huffman jump table")
+	}
+	sizes := [4]int{
+		int(src[0]) | int(src[1])<<8,
+		int(src[2]) | int(src[3])<<8,
+		int(src[4]) | int(src[5])<<8,
+	}
+	sizes[3] = len(src) - 6 - sizes[0] - sizes[1] - sizes[2]
+	if sizes[3] <= 0 {
+		return nil, errCorrupt("Huffman jump table exceeds payload")
+	}
+	seg := (regen + 3) / 4
+	if seg*3 > regen {
+		return nil, errCorrupt("four Huffman streams for tiny output")
+	}
+	p := 6
+	o := 0
+	for i, size := range sizes {
+		n := seg
+		if i == 3 {
+			n = regen - 3*seg
+		}
+		if err := t.decodeStream(src[p:p+size], out[o:o+n]); err != nil {
+			return nil, err
+		}
+		p += size
+		o += n
+	}
+	return out, nil
+}

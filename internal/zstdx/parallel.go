@@ -1,0 +1,214 @@
+package zstdx
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"repro/internal/cache"
+	"repro/internal/pool"
+)
+
+// DecompressParallel inflates a multi-frame Zstandard file with
+// frame-level parallelism — the paper's §4.9 pzstd case: frame
+// metadata alone yields independent work units, so frames decode into
+// disjoint slices of one allocation. Files whose frames omit the
+// content size cannot be planned this way and fall back to the serial
+// path.
+func DecompressParallel(data []byte, threads int) ([]byte, error) {
+	scan, err := ScanFrames(data)
+	if err != nil {
+		return nil, err
+	}
+	if !scan.Sized || threads < 2 || len(scan.Frames) < 2 {
+		return Decompress(data)
+	}
+	total := 0
+	for _, f := range scan.Frames {
+		total += f.ContentSize
+	}
+	out := make([]byte, total)
+	p := pool.New(threads)
+	defer p.Close()
+	futs := make([]*pool.Future[struct{}], len(scan.Frames))
+	for i, f := range scan.Frames {
+		futs[i] = pool.Go(p, func() (struct{}, error) {
+			content, err := decodeFrame(data[f.Offset:f.End])
+			if err == nil {
+				copy(out[f.ContentStart:f.ContentStart+f.ContentSize], content)
+			}
+			return struct{}{}, err
+		})
+	}
+	for i, fut := range futs {
+		if _, err := fut.Wait(); err != nil {
+			return nil, fmt.Errorf("zstdx: frame %d: %w", i, err)
+		}
+	}
+	return out, nil
+}
+
+// Reader provides checkpointed random access into a (possibly
+// multi-frame) Zstandard file. The frame table from ScanFrames is the
+// checkpoint database; when every frame declares its content size the
+// table is complete without decoding anything — the metadata fast path
+// of §4.9 — and otherwise a sequential sizing pass decodes each
+// unsized frame once on open (their contents prime the cache). ReadAt
+// then inflates only the frames overlapping the request, keeping
+// recent frame outputs in a small LRU span cache.
+//
+// All methods are safe for concurrent use.
+type Reader struct {
+	data      []byte
+	frames    []FrameInfo
+	size      int64
+	threads   int
+	sized     bool
+	checked   bool // every data frame carries a content checksum
+	skippable int
+
+	mu    sync.Mutex
+	cache *cache.Cache[int, []byte] // frame index -> decompressed content
+}
+
+// NewReader scans data and returns a random-access reader. Frames
+// without a content size force a sequential sizing decode here, and
+// demote the Sized (parallel-plannable) capability.
+func NewReader(data []byte, threads int) (*Reader, error) {
+	scan, err := ScanFrames(data)
+	if err != nil {
+		return nil, err
+	}
+	if threads < 1 {
+		threads = 1
+	}
+	r := &Reader{
+		data:      data,
+		frames:    scan.Frames,
+		threads:   threads,
+		sized:     scan.Sized,
+		checked:   len(scan.Frames) > 0,
+		skippable: scan.Skippable,
+		cache:     cache.NewLRUCache[int, []byte](max(2*threads, 4)),
+	}
+	for _, f := range scan.Frames {
+		if !f.HasChecksum {
+			r.checked = false
+		}
+	}
+	if !r.sized {
+		// Sizing pass: decode every unsized frame once to pin down the
+		// decompressed extents; contents land in the LRU so small files
+		// do not pay twice.
+		contentPos := 0
+		for i := range r.frames {
+			f := &r.frames[i]
+			f.ContentStart = contentPos
+			if f.ContentSize < 0 {
+				content, err := decodeFrame(data[f.Offset:f.End])
+				if err != nil {
+					return nil, fmt.Errorf("zstdx: sizing frame %d: %w", i, err)
+				}
+				f.ContentSize = len(content)
+				r.cache.Put(i, content)
+			}
+			contentPos += f.ContentSize
+		}
+	}
+	for _, f := range r.frames {
+		r.size += int64(f.ContentSize)
+	}
+	return r, nil
+}
+
+// Size returns the total decompressed size.
+func (r *Reader) Size() int64 { return r.size }
+
+// NumFrames returns the number of checkpoints (data frames).
+func (r *Reader) NumFrames() int { return len(r.frames) }
+
+// NumSkippable returns the count of skippable frames the scan ignored.
+func (r *Reader) NumSkippable() int { return r.skippable }
+
+// Sized reports whether every frame header declared its content size,
+// i.e. whether the checkpoint table came from metadata alone. Unsized
+// files still read correctly but cost a sequential decode on open, so
+// consumers should not advertise them as parallel or random-access.
+func (r *Reader) Sized() bool { return r.sized }
+
+// Checksummed reports whether every data frame carries an xxHash64
+// content checksum, i.e. whether every decode verifies integrity.
+func (r *Reader) Checksummed() bool { return r.checked }
+
+// frameContent returns the decompressed content of frame i, serving it
+// from the LRU cache when possible. The decode runs outside the lock
+// so concurrent reads of different frames overlap on multiple cores;
+// two goroutines racing on the same frame duplicate work, not results.
+func (r *Reader) frameContent(i int) ([]byte, error) {
+	r.mu.Lock()
+	if out, ok := r.cache.Get(i); ok {
+		r.mu.Unlock()
+		return out, nil
+	}
+	r.mu.Unlock()
+	f := r.frames[i]
+	out, err := decodeFrame(r.data[f.Offset:f.End])
+	if err != nil {
+		return nil, fmt.Errorf("zstdx: frame %d: %w", i, err)
+	}
+	if len(out) != f.ContentSize {
+		return nil, fmt.Errorf("%w: frame %d decoded %d bytes, expected %d", ErrCorrupt, i, len(out), f.ContentSize)
+	}
+	r.mu.Lock()
+	r.cache.Put(i, out)
+	r.mu.Unlock()
+	return out, nil
+}
+
+// NumChunks, ChunkExtent and ChunkContent expose the checkpoint table
+// generically (one chunk = one frame), so a consumer can pipeline
+// ordered sequential reads with parallel decodes.
+func (r *Reader) NumChunks() int { return len(r.frames) }
+
+// ChunkExtent returns the decompressed offset and size of chunk i.
+func (r *Reader) ChunkExtent(i int) (off, size int64) {
+	return int64(r.frames[i].ContentStart), int64(r.frames[i].ContentSize)
+}
+
+// ChunkContent returns the decompressed content of chunk i. The
+// returned slice is shared with the cache and must not be modified.
+func (r *Reader) ChunkContent(i int) ([]byte, error) { return r.frameContent(i) }
+
+// ReadAt implements io.ReaderAt over the decompressed stream.
+func (r *Reader) ReadAt(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("zstdx: negative offset %d", off)
+	}
+	n := 0
+	for n < len(p) {
+		if off >= r.size {
+			return n, io.EOF
+		}
+		// Last frame starting at or before off; frames with zero
+		// content never cover an offset, so skip past them.
+		i := sort.Search(len(r.frames), func(i int) bool {
+			return int64(r.frames[i].ContentStart) > off
+		}) - 1
+		for i < len(r.frames) && int64(r.frames[i].ContentStart+r.frames[i].ContentSize) <= off {
+			i++
+		}
+		if i < 0 || i >= len(r.frames) {
+			return n, io.EOF
+		}
+		out, err := r.frameContent(i)
+		if err != nil {
+			return n, err
+		}
+		within := off - int64(r.frames[i].ContentStart)
+		c := copy(p[n:], out[within:])
+		n += c
+		off += int64(c)
+	}
+	return n, nil
+}

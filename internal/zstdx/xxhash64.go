@@ -1,0 +1,73 @@
+package zstdx
+
+import (
+	"encoding/binary"
+	"math/bits"
+)
+
+// xxHash64 primes.
+const (
+	xxPrime1 = 0x9E3779B185EBCA87
+	xxPrime2 = 0xC2B2AE3D27D4EB4F
+	xxPrime3 = 0x165667B19E3779F9
+	xxPrime4 = 0x85EBCA77C2B2AE63
+	xxPrime5 = 0x27D4EB2F165667C5
+)
+
+func xxRound(acc, v uint64) uint64 {
+	acc += v * xxPrime2
+	return bits.RotateLeft64(acc, 31) * xxPrime1
+}
+
+func xxMerge(h, v uint64) uint64 {
+	h ^= xxRound(0, v)
+	return h*xxPrime1 + xxPrime4
+}
+
+// XXH64 computes the xxHash64 of data — the content checksum of the
+// Zstandard frame format (its low 32 bits are stored).
+func XXH64(data []byte, seed uint64) uint64 {
+	n := len(data)
+	var h uint64
+	p := 0
+	if n >= 32 {
+		v1 := seed + xxPrime1 + xxPrime2
+		v2 := seed + xxPrime2
+		v3 := seed
+		v4 := seed - xxPrime1
+		for ; p+32 <= n; p += 32 {
+			v1 = xxRound(v1, binary.LittleEndian.Uint64(data[p:]))
+			v2 = xxRound(v2, binary.LittleEndian.Uint64(data[p+8:]))
+			v3 = xxRound(v3, binary.LittleEndian.Uint64(data[p+16:]))
+			v4 = xxRound(v4, binary.LittleEndian.Uint64(data[p+24:]))
+		}
+		h = bits.RotateLeft64(v1, 1) + bits.RotateLeft64(v2, 7) +
+			bits.RotateLeft64(v3, 12) + bits.RotateLeft64(v4, 18)
+		h = xxMerge(h, v1)
+		h = xxMerge(h, v2)
+		h = xxMerge(h, v3)
+		h = xxMerge(h, v4)
+	} else {
+		h = seed + xxPrime5
+	}
+	h += uint64(n)
+	for ; p+8 <= n; p += 8 {
+		h ^= xxRound(0, binary.LittleEndian.Uint64(data[p:]))
+		h = bits.RotateLeft64(h, 27)*xxPrime1 + xxPrime4
+	}
+	if p+4 <= n {
+		h ^= uint64(binary.LittleEndian.Uint32(data[p:])) * xxPrime1
+		h = bits.RotateLeft64(h, 23)*xxPrime2 + xxPrime3
+		p += 4
+	}
+	for ; p < n; p++ {
+		h ^= uint64(data[p]) * xxPrime5
+		h = bits.RotateLeft64(h, 11) * xxPrime1
+	}
+	h ^= h >> 33
+	h *= xxPrime2
+	h ^= h >> 29
+	h *= xxPrime3
+	h ^= h >> 32
+	return h
+}

@@ -1,0 +1,329 @@
+// Package zstdx decompresses Zstandard (RFC 8878) with frame-level
+// parallelism and checkpointed random access — the fifth Archive
+// format, and the paper's §4.9 best case: pzstd-style multi-frame
+// files carry their decompressed extents in frame metadata, so the
+// planning pass that gzip needs speculative block finding for is a
+// header walk here, exactly as in the LZ4 backend.
+//
+// The decoder is self-contained (FSE, Huffman, sequence execution,
+// xxHash64) and handles the full single-pass format: raw/RLE/
+// compressed blocks, all literal modes including treeless repeats,
+// predefined/RLE/FSE/repeat sequence tables, repeat offsets, skippable
+// frames and content checksums. Dictionaries are not supported.
+package zstdx
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// FrameMagic introduces every Zstandard frame.
+const FrameMagic = 0xFD2FB528
+
+// skippableMagicBase begins the 16-magic range of skippable frames
+// (0x184D2A50 … 0x184D2A5F).
+const skippableMagicBase = 0x184D2A50
+
+// ErrNotZstd reports a missing frame magic.
+var ErrNotZstd = errors.New("zstdx: not a Zstandard frame")
+
+// ErrCorrupt reports malformed frame content. Test with errors.Is.
+var ErrCorrupt = errors.New("zstdx: corrupt input")
+
+// ErrChecksum reports a failed xxHash64 content-checksum verification.
+var ErrChecksum = errors.New("zstdx: checksum mismatch")
+
+func errCorrupt(detail string) error { return fmt.Errorf("%w: %s", ErrCorrupt, detail) }
+
+// frameHeader is the parsed fixed part of one frame (§3.1.1.1).
+type frameHeader struct {
+	headerLen     int
+	contentSize   int64 // -1 when the header omits it
+	windowSize    int64
+	dictID        uint32
+	hasChecksum   bool
+	singleSegment bool
+}
+
+func parseFrameHeader(data []byte) (frameHeader, error) {
+	var h frameHeader
+	if len(data) < 5 {
+		return h, ErrNotZstd
+	}
+	if binary.LittleEndian.Uint32(data) != FrameMagic {
+		return h, ErrNotZstd
+	}
+	fhd := data[4]
+	if fhd&(1<<3) != 0 {
+		return h, errCorrupt("reserved frame header bit set")
+	}
+	h.singleSegment = fhd&(1<<5) != 0
+	h.hasChecksum = fhd&(1<<2) != 0
+	fcsFlag := int(fhd >> 6)
+	didFlag := int(fhd & 3)
+	p := 5
+	if !h.singleSegment {
+		if len(data) < p+1 {
+			return h, errCorrupt("truncated window descriptor")
+		}
+		wd := data[p]
+		p++
+		windowBase := int64(1) << (10 + wd>>3)
+		h.windowSize = windowBase + windowBase/8*int64(wd&7)
+	}
+	didLen := [4]int{0, 1, 2, 4}[didFlag]
+	if len(data) < p+didLen {
+		return h, errCorrupt("truncated dictionary ID")
+	}
+	for i := 0; i < didLen; i++ {
+		h.dictID |= uint32(data[p+i]) << (8 * i)
+	}
+	p += didLen
+	fcsLen := [4]int{0, 2, 4, 8}[fcsFlag]
+	if fcsFlag == 0 && h.singleSegment {
+		fcsLen = 1
+	}
+	if len(data) < p+fcsLen {
+		return h, errCorrupt("truncated frame content size")
+	}
+	switch fcsLen {
+	case 0:
+		h.contentSize = -1
+	case 1:
+		h.contentSize = int64(data[p])
+	case 2:
+		h.contentSize = int64(binary.LittleEndian.Uint16(data[p:])) + 256
+	case 4:
+		h.contentSize = int64(binary.LittleEndian.Uint32(data[p:]))
+	case 8:
+		u := binary.LittleEndian.Uint64(data[p:])
+		if u > 1<<62 {
+			return h, errCorrupt("absurd frame content size")
+		}
+		h.contentSize = int64(u)
+	}
+	p += fcsLen
+	if h.singleSegment {
+		h.windowSize = h.contentSize
+	}
+	h.headerLen = p
+	return h, nil
+}
+
+// skipBlocks walks the block chain of one frame without decoding,
+// returning the offset just past the last block.
+func skipBlocks(data []byte, p int) (int, error) {
+	for {
+		if p+3 > len(data) {
+			return 0, errCorrupt("truncated block header")
+		}
+		bh := uint32(data[p]) | uint32(data[p+1])<<8 | uint32(data[p+2])<<16
+		p += 3
+		last := bh&1 != 0
+		btype := bh >> 1 & 3
+		bsize := int(bh >> 3)
+		switch btype {
+		case 0, 2: // raw, compressed: payload is bsize bytes
+			p += bsize
+		case 1: // RLE: one byte regenerates bsize
+			p++
+		default:
+			return 0, errCorrupt("reserved block type")
+		}
+		if p > len(data) {
+			return 0, errCorrupt("truncated block payload")
+		}
+		if last {
+			return p, nil
+		}
+	}
+}
+
+// FrameInfo locates one data frame inside a (possibly multi-frame,
+// possibly skippable-frame-interleaved) Zstandard file.
+type FrameInfo struct {
+	// Offset is the byte position of the frame magic; End is just past
+	// the frame (including any content checksum).
+	Offset, End int
+	// ContentSize is the declared decompressed size, or -1 when the
+	// frame header omits it (sized on open by a sequential decode).
+	ContentSize int
+	// ContentStart is the decompressed offset of this frame's content.
+	ContentStart int
+	// HasChecksum reports a trailing xxHash64 content checksum.
+	HasChecksum bool
+}
+
+// ScanResult is the outcome of the planning pass over a file.
+type ScanResult struct {
+	Frames []FrameInfo
+	// Skippable counts skippable frames (they carry no content).
+	Skippable int
+	// Sized reports that every frame declares its content size, the
+	// precondition for parallel decode and metadata-only ReadAt plans.
+	Sized bool
+}
+
+// ScanFrames walks a Zstandard file without decompressing: frame
+// headers plus per-block size fields locate every frame boundary, and
+// frames that carry Frame_Content_Size yield their decompressed
+// extents for free — the §4.9 "trivially parallelizable" metadata.
+func ScanFrames(data []byte) (ScanResult, error) {
+	res := ScanResult{Sized: true}
+	pos, contentPos := 0, 0
+	for pos < len(data) {
+		if len(data)-pos >= 8 {
+			magic := binary.LittleEndian.Uint32(data[pos:])
+			if magic&^0xF == skippableMagicBase {
+				size := int(binary.LittleEndian.Uint32(data[pos+4:]))
+				if pos+8+size > len(data) {
+					return res, errCorrupt("truncated skippable frame")
+				}
+				pos += 8 + size
+				res.Skippable++
+				continue
+			}
+		}
+		h, err := parseFrameHeader(data[pos:])
+		if err != nil {
+			return res, fmt.Errorf("frame %d at offset %d: %w", len(res.Frames), pos, err)
+		}
+		end, err := skipBlocks(data[pos:], h.headerLen)
+		if err != nil {
+			return res, fmt.Errorf("frame %d at offset %d: %w", len(res.Frames), pos, err)
+		}
+		if h.hasChecksum {
+			end += 4
+			if pos+end > len(data) {
+				return res, errCorrupt("truncated content checksum")
+			}
+		}
+		// An RLE block is the format's densest construct: 4 bytes
+		// regenerate at most 128 KiB. A declared size beyond that bound
+		// is a forged header — reject it before anyone allocates for it.
+		if h.contentSize > int64(end)*(maxBlockSize/4)+maxBlockSize {
+			return res, errCorrupt("declared content size exceeds maximum expansion")
+		}
+		f := FrameInfo{
+			Offset:      pos,
+			End:         pos + end,
+			ContentSize: int(h.contentSize),
+			HasChecksum: h.hasChecksum,
+		}
+		if h.contentSize < 0 || !res.Sized {
+			res.Sized = false
+			f.ContentStart = -1
+			if h.contentSize < 0 {
+				f.ContentSize = -1
+			}
+		} else {
+			f.ContentStart = contentPos
+			contentPos += int(h.contentSize)
+		}
+		res.Frames = append(res.Frames, f)
+		pos += end
+	}
+	return res, nil
+}
+
+// decodeFrame inflates the frame starting at data[0], verifying the
+// content checksum when present. The frame must have been located by
+// ScanFrames (data spans exactly one frame).
+func decodeFrame(data []byte) ([]byte, error) {
+	h, err := parseFrameHeader(data)
+	if err != nil {
+		return nil, err
+	}
+	if h.dictID != 0 {
+		return nil, fmt.Errorf("zstdx: frame requires dictionary %#x (dictionaries unsupported)", h.dictID)
+	}
+	var out []byte
+	if h.contentSize > 0 {
+		// Eager capacity is a hint, not a trusted value: cap it so a
+		// forged header cannot allocate ahead of the decode validating.
+		out = make([]byte, 0, min(h.contentSize, 32<<20))
+	}
+	d := newFrameDecoder()
+	p := h.headerLen
+	for {
+		if p+3 > len(data) {
+			return nil, errCorrupt("truncated block header")
+		}
+		bh := uint32(data[p]) | uint32(data[p+1])<<8 | uint32(data[p+2])<<16
+		p += 3
+		last := bh&1 != 0
+		btype := bh >> 1 & 3
+		bsize := int(bh >> 3)
+		switch btype {
+		case 0:
+			if p+bsize > len(data) {
+				return nil, errCorrupt("truncated raw block")
+			}
+			out = append(out, data[p:p+bsize]...)
+			p += bsize
+		case 1:
+			if p >= len(data) || bsize > maxBlockSize {
+				return nil, errCorrupt("bad RLE block")
+			}
+			b := data[p]
+			p++
+			out = append(out, make([]byte, bsize)...)
+			tail := out[len(out)-bsize:]
+			for i := range tail {
+				tail[i] = b
+			}
+		case 2:
+			if p+bsize > len(data) {
+				return nil, errCorrupt("truncated compressed block")
+			}
+			out, err = d.decodeBlock(data[p:p+bsize], out)
+			if err != nil {
+				return nil, err
+			}
+			p += bsize
+		default:
+			return nil, errCorrupt("reserved block type")
+		}
+		if last {
+			break
+		}
+	}
+	if h.hasChecksum {
+		if p+4 > len(data) {
+			return nil, errCorrupt("truncated content checksum")
+		}
+		if uint32(XXH64(out, 0)) != binary.LittleEndian.Uint32(data[p:]) {
+			return nil, ErrChecksum
+		}
+	}
+	if h.contentSize >= 0 && int64(len(out)) != h.contentSize {
+		return nil, fmt.Errorf("%w: frame decoded %d bytes, header declared %d", ErrCorrupt, len(out), h.contentSize)
+	}
+	return out, nil
+}
+
+// Decompress inflates a (possibly multi-frame) Zstandard file
+// serially, concatenating frame contents like `zstd -d`.
+func Decompress(data []byte) ([]byte, error) {
+	scan, err := ScanFrames(data)
+	if err != nil {
+		return nil, err
+	}
+	var out []byte
+	if scan.Sized {
+		total := int64(0)
+		for _, f := range scan.Frames {
+			total += int64(f.ContentSize)
+		}
+		out = make([]byte, 0, min(total, 64<<20))
+	}
+	for i, f := range scan.Frames {
+		content, err := decodeFrame(data[f.Offset:f.End])
+		if err != nil {
+			return nil, fmt.Errorf("zstdx: frame %d: %w", i, err)
+		}
+		out = append(out, content...)
+	}
+	return out, nil
+}

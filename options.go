@@ -171,7 +171,7 @@ func WithStrategy(name string) Option {
 func WithFormat(f Format) Option {
 	return func(c *config) error {
 		switch f {
-		case FormatGzip, FormatBGZF, FormatBzip2, FormatLZ4:
+		case FormatGzip, FormatBGZF, FormatBzip2, FormatLZ4, FormatZstd:
 			c.format = f
 			return nil
 		}

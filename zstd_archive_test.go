@@ -1,0 +1,174 @@
+package rapidgzip
+
+import (
+	"archive/tar"
+	"bytes"
+	"errors"
+	"io"
+	"io/fs"
+	"testing"
+
+	"repro/internal/workloads"
+	"repro/internal/zstdx"
+)
+
+// TestZstdCapabilitiesMatrix pins the truthfulness contract of the
+// fifth format: parallelism and metadata random access are advertised
+// exactly when the frame table is complete from headers alone.
+func TestZstdCapabilitiesMatrix(t *testing.T) {
+	data := workloads.Base64(400_000, 4)
+	cases := []struct {
+		name                 string
+		opts                 zstdx.FrameOptions
+		parallel, verify, ra bool
+	}{
+		{"multi-frame-sized", zstdx.FrameOptions{Level: 1, FrameSize: 100 << 10, ContentChecksum: true}, true, true, true},
+		{"single-frame", zstdx.FrameOptions{Level: 1, ContentChecksum: true}, false, true, false},
+		{"multi-frame-unsized", zstdx.FrameOptions{Level: 1, FrameSize: 100 << 10, OmitContentSize: true}, false, false, false},
+		{"no-checksum", zstdx.FrameOptions{Level: 1, FrameSize: 100 << 10}, true, false, true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			a, err := OpenBytes(zstdx.CompressFrames(data, c.opts), WithParallelism(2))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer a.Close()
+			if a.Format() != FormatZstd {
+				t.Fatalf("Format = %v", a.Format())
+			}
+			caps := a.Capabilities()
+			if caps.Parallel != c.parallel || caps.Verify != c.verify || caps.RandomAccess != c.ra {
+				t.Fatalf("capabilities %+v, want Parallel=%v Verify=%v RandomAccess=%v",
+					caps, c.parallel, c.verify, c.ra)
+			}
+			if !caps.Seek || caps.Index {
+				t.Fatalf("capabilities %+v: zstd must always Seek and never Index", caps)
+			}
+			// Whatever the capability level, content must be exact.
+			var out bytes.Buffer
+			if _, err := io.Copy(&out, a); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(out.Bytes(), data) {
+				t.Fatal("content mismatch")
+			}
+			if err := a.BuildIndex(); err != nil {
+				t.Fatalf("BuildIndex must be a no-op, got %v", err)
+			}
+			if err := a.ExportIndex(io.Discard); !errors.Is(err, ErrNoIndexSupport) {
+				t.Fatalf("ExportIndex err = %v, want ErrNoIndexSupport", err)
+			}
+		})
+	}
+}
+
+// TestZstdWriteToChunkPipeline checks the ordered batched consumption
+// path (WriteTo) against plain ReadAt content, from a non-zero cursor.
+func TestZstdWriteToChunkPipeline(t *testing.T) {
+	data := workloads.FASTQ(700_000, 14)
+	comp := zstdx.CompressFrames(data, zstdx.FrameOptions{Level: 1, FrameSize: 64 << 10, ContentChecksum: true})
+	a, err := OpenBytes(comp, WithParallelism(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	const skip = 123_457
+	if _, err := a.Seek(skip, io.SeekStart); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	n, err := a.WriteTo(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(len(data)-skip) {
+		t.Fatalf("WriteTo moved %d bytes, want %d", n, len(data)-skip)
+	}
+	if !bytes.Equal(out.Bytes(), data[skip:]) {
+		t.Fatal("WriteTo content mismatch")
+	}
+}
+
+// TestTarFSOverZstd serves files out of a .tar.zst exactly like the
+// other containers.
+func TestTarFSOverZstd(t *testing.T) {
+	var tarBuf bytes.Buffer
+	tw := tar.NewWriter(&tarBuf)
+	files := map[string][]byte{
+		"docs/readme.txt": []byte("zstd tarfs works"),
+		"data/blob.bin":   workloads.Random(50_000, 6),
+		"empty.txt":       {},
+	}
+	for name, content := range files {
+		if err := tw.WriteHeader(&tar.Header{Name: name, Mode: 0o644, Size: int64(len(content))}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tw.Write(content); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	comp := zstdx.CompressFrames(tarBuf.Bytes(), zstdx.FrameOptions{Level: 1, FrameSize: 20 << 10, ContentChecksum: true})
+	a, err := OpenBytes(comp, WithParallelism(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	fsys, err := TarFS(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, content := range files {
+		got, err := fs.ReadFile(fsys, name)
+		if err != nil {
+			t.Fatalf("ReadFile(%q): %v", name, err)
+		}
+		if !bytes.Equal(got, content) {
+			t.Fatalf("ReadFile(%q): content mismatch", name)
+		}
+	}
+}
+
+// TestZstdForcedFormat covers WithFormat routing and its failure mode.
+func TestZstdForcedFormat(t *testing.T) {
+	data := workloads.Base64(50_000, 3)
+	comp := zstdx.CompressFrames(data, zstdx.FrameOptions{Level: 1})
+	a, err := OpenBytes(comp, WithFormat(FormatZstd))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Close()
+	if _, err := OpenBytes(comp, WithFormat(FormatLZ4)); err == nil {
+		t.Fatal("LZ4 backend accepted a zstd file")
+	}
+	if _, err := OpenBytes(data, WithFormat(FormatZstd)); err == nil {
+		t.Fatal("zstd backend accepted uncompressed text")
+	}
+}
+
+// TestZstdSkippableLeadSniffs covers files that begin with a skippable
+// frame — pzstd writes those — which must still sniff as zstd.
+func TestZstdSkippableLeadSniffs(t *testing.T) {
+	data := workloads.Base64(80_000, 10)
+	comp := zstdx.AppendSkippable(nil, []byte("pzstd-style metadata"))
+	comp = append(comp, zstdx.CompressFrames(data, zstdx.FrameOptions{Level: 1, FrameSize: 20 << 10})...)
+	if got := DetectFormat(comp[:SniffLen]); got != FormatZstd {
+		t.Fatalf("DetectFormat = %v, want zstd", got)
+	}
+	a, err := OpenBytes(comp, WithParallelism(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	var out bytes.Buffer
+	if _, err := io.Copy(&out, a); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), data) {
+		t.Fatal("content mismatch")
+	}
+}
