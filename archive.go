@@ -2,6 +2,7 @@ package rapidgzip
 
 import (
 	"bufio"
+	"bytes"
 	"errors"
 	"fmt"
 	"io"
@@ -11,18 +12,20 @@ import (
 	"repro/internal/bzip2x"
 	"repro/internal/core"
 	"repro/internal/filereader"
+	"repro/internal/gzindex"
 	"repro/internal/lz4x"
+	"repro/internal/spanengine"
 	"repro/internal/zstdx"
 )
 
 // Archive is the format-agnostic face of the package: one interface
-// over the decompressed stream of a gzip, BGZF, bzip2 or LZ4 file,
-// served by whichever backend Open dispatched to. All methods are safe
-// for concurrent use.
+// over the decompressed stream of a gzip, BGZF, bzip2, LZ4 or zstd
+// file, served by whichever backend Open dispatched to. All methods
+// are safe for concurrent use.
 //
-// Index methods are honest about format limits: formats without
-// seek-point index support report Capabilities().Index == false and
-// return ErrNoIndexSupport from ExportIndex/ImportIndex.
+// Every format persists an index: gzip/BGZF export seek points with
+// windows, bzip2/LZ4/zstd export their checkpoint tables — either way,
+// reopening with the index skips the initial scan or sizing pass.
 type Archive interface {
 	io.Reader
 	io.Seeker
@@ -37,12 +40,11 @@ type Archive interface {
 	// file, making every subsequent Seek/ReadAt constant-time where the
 	// format allows it.
 	BuildIndex() error
-	// ExportIndex serialises the seek-point index (gzip/BGZF only).
+	// ExportIndex serialises the seek-point index or checkpoint table.
 	ExportIndex(w io.Writer) error
-	// ImportIndex installs a previously exported index (gzip/BGZF only).
+	// ImportIndex installs a previously exported index.
 	ImportIndex(rd io.Reader) error
-	// Stats returns a snapshot of fetcher activity counters; backends
-	// without a speculative fetcher report zeros.
+	// Stats returns a snapshot of backend activity counters.
 	Stats() Stats
 	// Format reports the detected (or forced) container format.
 	Format() Format
@@ -56,15 +58,16 @@ const IndexSuffix = ".rgzidx"
 
 // Open opens the compressed file at path behind one format-agnostic
 // front door: the content's magic bytes select the backend (gzip,
-// BGZF, bzip2 or LZ4 — WithFormat overrides), and the returned Archive
-// serves parallel decompression and, where the format allows,
+// BGZF, bzip2, LZ4 or zstd — WithFormat overrides), and the returned
+// Archive serves parallel decompression and, where the format allows,
 // checkpointed random access. Content that matches no supported magic
 // fails with ErrUnsupportedFormat.
 //
-// For indexable formats a sibling "path.rgzidx" index saved by a
-// previous run is imported automatically when present and valid
-// (disable with WithoutIndexDiscovery, force a specific file with
-// WithIndexFile).
+// A sibling "path.rgzidx" index saved by a previous run is imported
+// automatically when present and valid (disable with
+// WithoutIndexDiscovery, force a specific file with WithIndexFile).
+// For gzip/BGZF the import skips the initial decompression pass; for
+// bzip2/LZ4/zstd it skips the sizing pass.
 func Open(path string, opts ...Option) (Archive, error) {
 	cfg, err := resolve(opts)
 	if err != nil {
@@ -90,7 +93,7 @@ func Open(path string, opts ...Option) (Archive, error) {
 
 // OpenBytes opens an in-memory compressed buffer with the same
 // sniffing dispatch as Open. No index auto-discovery (there is no
-// sibling file), but WithIndexFile still works for indexable formats.
+// sibling file), but WithIndexFile still works for every format.
 func OpenBytes(data []byte, opts ...Option) (Archive, error) {
 	cfg, err := resolve(opts)
 	if err != nil {
@@ -128,14 +131,11 @@ func openArchive(src filereader.FileReader, path string, cfg config) (Archive, e
 	case FormatGzip, FormatBGZF:
 		return openIndexed(src, path, cfg, format)
 	case FormatBzip2, FormatLZ4, FormatZstd:
-		if cfg.indexFile != "" {
-			return nil, fmt.Errorf("%w: WithIndexFile on %v", ErrNoIndexSupport, format)
-		}
 		data, err := filereader.ReadAll(src)
 		if err != nil {
 			return nil, err
 		}
-		return newMemArchive(data, format, cfg)
+		return newMemArchive(data, format, cfg, path)
 	}
 	return nil, fmt.Errorf("%w: content matches no supported magic", ErrUnsupportedFormat)
 }
@@ -194,86 +194,200 @@ func importIndexReader(src filereader.FileReader, coreCfg core.Config, indexPath
 	return r, nil
 }
 
-// --- in-memory backends (bzip2, LZ4) -------------------------------------
+// --- in-memory backends (bzip2, LZ4, zstd) -------------------------------
 
-// memBackend is the contract of the checkpointed in-memory readers
-// (bzip2x.Reader, lz4x.Reader): concurrent positional reads over the
-// decompressed stream, a size known after construction, and the
-// checkpoint table exposed as ordered chunks so sequential consumption
-// can decode ahead in parallel.
+// memBackend is the contract of the span-engine-backed readers
+// (bzip2x.Reader, lz4x.Reader, zstdx.Reader): concurrent positional
+// reads over the decompressed stream, a size known after construction,
+// the checkpoint table exposed as ordered chunks, and access to the
+// engine for stats and checkpoint export.
 type memBackend interface {
 	io.ReaderAt
+	io.Closer
 	Size() int64
 	NumChunks() int
 	ChunkExtent(i int) (off, size int64)
 	ChunkContent(i int) ([]byte, error)
+	Engine() *spanengine.Engine
 }
 
 // memArchive adapts a memBackend to the Archive interface: it adds the
-// sequential cursor (Read/Seek/WriteTo) and answers the index methods
-// truthfully for formats without index support.
+// sequential cursor (Read/Seek/WriteTo) and the checkpoint-table index
+// methods (ExportIndex/ImportIndex over the RGZIDX04 container).
 type memArchive struct {
-	back    memBackend
-	format  Format
-	caps    Capabilities
-	threads int
+	data   []byte
+	format Format
+	opts   Options // retained to rebuild the backend on ImportIndex
 
-	mu  sync.Mutex
-	pos int64
+	mu   sync.Mutex
+	back memBackend
+	// retired holds backends replaced by ImportIndex. They stay open
+	// until Close so a concurrent ReadAt that snapshotted one mid-swap
+	// finishes against it instead of hitting a closed engine.
+	retired []memBackend
+	caps    Capabilities
+	pos     int64
 }
 
-// newMemArchive constructs the backend for a whole-file buffer.
-func newMemArchive(data []byte, format Format, cfg config) (Archive, error) {
-	coreCfg, err := cfg.opts.toCore()
+// formatTag returns the checkpoint-table tag of a span-engine format.
+func formatTag(format Format) string {
+	switch format {
+	case FormatBzip2:
+		return bzip2x.FormatTag
+	case FormatLZ4:
+		return lz4x.FormatTag
+	case FormatZstd:
+		return zstdx.FormatTag
+	}
+	return ""
+}
+
+// newMemArchive constructs the backend for a whole-file buffer,
+// importing an explicit or discovered checkpoint-table index when
+// available (mirroring openIndexed's behavior for gzip: an explicit
+// index must work, a discovered one falls back to a scan).
+func newMemArchive(data []byte, format Format, cfg config, path string) (Archive, error) {
+	if cfg.indexFile != "" {
+		return memArchiveFromIndexFile(data, format, cfg, cfg.indexFile)
+	}
+	if !cfg.noDiscovery && path != "" {
+		if _, err := os.Stat(path + IndexSuffix); err == nil {
+			if a, err := memArchiveFromIndexFile(data, format, cfg, path+IndexSuffix); err == nil {
+				return a, nil
+			}
+		}
+	}
+	engCfg, err := cfg.opts.toEngine()
 	if err != nil {
 		return nil, err
 	}
-	threads := coreCfg.Parallelism
+	back, caps, err := scanMemBackend(data, format, engCfg)
+	if err != nil {
+		return nil, err
+	}
+	return &memArchive{data: data, format: format, opts: cfg.opts, back: back, caps: caps}, nil
+}
+
+// memArchiveFromIndexFile opens the index at indexPath and builds the
+// backend from its checkpoint table — zero sizing-pass decodes.
+func memArchiveFromIndexFile(data []byte, format Format, cfg config, indexPath string) (Archive, error) {
+	ixf, err := os.Open(indexPath)
+	if err != nil {
+		return nil, err
+	}
+	defer ixf.Close()
+	ix, err := gzindex.Read(bufio.NewReader(ixf))
+	if err != nil {
+		return nil, err
+	}
+	engCfg, err := cfg.opts.toEngine()
+	if err != nil {
+		return nil, err
+	}
+	back, caps, err := memBackendFromIndex(data, format, ix, engCfg)
+	if err != nil {
+		return nil, err
+	}
+	return &memArchive{data: data, format: format, opts: cfg.opts, back: back, caps: caps}, nil
+}
+
+// scanMemBackend runs the format's sizing pass and reports the
+// archive's truthful capabilities.
+func scanMemBackend(data []byte, format Format, engCfg spanengine.Config) (memBackend, Capabilities, error) {
 	switch format {
 	case FormatBzip2:
-		br, err := bzip2x.NewReader(data, threads)
+		br, err := bzip2x.NewReaderConfig(data, engCfg)
 		if err != nil {
-			return nil, err
+			return nil, Capabilities{}, err
 		}
-		multi := br.NumStreams() > 1
-		return &memArchive{
-			back:    br,
-			format:  format,
-			threads: threads,
-			// The stdlib bzip2 decoder verifies block CRCs on every
-			// decode, so Verify holds unconditionally.
-			caps: Capabilities{Seek: true, RandomAccess: multi, Parallel: multi, Verify: true},
-		}, nil
+		// The stdlib bzip2 decoder verifies block CRCs on every decode,
+		// so Verify holds unconditionally.
+		return br, memCaps(br.NumStreams() > 1, true), nil
 	case FormatLZ4:
-		lr, err := lz4x.NewReader(data, threads)
+		lr, err := lz4x.NewReaderConfig(data, engCfg)
 		if err != nil {
-			return nil, err
+			return nil, Capabilities{}, err
 		}
-		multi := lr.NumFrames() > 1
-		return &memArchive{
-			back:    lr,
-			format:  format,
-			threads: threads,
-			caps:    Capabilities{Seek: true, RandomAccess: multi, Parallel: multi, Verify: lr.Checksummed()},
-		}, nil
+		return lr, memCaps(lr.NumFrames() > 1, lr.Checksummed()), nil
 	case FormatZstd:
-		zr, err := zstdx.NewReader(data, threads)
+		zr, err := zstdx.NewReaderConfig(data, engCfg)
 		if err != nil {
-			return nil, err
+			return nil, Capabilities{}, err
 		}
 		// Parallelism and metadata-only random access need the frame
-		// table complete from headers alone: multiple frames, each
+		// table complete without decodes: multiple frames, each
 		// declaring its content size. Unsized files were sized by a
-		// sequential decode on open and stay honest about it.
-		multi := zr.NumFrames() > 1 && zr.Sized()
-		return &memArchive{
-			back:    zr,
-			format:  format,
-			threads: threads,
-			caps:    Capabilities{Seek: true, RandomAccess: multi, Parallel: multi, Verify: zr.Checksummed()},
-		}, nil
+		// sequential decode on open and stay honest about it (an index
+		// import lifts the demotion — the table is metadata then).
+		return zr, memCaps(zr.NumFrames() > 1 && zr.Sized(), zr.Checksummed()), nil
 	}
-	return nil, fmt.Errorf("%w: %v has no in-memory backend", ErrUnsupportedFormat, format)
+	return nil, Capabilities{}, fmt.Errorf("%w: %v has no in-memory backend", ErrUnsupportedFormat, format)
+}
+
+// memBackendFromIndex validates an imported index against the open
+// data and builds the backend from its checkpoint table, skipping the
+// sizing pass entirely.
+func memBackendFromIndex(data []byte, format Format, ix *gzindex.Index, engCfg spanengine.Config) (memBackend, Capabilities, error) {
+	if !ix.Finalized {
+		return nil, Capabilities{}, errors.New("rapidgzip: can only import finalized indexes")
+	}
+	ct := ix.Checkpoints
+	if ct == nil {
+		return nil, Capabilities{}, fmt.Errorf("%w: index carries no checkpoint table for %v", ErrNoIndexSupport, format)
+	}
+	if want := formatTag(format); ct.Format != want {
+		return nil, Capabilities{}, fmt.Errorf("rapidgzip: index checkpoint table is for format %q, want %q", ct.Format, want)
+	}
+	if ix.CompressedSize != uint64(len(data)) {
+		return nil, Capabilities{}, fmt.Errorf("rapidgzip: index is for a %d-byte file, have %d bytes",
+			ix.CompressedSize, len(data))
+	}
+	if ix.SourceFP != nil {
+		fp, err := gzindex.ComputeFingerprint(bytes.NewReader(data), int64(len(data)))
+		if err != nil {
+			return nil, Capabilities{}, err
+		}
+		if *ix.SourceFP != fp {
+			return nil, Capabilities{}, fmt.Errorf("rapidgzip: index fingerprint %08x/%08x does not match the open file's %08x/%08x (index built for a different file of the same size)",
+				ix.SourceFP.Head, ix.SourceFP.Tail, fp.Head, fp.Tail)
+		}
+	}
+	spans := make([]spanengine.Span, len(ct.Spans))
+	for i, s := range ct.Spans {
+		spans[i] = spanengine.Span{CompOff: s.CompOff, CompEnd: s.CompEnd, DecompOff: s.DecompOff, DecompSize: s.DecompSize}
+	}
+	multi := len(spans) > 1
+	switch format {
+	case FormatBzip2:
+		br, err := bzip2x.NewReaderFromCheckpoints(data, spans, engCfg)
+		if err != nil {
+			return nil, Capabilities{}, err
+		}
+		return br, memCaps(multi, true), nil
+	case FormatLZ4:
+		lr, err := lz4x.NewReaderFromCheckpoints(data, spans, ct.Flags, engCfg)
+		if err != nil {
+			return nil, Capabilities{}, err
+		}
+		return lr, memCaps(multi, lr.Checksummed()), nil
+	case FormatZstd:
+		zr, err := zstdx.NewReaderFromCheckpoints(data, spans, ct.Flags, engCfg)
+		if err != nil {
+			return nil, Capabilities{}, err
+		}
+		// The imported table carries every extent, so even a file whose
+		// frame headers omitted content sizes is parallel and randomly
+		// accessible now.
+		return zr, memCaps(multi, zr.Checksummed()), nil
+	}
+	return nil, Capabilities{}, fmt.Errorf("%w: %v has no in-memory backend", ErrUnsupportedFormat, format)
+}
+
+// memCaps is the capability profile of a span-engine archive: Seek and
+// Index always work; random access, parallel decode and prefetching
+// need more than one span.
+func memCaps(multi, verify bool) Capabilities {
+	return Capabilities{Seek: true, Index: true, RandomAccess: multi, Parallel: multi, Prefetch: multi, Verify: verify}
 }
 
 func (a *memArchive) Read(p []byte) (int, error) {
@@ -307,84 +421,136 @@ func (a *memArchive) Seek(offset int64, whence int) (int64, error) {
 }
 
 func (a *memArchive) ReadAt(p []byte, off int64) (int, error) {
-	return a.back.ReadAt(p, off)
+	a.mu.Lock()
+	back := a.back
+	a.mu.Unlock()
+	return back.ReadAt(p, off)
 }
 
-// WriteTo streams the remaining decompressed bytes in chunk order,
-// decoding up to `threads` upcoming chunks concurrently while earlier
-// ones are written — the sequential fast path io.Copy hits, and where
-// the Parallel capability of these backends materialises.
+// WriteTo streams the remaining decompressed bytes in span order — the
+// sequential fast path io.Copy hits. Parallelism comes from the span
+// engine itself: each ChunkContent access feeds the prefetch strategy,
+// so upcoming spans decode on the worker pool while earlier ones are
+// written.
 func (a *memArchive) WriteTo(w io.Writer) (int64, error) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	n := a.back.NumChunks()
-	// First chunk covering the cursor (zero-size chunks cover nothing).
-	first := 0
-	for first < n {
-		off, size := a.back.ChunkExtent(first)
-		if size > 0 && off+size > a.pos {
-			break
-		}
-		first++
-	}
 	var written int64
-	batch := max(a.threads, 1)
-	outs := make([][]byte, batch)
-	errs := make([]error, batch)
-	for i := first; i < n; i += batch {
-		end := min(i+batch, n)
-		var wg sync.WaitGroup
-		for j := i; j < end; j++ {
-			wg.Add(1)
-			go func(j int) {
-				defer wg.Done()
-				outs[j-i], errs[j-i] = a.back.ChunkContent(j)
-			}(j)
+	for i := 0; i < n; i++ {
+		off, size := a.back.ChunkExtent(i)
+		if size <= 0 || off+size <= a.pos {
+			continue
 		}
-		wg.Wait()
-		for j := i; j < end; j++ {
-			if errs[j-i] != nil {
-				return written, errs[j-i]
-			}
-			off, _ := a.back.ChunkExtent(j)
-			seg := outs[j-i]
-			if skip := a.pos - off; skip > 0 {
-				seg = seg[skip:]
-			}
-			m, err := w.Write(seg)
-			written += int64(m)
-			a.pos += int64(m)
-			if err != nil {
-				return written, err
-			}
+		seg, err := a.back.ChunkContent(i)
+		if err != nil {
+			return written, err
+		}
+		if skip := a.pos - off; skip > 0 {
+			seg = seg[skip:]
+		}
+		m, err := w.Write(seg)
+		written += int64(m)
+		a.pos += int64(m)
+		if err != nil {
+			return written, err
 		}
 	}
 	return written, nil
 }
 
 // Size returns the decompressed size, known since construction.
-func (a *memArchive) Size() (int64, error) { return a.back.Size(), nil }
+func (a *memArchive) Size() (int64, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.back.Size(), nil
+}
 
 // BuildIndex is a no-op: the checkpoint table (stream spans, frame
 // table) is fully built at construction for these backends.
 func (a *memArchive) BuildIndex() error { return nil }
 
-func (a *memArchive) ExportIndex(io.Writer) error {
-	return fmt.Errorf("%w: %v", ErrNoIndexSupport, a.format)
+// ExportIndex serialises the checkpoint table as an RGZIDX04 index. A
+// later Open of the same file with the index (explicit, or discovered
+// as a sibling) skips the sizing pass entirely.
+func (a *memArchive) ExportIndex(w io.Writer) error {
+	a.mu.Lock()
+	eng := a.back.Engine()
+	a.mu.Unlock()
+	fp, err := gzindex.ComputeFingerprint(bytes.NewReader(a.data), int64(len(a.data)))
+	if err != nil {
+		return err
+	}
+	ix := gzindex.New(0)
+	ix.Finalized = true
+	ix.CompressedSize = uint64(len(a.data))
+	ix.UncompressedSize = uint64(eng.Size())
+	ix.SourceFP = &fp
+	spans := eng.Checkpoints()
+	ct := &gzindex.CheckpointTable{Format: formatTag(a.format), Flags: eng.Flags()}
+	ct.Spans = make([]gzindex.Checkpoint, len(spans))
+	for i, s := range spans {
+		ct.Spans[i] = gzindex.Checkpoint{CompOff: s.CompOff, CompEnd: s.CompEnd, DecompOff: s.DecompOff, DecompSize: s.DecompSize}
+	}
+	ix.Checkpoints = ct
+	_, err = ix.WriteTo(w)
+	return err
 }
 
-func (a *memArchive) ImportIndex(io.Reader) error {
-	return fmt.Errorf("%w: %v", ErrNoIndexSupport, a.format)
+// ImportIndex installs a previously exported checkpoint-table index,
+// replacing the backend with one built from the persisted spans. The
+// index must belong to the same compressed data (format tag,
+// compressed size and source fingerprint are all enforced).
+func (a *memArchive) ImportIndex(rd io.Reader) error {
+	ix, err := gzindex.Read(rd)
+	if err != nil {
+		return err
+	}
+	engCfg, err := a.opts.toEngine()
+	if err != nil {
+		return err
+	}
+	back, caps, err := memBackendFromIndex(a.data, a.format, ix, engCfg)
+	if err != nil {
+		return err
+	}
+	a.mu.Lock()
+	a.retired = append(a.retired, a.back)
+	a.back = back
+	a.caps = caps
+	a.mu.Unlock()
+	return nil
 }
 
-// Stats reports zeros: these backends have no speculative fetcher.
-func (a *memArchive) Stats() Stats { return Stats{} }
+// Stats reports the span engine's counters.
+func (a *memArchive) Stats() Stats {
+	a.mu.Lock()
+	eng := a.back.Engine()
+	a.mu.Unlock()
+	return engineStats(eng.Stats())
+}
 
-func (a *memArchive) Close() error { return nil }
+func (a *memArchive) Close() error {
+	a.mu.Lock()
+	backs := append([]memBackend{a.back}, a.retired...)
+	a.retired = nil
+	a.mu.Unlock()
+	var err error
+	for _, b := range backs {
+		if cerr := b.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
 
 func (a *memArchive) Format() Format { return a.format }
 
-func (a *memArchive) Capabilities() Capabilities { return a.caps }
+func (a *memArchive) Capabilities() Capabilities {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.caps
+}
 
 var (
 	_ Archive = (*Reader)(nil)

@@ -66,12 +66,11 @@ func TestOpenSniffMatrix(t *testing.T) {
 				t.Fatalf("Format = %v, want %v", a.Format(), format)
 			}
 			caps := a.Capabilities()
-			if !caps.Seek || !caps.RandomAccess || !caps.Parallel {
-				t.Fatalf("capabilities %+v: multi-chunk fixtures must be seekable and parallel", caps)
+			if !caps.Seek || !caps.RandomAccess || !caps.Parallel || !caps.Prefetch {
+				t.Fatalf("capabilities %+v: multi-chunk fixtures must be seekable, parallel and prefetching", caps)
 			}
-			wantIndex := format == FormatGzip || format == FormatBGZF
-			if caps.Index != wantIndex {
-				t.Fatalf("capabilities %+v: Index should be %v for %v", caps, wantIndex, format)
+			if !caps.Index {
+				t.Fatalf("capabilities %+v: every format persists an index now", caps)
 			}
 
 			// Full sequential decompression.
@@ -391,14 +390,8 @@ func TestWithIndexFile(t *testing.T) {
 		t.Fatalf("explicit index import still probed the finder %d times", probes)
 	}
 
-	// Unlike discovery, an explicit index must fail loudly when broken.
-	if err := os.WriteFile(ixPath, []byte("junk"), 0o644); err != nil {
-		t.Fatal(err)
-	}
-	if _, err := Open(path, WithIndexFile(ixPath)); err == nil {
-		t.Fatal("broken explicit index accepted")
-	}
-	// ...and is an error on formats without index support.
+	// A seek-point index carries no checkpoint table, so handing it to
+	// a bzip2 archive is a typed mismatch, not a silent fallback.
 	bz, err := bzip2x.Compress(data, bzip2x.WriterOptions{Level: 1})
 	if err != nil {
 		t.Fatal(err)
@@ -410,8 +403,24 @@ func TestWithIndexFile(t *testing.T) {
 	if _, err := Open(bzPath, WithIndexFile(ixPath)); !errors.Is(err, ErrNoIndexSupport) {
 		t.Fatalf("err = %v, want ErrNoIndexSupport", err)
 	}
+
+	// Unlike discovery, an explicit index must fail loudly when broken —
+	// for the gzip backend and the span-engine backends alike.
+	if err := os.WriteFile(ixPath, []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path, WithIndexFile(ixPath)); err == nil {
+		t.Fatal("broken explicit index accepted")
+	}
+	if _, err := Open(bzPath, WithIndexFile(ixPath)); err == nil {
+		t.Fatal("broken explicit index accepted by the bzip2 backend")
+	}
 }
 
+// TestMemArchiveIndexMethods exercises the checkpoint-table index
+// round trip on a span-engine backend: export from one archive, import
+// into another over the same bytes, and read through the imported
+// table.
 func TestMemArchiveIndexMethods(t *testing.T) {
 	data := workloads.Base64(50_000, 3)
 	lz := lz4x.CompressFrames(data, lz4x.FrameOptions{FrameSize: 10_000})
@@ -423,14 +432,42 @@ func TestMemArchiveIndexMethods(t *testing.T) {
 	if err := a.BuildIndex(); err != nil {
 		t.Fatalf("BuildIndex on checkpointed backend: %v", err)
 	}
-	if err := a.ExportIndex(io.Discard); !errors.Is(err, ErrNoIndexSupport) {
-		t.Fatalf("ExportIndex err = %v, want ErrNoIndexSupport", err)
+	var ix bytes.Buffer
+	if err := a.ExportIndex(&ix); err != nil {
+		t.Fatalf("ExportIndex: %v", err)
 	}
-	if err := a.ImportIndex(bytes.NewReader(nil)); !errors.Is(err, ErrNoIndexSupport) {
-		t.Fatalf("ImportIndex err = %v, want ErrNoIndexSupport", err)
+
+	b, err := OpenBytes(lz)
+	if err != nil {
+		t.Fatal(err)
 	}
-	if s := a.Stats(); s.ChunksConsumed != 0 {
-		t.Fatalf("mem backend stats should be zero, got %+v", s)
+	defer b.Close()
+	if err := b.ImportIndex(bytes.NewReader(ix.Bytes())); err != nil {
+		t.Fatalf("ImportIndex: %v", err)
+	}
+	buf := make([]byte, 1000)
+	if _, err := b.ReadAt(buf, 20_000); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, data[20_000:21_000]) {
+		t.Fatal("content mismatch after checkpoint-table import")
+	}
+
+	// An index for different bytes of the same length is rejected by
+	// the fingerprint.
+	other := bytes.Clone(lz)
+	other[30] ^= 0x01 // flip inside the first block's payload (scanner-invisible)
+	c, err := OpenBytes(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.ImportIndex(bytes.NewReader(ix.Bytes())); err == nil {
+		t.Fatal("index for different bytes imported")
+	}
+	// The gzip counters stay zero on span-engine backends.
+	if s := a.Stats(); s.ChunksConsumed != 0 || s.GuessTasks != 0 || s.FinderProbes != 0 {
+		t.Fatalf("gzip fetcher counters should be zero on a span backend, got %+v", s)
 	}
 }
 

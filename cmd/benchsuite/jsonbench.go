@@ -65,6 +65,17 @@ func writeJSONBench(path string, corpusBytes, repeats int, coreCounts []int) err
 		GoVersion: runtime.Version(),
 		NumCPU:    runtime.NumCPU(),
 	}
+	// Cold-open rows: what Open costs before the first byte is served,
+	// with and without a sibling RGZIDX04 checkpoint-table index. The
+	// formats measured are the ones whose cold open does real work —
+	// bzip2 sizes by decoding the whole file, unsized zstd by a
+	// sequential decode of every frame — so the -index variants show
+	// the span-engine payoff directly.
+	openRows, err := coldOpenRows(data, bz, bzErr, repeats, coreCounts, suffixed)
+	if err != nil {
+		return err
+	}
+	report.Results = append(report.Results, openRows...)
 	for _, in := range inputs {
 		for _, threads := range coreCounts {
 			res := benchfmt.Result{
@@ -121,6 +132,131 @@ func writeJSONBench(path string, corpusBytes, repeats int, coreCounts []int) err
 		}
 	}
 	return benchfmt.Save(path, report)
+}
+
+// coldOpenRows measures Open throughput (MB/s of eventual uncompressed
+// content per second of open time) for the sizing-pass formats, cold
+// and with an exported index.
+func coldOpenRows(data, bz []byte, bzErr error, repeats int, coreCounts []int, suffixed bool) ([]benchfmt.Result, error) {
+	zsUnsized := zstdx.CompressFrames(data, zstdx.FrameOptions{Level: 1, FrameSize: 1 << 20, OmitContentSize: true})
+	type openInput struct {
+		name      string
+		comp      []byte
+		withIndex bool
+		err       error
+	}
+	inputs := []openInput{
+		{name: "bzip2-coldopen", comp: bz, err: bzErr},
+		{name: "bzip2-coldopen-index", comp: bz, withIndex: true, err: bzErr},
+		{name: "zstd-unsized-coldopen", comp: zsUnsized},
+		{name: "zstd-unsized-coldopen-index", comp: zsUnsized, withIndex: true},
+	}
+	var rows []benchfmt.Result
+	for _, in := range inputs {
+		for _, threads := range coreCounts {
+			res := benchfmt.Result{
+				Name:      in.name,
+				OutBytes:  len(data),
+				InBytes:   len(in.comp),
+				Repeats:   repeats,
+				WithIndex: in.withIndex,
+				Parallel:  threads,
+			}
+			if suffixed {
+				res.Name = fmt.Sprintf("%s-p%d", in.name, threads)
+			}
+			if in.err != nil {
+				res.FailureMsg = in.err.Error()
+				rows = append(rows, res)
+				continue
+			}
+			var ixPath string
+			if in.withIndex {
+				path, err := exportIndexFile(in.comp, threads)
+				if err != nil {
+					res.FailureMsg = err.Error()
+					rows = append(rows, res)
+					continue
+				}
+				ixPath = path
+			}
+			var samples []float64
+			var format rapidgzip.Format
+			for rep := 0; rep < repeats; rep++ {
+				mbps, f, err := openOnce(in.comp, len(data), ixPath, threads)
+				if err != nil {
+					res.FailureMsg = err.Error()
+					break
+				}
+				format = f
+				samples = append(samples, mbps)
+			}
+			if ixPath != "" {
+				os.Remove(ixPath)
+			}
+			if len(samples) == repeats {
+				res.Format = format.String()
+				_, res.StdDev = meanStd(samples)
+				for _, s := range samples {
+					res.MBps = max(res.MBps, s)
+				}
+			}
+			rows = append(rows, res)
+			fmt.Fprintf(os.Stderr, "benchsuite: %-27s %8.1f MB/s ± %.1f (%s, P=%d)\n",
+				res.Name, res.MBps, res.StdDev, res.Format, threads)
+		}
+	}
+	return rows, nil
+}
+
+// openOnce measures one cold-open throughput sample: eventual output
+// bytes divided by the time Open (and Close) takes, repeated until
+// minSampleTime — the open itself serves no content.
+func openOnce(comp []byte, outBytes int, ixPath string, threads int) (float64, rapidgzip.Format, error) {
+	opts := []rapidgzip.Option{rapidgzip.WithParallelism(threads)}
+	if ixPath != "" {
+		opts = append(opts, rapidgzip.WithIndexFile(ixPath))
+	}
+	var total int64
+	var format rapidgzip.Format
+	start := time.Now()
+	for {
+		a, err := rapidgzip.OpenBytes(comp, opts...)
+		if err != nil {
+			return 0, rapidgzip.FormatUnknown, err
+		}
+		format = a.Format()
+		a.Close()
+		total += int64(outBytes)
+		if time.Since(start) >= minSampleTime {
+			break
+		}
+	}
+	sec := time.Since(start).Seconds()
+	return float64(total) / 1e6 / sec, format, nil
+}
+
+// exportIndexFile opens comp cold, exports its checkpoint-table index
+// to a temp file, and returns the path.
+func exportIndexFile(comp []byte, threads int) (string, error) {
+	a, err := rapidgzip.OpenBytes(comp, rapidgzip.WithParallelism(threads))
+	if err != nil {
+		return "", err
+	}
+	defer a.Close()
+	f, err := os.CreateTemp("", "benchsuite-*.rgzidx")
+	if err != nil {
+		return "", err
+	}
+	err = a.ExportIndex(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(f.Name())
+		return "", err
+	}
+	return f.Name(), nil
 }
 
 // minSampleTime is the floor for one throughput sample: fast formats

@@ -14,9 +14,13 @@
 // "<FILE>.rgzidx" index saved by --export-index is picked up
 // automatically on later runs (disable with --no-index-discovery).
 //
-// With --export-index, the seek-point index built during decompression
-// is saved; importing it later skips the initial pass, doubles
-// throughput (no two-stage decoding) and balances the workload.
+// With --export-index, the index built during decompression is saved —
+// seek points with windows for gzip/BGZF, the checkpoint table for
+// bzip2/LZ4/zstd. Importing it later skips the initial pass: for gzip
+// that doubles throughput (no two-stage decoding) and balances the
+// workload; for the span-engine formats it eliminates the sizing pass
+// (for bzip2, a full decode of the file) before the first byte is
+// served.
 package main
 
 import (
@@ -146,7 +150,7 @@ func run() error {
 			}
 			fmt.Fprintln(os.Stderr, "rapidgzip: checksums OK")
 		} else if r.Capabilities().Verify {
-			// bzip2/LZ4 verify inline during decode: reaching here
+			// bzip2/LZ4/zstd verify inline during decode: reaching here
 			// means every checksum already passed.
 			fmt.Fprintln(os.Stderr, "rapidgzip: checksums OK")
 		} else {
@@ -168,8 +172,14 @@ func run() error {
 	}
 	if *stats {
 		s := r.Stats()
-		fmt.Fprintf(os.Stderr, "decompressed %d bytes (%s); chunks=%d speculative=%d finderProbes=%d noBlock=%d falseStarts=%d onDemand=%d indexed=%d delegated=%d\n",
-			n, r.Format(), s.ChunksConsumed, s.GuessTasks, s.FinderProbes, s.GuessNoBlock, s.GuessFalseStarts, s.OnDemandDecodes, s.IndexedDecodes, s.DelegatedDecodes)
+		switch r.Format() {
+		case rapidgzip.FormatBzip2, rapidgzip.FormatLZ4, rapidgzip.FormatZstd:
+			fmt.Fprintf(os.Stderr, "decompressed %d bytes (%s); sizingPasses=%d sizingDecodes=%d spanDecodes=%d prefetchIssued=%d prefetchJoined=%d cacheHits=%d cacheMisses=%d evictions=%d\n",
+				n, r.Format(), s.SizingPasses, s.SizingDecodes, s.SpanDecodes, s.PrefetchIssued, s.PrefetchJoined, s.SpanCacheHits, s.SpanCacheMisses, s.SpanCacheEvictions)
+		default:
+			fmt.Fprintf(os.Stderr, "decompressed %d bytes (%s); chunks=%d speculative=%d finderProbes=%d noBlock=%d falseStarts=%d onDemand=%d indexed=%d delegated=%d\n",
+				n, r.Format(), s.ChunksConsumed, s.GuessTasks, s.FinderProbes, s.GuessNoBlock, s.GuessFalseStarts, s.OnDemandDecodes, s.IndexedDecodes, s.DelegatedDecodes)
+		}
 	}
 	return nil
 }

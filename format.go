@@ -76,7 +76,11 @@ func ParseFormat(s string) (Format, error) {
 var ErrUnsupportedFormat = errors.New("rapidgzip: unsupported format")
 
 // ErrNoIndexSupport reports an index operation (Build/Export/Import,
-// WithIndexFile) on a format without seek-point index support. Test
+// WithIndexFile) unsupported by the archive's format or backing. Since
+// the span engine landed, every supported format persists an index
+// (seek points for gzip/BGZF, checkpoint tables for bzip2/LZ4/zstd);
+// the error remains for mismatched imports — e.g. handing a bzip2
+// archive a seek-point index that carries no checkpoint table. Test
 // with errors.Is.
 var ErrNoIndexSupport = errors.New("rapidgzip: format does not support seek-point indexes")
 
@@ -118,10 +122,19 @@ type Capabilities struct {
 	RandomAccess bool
 	// Parallel reports multi-core decompression for this archive.
 	Parallel bool
-	// Index reports BuildIndex/ExportIndex/ImportIndex support.
+	// Index reports BuildIndex/ExportIndex/ImportIndex support. Every
+	// format has it: gzip/BGZF persist seek points with windows, and
+	// bzip2/LZ4/zstd persist their checkpoint tables (RGZIDX04), so
+	// reopening with an index skips the sizing pass.
 	Index bool
 	// Verify reports integrity verification: either opt-in sequential
 	// CRC checking (gzip, WithVerify) or checksums validated during
-	// every decode (bzip2 always; LZ4 when the frames carry them).
+	// every decode (bzip2 always; LZ4/zstd when the frames carry them).
 	Verify bool
+	// Prefetch reports that sequential or strided access triggers
+	// speculative decodes ahead of the cursor (the cache-prefetch
+	// architecture of the paper). True whenever the archive has more
+	// than one independently decodable chunk; a single-chunk archive
+	// has nothing to prefetch.
+	Prefetch bool
 }

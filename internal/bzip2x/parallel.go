@@ -5,12 +5,13 @@ import (
 	"compress/bzip2"
 	"fmt"
 	"io"
-	"sort"
-	"sync"
 
-	"repro/internal/cache"
 	"repro/internal/pool"
+	"repro/internal/spanengine"
 )
+
+// FormatTag identifies bzip2 checkpoint tables in persisted indexes.
+const FormatTag = "bz2 "
 
 // streamMagicLen is the prefix checked by FindStreams: "BZh", a level
 // digit, and the first block's 48-bit magic (or the footer magic of an
@@ -93,40 +94,26 @@ func DecompressParallel(data []byte, threads int) ([]byte, error) {
 	return out, nil
 }
 
-// streamSpan is one checkpoint of a Reader: a validated span of
-// complete bzip2 streams and its decompressed extent.
-type streamSpan struct {
-	compOff, compEnd int
-	decompOff        int64
-	size             int64
+// Codec is the bzip2 half of the shared span engine: the sizing pass
+// (bzip2 declares no sizes anywhere, so Scan decompresses the whole
+// file once, in parallel, merging spans cut short by false-positive
+// magics) and the per-span decode.
+type Codec struct {
+	// Threads parallelizes the sizing pass; values < 1 mean 1.
+	Threads int
 }
 
-// Reader provides checkpointed random access into a bzip2 file — the
-// Bzip2BlockFetcher instantiation the paper mentions under Figure 5.
-// bzip2 declares no sizes anywhere, so construction runs one sizing
-// pass over the whole file: candidate stream boundaries come from
-// FindStreams, the spans between them decode in parallel, and any span
-// that fails (a false-positive magic splitting a real stream) is merged
-// with its successor and retried, which converges on the true stream
-// layout. After that, ReadAt re-decodes only the stream spans touched
-// by the request, keeping recent outputs in an LRU cache.
-//
-// All methods are safe for concurrent use.
-type Reader struct {
-	data    []byte
-	spans   []streamSpan
-	size    int64
-	threads int
+// FormatTag implements spanengine.Codec.
+func (Codec) FormatTag() string { return FormatTag }
 
-	mu    sync.Mutex
-	cache *cache.Cache[int, []byte] // span index -> decompressed output
-}
-
-// NewReader validates data and builds the checkpoint table. The sizing
-// pass decompresses the whole file once (in parallel for multi-stream
-// files) but records only the span sizes — peak memory stays bounded
-// by threads × span output, not the whole decompressed file.
-func NewReader(data []byte, threads int) (*Reader, error) {
+// Scan implements spanengine.Codec: candidate stream boundaries come
+// from FindStreams, the spans between them decode in parallel, and any
+// span that fails (a false-positive magic splitting a real stream) is
+// merged with its successor and retried, which converges on the true
+// stream layout. Peak memory stays bounded by threads × span output —
+// only the span sizes are recorded.
+func (c Codec) Scan(data []byte) (spanengine.ScanResult, error) {
+	threads := c.Threads
 	if threads < 1 {
 		threads = 1
 	}
@@ -141,6 +128,7 @@ func NewReader(data []byte, threads int) (*Reader, error) {
 	// First guess: every candidate starts a stream. Size all spans
 	// concurrently; failures are resolved by merging below.
 	p := pool.New(threads)
+	defer p.Close()
 	futs := make([]*pool.Future[int], len(cands))
 	for i := range cands {
 		start, stop := cands[i], end(i)
@@ -154,13 +142,9 @@ func NewReader(data []byte, threads int) (*Reader, error) {
 	for i, fut := range futs {
 		firstLen[i], firstErr[i] = fut.Wait()
 	}
-	p.Close()
 
-	r := &Reader{
-		data:    data,
-		threads: threads,
-		cache:   cache.NewLRUCache[int, []byte](max(2*threads, 4)),
-	}
+	res := spanengine.ScanResult{SizingDecodes: uint64(len(cands))}
+	var decomp int64
 	for i := 0; i < len(cands); {
 		start := cands[i]
 		j := i
@@ -170,100 +154,104 @@ func NewReader(data []byte, threads int) (*Reader, error) {
 			// extend it over the next candidate and retry.
 			j++
 			if j >= len(cands) {
-				return nil, fmt.Errorf("bzip2x: stream at offset %d: %w", start, err)
+				return spanengine.ScanResult{}, fmt.Errorf("bzip2x: stream at offset %d: %w", start, err)
 			}
 			var out []byte
 			out, err = Decompress(data[start:end(j)])
 			size = len(out)
+			res.SizingDecodes++
 		}
-		r.spans = append(r.spans, streamSpan{
-			compOff:   start,
-			compEnd:   end(j),
-			decompOff: r.size,
-			size:      int64(size),
+		res.Spans = append(res.Spans, spanengine.Span{
+			CompOff:    int64(start),
+			CompEnd:    int64(end(j)),
+			DecompOff:  decomp,
+			DecompSize: int64(size),
 		})
-		r.size += int64(size)
+		decomp += int64(size)
 		i = j + 1
 	}
-	return r, nil
+	return res, nil
 }
 
+// DecodeSpan implements spanengine.Codec. The stdlib decoder verifies
+// block CRCs on every decode, so span decodes always verify integrity.
+func (Codec) DecodeSpan(data []byte, s spanengine.Span) ([]byte, error) {
+	out, err := Decompress(data[s.CompOff:s.CompEnd])
+	if err != nil {
+		// The span decoded during the sizing pass (or was persisted by
+		// one); only data corruption since then can get here.
+		return nil, fmt.Errorf("bzip2x: span at offset %d: %w", s.CompOff, err)
+	}
+	return out, nil
+}
+
+// Reader provides checkpointed random access into a bzip2 file — the
+// Bzip2BlockFetcher instantiation the paper mentions under Figure 5,
+// served by the shared span engine: the checkpoint table comes from
+// Codec.Scan (one sizing pass over the whole file) or from a persisted
+// index via NewReaderFromCheckpoints (no sizing pass at all), and
+// ReadAt re-decodes only the stream spans touched by the request, with
+// the engine's LRU cache and prefetcher around it.
+//
+// All methods are safe for concurrent use.
+type Reader struct {
+	eng *spanengine.Engine
+}
+
+// NewReader validates data and builds the checkpoint table with one
+// parallel sizing pass.
+func NewReader(data []byte, threads int) (*Reader, error) {
+	return NewReaderConfig(data, spanengine.Config{Threads: threads})
+}
+
+// NewReaderConfig is NewReader with full engine tuning (cache size,
+// prefetch depth, strategy).
+func NewReaderConfig(data []byte, cfg spanengine.Config) (*Reader, error) {
+	eng, err := spanengine.New(data, Codec{Threads: cfg.Threads}, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Reader{eng: eng}, nil
+}
+
+// NewReaderFromCheckpoints builds a reader from a persisted checkpoint
+// table, skipping the sizing pass entirely.
+func NewReaderFromCheckpoints(data []byte, spans []spanengine.Span, cfg spanengine.Config) (*Reader, error) {
+	eng, err := spanengine.NewFromCheckpoints(data, Codec{Threads: cfg.Threads}, spans, 0, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Reader{eng: eng}, nil
+}
+
+// Engine exposes the underlying span engine (stats, checkpoint export).
+func (r *Reader) Engine() *spanengine.Engine { return r.eng }
+
+// Close releases the engine's prefetch workers.
+func (r *Reader) Close() error { return r.eng.Close() }
+
 // Size returns the total decompressed size (established by the sizing
-// pass, so this never scans again).
-func (r *Reader) Size() int64 { return r.size }
+// pass or the imported table, so this never scans again).
+func (r *Reader) Size() int64 { return r.eng.Size() }
 
 // NumStreams returns the number of checkpoints (validated stream
 // spans). Files written by pbzip2/lbzip2 — or Compress with a
 // StreamSize — have many; single-stream files have one, making every
 // ReadAt a whole-file decode.
-func (r *Reader) NumStreams() int { return len(r.spans) }
-
-// spanContent returns the decompressed output of span i, re-decoding on
-// a cache miss. The decode runs outside the lock so concurrent reads of
-// different spans overlap on multiple cores; two goroutines racing on
-// the same span duplicate work, not results.
-func (r *Reader) spanContent(i int) ([]byte, error) {
-	r.mu.Lock()
-	if out, ok := r.cache.Get(i); ok {
-		r.mu.Unlock()
-		return out, nil
-	}
-	r.mu.Unlock()
-	s := r.spans[i]
-	out, err := Decompress(r.data[s.compOff:s.compEnd])
-	if err != nil {
-		// The span decoded during the sizing pass; only data corruption
-		// between then and now can get here.
-		return nil, fmt.Errorf("bzip2x: span %d: %w", i, err)
-	}
-	r.mu.Lock()
-	r.cache.Put(i, out)
-	r.mu.Unlock()
-	return out, nil
-}
+func (r *Reader) NumStreams() int { return r.eng.NumSpans() }
 
 // NumChunks, ChunkExtent and ChunkContent expose the checkpoint table
 // generically (one chunk = one validated stream span), so a consumer
 // can pipeline ordered sequential reads with parallel decodes.
-func (r *Reader) NumChunks() int { return len(r.spans) }
+func (r *Reader) NumChunks() int { return r.eng.NumSpans() }
 
 // ChunkExtent returns the decompressed offset and size of chunk i.
-func (r *Reader) ChunkExtent(i int) (off, size int64) {
-	return r.spans[i].decompOff, r.spans[i].size
-}
+func (r *Reader) ChunkExtent(i int) (off, size int64) { return r.eng.SpanExtent(i) }
 
 // ChunkContent returns the decompressed output of chunk i. The
-// returned slice is shared with the cache and must not be modified.
-func (r *Reader) ChunkContent(i int) ([]byte, error) { return r.spanContent(i) }
+// returned slice is shared with the engine's cache and must not be
+// modified.
+func (r *Reader) ChunkContent(i int) ([]byte, error) { return r.eng.SpanContent(i) }
 
 // ReadAt implements io.ReaderAt over the decompressed stream.
-func (r *Reader) ReadAt(p []byte, off int64) (int, error) {
-	if off < 0 {
-		return 0, fmt.Errorf("bzip2x: negative offset %d", off)
-	}
-	n := 0
-	for n < len(p) {
-		if off >= r.size {
-			return n, io.EOF
-		}
-		// Last span starting at or before off, skipping empty spans.
-		i := sort.Search(len(r.spans), func(i int) bool {
-			return r.spans[i].decompOff > off
-		}) - 1
-		for i < len(r.spans) && r.spans[i].decompOff+r.spans[i].size <= off {
-			i++
-		}
-		if i < 0 || i >= len(r.spans) {
-			return n, io.EOF
-		}
-		out, err := r.spanContent(i)
-		if err != nil {
-			return n, err
-		}
-		within := off - r.spans[i].decompOff
-		c := copy(p[n:], out[within:])
-		n += c
-		off += int64(c)
-	}
-	return n, nil
-}
+func (r *Reader) ReadAt(p []byte, off int64) (int, error) { return r.eng.ReadAt(p, off) }

@@ -118,6 +118,13 @@ func (s *SharedFileReader) Reads() int64 { return s.reads.Load() }
 
 // ReadAll loads the entire source into memory.
 func ReadAll(src FileReader) ([]byte, error) {
+	// In-memory sources alias their slice instead of copying: every
+	// consumer treats the returned bytes as read-only, and the copy
+	// would dominate the open cost of the checkpoint-import fast path
+	// (which otherwise only parses a small index).
+	if m, ok := src.(MemoryReader); ok {
+		return m, nil
+	}
 	out := make([]byte, src.Size())
 	n, err := src.ReadAt(out, 0)
 	if int64(n) == src.Size() {

@@ -13,9 +13,10 @@ import (
 // goldenIndex is the index serialised into the testdata fixtures (the
 // v1 file was written by the legacy fixed-width writer before its
 // removal, the v2 file by the pre-fingerprint varint writer, the v3
-// file by the current writer). Any change that stops a fixture from
-// parsing back to exactly this index is an on-disk format break and
-// must bump the version magic instead.
+// file by the pre-checkpoint-table writer, the v4 file by the current
+// writer). Any change that stops a fixture from parsing back to
+// exactly this index is an on-disk format break and must bump the
+// version magic instead.
 func goldenIndex(t *testing.T) *Index {
 	t.Helper()
 	ix := New(4 << 20)
@@ -96,6 +97,19 @@ func TestGoldenV3(t *testing.T) {
 	if got.SourceFP == nil || *got.SourceFP != *want.SourceFP {
 		t.Fatalf("fingerprint: got %+v, want %+v", got.SourceFP, want.SourceFP)
 	}
+}
+
+func TestGoldenV4(t *testing.T) {
+	raw := readGolden(t, "golden-v4.rgzidx")
+	got, err := Read(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := goldenIndexV3(t)
+	assertEqualIndex(t, got, want)
+	if got.SourceFP == nil || *got.SourceFP != *want.SourceFP {
+		t.Fatalf("fingerprint: got %+v, want %+v", got.SourceFP, want.SourceFP)
+	}
 
 	// The writer must still produce the byte-identical file: the format
 	// is deterministic, so this locks the layout, not just parseability.
@@ -105,6 +119,132 @@ func TestGoldenV3(t *testing.T) {
 	}
 	if !bytes.Equal(buf.Bytes(), raw) {
 		t.Fatalf("WriteTo output diverged from the golden fixture (%d vs %d bytes)", buf.Len(), len(raw))
+	}
+}
+
+// checkpointIndex is the sample serialised into
+// golden-v4-checkpoints.rgzidx: a zstd-style span table with a
+// compressed gap (skippable frame) between the second and third span,
+// no seek points.
+func checkpointIndex(t *testing.T) *Index {
+	t.Helper()
+	ix := New(0)
+	ix.Finalized = true
+	ix.CompressedSize = 10_000
+	ix.UncompressedSize = 5_000_000
+	ix.SourceFP = &Fingerprint{Head: 0xAABBCCDD, Tail: 0x99887766}
+	ix.Checkpoints = &CheckpointTable{
+		Format: "zstd",
+		Flags:  0x03,
+		Spans: []Checkpoint{
+			{CompOff: 0, CompEnd: 3_000, DecompOff: 0, DecompSize: 2_000_000},
+			{CompOff: 3_000, CompEnd: 5_500, DecompOff: 2_000_000, DecompSize: 1_500_000},
+			{CompOff: 6_000, CompEnd: 9_999, DecompOff: 3_500_000, DecompSize: 1_500_000},
+		},
+	}
+	return ix
+}
+
+func assertEqualCheckpoints(t *testing.T, got, want *Index) {
+	t.Helper()
+	g, w := got.Checkpoints, want.Checkpoints
+	if (g == nil) != (w == nil) {
+		t.Fatalf("Checkpoints presence: got %v, want %v", g != nil, w != nil)
+	}
+	if g == nil {
+		return
+	}
+	if g.Format != w.Format || g.Flags != w.Flags || len(g.Spans) != len(w.Spans) {
+		t.Fatalf("checkpoint table header mismatch:\ngot  %+v\nwant %+v", g, w)
+	}
+	for i := range w.Spans {
+		if g.Spans[i] != w.Spans[i] {
+			t.Fatalf("span %d: got %+v want %+v", i, g.Spans[i], w.Spans[i])
+		}
+	}
+}
+
+func TestGoldenV4Checkpoints(t *testing.T) {
+	raw := readGolden(t, "golden-v4-checkpoints.rgzidx")
+	got, err := Read(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := checkpointIndex(t)
+	assertEqualCheckpoints(t, got, want)
+	if got.CompressedSize != want.CompressedSize || got.UncompressedSize != want.UncompressedSize {
+		t.Fatalf("sizes: got %d/%d, want %d/%d",
+			got.CompressedSize, got.UncompressedSize, want.CompressedSize, want.UncompressedSize)
+	}
+	var buf bytes.Buffer
+	if _, err := want.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), raw) {
+		t.Fatalf("WriteTo output diverged from the checkpoint golden fixture (%d vs %d bytes)", buf.Len(), len(raw))
+	}
+}
+
+func TestCheckpointTableRoundTrip(t *testing.T) {
+	want := checkpointIndex(t)
+	var buf bytes.Buffer
+	if _, err := want.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertEqualCheckpoints(t, got, want)
+}
+
+func TestCheckpointTableRejectsBadShapes(t *testing.T) {
+	// Serialisation-side: overlapping or inverted spans must not write.
+	bad := checkpointIndex(t)
+	bad.Checkpoints.Spans[1].CompOff = 100 // overlaps span 0
+	if _, err := bad.WriteTo(io.Discard); err == nil {
+		t.Fatal("overlapping checkpoint spans serialised")
+	}
+	short := checkpointIndex(t)
+	short.Checkpoints.Format = "xz"
+	if _, err := short.WriteTo(io.Discard); err == nil {
+		t.Fatal("2-byte format tag serialised")
+	}
+	// Read-side: a table whose decompressed total disagrees with the
+	// declared uncompressed size is rejected by validation.
+	lying := checkpointIndex(t)
+	lying.UncompressedSize = 1
+	var buf bytes.Buffer
+	if _, err := lying.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(bytes.NewReader(buf.Bytes())); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("size-lying checkpoint table: err = %v, want ErrCorrupt", err)
+	}
+	// ...as is one whose spans overrun the compressed size.
+	overrun := checkpointIndex(t)
+	overrun.CompressedSize = 9_000
+	buf.Reset()
+	if _, err := overrun.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(bytes.NewReader(buf.Bytes())); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("overrunning checkpoint table: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestCheckpointIndexRejectsEveryByteFlip(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := checkpointIndex(t).WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for i := range raw {
+		bad := bytes.Clone(raw)
+		bad[i] ^= 0x01
+		if _, err := Read(bytes.NewReader(bad)); err == nil {
+			t.Fatalf("byte flip at offset %d accepted", i)
+		}
 	}
 }
 
@@ -172,6 +312,17 @@ func TestGoldenV2WithMemberMarks(t *testing.T) {
 
 func TestGoldenV3WithMemberMarks(t *testing.T) {
 	raw := readGolden(t, "golden-v3-marks.rgzidx")
+	got, err := Read(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := markedIndex(t)
+	assertEqualIndex(t, got, want)
+	assertEqualMarks(t, got, want)
+}
+
+func TestGoldenV4WithMemberMarks(t *testing.T) {
+	raw := readGolden(t, "golden-v4-marks.rgzidx")
 	got, err := Read(bytes.NewReader(raw))
 	if err != nil {
 		t.Fatal(err)

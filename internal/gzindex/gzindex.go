@@ -89,12 +89,40 @@ func ComputeFingerprint(r io.ReaderAt, size int64) (Fingerprint, error) {
 	return Fingerprint{Head: head, Tail: tail}, nil
 }
 
+// Checkpoint is one span of a per-format checkpoint table (the
+// non-gzip analogue of a SeekPoint): a compressed byte extent that
+// decodes independently, and the decompressed extent it produces.
+// Decompressed extents are contiguous from 0; the compressed side may
+// have gaps (zstd skippable frames).
+type Checkpoint struct {
+	CompOff, CompEnd      int64
+	DecompOff, DecompSize int64
+}
+
+// CheckpointTable is the optional per-format section of a version-4
+// index: the complete span table of a bzip2/LZ4/zstd file, persisted
+// so a reopen can skip the sizing pass entirely (the ROADMAP follow-up
+// from the format-agnostic-API and zstd PRs).
+type CheckpointTable struct {
+	// Format is the owning codec's 4-byte tag ("bz2 ", "lz4 ", "zstd").
+	Format string
+	// Flags carries codec-specific capability bits (checksummed, block
+	// independence, metadata-sized, ...), opaque to this package.
+	Flags uint8
+	// Spans is the checkpoint table in stream order.
+	Spans []Checkpoint
+}
+
 // Index is the seek-point database. It is not goroutine-safe; the chunk
 // fetcher serialises access.
 type Index struct {
 	points     []SeekPoint
 	windows    map[uint64][]byte      // keyed by CompressedBitOffset
 	memberEnds map[uint64][]MemberEnd // keyed by CompressedBitOffset
+
+	// Checkpoints is the optional per-format checkpoint-table section
+	// (version 4); nil for gzip/BGZF seek-point indexes.
+	Checkpoints *CheckpointTable
 
 	// Finalized is set once the whole file has been scanned, making
 	// sizes authoritative.
@@ -180,24 +208,29 @@ func (ix *Index) Find(target uint64) (int, bool) {
 
 // --- serialization -------------------------------------------------------
 //
-// On-disk layout (version 3, all integers little-endian or unsigned
-// LEB128 varints). Version 3 differs from version 2 only in the magic
-// and the optional source fingerprint (flag bit 2):
+// On-disk layout (version 4, all integers little-endian or unsigned
+// LEB128 varints). Version 4 differs from version 3 only in the magic
+// and the optional per-format checkpoint-table section (flag bit 3);
+// version 3 differs from version 2 only in the magic and the optional
+// source fingerprint (flag bit 2):
 //
 //	offset  size      field
-//	0       8         magic "RGZIDX03"
+//	0       8         magic "RGZIDX04"
 //	8       1         flags (bit 0: finalized, bit 1: member marks
-//	                  complete, bit 2: source fingerprint present)
+//	                  complete, bit 2: source fingerprint present,
+//	                  bit 3: checkpoint table present)
 //	9       varint    chunk size used during creation
 //	...     varint    compressed file size (bytes)
 //	...     varint    uncompressed file size (bytes)
 //	...     4+4       head and tail CRC32 of the source file (only when
 //	                  flag bit 2 is set)
-//	...     varint    number of checkpoint records
-//	...               checkpoint records (see below)
+//	...     varint    number of seek-point records
+//	...               seek-point records (see below)
+//	...               checkpoint-table section (only when flag bit 3 is
+//	                  set, see below)
 //	end-4   4         CRC32 (IEEE) of every preceding byte
 //
-// Each checkpoint record is:
+// Each seek-point record is:
 //
 //	varint    compressed bit offset, delta-coded against the previous
 //	          record (absolute for the first record)
@@ -212,15 +245,32 @@ func (ix *Index) Find(target uint64) (int, bool) {
 //	          (delta-coded within the record)     | is
 //	          plus 4 bytes footer CRC32           | set
 //
-// Checkpoints are strictly increasing in compressed offset, so the
+// Seek points are strictly increasing in compressed offset, so the
 // deltas are non-negative and small; windows are the bulk of the file
 // and flate-compress well (often 3-10x). The trailing CRC32 makes any
 // single-byte corruption detectable before an import trusts the data.
+//
+// The checkpoint-table section (the persisted span table of a
+// bzip2/LZ4/zstd file) is:
+//
+//	4         format tag ("bz2 ", "lz4 ", "zstd")
+//	1         codec capability flags (opaque to this package)
+//	varint    number of spans
+//	per span:
+//	varint    compressed gap: span start minus the previous span's end
+//	          (absolute offset for the first span; usually 0 — only
+//	          zstd skippable frames leave gaps)
+//	varint    compressed length of the span
+//	varint    decompressed size of the span
+//
+// Decompressed offsets are not stored: spans are contiguous from 0, so
+// each offset is the running sum of the preceding sizes.
 
 const (
 	magicV1 = "RGZIDX01" // legacy fixed-width format, still readable
 	magicV2 = "RGZIDX02" // fingerprint-less varint format, still readable
-	magicV3 = "RGZIDX03" // current format, written by WriteTo
+	magicV3 = "RGZIDX03" // checkpoint-table-less format, still readable
+	magicV4 = "RGZIDX04" // current format, written by WriteTo
 )
 
 // maxWindowRaw bounds a stored window. Real windows are at most the
@@ -247,10 +297,13 @@ func writeUvarint(buf *bytes.Buffer, v uint64) {
 	buf.Write(tmp[:binary.PutUvarint(tmp[:], v)])
 }
 
-// WriteTo serialises the index in the version-3 format.
+// WriteTo serialises the index in the version-4 format.
 func (ix *Index) WriteTo(w io.Writer) (int64, error) {
+	if ix.Checkpoints != nil && len(ix.Checkpoints.Format) != 4 {
+		return 0, fmt.Errorf("gzindex: checkpoint table format tag %q is not 4 bytes", ix.Checkpoints.Format)
+	}
 	var buf bytes.Buffer
-	buf.WriteString(magicV3)
+	buf.WriteString(magicV4)
 	var flags uint8
 	if ix.Finalized {
 		flags |= 1
@@ -260,6 +313,9 @@ func (ix *Index) WriteTo(w io.Writer) (int64, error) {
 	}
 	if ix.SourceFP != nil {
 		flags |= 4
+	}
+	if ix.Checkpoints != nil {
+		flags |= 8
 	}
 	buf.WriteByte(flags)
 	writeUvarint(&buf, uint64(ix.ChunkSize))
@@ -307,6 +363,25 @@ func (ix *Index) WriteTo(w io.Writer) (int64, error) {
 			}
 		}
 	}
+	if ct := ix.Checkpoints; ct != nil {
+		buf.WriteString(ct.Format)
+		buf.WriteByte(ct.Flags)
+		writeUvarint(&buf, uint64(len(ct.Spans)))
+		var prevEnd, decomp int64
+		for i, s := range ct.Spans {
+			// DecompOff is reconstructed as the running size sum on
+			// read, so a non-contiguous table must fail here rather
+			// than silently round-trip to different extents.
+			if s.CompOff < prevEnd || s.CompEnd <= s.CompOff || s.DecompSize < 0 || s.DecompOff != decomp {
+				return 0, fmt.Errorf("gzindex: checkpoint span %d is not serialisable: %+v", i, s)
+			}
+			writeUvarint(&buf, uint64(s.CompOff-prevEnd))
+			writeUvarint(&buf, uint64(s.CompEnd-s.CompOff))
+			writeUvarint(&buf, uint64(s.DecompSize))
+			prevEnd = s.CompEnd
+			decomp += s.DecompSize
+		}
+	}
 	binary.Write(&buf, binary.LittleEndian, crc32.ChecksumIEEE(buf.Bytes()))
 	n, err := w.Write(buf.Bytes())
 	return int64(n), err
@@ -323,10 +398,12 @@ func Read(r io.Reader) (*Index, error) {
 		return nil, fmt.Errorf("%w: %w", ErrBadMagic, err)
 	}
 	switch string(m[:]) {
+	case magicV4:
+		return readV234(r, magicV4)
 	case magicV3:
-		return readV23(r, magicV3)
+		return readV234(r, magicV3)
 	case magicV2:
-		return readV23(r, magicV2)
+		return readV234(r, magicV2)
 	case magicV1:
 		return readV1(r)
 	}
@@ -349,9 +426,10 @@ func (ix *Index) ReadFrom(r io.Reader) (int64, error) {
 	return cr.n, nil
 }
 
-// readV23 parses the varint formats. Versions 2 and 3 share the whole
-// layout except the optional source fingerprint of v3.
-func readV23(r io.Reader, magic string) (*Index, error) {
+// readV234 parses the varint formats. Versions 2, 3 and 4 share the
+// whole layout except the optional source fingerprint of v3+ and the
+// optional checkpoint-table section of v4.
+func readV234(r io.Reader, magic string) (*Index, error) {
 	cr := &crcReader{r: r}
 	cr.sum = crc32.Update(cr.sum, crc32.IEEETable, []byte(magic))
 	flags, _ := cr.ReadByte()
@@ -360,7 +438,7 @@ func readV23(r io.Reader, magic string) (*Index, error) {
 	ix.MemberMarksComplete = flags&2 != 0
 	ix.CompressedSize = cr.uvarint()
 	ix.UncompressedSize = cr.uvarint()
-	if magic == magicV3 && flags&4 != 0 {
+	if magic != magicV2 && flags&4 != 0 {
 		var raw [8]byte
 		if err := cr.full(raw[:]); err != nil {
 			return nil, fmt.Errorf("%w: %w", ErrCorrupt, err)
@@ -441,6 +519,13 @@ func readV23(r io.Reader, magic string) (*Index, error) {
 			ix.memberEnds[p.CompressedBitOffset] = marks
 		}
 	}
+	if magic == magicV4 && flags&8 != 0 {
+		ct, err := readCheckpointTable(cr)
+		if err != nil {
+			return nil, err
+		}
+		ix.Checkpoints = ct
+	}
 	want := cr.sum // the trailer itself is not part of the checksum
 	var trailer [4]byte
 	if err := cr.full(trailer[:]); err != nil {
@@ -453,6 +538,53 @@ func readV23(r io.Reader, magic string) (*Index, error) {
 		return nil, err
 	}
 	return ix, nil
+}
+
+// readCheckpointTable parses the per-format span-table section of a
+// version-4 index. Spans are reconstructed from (gap, compressed
+// length, decompressed size) triples; the decompressed offsets are the
+// running sum of the sizes, so they are contiguous by construction.
+func readCheckpointTable(cr *crcReader) (*CheckpointTable, error) {
+	var tag [4]byte
+	if err := cr.full(tag[:]); err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrCorrupt, err)
+	}
+	ct := &CheckpointTable{Format: string(tag[:])}
+	ct.Flags, _ = cr.ReadByte()
+	n := cr.uvarint()
+	if cr.err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrCorrupt, cr.err)
+	}
+	if n > 1<<40 {
+		return nil, fmt.Errorf("%w: implausible span count %d", ErrCorrupt, n)
+	}
+	var compEnd, decomp int64
+	for i := uint64(0); i < n; i++ {
+		gap := cr.uvarint()
+		compLen := cr.uvarint()
+		size := cr.uvarint()
+		if cr.err != nil {
+			return nil, fmt.Errorf("%w: %w", ErrCorrupt, cr.err)
+		}
+		// Each field must keep the running offsets inside int64: a
+		// forged varint wrapping the accumulator would otherwise slip
+		// a negative extent past the span-level checks downstream.
+		const maxOff = 1 << 62
+		if gap > maxOff || compLen == 0 || compLen > maxOff || size > maxOff ||
+			uint64(compEnd)+gap+compLen > maxOff || uint64(decomp)+size > maxOff {
+			return nil, fmt.Errorf("%w: checkpoint span %d extents overflow", ErrCorrupt, i)
+		}
+		s := Checkpoint{
+			CompOff:    compEnd + int64(gap),
+			DecompOff:  decomp,
+			DecompSize: int64(size),
+		}
+		s.CompEnd = s.CompOff + int64(compLen)
+		compEnd = s.CompEnd
+		decomp += int64(size)
+		ct.Spans = append(ct.Spans, s)
+	}
+	return ct, nil
 }
 
 // validate applies the structural sanity checks shared by both format
@@ -504,6 +636,27 @@ func (ix *Index) validate() error {
 		if last := marks[len(marks)-1].RelEnd; last > span {
 			return fmt.Errorf("%w: member mark at +%d overruns point %d (span %d)",
 				ErrCorrupt, last, i, span)
+		}
+	}
+	if ct := ix.Checkpoints; ct != nil && ix.Finalized {
+		// The declared file sizes must bound the span table: an importer
+		// slices the compressed source by these extents and trusts the
+		// decompressed total as the stream size.
+		if n := len(ct.Spans); n > 0 {
+			if last := ct.Spans[n-1]; uint64(last.CompEnd) > ix.CompressedSize {
+				return fmt.Errorf("%w: checkpoint span ends at byte %d, compressed size is %d",
+					ErrCorrupt, last.CompEnd, ix.CompressedSize)
+			}
+		}
+		if len(ix.points) == 0 {
+			var total uint64
+			for _, s := range ct.Spans {
+				total += uint64(s.DecompSize)
+			}
+			if total != ix.UncompressedSize {
+				return fmt.Errorf("%w: checkpoint spans cover %d bytes, uncompressed size is %d",
+					ErrCorrupt, total, ix.UncompressedSize)
+			}
 		}
 	}
 	return nil

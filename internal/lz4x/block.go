@@ -103,11 +103,11 @@ func CompressBlock(src, dst []byte) []byte {
 		limit := n - mfLimit
 		matchLimit := n - lastLits
 		for pos <= limit {
-			v := loadU32(src[pos:])
+			v := binary.LittleEndian.Uint32(src[pos:])
 			h := blockHash(v)
 			cand := int(table[h])
 			table[h] = int32(pos)
-			if cand < 0 || pos-cand > maxOffset || loadU32(src[cand:]) != v {
+			if cand < 0 || pos-cand > maxOffset || binary.LittleEndian.Uint32(src[cand:]) != v {
 				pos++
 				continue
 			}
@@ -126,7 +126,7 @@ func CompressBlock(src, dst []byte) []byte {
 			pos += mlen
 			anchor = pos
 			if pos <= limit {
-				table[blockHash(loadU32(src[pos-2:]))] = int32(pos - 2)
+				table[blockHash(binary.LittleEndian.Uint32(src[pos-2:]))] = int32(pos - 2)
 			}
 		}
 	}

@@ -4,6 +4,8 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+
+	"repro/internal/xxhash"
 )
 
 // FrameMagic introduces every LZ4 frame.
@@ -102,7 +104,7 @@ func appendFrame(out, content []byte, opts FrameOptions) []byte {
 	descStart := len(out)
 	out = append(out, flg, bd)
 	out = binary.LittleEndian.AppendUint64(out, uint64(len(content)))
-	out = append(out, byte(XXH32(out[descStart:], 0)>>8)) // HC byte
+	out = append(out, byte(xxhash.Sum32(out[descStart:], 0)>>8)) // HC byte
 
 	for off := 0; off < len(content) || (off == 0 && len(content) == 0); off += opts.BlockSize {
 		end := off + opts.BlockSize
@@ -116,13 +118,13 @@ func appendFrame(out, content []byte, opts FrameOptions) []byte {
 			out = binary.LittleEndian.AppendUint32(out, uint32(len(raw))|1<<31)
 			out = append(out, raw...)
 			if opts.BlockChecksums {
-				out = binary.LittleEndian.AppendUint32(out, XXH32(raw, 0))
+				out = binary.LittleEndian.AppendUint32(out, xxhash.Sum32(raw, 0))
 			}
 		} else {
 			out = binary.LittleEndian.AppendUint32(out, uint32(len(comp)))
 			out = append(out, comp...)
 			if opts.BlockChecksums {
-				out = binary.LittleEndian.AppendUint32(out, XXH32(comp, 0))
+				out = binary.LittleEndian.AppendUint32(out, xxhash.Sum32(comp, 0))
 			}
 		}
 		if len(content) == 0 {
@@ -131,7 +133,7 @@ func appendFrame(out, content []byte, opts FrameOptions) []byte {
 	}
 	out = binary.LittleEndian.AppendUint32(out, 0) // EndMark
 	if opts.ContentChecksum {
-		out = binary.LittleEndian.AppendUint32(out, XXH32(content, 0))
+		out = binary.LittleEndian.AppendUint32(out, xxhash.Sum32(content, 0))
 	}
 	return out
 }
@@ -184,7 +186,7 @@ func parseFrameHeader(data []byte) (frameHeader, error) {
 	}
 	hc := data[p]
 	p++
-	if byte(XXH32(data[4:p-1], 0)>>8) != hc {
+	if byte(xxhash.Sum32(data[4:p-1], 0)>>8) != hc {
 		return h, fmt.Errorf("lz4x: header checksum mismatch")
 	}
 	h.headerLen = p
@@ -272,7 +274,7 @@ func decompressFrame(data []byte, dst []byte) error {
 			if p+4 > len(data) {
 				return ErrCorrupt
 			}
-			if binary.LittleEndian.Uint32(data[p:]) != XXH32(payload, 0) {
+			if binary.LittleEndian.Uint32(data[p:]) != xxhash.Sum32(payload, 0) {
 				return ErrChecksum
 			}
 			p += 4
@@ -310,7 +312,7 @@ func decompressFrame(data []byte, dst []byte) error {
 		if p+4 > len(data) {
 			return ErrCorrupt
 		}
-		if binary.LittleEndian.Uint32(data[p:]) != XXH32(dst[:dp], 0) {
+		if binary.LittleEndian.Uint32(data[p:]) != xxhash.Sum32(dst[:dp], 0) {
 			return ErrChecksum
 		}
 	}

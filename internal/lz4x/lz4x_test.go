@@ -10,31 +10,8 @@ import (
 	"testing/quick"
 
 	"repro/internal/workloads"
+	"repro/internal/xxhash"
 )
-
-func TestXXH32Vectors(t *testing.T) {
-	// Reference values from the xxHash specification.
-	if got := XXH32(nil, 0); got != 0x02CC5D05 {
-		t.Fatalf("XXH32(\"\") = %#08x, want 0x02CC5D05", got)
-	}
-	if a, b := XXH32([]byte("abc"), 0), XXH32([]byte("abd"), 0); a == b {
-		t.Fatal("distinct inputs collide trivially")
-	}
-	if a, b := XXH32([]byte("abc"), 0), XXH32([]byte("abc"), 1); a == b {
-		t.Fatal("seed has no effect")
-	}
-	// Each length class (stripe loop, 4-byte tail, byte tail) must be
-	// deterministic and length-sensitive.
-	data := workloads.Random(64, 9)
-	seen := map[uint32]bool{}
-	for n := 0; n <= 64; n++ {
-		h := XXH32(data[:n], 0)
-		if seen[h] {
-			t.Fatalf("prefix collision at length %d", n)
-		}
-		seen[h] = true
-	}
-}
 
 func roundTripBlock(t *testing.T, data []byte) {
 	t.Helper()
@@ -308,7 +285,7 @@ func linkedFrame(t *testing.T) (comp, content []byte) {
 	descStart := len(out)
 	out = append(out, flg, bd)
 	out = binary.LittleEndian.AppendUint64(out, 12)
-	out = append(out, byte(XXH32(out[descStart:], 0)>>8))
+	out = append(out, byte(xxhash.Sum32(out[descStart:], 0)>>8))
 	// Block 1: stored "ABCDEFGH".
 	out = binary.LittleEndian.AppendUint32(out, 8|1<<31)
 	out = append(out, "ABCDEFGH"...)

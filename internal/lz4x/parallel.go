@@ -2,12 +2,22 @@ package lz4x
 
 import (
 	"fmt"
-	"io"
-	"sort"
-	"sync"
 
-	"repro/internal/cache"
 	"repro/internal/pool"
+	"repro/internal/spanengine"
+)
+
+// FormatTag identifies LZ4 checkpoint tables in persisted indexes.
+const FormatTag = "lz4 "
+
+// Codec capability flags persisted alongside the checkpoint table.
+const (
+	// FlagChecksummed marks files whose frames carry xxHash32 block or
+	// content checksums, i.e. decoding verifies payload integrity.
+	FlagChecksummed uint8 = 1 << 0
+	// FlagBlockIndep marks files whose every frame declares independent
+	// blocks.
+	FlagBlockIndep uint8 = 1 << 1
 )
 
 // DecompressParallel inflates a multi-frame LZ4 file with frame-level
@@ -46,143 +56,124 @@ func DecompressParallel(data []byte, threads int) ([]byte, error) {
 	return out, nil
 }
 
+// Codec is the LZ4 half of the shared span engine. LZ4 is the paper's
+// best case, degenerate in the right way: every frame header declares
+// its content size, so Scan is a pure header walk — zero sizing
+// decodes — and the whole checkpoint table comes from metadata.
+type Codec struct{}
+
+// FormatTag implements spanengine.Codec.
+func (Codec) FormatTag() string { return FormatTag }
+
+// Scan implements spanengine.Codec via ScanFrames (the §4.9 metadata
+// planning pass). It fails on anything ScanFrames cannot plan — in
+// particular frames that omit the content-size field.
+func (Codec) Scan(data []byte) (spanengine.ScanResult, error) {
+	frames, err := ScanFrames(data)
+	if err != nil {
+		return spanengine.ScanResult{}, err
+	}
+	res := spanengine.ScanResult{Flags: FlagBlockIndep}
+	for _, f := range frames {
+		if f.flg&flgBlockIndep == 0 {
+			res.Flags &^= FlagBlockIndep
+		}
+		if f.flg&(flgBlockCheck|flgContentCheck) != 0 {
+			res.Flags |= FlagChecksummed
+		}
+		res.Spans = append(res.Spans, spanengine.Span{
+			CompOff:    int64(f.Offset),
+			CompEnd:    int64(f.End),
+			DecompOff:  int64(f.ContentStart),
+			DecompSize: int64(f.ContentSize),
+		})
+	}
+	return res, nil
+}
+
+// DecodeSpan implements spanengine.Codec: one span is one frame,
+// inflated as a unit (dependent blocks decode fine — the frame is the
+// smallest seekable grain either way).
+func (Codec) DecodeSpan(data []byte, s spanengine.Span) ([]byte, error) {
+	out := make([]byte, s.DecompSize)
+	if err := decompressFrame(data[s.CompOff:s.CompEnd], out); err != nil {
+		return nil, fmt.Errorf("lz4x: frame at offset %d: %w", s.CompOff, err)
+	}
+	return out, nil
+}
+
 // Reader provides checkpointed random access into a (possibly
-// multi-frame) LZ4 file: the frame table from ScanFrames is the
-// checkpoint database — every frame header declares its content size,
-// so all decompressed extents are known without decoding anything —
-// and ReadAt inflates only the frames overlapping the request, keeping
-// recently used frame outputs in a small LRU cache.
-//
-// This is the LZ4 instantiation of the paper's chunk-fetcher pattern
-// (Figure 5), degenerate in the best way: where gzip needs speculative
-// two-stage decoding to discover chunk boundaries, the LZ4 frame
-// format hands the whole chunk table over for free.
+// multi-frame) LZ4 file, served by the shared span engine: the frame
+// table from ScanFrames (or a persisted index) is the checkpoint
+// database, and ReadAt inflates only the frames overlapping the
+// request, with the engine's LRU cache and prefetcher around it.
 //
 // All methods are safe for concurrent use.
 type Reader struct {
-	data    []byte
-	frames  []FrameInfo
-	size    int64
-	threads int
-	indep   bool // every frame flags block independence
-	checked bool // any frame carries block or content checksums
-
-	mu    sync.Mutex
-	cache *cache.Cache[int, []byte] // frame index -> decompressed content
+	eng *spanengine.Engine
 }
 
 // NewReader scans data and returns a random-access reader. It fails on
 // anything ScanFrames cannot plan — in particular frames that omit the
 // content-size field.
 func NewReader(data []byte, threads int) (*Reader, error) {
-	frames, err := ScanFrames(data)
+	return NewReaderConfig(data, spanengine.Config{Threads: threads})
+}
+
+// NewReaderConfig is NewReader with full engine tuning (cache size,
+// prefetch depth, strategy).
+func NewReaderConfig(data []byte, cfg spanengine.Config) (*Reader, error) {
+	eng, err := spanengine.New(data, Codec{}, cfg)
 	if err != nil {
 		return nil, err
 	}
-	if threads < 1 {
-		threads = 1
-	}
-	r := &Reader{
-		data:    data,
-		frames:  frames,
-		threads: threads,
-		indep:   true,
-		cache:   cache.NewLRUCache[int, []byte](max(2*threads, 4)),
-	}
-	for _, f := range frames {
-		if f.flg&flgBlockIndep == 0 {
-			r.indep = false
-		}
-		if f.flg&(flgBlockCheck|flgContentCheck) != 0 {
-			r.checked = true
-		}
-		r.size += int64(f.ContentSize)
-	}
-	return r, nil
+	return &Reader{eng: eng}, nil
 }
+
+// NewReaderFromCheckpoints builds a reader from a persisted checkpoint
+// table, skipping even the header walk.
+func NewReaderFromCheckpoints(data []byte, spans []spanengine.Span, flags uint8, cfg spanengine.Config) (*Reader, error) {
+	eng, err := spanengine.NewFromCheckpoints(data, Codec{}, spans, flags, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Reader{eng: eng}, nil
+}
+
+// Engine exposes the underlying span engine (stats, checkpoint export).
+func (r *Reader) Engine() *spanengine.Engine { return r.eng }
+
+// Close releases the engine's prefetch workers.
+func (r *Reader) Close() error { return r.eng.Close() }
 
 // Size returns the total decompressed size (known up front from the
 // frame headers).
-func (r *Reader) Size() int64 { return r.size }
+func (r *Reader) Size() int64 { return r.eng.Size() }
 
 // NumFrames returns the number of checkpoints (frames).
-func (r *Reader) NumFrames() int { return len(r.frames) }
+func (r *Reader) NumFrames() int { return r.eng.NumSpans() }
 
 // BlockIndependent reports whether every frame declares independent
 // blocks. Dependent blocks decode fine (the whole frame is always
 // inflated as a unit) but make the frame the smallest seekable grain.
-func (r *Reader) BlockIndependent() bool { return r.indep }
+func (r *Reader) BlockIndependent() bool { return r.eng.Flags()&FlagBlockIndep != 0 }
 
 // Checksummed reports whether any frame carries xxHash32 block or
 // content checksums, i.e. whether decoding verifies payload integrity.
-func (r *Reader) Checksummed() bool { return r.checked }
-
-// frameContent returns the decompressed content of frame i, serving it
-// from the LRU cache when possible. The decode itself runs outside the
-// lock so concurrent reads of different frames overlap on multiple
-// cores; two goroutines racing on the same frame duplicate work, not
-// results.
-func (r *Reader) frameContent(i int) ([]byte, error) {
-	r.mu.Lock()
-	if out, ok := r.cache.Get(i); ok {
-		r.mu.Unlock()
-		return out, nil
-	}
-	r.mu.Unlock()
-	f := r.frames[i]
-	out := make([]byte, f.ContentSize)
-	if err := decompressFrame(r.data[f.Offset:f.End], out); err != nil {
-		return nil, fmt.Errorf("lz4x: frame %d: %w", i, err)
-	}
-	r.mu.Lock()
-	r.cache.Put(i, out)
-	r.mu.Unlock()
-	return out, nil
-}
+func (r *Reader) Checksummed() bool { return r.eng.Flags()&FlagChecksummed != 0 }
 
 // NumChunks, ChunkExtent and ChunkContent expose the checkpoint table
 // generically (one chunk = one frame), so a consumer can pipeline
 // ordered sequential reads with parallel decodes.
-func (r *Reader) NumChunks() int { return len(r.frames) }
+func (r *Reader) NumChunks() int { return r.eng.NumSpans() }
 
 // ChunkExtent returns the decompressed offset and size of chunk i.
-func (r *Reader) ChunkExtent(i int) (off, size int64) {
-	return int64(r.frames[i].ContentStart), int64(r.frames[i].ContentSize)
-}
+func (r *Reader) ChunkExtent(i int) (off, size int64) { return r.eng.SpanExtent(i) }
 
 // ChunkContent returns the decompressed content of chunk i. The
-// returned slice is shared with the cache and must not be modified.
-func (r *Reader) ChunkContent(i int) ([]byte, error) { return r.frameContent(i) }
+// returned slice is shared with the engine's cache and must not be
+// modified.
+func (r *Reader) ChunkContent(i int) ([]byte, error) { return r.eng.SpanContent(i) }
 
 // ReadAt implements io.ReaderAt over the decompressed stream.
-func (r *Reader) ReadAt(p []byte, off int64) (int, error) {
-	if off < 0 {
-		return 0, fmt.Errorf("lz4x: negative offset %d", off)
-	}
-	n := 0
-	for n < len(p) {
-		if off >= r.size {
-			return n, io.EOF
-		}
-		// Last frame whose content starts at or before off. Frames with
-		// ContentSize 0 never cover any offset; skip past them.
-		i := sort.Search(len(r.frames), func(i int) bool {
-			return int64(r.frames[i].ContentStart) > off
-		}) - 1
-		for i < len(r.frames) && int64(r.frames[i].ContentStart+r.frames[i].ContentSize) <= off {
-			i++
-		}
-		if i < 0 || i >= len(r.frames) {
-			return n, io.EOF
-		}
-		out, err := r.frameContent(i)
-		if err != nil {
-			return n, err
-		}
-		within := off - int64(r.frames[i].ContentStart)
-		c := copy(p[n:], out[within:])
-		n += c
-		off += int64(c)
-	}
-	return n, nil
-}
+func (r *Reader) ReadAt(p []byte, off int64) (int, error) { return r.eng.ReadAt(p, off) }

@@ -1,0 +1,131 @@
+// Package xxhash implements the two xxHash variants the compressed
+// formats here rely on: the LZ4 frame format checks headers, blocks and
+// content with xxHash32, and the Zstandard frame format stores the low
+// 32 bits of an xxHash64 as its content checksum. One package owns both
+// so the backends cannot drift apart on the shared prime/mix scheme.
+package xxhash
+
+import (
+	"encoding/binary"
+	"math/bits"
+)
+
+// xxHash32 primes.
+const (
+	prime32x1 = 2654435761
+	prime32x2 = 2246822519
+	prime32x3 = 3266489917
+	prime32x4 = 668265263
+	prime32x5 = 374761393
+)
+
+func round32(acc, input uint32) uint32 {
+	return bits.RotateLeft32(acc+input*prime32x2, 13) * prime32x1
+}
+
+// Sum32 computes the 32-bit xxHash of data with the given seed.
+func Sum32(data []byte, seed uint32) uint32 {
+	n := len(data)
+	var h uint32
+	p := 0
+	if n >= 16 {
+		v1 := seed + prime32x1 + prime32x2
+		v2 := seed + prime32x2
+		v3 := seed
+		v4 := seed - prime32x1
+		for p+16 <= n {
+			v1 = round32(v1, binary.LittleEndian.Uint32(data[p:]))
+			v2 = round32(v2, binary.LittleEndian.Uint32(data[p+4:]))
+			v3 = round32(v3, binary.LittleEndian.Uint32(data[p+8:]))
+			v4 = round32(v4, binary.LittleEndian.Uint32(data[p+12:]))
+			p += 16
+		}
+		h = bits.RotateLeft32(v1, 1) + bits.RotateLeft32(v2, 7) +
+			bits.RotateLeft32(v3, 12) + bits.RotateLeft32(v4, 18)
+	} else {
+		h = seed + prime32x5
+	}
+	h += uint32(n)
+	for p+4 <= n {
+		h += binary.LittleEndian.Uint32(data[p:]) * prime32x3
+		h = bits.RotateLeft32(h, 17) * prime32x4
+		p += 4
+	}
+	for p < n {
+		h += uint32(data[p]) * prime32x5
+		h = bits.RotateLeft32(h, 11) * prime32x1
+		p++
+	}
+	h ^= h >> 15
+	h *= prime32x2
+	h ^= h >> 13
+	h *= prime32x3
+	h ^= h >> 16
+	return h
+}
+
+// xxHash64 primes.
+const (
+	prime64x1 = 0x9E3779B185EBCA87
+	prime64x2 = 0xC2B2AE3D27D4EB4F
+	prime64x3 = 0x165667B19E3779F9
+	prime64x4 = 0x85EBCA77C2B2AE63
+	prime64x5 = 0x27D4EB2F165667C5
+)
+
+func round64(acc, v uint64) uint64 {
+	acc += v * prime64x2
+	return bits.RotateLeft64(acc, 31) * prime64x1
+}
+
+func merge64(h, v uint64) uint64 {
+	h ^= round64(0, v)
+	return h*prime64x1 + prime64x4
+}
+
+// Sum64 computes the 64-bit xxHash of data with the given seed.
+func Sum64(data []byte, seed uint64) uint64 {
+	n := len(data)
+	var h uint64
+	p := 0
+	if n >= 32 {
+		v1 := seed + prime64x1 + prime64x2
+		v2 := seed + prime64x2
+		v3 := seed
+		v4 := seed - prime64x1
+		for ; p+32 <= n; p += 32 {
+			v1 = round64(v1, binary.LittleEndian.Uint64(data[p:]))
+			v2 = round64(v2, binary.LittleEndian.Uint64(data[p+8:]))
+			v3 = round64(v3, binary.LittleEndian.Uint64(data[p+16:]))
+			v4 = round64(v4, binary.LittleEndian.Uint64(data[p+24:]))
+		}
+		h = bits.RotateLeft64(v1, 1) + bits.RotateLeft64(v2, 7) +
+			bits.RotateLeft64(v3, 12) + bits.RotateLeft64(v4, 18)
+		h = merge64(h, v1)
+		h = merge64(h, v2)
+		h = merge64(h, v3)
+		h = merge64(h, v4)
+	} else {
+		h = seed + prime64x5
+	}
+	h += uint64(n)
+	for ; p+8 <= n; p += 8 {
+		h ^= round64(0, binary.LittleEndian.Uint64(data[p:]))
+		h = bits.RotateLeft64(h, 27)*prime64x1 + prime64x4
+	}
+	if p+4 <= n {
+		h ^= uint64(binary.LittleEndian.Uint32(data[p:])) * prime64x1
+		h = bits.RotateLeft64(h, 23)*prime64x2 + prime64x3
+		p += 4
+	}
+	for ; p < n; p++ {
+		h ^= uint64(data[p]) * prime64x5
+		h = bits.RotateLeft64(h, 11) * prime64x1
+	}
+	h ^= h >> 33
+	h *= prime64x2
+	h ^= h >> 29
+	h *= prime64x3
+	h ^= h >> 32
+	return h
+}

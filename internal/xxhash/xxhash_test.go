@@ -1,0 +1,68 @@
+package xxhash
+
+import "testing"
+
+// TestSum32Vectors pins the reference test vectors of the xxHash spec
+// (the same values the LZ4 frame tests relied on before the
+// implementations were merged here).
+func TestSum32Vectors(t *testing.T) {
+	if got := Sum32(nil, 0); got != 0x02CC5D05 {
+		t.Fatalf("Sum32(\"\") = %#08x, want 0x02CC5D05", got)
+	}
+	if a, b := Sum32([]byte("abc"), 0), Sum32([]byte("abd"), 0); a == b {
+		t.Fatal("Sum32 collision on near-identical inputs")
+	}
+	if a, b := Sum32([]byte("abc"), 0), Sum32([]byte("abc"), 1); a == b {
+		t.Fatal("seed has no effect on Sum32")
+	}
+	// Cross-check every length class (striped 16-byte lanes, 4-byte
+	// tail, byte tail) against the incremental property: a prefix's
+	// hash must differ from the full input's.
+	data := make([]byte, 64)
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	seen := map[uint32]int{}
+	for n := 0; n <= len(data); n++ {
+		h := Sum32(data[:n], 0)
+		if prev, dup := seen[h]; dup {
+			t.Fatalf("Sum32 collision between lengths %d and %d", prev, n)
+		}
+		seen[h] = n
+	}
+}
+
+// TestSum64Vectors pins the xxHash64 reference vectors (the values the
+// Zstandard content-checksum tests relied on).
+func TestSum64Vectors(t *testing.T) {
+	cases := []struct {
+		in   string
+		want uint64
+	}{
+		{"", 0xEF46DB3751D8E999},
+		{"a", 0xD24EC4F1A98C6E5B},
+		{"abc", 0x44BC2CF5AD770999},
+		{"Nobody inspects the spammish repetition", 0xFBCEA83C8A378BF1},
+	}
+	for _, c := range cases {
+		if got := Sum64([]byte(c.in), 0); got != c.want {
+			t.Errorf("Sum64(%q) = %#x, want %#x", c.in, got, c.want)
+		}
+	}
+	if a, b := Sum64([]byte("abc"), 0), Sum64([]byte("abc"), 1); a == b {
+		t.Fatal("seed has no effect on Sum64")
+	}
+	// Exercise the 32-byte striped path plus every tail length.
+	data := make([]byte, 100)
+	for i := range data {
+		data[i] = byte(i * 13)
+	}
+	seen := map[uint64]int{}
+	for n := 0; n <= len(data); n++ {
+		h := Sum64(data[:n], 0)
+		if prev, dup := seen[h]; dup {
+			t.Fatalf("Sum64 collision between lengths %d and %d", prev, n)
+		}
+		seen[h] = n
+	}
+}

@@ -3,6 +3,8 @@ package zstdx
 import (
 	"encoding/binary"
 	"math/bits"
+
+	"repro/internal/xxhash"
 )
 
 // FrameOptions configures CompressFrames.
@@ -129,7 +131,7 @@ func appendFrame(out, content []byte, opts FrameOptions) []byte {
 		}
 	}
 	if opts.ContentChecksum {
-		out = binary.LittleEndian.AppendUint32(out, uint32(XXH64(content, 0)))
+		out = binary.LittleEndian.AppendUint32(out, uint32(xxhash.Sum64(content, 0)))
 	}
 	return out
 }

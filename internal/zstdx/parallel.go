@@ -2,12 +2,24 @@ package zstdx
 
 import (
 	"fmt"
-	"io"
-	"sort"
-	"sync"
 
-	"repro/internal/cache"
 	"repro/internal/pool"
+	"repro/internal/spanengine"
+)
+
+// FormatTag identifies Zstandard checkpoint tables in persisted
+// indexes.
+const FormatTag = "zstd"
+
+// Codec capability flags persisted alongside the checkpoint table.
+const (
+	// FlagChecksummed marks files whose every data frame carries an
+	// xxHash64 content checksum, i.e. every decode verifies integrity.
+	FlagChecksummed uint8 = 1 << 0
+	// FlagMetadataSized marks files whose every frame header declared
+	// its content size — the checkpoint table came from metadata alone
+	// (§4.9's trivially parallelizable shape).
+	FlagMetadataSized uint8 = 1 << 1
 )
 
 // DecompressParallel inflates a multi-frame Zstandard file with
@@ -49,166 +61,165 @@ func DecompressParallel(data []byte, threads int) ([]byte, error) {
 	return out, nil
 }
 
+// Codec is the Zstandard half of the shared span engine. When every
+// frame declares its content size, Scan is a pure header-and-block
+// walk (zero sizing decodes — the §4.9 metadata fast path); frames
+// without one force a sequential sizing decode, whose outputs prime
+// the engine cache so small files do not pay twice.
+type Codec struct {
+	// Skippable is set by Scan: the count of skippable frames the scan
+	// ignored (they carry no content).
+	Skippable int
+}
+
+// FormatTag implements spanengine.Codec.
+func (*Codec) FormatTag() string { return FormatTag }
+
+// Scan implements spanengine.Codec via ScanFrames plus a sizing decode
+// for every frame that omits its content size.
+func (c *Codec) Scan(data []byte) (spanengine.ScanResult, error) {
+	scan, err := ScanFrames(data)
+	if err != nil {
+		return spanengine.ScanResult{}, err
+	}
+	c.Skippable = scan.Skippable
+	res := spanengine.ScanResult{}
+	if scan.Sized {
+		res.Flags |= FlagMetadataSized
+	}
+	if len(scan.Frames) > 0 {
+		res.Flags |= FlagChecksummed
+	}
+	for _, f := range scan.Frames {
+		if !f.HasChecksum {
+			res.Flags &^= FlagChecksummed
+		}
+	}
+	var decomp int64
+	for i, f := range scan.Frames {
+		size := int64(f.ContentSize)
+		if f.ContentSize < 0 {
+			// Sizing pass: decode the unsized frame once to pin down its
+			// decompressed extent, handing the content to the engine so
+			// it lands in the span cache.
+			content, err := decodeFrame(data[f.Offset:f.End])
+			if err != nil {
+				return spanengine.ScanResult{}, fmt.Errorf("zstdx: sizing frame %d: %w", i, err)
+			}
+			size = int64(len(content))
+			res.SizingDecodes++
+			if res.Primed == nil {
+				res.Primed = map[int][]byte{}
+			}
+			res.Primed[i] = content
+		}
+		res.Spans = append(res.Spans, spanengine.Span{
+			CompOff:    int64(f.Offset),
+			CompEnd:    int64(f.End),
+			DecompOff:  decomp,
+			DecompSize: size,
+		})
+		decomp += size
+	}
+	return res, nil
+}
+
+// DecodeSpan implements spanengine.Codec: one span is one data frame,
+// verified against its content checksum when present. (The engine
+// checks the decoded length against the table.)
+func (*Codec) DecodeSpan(data []byte, s spanengine.Span) ([]byte, error) {
+	out, err := decodeFrame(data[s.CompOff:s.CompEnd])
+	if err != nil {
+		return nil, fmt.Errorf("zstdx: frame at offset %d: %w", s.CompOff, err)
+	}
+	return out, nil
+}
+
 // Reader provides checkpointed random access into a (possibly
-// multi-frame) Zstandard file. The frame table from ScanFrames is the
-// checkpoint database; when every frame declares its content size the
-// table is complete without decoding anything — the metadata fast path
-// of §4.9 — and otherwise a sequential sizing pass decodes each
-// unsized frame once on open (their contents prime the cache). ReadAt
-// then inflates only the frames overlapping the request, keeping
-// recent frame outputs in a small LRU span cache.
+// multi-frame) Zstandard file, served by the shared span engine. The
+// frame table from ScanFrames is the checkpoint database; when every
+// frame declares its content size the table is complete without
+// decoding anything — the metadata fast path of §4.9 — and otherwise a
+// sequential sizing pass decodes each unsized frame once on open
+// (their contents prime the cache). A reader built from a persisted
+// checkpoint table skips even that: the index already carries every
+// extent, so unsized files become seekable and parallel on reopen.
 //
 // All methods are safe for concurrent use.
 type Reader struct {
-	data      []byte
-	frames    []FrameInfo
-	size      int64
-	threads   int
-	sized     bool
-	checked   bool // every data frame carries a content checksum
+	eng       *spanengine.Engine
 	skippable int
-
-	mu    sync.Mutex
-	cache *cache.Cache[int, []byte] // frame index -> decompressed content
+	fromIndex bool
 }
 
 // NewReader scans data and returns a random-access reader. Frames
 // without a content size force a sequential sizing decode here, and
 // demote the Sized (parallel-plannable) capability.
 func NewReader(data []byte, threads int) (*Reader, error) {
-	scan, err := ScanFrames(data)
+	return NewReaderConfig(data, spanengine.Config{Threads: threads})
+}
+
+// NewReaderConfig is NewReader with full engine tuning (cache size,
+// prefetch depth, strategy).
+func NewReaderConfig(data []byte, cfg spanengine.Config) (*Reader, error) {
+	codec := &Codec{}
+	eng, err := spanengine.New(data, codec, cfg)
 	if err != nil {
 		return nil, err
 	}
-	if threads < 1 {
-		threads = 1
-	}
-	r := &Reader{
-		data:      data,
-		frames:    scan.Frames,
-		threads:   threads,
-		sized:     scan.Sized,
-		checked:   len(scan.Frames) > 0,
-		skippable: scan.Skippable,
-		cache:     cache.NewLRUCache[int, []byte](max(2*threads, 4)),
-	}
-	for _, f := range scan.Frames {
-		if !f.HasChecksum {
-			r.checked = false
-		}
-	}
-	if !r.sized {
-		// Sizing pass: decode every unsized frame once to pin down the
-		// decompressed extents; contents land in the LRU so small files
-		// do not pay twice.
-		contentPos := 0
-		for i := range r.frames {
-			f := &r.frames[i]
-			f.ContentStart = contentPos
-			if f.ContentSize < 0 {
-				content, err := decodeFrame(data[f.Offset:f.End])
-				if err != nil {
-					return nil, fmt.Errorf("zstdx: sizing frame %d: %w", i, err)
-				}
-				f.ContentSize = len(content)
-				r.cache.Put(i, content)
-			}
-			contentPos += f.ContentSize
-		}
-	}
-	for _, f := range r.frames {
-		r.size += int64(f.ContentSize)
-	}
-	return r, nil
+	return &Reader{eng: eng, skippable: codec.Skippable}, nil
 }
 
+// NewReaderFromCheckpoints builds a reader from a persisted checkpoint
+// table, skipping the scan (and any sizing decodes) entirely.
+func NewReaderFromCheckpoints(data []byte, spans []spanengine.Span, flags uint8, cfg spanengine.Config) (*Reader, error) {
+	eng, err := spanengine.NewFromCheckpoints(data, &Codec{}, spans, flags, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Reader{eng: eng, fromIndex: true}, nil
+}
+
+// Engine exposes the underlying span engine (stats, checkpoint export).
+func (r *Reader) Engine() *spanengine.Engine { return r.eng }
+
+// Close releases the engine's prefetch workers.
+func (r *Reader) Close() error { return r.eng.Close() }
+
 // Size returns the total decompressed size.
-func (r *Reader) Size() int64 { return r.size }
+func (r *Reader) Size() int64 { return r.eng.Size() }
 
 // NumFrames returns the number of checkpoints (data frames).
-func (r *Reader) NumFrames() int { return len(r.frames) }
+func (r *Reader) NumFrames() int { return r.eng.NumSpans() }
 
 // NumSkippable returns the count of skippable frames the scan ignored.
+// Readers built from a persisted checkpoint table never scanned and
+// report zero.
 func (r *Reader) NumSkippable() int { return r.skippable }
 
-// Sized reports whether every frame header declared its content size,
-// i.e. whether the checkpoint table came from metadata alone. Unsized
-// files still read correctly but cost a sequential decode on open, so
+// Sized reports whether the checkpoint table is complete metadata: every
+// frame header declared its content size, or the table was imported
+// from an index (which stores every extent). Files that are not Sized
+// still read correctly but cost a sequential decode on open, so
 // consumers should not advertise them as parallel or random-access.
-func (r *Reader) Sized() bool { return r.sized }
+func (r *Reader) Sized() bool { return r.fromIndex || r.eng.Flags()&FlagMetadataSized != 0 }
 
 // Checksummed reports whether every data frame carries an xxHash64
 // content checksum, i.e. whether every decode verifies integrity.
-func (r *Reader) Checksummed() bool { return r.checked }
-
-// frameContent returns the decompressed content of frame i, serving it
-// from the LRU cache when possible. The decode runs outside the lock
-// so concurrent reads of different frames overlap on multiple cores;
-// two goroutines racing on the same frame duplicate work, not results.
-func (r *Reader) frameContent(i int) ([]byte, error) {
-	r.mu.Lock()
-	if out, ok := r.cache.Get(i); ok {
-		r.mu.Unlock()
-		return out, nil
-	}
-	r.mu.Unlock()
-	f := r.frames[i]
-	out, err := decodeFrame(r.data[f.Offset:f.End])
-	if err != nil {
-		return nil, fmt.Errorf("zstdx: frame %d: %w", i, err)
-	}
-	if len(out) != f.ContentSize {
-		return nil, fmt.Errorf("%w: frame %d decoded %d bytes, expected %d", ErrCorrupt, i, len(out), f.ContentSize)
-	}
-	r.mu.Lock()
-	r.cache.Put(i, out)
-	r.mu.Unlock()
-	return out, nil
-}
+func (r *Reader) Checksummed() bool { return r.eng.Flags()&FlagChecksummed != 0 }
 
 // NumChunks, ChunkExtent and ChunkContent expose the checkpoint table
 // generically (one chunk = one frame), so a consumer can pipeline
 // ordered sequential reads with parallel decodes.
-func (r *Reader) NumChunks() int { return len(r.frames) }
+func (r *Reader) NumChunks() int { return r.eng.NumSpans() }
 
 // ChunkExtent returns the decompressed offset and size of chunk i.
-func (r *Reader) ChunkExtent(i int) (off, size int64) {
-	return int64(r.frames[i].ContentStart), int64(r.frames[i].ContentSize)
-}
+func (r *Reader) ChunkExtent(i int) (off, size int64) { return r.eng.SpanExtent(i) }
 
 // ChunkContent returns the decompressed content of chunk i. The
-// returned slice is shared with the cache and must not be modified.
-func (r *Reader) ChunkContent(i int) ([]byte, error) { return r.frameContent(i) }
+// returned slice is shared with the engine's cache and must not be
+// modified.
+func (r *Reader) ChunkContent(i int) ([]byte, error) { return r.eng.SpanContent(i) }
 
 // ReadAt implements io.ReaderAt over the decompressed stream.
-func (r *Reader) ReadAt(p []byte, off int64) (int, error) {
-	if off < 0 {
-		return 0, fmt.Errorf("zstdx: negative offset %d", off)
-	}
-	n := 0
-	for n < len(p) {
-		if off >= r.size {
-			return n, io.EOF
-		}
-		// Last frame starting at or before off; frames with zero
-		// content never cover an offset, so skip past them.
-		i := sort.Search(len(r.frames), func(i int) bool {
-			return int64(r.frames[i].ContentStart) > off
-		}) - 1
-		for i < len(r.frames) && int64(r.frames[i].ContentStart+r.frames[i].ContentSize) <= off {
-			i++
-		}
-		if i < 0 || i >= len(r.frames) {
-			return n, io.EOF
-		}
-		out, err := r.frameContent(i)
-		if err != nil {
-			return n, err
-		}
-		within := off - int64(r.frames[i].ContentStart)
-		c := copy(p[n:], out[within:])
-		n += c
-		off += int64(c)
-	}
-	return n, nil
-}
+func (r *Reader) ReadAt(p []byte, off int64) (int, error) { return r.eng.ReadAt(p, off) }

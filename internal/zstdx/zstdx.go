@@ -16,6 +16,8 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+
+	"repro/internal/xxhash"
 )
 
 // FrameMagic introduces every Zstandard frame.
@@ -293,7 +295,7 @@ func decodeFrame(data []byte) ([]byte, error) {
 		if p+4 > len(data) {
 			return nil, errCorrupt("truncated content checksum")
 		}
-		if uint32(XXH64(out, 0)) != binary.LittleEndian.Uint32(data[p:]) {
+		if uint32(xxhash.Sum64(out, 0)) != binary.LittleEndian.Uint32(data[p:]) {
 			return nil, ErrChecksum
 		}
 	}

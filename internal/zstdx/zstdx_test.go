@@ -14,27 +14,6 @@ import (
 	"repro/internal/workloads"
 )
 
-func TestXXH64Vectors(t *testing.T) {
-	cases := []struct {
-		in   string
-		want uint64
-	}{
-		{"", 0xEF46DB3751D8E999},
-		{"a", 0xD24EC4F1A98C6E5B},
-		{"abc", 0x44BC2CF5AD770999},
-		{"Nobody inspects the spammish repetition", 0xFBCEA83C8A378BF1},
-	}
-	for _, c := range cases {
-		if got := XXH64([]byte(c.in), 0); got != c.want {
-			t.Errorf("XXH64(%q) = %#x, want %#x", c.in, got, c.want)
-		}
-	}
-}
-
-// Fixtures in testdata were produced by the reference zstd CLI from
-// deterministic workloads; decoding them locks interoperability without
-// needing the binary at test time.
-
 func TestDecodeRealMultiFrame(t *testing.T) {
 	comp, err := os.ReadFile("testdata/real-multiframe.zst")
 	if err != nil {

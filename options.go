@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/prefetch"
+	"repro/internal/spanengine"
 )
 
 // Options tunes a Reader. The zero value is ready to use.
@@ -42,6 +43,21 @@ type Options struct {
 	Strategy string
 }
 
+// strategyFor maps a strategy name to a fresh prefetch.Strategy
+// instance (strategies are stateful, so every reader needs its own).
+// nil means "the backend's default" (adaptive).
+func strategyFor(name string) (prefetch.Strategy, error) {
+	switch name {
+	case "", "adaptive":
+		return nil, nil
+	case "fixed":
+		return prefetch.NewFixed(), nil
+	case "multistream":
+		return prefetch.NewMultiStream(), nil
+	}
+	return nil, fmt.Errorf("rapidgzip: unknown prefetch strategy %q (want adaptive, fixed or multistream)", name)
+}
+
 func (o Options) toCore() (core.Config, error) {
 	cfg := core.Config{
 		Parallelism:     o.Parallelism,
@@ -53,17 +69,34 @@ func (o Options) toCore() (core.Config, error) {
 	if cfg.Parallelism == 0 {
 		cfg.Parallelism = runtime.NumCPU()
 	}
-	switch o.Strategy {
-	case "", "adaptive":
-		// core defaults to adaptive.
-	case "fixed":
-		cfg.Strategy = prefetch.NewFixed()
-	case "multistream":
-		cfg.Strategy = prefetch.NewMultiStream()
-	default:
-		return core.Config{}, fmt.Errorf("rapidgzip: unknown prefetch strategy %q (want adaptive, fixed or multistream)", o.Strategy)
+	strat, err := strategyFor(o.Strategy)
+	if err != nil {
+		return core.Config{}, err
 	}
+	cfg.Strategy = strat // nil = core defaults to adaptive
 	return cfg, nil
+}
+
+// toEngine builds the span-engine configuration the bzip2/LZ4/zstd
+// backends run with — the same knobs as the gzip core, applied to the
+// shared engine: Parallelism sizes the worker pool, MaxPrefetch bounds
+// in-flight speculative span decodes, AccessCacheSize caps the span
+// cache, Strategy picks the prefetcher.
+func (o Options) toEngine() (spanengine.Config, error) {
+	strat, err := strategyFor(o.Strategy)
+	if err != nil {
+		return spanengine.Config{}, err
+	}
+	threads := o.Parallelism
+	if threads == 0 {
+		threads = runtime.NumCPU()
+	}
+	return spanengine.Config{
+		Threads:     threads,
+		CacheSize:   o.AccessCacheSize,
+		MaxPrefetch: o.MaxPrefetch,
+		Strategy:    strat,
+	}, nil
 }
 
 // config is the resolved configuration an Open call operates with.
@@ -125,8 +158,8 @@ func WithVerify(v bool) Option {
 	}
 }
 
-// WithMaxPrefetch bounds the number of speculative chunk decodes in
-// flight (gzip/BGZF only). Zero selects the default.
+// WithMaxPrefetch bounds the number of speculative chunk (or span)
+// decodes in flight, for every format. Zero selects the default.
 func WithMaxPrefetch(n int) Option {
 	return func(c *config) error {
 		if n < 0 {
@@ -137,8 +170,8 @@ func WithMaxPrefetch(n int) Option {
 	}
 }
 
-// WithAccessCacheSize sets the accessed-chunk cache capacity
-// (gzip/BGZF only). Zero selects the default.
+// WithAccessCacheSize sets the accessed-chunk cache capacity (the span
+// cache, for bzip2/LZ4/zstd). Zero selects the default.
 func WithAccessCacheSize(n int) Option {
 	return func(c *config) error {
 		if n < 0 {
@@ -150,8 +183,10 @@ func WithAccessCacheSize(n int) Option {
 }
 
 // WithStrategy selects the prefetch strategy by name: "adaptive" (the
-// default), "fixed", or "multistream". Unknown names fail here, at
-// option time — not silently at some later decode.
+// default), "fixed", or "multistream". It applies to every format —
+// the gzip/BGZF chunk fetcher and the span engine behind bzip2/LZ4/
+// zstd consult the same strategy interface. Unknown names fail here,
+// at option time — not silently at some later decode.
 func WithStrategy(name string) Option {
 	return func(c *config) error {
 		probe := Options{Strategy: name}
@@ -179,10 +214,13 @@ func WithFormat(f Format) Option {
 	}
 }
 
-// WithIndexFile imports the seek-point index at path during Open,
-// making the reader fully indexed from the start (the paper's
-// "(index)" mode). It implies WithoutIndexDiscovery and is only valid
-// for formats whose Capabilities report Index support.
+// WithIndexFile imports the index at path during Open, making the
+// reader fully indexed from the start (the paper's "(index)" mode):
+// seek points with windows for gzip/BGZF, the checkpoint table for
+// bzip2/LZ4/zstd — either way the initial scan or sizing pass is
+// skipped entirely. It implies WithoutIndexDiscovery. The index must
+// match the opened file (format tag, compressed size and source
+// fingerprint are all enforced).
 func WithIndexFile(path string) Option {
 	return func(c *config) error {
 		if path == "" {

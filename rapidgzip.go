@@ -1,7 +1,8 @@
 // Package rapidgzip provides parallel decompression of, and constant-
 // time random access ("seeking") into, compressed files — gzip first
-// and foremost, plus the BGZF, bzip2 and LZ4 instantiations of the
-// same chunk-fetcher architecture.
+// and foremost, plus BGZF, bzip2, LZ4 and Zstandard instantiations of
+// the same cache-plus-prefetch chunk-fetcher architecture (the
+// non-gzip formats share one engine, internal/spanengine).
 //
 // It is a from-scratch Go reproduction of the system described in
 // "Rapidgzip: Parallel Decompression and Seeking in Gzip Files Using
@@ -16,7 +17,7 @@
 // started at a false positive.
 //
 // Basic usage — Open sniffs the format from the content, so the same
-// call handles gzip, BGZF, bzip2 and LZ4:
+// call handles gzip, BGZF, bzip2, LZ4 and zstd:
 //
 //	f, err := rapidgzip.Open("big.tar.gz")
 //	if err != nil { ... }
@@ -48,12 +49,81 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/filereader"
+	"repro/internal/spanengine"
 	"repro/internal/tarfs"
 )
 
-// Stats counts fetcher activity: speculative decodes issued, false
-// starts discarded, on-demand decodes, and chunks consumed.
-type Stats = core.FetcherStats
+// Stats counts backend activity. The gzip/BGZF chunk fetcher fills the
+// speculative-decode counters; the span engine behind bzip2/LZ4/zstd
+// fills the sizing/span/prefetch counters. Either way, zeros mean the
+// machinery genuinely never ran — an index import is visible as
+// FinderProbes == 0 (gzip) or SizingPasses == 0 (span formats).
+type Stats struct {
+	// --- gzip/BGZF chunk fetcher -------------------------------------
+	GuessTasks       uint64
+	GuessNoBlock     uint64
+	GuessFalseStarts uint64
+	// FinderProbes counts block-finder candidate probes across all
+	// speculative tasks. It stays exactly zero when a complete index
+	// was imported: known chunk offsets make the finder unnecessary.
+	FinderProbes    uint64
+	OnDemandDecodes uint64
+	IndexedDecodes  uint64
+	// DelegatedDecodes counts indexed chunk decodes served by the
+	// stdlib-delegation fast path (§3.3).
+	DelegatedDecodes uint64
+	ChunksConsumed   uint64
+	CRCFailures      uint64
+
+	// --- span engine (bzip2, LZ4, zstd) ------------------------------
+	// SizingPasses counts codec sizing scans (0 after an index import,
+	// 1 after a cold open).
+	SizingPasses uint64
+	// SizingDecodes counts full span decodes the sizing pass needed
+	// (bzip2 decodes everything once; LZ4 and sized zstd need none).
+	SizingDecodes uint64
+	// SpanDecodes counts span decodes after construction, on-demand
+	// and prefetched alike.
+	SpanDecodes uint64
+	// PrefetchProposed counts strategy proposals before filtering
+	// (deterministic per access sequence); PrefetchIssued counts
+	// speculative span decodes actually dispatched; PrefetchJoined
+	// counts accesses that joined one instead of decoding.
+	PrefetchProposed, PrefetchIssued, PrefetchJoined uint64
+	// SpanCacheHits / SpanCacheMisses / SpanCacheEvictions mirror the
+	// engine's span cache.
+	SpanCacheHits, SpanCacheMisses, SpanCacheEvictions uint64
+}
+
+// coreStats maps the gzip fetcher's counters into the public Stats.
+func coreStats(s core.FetcherStats) Stats {
+	return Stats{
+		GuessTasks:       s.GuessTasks,
+		GuessNoBlock:     s.GuessNoBlock,
+		GuessFalseStarts: s.GuessFalseStarts,
+		FinderProbes:     s.FinderProbes,
+		OnDemandDecodes:  s.OnDemandDecodes,
+		IndexedDecodes:   s.IndexedDecodes,
+		DelegatedDecodes: s.DelegatedDecodes,
+		ChunksConsumed:   s.ChunksConsumed,
+		CRCFailures:      s.CRCFailures,
+	}
+}
+
+// engineStats maps a span engine's counters into the public Stats.
+func engineStats(s spanengine.Stats) Stats {
+	return Stats{
+		SizingPasses:       s.SizingPasses,
+		SizingDecodes:      s.SizingDecodes,
+		SpanDecodes:        s.SpanDecodes,
+		PrefetchProposed:   s.PrefetchProposed,
+		PrefetchIssued:     s.PrefetchIssued,
+		PrefetchJoined:     s.PrefetchJoined,
+		SpanCacheHits:      s.CacheHits,
+		SpanCacheMisses:    s.CacheMisses,
+		SpanCacheEvictions: s.Evictions,
+	}
+}
 
 // Reader decompresses a gzip (or BGZF) file in parallel. It implements
 // Archive; all methods are safe for concurrent use.
@@ -226,17 +296,18 @@ func (r *Reader) ExportIndex(w io.Writer) error { return r.pr.ExportIndex(w) }
 func (r *Reader) ImportIndex(rd io.Reader) error { return r.pr.ImportIndex(rd) }
 
 // Stats returns a snapshot of fetcher activity counters.
-func (r *Reader) Stats() Stats { return r.pr.FetcherStats() }
+func (r *Reader) Stats() Stats { return coreStats(r.pr.FetcherStats()) }
 
 // Format reports the container format this reader decodes (FormatGzip
 // or FormatBGZF).
 func (r *Reader) Format() Format { return r.format }
 
 // Capabilities reports the gzip backend's full feature set: seekable,
-// constant-time random access once indexed, parallel decompression,
-// index export/import, and opt-in CRC verification.
+// constant-time random access once indexed, parallel decompression
+// with strategy-driven prefetching, index export/import, and opt-in
+// CRC verification.
 func (r *Reader) Capabilities() Capabilities {
-	return Capabilities{Seek: true, RandomAccess: true, Parallel: true, Index: true, Verify: true}
+	return Capabilities{Seek: true, RandomAccess: true, Parallel: true, Index: true, Verify: true, Prefetch: true}
 }
 
 // CRCVerified reports whether sequential CRC verification is still

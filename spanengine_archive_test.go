@@ -1,0 +1,263 @@
+package rapidgzip
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/bzip2x"
+	"repro/internal/gzipw"
+	"repro/internal/lz4x"
+	"repro/internal/workloads"
+	"repro/internal/zstdx"
+)
+
+// spanFixtures builds one multi-chunk fixture per non-gzip format from
+// the same corpus (gzip itself is covered by the core tests).
+func spanFixtures(t *testing.T, data []byte) map[Format][]byte {
+	t.Helper()
+	bgzf, _, err := gzipw.Compress(data, gzipw.Options{Level: 6, BGZF: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bz, err := bzip2x.Compress(data, bzip2x.WriterOptions{Level: 1, StreamSize: 64 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[Format][]byte{
+		FormatBGZF:  bgzf,
+		FormatBzip2: bz,
+		FormatLZ4:   lz4x.CompressFrames(data, lz4x.FrameOptions{FrameSize: 64 << 10, ContentChecksum: true}),
+		FormatZstd:  zstdx.CompressFrames(data, zstdx.FrameOptions{Level: 1, FrameSize: 64 << 10, ContentChecksum: true}),
+	}
+}
+
+// TestStrategyHonoredPerFormat is the WithStrategy regression test:
+// before the span engine, the option silently did nothing for
+// bzip2/LZ4/zstd archives. Now every format must (a) reject unknown
+// names at option time, (b) accept every valid name, and (c) actually
+// route the chosen strategy into the backend — observable because
+// Fixed keeps proposing the full prefetch degree on random access
+// while Adaptive resets, so the same jumpy access pattern issues
+// strictly more prefetches under "fixed".
+func TestStrategyHonoredPerFormat(t *testing.T) {
+	data := workloads.Base64(600_000, 21)
+	for format, comp := range spanFixtures(t, data) {
+		t.Run(format.String(), func(t *testing.T) {
+			if _, err := OpenBytes(comp, WithStrategy("bogus")); err == nil {
+				t.Fatal("unknown strategy accepted")
+			}
+			for _, name := range []string{"", "adaptive", "fixed", "multistream"} {
+				a, err := OpenBytes(comp, WithStrategy(name), WithParallelism(2))
+				if err != nil {
+					t.Fatalf("strategy %q rejected: %v", name, err)
+				}
+				buf := make([]byte, 100)
+				if _, err := a.ReadAt(buf, 1000); err != nil {
+					t.Fatalf("strategy %q: ReadAt: %v", name, err)
+				}
+				a.Close()
+			}
+			if format == FormatBGZF {
+				// The gzip core has no per-strategy issue counter to
+				// compare; option plumbing is covered above.
+				return
+			}
+
+			// Jumpy access pattern: every access breaks the sequential
+			// streak, so Adaptive stays at degree 2 while Fixed proposes
+			// the full MaxPrefetch each time. PrefetchProposed counts
+			// raw strategy proposals, so it is deterministic regardless
+			// of decode timing or worker-slot availability.
+			issued := map[string]uint64{}
+			for _, name := range []string{"adaptive", "fixed"} {
+				a, err := OpenBytes(comp,
+					WithStrategy(name), WithParallelism(2), WithMaxPrefetch(8))
+				if err != nil {
+					t.Fatal(err)
+				}
+				buf := make([]byte, 10)
+				step := int64(64 << 10)
+				for i := 0; i < 4; i++ {
+					for _, off := range []int64{int64(i) * step, int64(i)*step + 4*step} {
+						if off >= int64(len(data)) {
+							continue
+						}
+						if _, err := a.ReadAt(buf, off); err != nil {
+							t.Fatalf("%s: ReadAt(%d): %v", name, off, err)
+						}
+					}
+				}
+				issued[name] = a.Stats().PrefetchProposed
+				a.Close()
+			}
+			if issued["fixed"] <= issued["adaptive"] {
+				t.Fatalf("fixed strategy proposed %d prefetches, adaptive %d — WithStrategy is not reaching the %v engine",
+					issued["fixed"], issued["adaptive"], format)
+			}
+		})
+	}
+}
+
+// TestConcurrentReadAtAllSpanFormats hammers concurrent ReadAt across
+// every non-gzip backend through the shared engine, table-driven with
+// one fixture per format (run under -race in CI). A deliberately tiny
+// span cache keeps eviction churning under the concurrency.
+func TestConcurrentReadAtAllSpanFormats(t *testing.T) {
+	data := workloads.FASTQ(800_000, 9)
+	for format, comp := range spanFixtures(t, data) {
+		t.Run(format.String(), func(t *testing.T) {
+			a, err := OpenBytes(comp, WithParallelism(4), WithAccessCacheSize(2), WithChunkSize(64<<10))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer a.Close()
+			var wg sync.WaitGroup
+			for g := 0; g < 8; g++ {
+				wg.Add(1)
+				go func(seed int64) {
+					defer wg.Done()
+					rnd := rand.New(rand.NewSource(seed))
+					p := make([]byte, 3000)
+					for i := 0; i < 25; i++ {
+						off := rnd.Int63n(int64(len(data) - len(p)))
+						n, err := a.ReadAt(p, off)
+						if err != nil && err != io.EOF {
+							t.Errorf("ReadAt(%d): %v", off, err)
+							return
+						}
+						if !bytes.Equal(p[:n], data[off:off+int64(n)]) {
+							t.Errorf("ReadAt(%d): mismatch", off)
+							return
+						}
+					}
+				}(int64(g))
+			}
+			wg.Wait()
+		})
+	}
+}
+
+// TestEvictionPressureThroughArchive forces the span cache over
+// capacity mid-prefetch through the public API: a 2-span cache under a
+// deep prefetch pipeline must evict continuously while sequential
+// consumption stays byte-exact.
+func TestEvictionPressureThroughArchive(t *testing.T) {
+	data := workloads.Base64(1_500_000, 13)
+	comp, err := bzip2x.Compress(data, bzip2x.WriterOptions{Level: 1, StreamSize: 50 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := OpenBytes(comp, WithParallelism(4), WithAccessCacheSize(2), WithMaxPrefetch(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	var out bytes.Buffer
+	if _, err := io.Copy(&out, a); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), data) {
+		t.Fatal("content mismatch under eviction pressure")
+	}
+	s := a.Stats()
+	if s.SpanCacheEvictions == 0 {
+		t.Fatalf("no evictions with a 2-span cache and prefetch depth 8: %+v", s)
+	}
+	if s.PrefetchIssued == 0 {
+		t.Fatalf("no prefetches issued during sequential consumption: %+v", s)
+	}
+}
+
+// TestReopenWithIndexSkipsSizingPass is the acceptance check of the
+// span-engine PR (the analogue of PR 1's zero-finder-probes test):
+// exporting an RGZIDX04 index and reopening the file with it must
+// perform zero sizing passes and zero sizing-pass decodes — for bzip2
+// (whose cold open decodes the whole file), for LZ4, and for zstd both
+// sized and unsized (the latter is the strongest case: without the
+// index, open costs a sequential decode of every frame).
+func TestReopenWithIndexSkipsSizingPass(t *testing.T) {
+	data := workloads.Base64(400_000, 37)
+	bz, err := bzip2x.Compress(data, bzip2x.WriterOptions{Level: 1, StreamSize: 64 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixtures := map[string][]byte{
+		"data.bz2":         bz,
+		"data.lz4":         lz4x.CompressFrames(data, lz4x.FrameOptions{FrameSize: 64 << 10, ContentChecksum: true}),
+		"data.zst":         zstdx.CompressFrames(data, zstdx.FrameOptions{Level: 1, FrameSize: 64 << 10, ContentChecksum: true}),
+		"data-unsized.zst": zstdx.CompressFrames(data, zstdx.FrameOptions{Level: 1, FrameSize: 64 << 10, OmitContentSize: true}),
+	}
+	dir := t.TempDir()
+	for name, comp := range fixtures {
+		t.Run(name, func(t *testing.T) {
+			path := filepath.Join(dir, name)
+			if err := os.WriteFile(path, comp, 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			// Cold open: scans (and for bzip2/unsized-zstd, decodes).
+			a, err := Open(path, WithParallelism(2))
+			if err != nil {
+				t.Fatal(err)
+			}
+			cold := a.Stats()
+			if cold.SizingPasses != 1 {
+				t.Fatalf("cold open ran %d sizing passes, want 1", cold.SizingPasses)
+			}
+			wantSizingDecodes := name == "data.bz2" || name == "data-unsized.zst"
+			if (cold.SizingDecodes > 0) != wantSizingDecodes {
+				t.Fatalf("cold open sizing decodes = %d, expected >0 == %v", cold.SizingDecodes, wantSizingDecodes)
+			}
+			ixf, err := os.Create(path + IndexSuffix)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := a.ExportIndex(ixf); err != nil {
+				t.Fatal(err)
+			}
+			ixf.Close()
+			a.Close()
+
+			// Reopen: the sibling index is discovered, the sizing pass
+			// is skipped entirely, and content stays byte-exact.
+			b, err := Open(path, WithParallelism(2))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer b.Close()
+			if s := b.Stats(); s.SizingPasses != 0 || s.SizingDecodes != 0 {
+				t.Fatalf("reopen with index still sized: passes=%d decodes=%d", s.SizingPasses, s.SizingDecodes)
+			}
+			var out bytes.Buffer
+			if _, err := io.Copy(&out, b); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(out.Bytes(), data) {
+				t.Fatal("content mismatch through imported checkpoint table")
+			}
+			// Random access exactness through the imported table.
+			buf := make([]byte, 777)
+			for _, off := range []int64{0, 65_535, 200_000, int64(len(data)) - 777} {
+				if _, err := b.ReadAt(buf, off); err != nil && err != io.EOF {
+					t.Fatalf("ReadAt(%d): %v", off, err)
+				}
+				if !bytes.Equal(buf, data[off:off+777]) {
+					t.Fatalf("ReadAt(%d): mismatch", off)
+				}
+			}
+			// An unsized zstd file becomes parallel and random-access on
+			// reopen: the imported table is complete metadata.
+			if name == "data-unsized.zst" {
+				caps := b.Capabilities()
+				if !caps.RandomAccess || !caps.Parallel || !caps.Prefetch {
+					t.Fatalf("unsized zstd with index should gain full capabilities, got %+v", caps)
+				}
+			}
+		})
+	}
+}

@@ -3,7 +3,6 @@ package rapidgzip
 import (
 	"archive/tar"
 	"bytes"
-	"errors"
 	"io"
 	"io/fs"
 	"testing"
@@ -42,8 +41,11 @@ func TestZstdCapabilitiesMatrix(t *testing.T) {
 				t.Fatalf("capabilities %+v, want Parallel=%v Verify=%v RandomAccess=%v",
 					caps, c.parallel, c.verify, c.ra)
 			}
-			if !caps.Seek || caps.Index {
-				t.Fatalf("capabilities %+v: zstd must always Seek and never Index", caps)
+			if !caps.Seek || !caps.Index {
+				t.Fatalf("capabilities %+v: zstd must always Seek and Index", caps)
+			}
+			if caps.Prefetch != c.parallel {
+				t.Fatalf("capabilities %+v: Prefetch should track Parallel", caps)
 			}
 			// Whatever the capability level, content must be exact.
 			var out bytes.Buffer
@@ -56,8 +58,8 @@ func TestZstdCapabilitiesMatrix(t *testing.T) {
 			if err := a.BuildIndex(); err != nil {
 				t.Fatalf("BuildIndex must be a no-op, got %v", err)
 			}
-			if err := a.ExportIndex(io.Discard); !errors.Is(err, ErrNoIndexSupport) {
-				t.Fatalf("ExportIndex err = %v, want ErrNoIndexSupport", err)
+			if err := a.ExportIndex(io.Discard); err != nil {
+				t.Fatalf("ExportIndex: %v", err)
 			}
 		})
 	}
