@@ -2,7 +2,6 @@ package rapidgzip
 
 import (
 	"bufio"
-	"bytes"
 	"errors"
 	"fmt"
 	"io"
@@ -61,7 +60,15 @@ const IndexSuffix = ".rgzidx"
 // BGZF, bzip2, LZ4 or zstd — WithFormat overrides), and the returned
 // Archive serves parallel decompression and, where the format allows,
 // checkpointed random access. Content that matches no supported magic
-// fails with ErrUnsupportedFormat.
+// fails with ErrUnsupportedFormat; a file whose bytes cannot be read
+// at all (a directory, a truncated or vanished file) fails with
+// ErrSourceRead.
+//
+// Every format is file-backed: the compressed bytes stay on disk and
+// each decode preads only the extents it needs, so archives larger
+// than RAM open and serve random access with bounded resident memory
+// (WithInMemory restores the old load-it-all behavior for small files
+// on slow storage).
 //
 // A sibling "path.rgzidx" index saved by a previous run is imported
 // automatically when present and valid (disable with
@@ -82,10 +89,17 @@ func Open(path string, opts ...Option) (Archive, error) {
 		src.Close()
 		return nil, err
 	}
-	if r, ok := a.(*Reader); ok {
-		r.owned = src
-	} else {
-		// In-memory backends copied the data out; the file is done.
+	switch t := a.(type) {
+	case *Reader:
+		t.owned = src
+	case *spanArchive:
+		if t.fileBacked {
+			t.owned = src
+		} else {
+			// WithInMemory copied the data out; the file is done.
+			src.Close()
+		}
+	default:
 		src.Close()
 	}
 	return a, nil
@@ -113,10 +127,11 @@ func openArchive(src filereader.FileReader, path string, cfg config) (Archive, e
 		if format == FormatUnknown {
 			// A real read failure is an I/O problem, not a format
 			// verdict — callers branching on ErrUnsupportedFormat must
-			// not mistake a flaky disk for a wrong file type. (EOF just
-			// means the file is shorter than the sniff window.)
+			// not mistake a flaky disk (or a directory opened as a
+			// file) for a wrong file type. (EOF just means the file is
+			// shorter than the sniff window.)
 			if rerr != nil && !errors.Is(rerr, io.EOF) {
-				return nil, fmt.Errorf("rapidgzip: sniffing input: %w", rerr)
+				return nil, fmt.Errorf("%w: sniffing input: %w", ErrSourceRead, rerr)
 			}
 			// Classify here, before any backend sees the data: an
 			// empty or undersized file must fail with the typed sniff
@@ -131,13 +146,29 @@ func openArchive(src filereader.FileReader, path string, cfg config) (Archive, e
 	case FormatGzip, FormatBGZF:
 		return openIndexed(src, path, cfg, format)
 	case FormatBzip2, FormatLZ4, FormatZstd:
-		data, err := filereader.ReadAll(src)
-		if err != nil {
-			return nil, err
+		if cfg.inMemory {
+			// Opt-in legacy behavior: load everything once, then serve
+			// decodes zero-copy from the resident buffer.
+			data, err := filereader.ReadAll(src)
+			if err != nil {
+				return nil, sourceErr(err)
+			}
+			src = filereader.MemoryReader(data)
 		}
-		return newMemArchive(data, format, cfg, path)
+		return newSpanArchive(src, format, cfg, path)
 	}
 	return nil, fmt.Errorf("%w: content matches no supported magic", ErrUnsupportedFormat)
+}
+
+// sourceErr maps a filereader I/O failure to the public typed error.
+// Format-level errors (corrupt headers, missing magics) pass through
+// untouched: they mean the bytes were readable but wrong, which is a
+// different caller branch.
+func sourceErr(err error) error {
+	if errors.Is(err, filereader.ErrIO) {
+		return fmt.Errorf("%w: %w", ErrSourceRead, err)
+	}
+	return err
 }
 
 // openIndexed builds the gzip/BGZF backend, importing an explicit or
@@ -194,14 +225,14 @@ func importIndexReader(src filereader.FileReader, coreCfg core.Config, indexPath
 	return r, nil
 }
 
-// --- in-memory backends (bzip2, LZ4, zstd) -------------------------------
+// --- span-engine backends (bzip2, LZ4, zstd) -----------------------------
 
-// memBackend is the contract of the span-engine-backed readers
+// spanBackend is the contract of the span-engine-backed readers
 // (bzip2x.Reader, lz4x.Reader, zstdx.Reader): concurrent positional
 // reads over the decompressed stream, a size known after construction,
 // the checkpoint table exposed as ordered chunks, and access to the
 // engine for stats and checkpoint export.
-type memBackend interface {
+type spanBackend interface {
 	io.ReaderAt
 	io.Closer
 	Size() int64
@@ -211,20 +242,26 @@ type memBackend interface {
 	Engine() *spanengine.Engine
 }
 
-// memArchive adapts a memBackend to the Archive interface: it adds the
-// sequential cursor (Read/Seek/WriteTo) and the checkpoint-table index
-// methods (ExportIndex/ImportIndex over the RGZIDX04 container).
-type memArchive struct {
-	data   []byte
-	format Format
-	opts   Options // retained to rebuild the backend on ImportIndex
+// spanArchive adapts a spanBackend to the Archive interface: it adds
+// the sequential cursor (Read/Seek/WriteTo) and the checkpoint-table
+// index methods (ExportIndex/ImportIndex over the RGZIDX04 container).
+// One archive serves either backing — a resident buffer (OpenBytes,
+// WithInMemory) or an open file, in which case the compressed bytes
+// are never whole in memory: every decode preads only its span's
+// extent.
+type spanArchive struct {
+	src        filereader.FileReader // compressed source (file- or memory-backed)
+	fileBacked bool
+	owned      io.Closer // underlying file, closed with the archive (Open only)
+	format     Format
+	opts       Options // retained to rebuild the backend on ImportIndex
 
 	mu   sync.Mutex
-	back memBackend
+	back spanBackend
 	// retired holds backends replaced by ImportIndex. They stay open
 	// until Close so a concurrent ReadAt that snapshotted one mid-swap
 	// finishes against it instead of hitting a closed engine.
-	retired []memBackend
+	retired []spanBackend
 	caps    Capabilities
 	pos     int64
 }
@@ -242,17 +279,17 @@ func formatTag(format Format) string {
 	return ""
 }
 
-// newMemArchive constructs the backend for a whole-file buffer,
-// importing an explicit or discovered checkpoint-table index when
-// available (mirroring openIndexed's behavior for gzip: an explicit
-// index must work, a discovered one falls back to a scan).
-func newMemArchive(data []byte, format Format, cfg config, path string) (Archive, error) {
+// newSpanArchive constructs the backend over src (file- or memory-
+// backed), importing an explicit or discovered checkpoint-table index
+// when available (mirroring openIndexed's behavior for gzip: an
+// explicit index must work, a discovered one falls back to a scan).
+func newSpanArchive(src filereader.FileReader, format Format, cfg config, path string) (Archive, error) {
 	if cfg.indexFile != "" {
-		return memArchiveFromIndexFile(data, format, cfg, cfg.indexFile)
+		return spanArchiveFromIndexFile(src, format, cfg, cfg.indexFile)
 	}
 	if !cfg.noDiscovery && path != "" {
 		if _, err := os.Stat(path + IndexSuffix); err == nil {
-			if a, err := memArchiveFromIndexFile(data, format, cfg, path+IndexSuffix); err == nil {
+			if a, err := spanArchiveFromIndexFile(src, format, cfg, path+IndexSuffix); err == nil {
 				return a, nil
 			}
 		}
@@ -261,16 +298,24 @@ func newMemArchive(data []byte, format Format, cfg config, path string) (Archive
 	if err != nil {
 		return nil, err
 	}
-	back, caps, err := scanMemBackend(data, format, engCfg)
+	back, caps, err := scanSpanBackend(src, format, engCfg)
 	if err != nil {
-		return nil, err
+		return nil, sourceErr(err)
 	}
-	return &memArchive{data: data, format: format, opts: cfg.opts, back: back, caps: caps}, nil
+	return finishSpanArchive(src, format, cfg, back, caps), nil
 }
 
-// memArchiveFromIndexFile opens the index at indexPath and builds the
-// backend from its checkpoint table — zero sizing-pass decodes.
-func memArchiveFromIndexFile(data []byte, format Format, cfg config, indexPath string) (Archive, error) {
+// finishSpanArchive wraps a constructed backend in the Archive shell.
+func finishSpanArchive(src filereader.FileReader, format Format, cfg config, back spanBackend, caps Capabilities) *spanArchive {
+	_, mem := filereader.Bytes(src)
+	return &spanArchive{src: src, fileBacked: !mem, format: format, opts: cfg.opts, back: back, caps: caps}
+}
+
+// spanArchiveFromIndexFile opens the index at indexPath and builds the
+// backend from its checkpoint table — zero sizing-pass decodes, and
+// for a file-backed source zero reads of the compressed file beyond
+// the fingerprint probe.
+func spanArchiveFromIndexFile(src filereader.FileReader, format Format, cfg config, indexPath string) (Archive, error) {
 	ixf, err := os.Open(indexPath)
 	if err != nil {
 		return nil, err
@@ -284,19 +329,19 @@ func memArchiveFromIndexFile(data []byte, format Format, cfg config, indexPath s
 	if err != nil {
 		return nil, err
 	}
-	back, caps, err := memBackendFromIndex(data, format, ix, engCfg)
+	back, caps, err := spanBackendFromIndex(src, format, ix, engCfg)
 	if err != nil {
-		return nil, err
+		return nil, sourceErr(err)
 	}
-	return &memArchive{data: data, format: format, opts: cfg.opts, back: back, caps: caps}, nil
+	return finishSpanArchive(src, format, cfg, back, caps), nil
 }
 
-// scanMemBackend runs the format's sizing pass and reports the
+// scanSpanBackend runs the format's sizing pass and reports the
 // archive's truthful capabilities.
-func scanMemBackend(data []byte, format Format, engCfg spanengine.Config) (memBackend, Capabilities, error) {
+func scanSpanBackend(src filereader.FileReader, format Format, engCfg spanengine.Config) (spanBackend, Capabilities, error) {
 	switch format {
 	case FormatBzip2:
-		br, err := bzip2x.NewReaderConfig(data, engCfg)
+		br, err := bzip2x.NewReaderConfig(src, engCfg)
 		if err != nil {
 			return nil, Capabilities{}, err
 		}
@@ -304,13 +349,13 @@ func scanMemBackend(data []byte, format Format, engCfg spanengine.Config) (memBa
 		// so Verify holds unconditionally.
 		return br, memCaps(br.NumStreams() > 1, true), nil
 	case FormatLZ4:
-		lr, err := lz4x.NewReaderConfig(data, engCfg)
+		lr, err := lz4x.NewReaderConfig(src, engCfg)
 		if err != nil {
 			return nil, Capabilities{}, err
 		}
 		return lr, memCaps(lr.NumFrames() > 1, lr.Checksummed()), nil
 	case FormatZstd:
-		zr, err := zstdx.NewReaderConfig(data, engCfg)
+		zr, err := zstdx.NewReaderConfig(src, engCfg)
 		if err != nil {
 			return nil, Capabilities{}, err
 		}
@@ -321,13 +366,13 @@ func scanMemBackend(data []byte, format Format, engCfg spanengine.Config) (memBa
 		// import lifts the demotion — the table is metadata then).
 		return zr, memCaps(zr.NumFrames() > 1 && zr.Sized(), zr.Checksummed()), nil
 	}
-	return nil, Capabilities{}, fmt.Errorf("%w: %v has no in-memory backend", ErrUnsupportedFormat, format)
+	return nil, Capabilities{}, fmt.Errorf("%w: %v has no span-engine backend", ErrUnsupportedFormat, format)
 }
 
-// memBackendFromIndex validates an imported index against the open
-// data and builds the backend from its checkpoint table, skipping the
-// sizing pass entirely.
-func memBackendFromIndex(data []byte, format Format, ix *gzindex.Index, engCfg spanengine.Config) (memBackend, Capabilities, error) {
+// spanBackendFromIndex validates an imported index against the open
+// source and builds the backend from its checkpoint table, skipping
+// the sizing pass entirely.
+func spanBackendFromIndex(src filereader.FileReader, format Format, ix *gzindex.Index, engCfg spanengine.Config) (spanBackend, Capabilities, error) {
 	if !ix.Finalized {
 		return nil, Capabilities{}, errors.New("rapidgzip: can only import finalized indexes")
 	}
@@ -338,12 +383,14 @@ func memBackendFromIndex(data []byte, format Format, ix *gzindex.Index, engCfg s
 	if want := formatTag(format); ct.Format != want {
 		return nil, Capabilities{}, fmt.Errorf("rapidgzip: index checkpoint table is for format %q, want %q", ct.Format, want)
 	}
-	if ix.CompressedSize != uint64(len(data)) {
+	if ix.CompressedSize != uint64(src.Size()) {
 		return nil, Capabilities{}, fmt.Errorf("rapidgzip: index is for a %d-byte file, have %d bytes",
-			ix.CompressedSize, len(data))
+			ix.CompressedSize, src.Size())
 	}
 	if ix.SourceFP != nil {
-		fp, err := gzindex.ComputeFingerprint(bytes.NewReader(data), int64(len(data)))
+		// The probe reads 4 KiB at each end of the file — the whole
+		// point of the import is that nothing else is read.
+		fp, err := gzindex.ComputeFingerprint(src, src.Size())
 		if err != nil {
 			return nil, Capabilities{}, err
 		}
@@ -359,19 +406,19 @@ func memBackendFromIndex(data []byte, format Format, ix *gzindex.Index, engCfg s
 	multi := len(spans) > 1
 	switch format {
 	case FormatBzip2:
-		br, err := bzip2x.NewReaderFromCheckpoints(data, spans, engCfg)
+		br, err := bzip2x.NewReaderFromCheckpoints(src, spans, engCfg)
 		if err != nil {
 			return nil, Capabilities{}, err
 		}
 		return br, memCaps(multi, true), nil
 	case FormatLZ4:
-		lr, err := lz4x.NewReaderFromCheckpoints(data, spans, ct.Flags, engCfg)
+		lr, err := lz4x.NewReaderFromCheckpoints(src, spans, ct.Flags, engCfg)
 		if err != nil {
 			return nil, Capabilities{}, err
 		}
 		return lr, memCaps(multi, lr.Checksummed()), nil
 	case FormatZstd:
-		zr, err := zstdx.NewReaderFromCheckpoints(data, spans, ct.Flags, engCfg)
+		zr, err := zstdx.NewReaderFromCheckpoints(src, spans, ct.Flags, engCfg)
 		if err != nil {
 			return nil, Capabilities{}, err
 		}
@@ -380,7 +427,7 @@ func memBackendFromIndex(data []byte, format Format, ix *gzindex.Index, engCfg s
 		// accessible now.
 		return zr, memCaps(multi, zr.Checksummed()), nil
 	}
-	return nil, Capabilities{}, fmt.Errorf("%w: %v has no in-memory backend", ErrUnsupportedFormat, format)
+	return nil, Capabilities{}, fmt.Errorf("%w: %v has no span-engine backend", ErrUnsupportedFormat, format)
 }
 
 // memCaps is the capability profile of a span-engine archive: Seek and
@@ -390,7 +437,7 @@ func memCaps(multi, verify bool) Capabilities {
 	return Capabilities{Seek: true, Index: true, RandomAccess: multi, Parallel: multi, Prefetch: multi, Verify: verify}
 }
 
-func (a *memArchive) Read(p []byte) (int, error) {
+func (a *spanArchive) Read(p []byte) (int, error) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	n, err := a.back.ReadAt(p, a.pos)
@@ -398,7 +445,7 @@ func (a *memArchive) Read(p []byte) (int, error) {
 	return n, err
 }
 
-func (a *memArchive) Seek(offset int64, whence int) (int64, error) {
+func (a *spanArchive) Seek(offset int64, whence int) (int64, error) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	var base int64
@@ -420,7 +467,7 @@ func (a *memArchive) Seek(offset int64, whence int) (int64, error) {
 	return target, nil
 }
 
-func (a *memArchive) ReadAt(p []byte, off int64) (int, error) {
+func (a *spanArchive) ReadAt(p []byte, off int64) (int, error) {
 	a.mu.Lock()
 	back := a.back
 	a.mu.Unlock()
@@ -432,7 +479,7 @@ func (a *memArchive) ReadAt(p []byte, off int64) (int, error) {
 // engine itself: each ChunkContent access feeds the prefetch strategy,
 // so upcoming spans decode on the worker pool while earlier ones are
 // written.
-func (a *memArchive) WriteTo(w io.Writer) (int64, error) {
+func (a *spanArchive) WriteTo(w io.Writer) (int64, error) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	n := a.back.NumChunks()
@@ -460,7 +507,7 @@ func (a *memArchive) WriteTo(w io.Writer) (int64, error) {
 }
 
 // Size returns the decompressed size, known since construction.
-func (a *memArchive) Size() (int64, error) {
+func (a *spanArchive) Size() (int64, error) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	return a.back.Size(), nil
@@ -468,22 +515,22 @@ func (a *memArchive) Size() (int64, error) {
 
 // BuildIndex is a no-op: the checkpoint table (stream spans, frame
 // table) is fully built at construction for these backends.
-func (a *memArchive) BuildIndex() error { return nil }
+func (a *spanArchive) BuildIndex() error { return nil }
 
 // ExportIndex serialises the checkpoint table as an RGZIDX04 index. A
 // later Open of the same file with the index (explicit, or discovered
 // as a sibling) skips the sizing pass entirely.
-func (a *memArchive) ExportIndex(w io.Writer) error {
+func (a *spanArchive) ExportIndex(w io.Writer) error {
 	a.mu.Lock()
 	eng := a.back.Engine()
 	a.mu.Unlock()
-	fp, err := gzindex.ComputeFingerprint(bytes.NewReader(a.data), int64(len(a.data)))
+	fp, err := gzindex.ComputeFingerprint(a.src, a.src.Size())
 	if err != nil {
-		return err
+		return sourceErr(err)
 	}
 	ix := gzindex.New(0)
 	ix.Finalized = true
-	ix.CompressedSize = uint64(len(a.data))
+	ix.CompressedSize = uint64(a.src.Size())
 	ix.UncompressedSize = uint64(eng.Size())
 	ix.SourceFP = &fp
 	spans := eng.Checkpoints()
@@ -501,7 +548,7 @@ func (a *memArchive) ExportIndex(w io.Writer) error {
 // replacing the backend with one built from the persisted spans. The
 // index must belong to the same compressed data (format tag,
 // compressed size and source fingerprint are all enforced).
-func (a *memArchive) ImportIndex(rd io.Reader) error {
+func (a *spanArchive) ImportIndex(rd io.Reader) error {
 	ix, err := gzindex.Read(rd)
 	if err != nil {
 		return err
@@ -510,9 +557,9 @@ func (a *memArchive) ImportIndex(rd io.Reader) error {
 	if err != nil {
 		return err
 	}
-	back, caps, err := memBackendFromIndex(a.data, a.format, ix, engCfg)
+	back, caps, err := spanBackendFromIndex(a.src, a.format, ix, engCfg)
 	if err != nil {
-		return err
+		return sourceErr(err)
 	}
 	a.mu.Lock()
 	a.retired = append(a.retired, a.back)
@@ -523,16 +570,16 @@ func (a *memArchive) ImportIndex(rd io.Reader) error {
 }
 
 // Stats reports the span engine's counters.
-func (a *memArchive) Stats() Stats {
+func (a *spanArchive) Stats() Stats {
 	a.mu.Lock()
 	eng := a.back.Engine()
 	a.mu.Unlock()
 	return engineStats(eng.Stats())
 }
 
-func (a *memArchive) Close() error {
+func (a *spanArchive) Close() error {
 	a.mu.Lock()
-	backs := append([]memBackend{a.back}, a.retired...)
+	backs := append([]spanBackend{a.back}, a.retired...)
 	a.retired = nil
 	a.mu.Unlock()
 	var err error
@@ -541,12 +588,19 @@ func (a *memArchive) Close() error {
 			err = cerr
 		}
 	}
+	// The compressed file outlives every backend engine (in-flight
+	// decodes finished above), so it closes last.
+	if a.owned != nil {
+		if cerr := a.owned.Close(); err == nil {
+			err = cerr
+		}
+	}
 	return err
 }
 
-func (a *memArchive) Format() Format { return a.format }
+func (a *spanArchive) Format() Format { return a.format }
 
-func (a *memArchive) Capabilities() Capabilities {
+func (a *spanArchive) Capabilities() Capabilities {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	return a.caps
@@ -554,5 +608,5 @@ func (a *memArchive) Capabilities() Capabilities {
 
 var (
 	_ Archive = (*Reader)(nil)
-	_ Archive = (*memArchive)(nil)
+	_ Archive = (*spanArchive)(nil)
 )

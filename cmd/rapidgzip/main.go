@@ -14,6 +14,11 @@
 // "<FILE>.rgzidx" index saved by --export-index is picked up
 // automatically on later runs (disable with --no-index-discovery).
 //
+// bzip2, LZ4 and zstd inputs are served file-backed: the compressed
+// file stays on disk and each decode preads only the span extents it
+// needs, so inputs larger than RAM work (--in-memory restores the old
+// load-it-all behavior; --stats prints the pread counters).
+//
 // With --export-index, the index built during decompression is saved —
 // seek points with windows for gzip/BGZF, the checkpoint table for
 // bzip2/LZ4/zstd. Importing it later skips the initial pass: for gzip
@@ -64,6 +69,7 @@ func run() error {
 	importIndex := flag.String("import-index", "", "load a seek-point index from this file")
 	formatName := flag.String("format", "auto", "input format: auto, gzip, bgzf, bzip2, lz4 or zstd")
 	noDiscovery := flag.Bool("no-index-discovery", false, "do not auto-import a sibling .rgzidx index")
+	inMemory := flag.Bool("in-memory", false, "load the whole compressed file into memory instead of serving it file-backed")
 	stats := flag.Bool("stats", false, "print fetcher statistics to stderr")
 	flag.Parse()
 
@@ -89,6 +95,9 @@ func run() error {
 	}
 	if *noDiscovery {
 		opts = append(opts, rapidgzip.WithoutIndexDiscovery())
+	}
+	if *inMemory {
+		opts = append(opts, rapidgzip.WithInMemory())
 	}
 	r, err := rapidgzip.Open(path, opts...)
 	if err != nil {
@@ -174,8 +183,8 @@ func run() error {
 		s := r.Stats()
 		switch r.Format() {
 		case rapidgzip.FormatBzip2, rapidgzip.FormatLZ4, rapidgzip.FormatZstd:
-			fmt.Fprintf(os.Stderr, "decompressed %d bytes (%s); sizingPasses=%d sizingDecodes=%d spanDecodes=%d prefetchIssued=%d prefetchJoined=%d cacheHits=%d cacheMisses=%d evictions=%d\n",
-				n, r.Format(), s.SizingPasses, s.SizingDecodes, s.SpanDecodes, s.PrefetchIssued, s.PrefetchJoined, s.SpanCacheHits, s.SpanCacheMisses, s.SpanCacheEvictions)
+			fmt.Fprintf(os.Stderr, "decompressed %d bytes (%s); sizingPasses=%d sizingDecodes=%d spanDecodes=%d prefetchIssued=%d prefetchJoined=%d cacheHits=%d cacheMisses=%d evictions=%d preads=%d preadBytes=%d\n",
+				n, r.Format(), s.SizingPasses, s.SizingDecodes, s.SpanDecodes, s.PrefetchIssued, s.PrefetchJoined, s.SpanCacheHits, s.SpanCacheMisses, s.SpanCacheEvictions, s.SourceReads, s.SourceBytesRead)
 		default:
 			fmt.Fprintf(os.Stderr, "decompressed %d bytes (%s); chunks=%d speculative=%d finderProbes=%d noBlock=%d falseStarts=%d onDemand=%d indexed=%d delegated=%d\n",
 				n, r.Format(), s.ChunksConsumed, s.GuessTasks, s.FinderProbes, s.GuessNoBlock, s.GuessFalseStarts, s.OnDemandDecodes, s.IndexedDecodes, s.DelegatedDecodes)

@@ -1,0 +1,18 @@
+//go:build unix
+
+package rapidgzip
+
+import (
+	"os"
+	"syscall"
+)
+
+// allocatedBytes reports the disk blocks actually backing a file —
+// how the sparse-archive harness checks that holes stayed holes.
+func allocatedBytes(fi os.FileInfo) (int64, bool) {
+	st, ok := fi.Sys().(*syscall.Stat_t)
+	if !ok {
+		return 0, false
+	}
+	return st.Blocks * 512, true
+}

@@ -75,6 +75,15 @@ func ParseFormat(s string) (Format, error) {
 // Test with errors.Is.
 var ErrUnsupportedFormat = errors.New("rapidgzip: unsupported format")
 
+// ErrSourceRead reports that the compressed source itself could not be
+// read — a directory opened as a file, a short pread from a truncated
+// or vanished file, permissions yanked between stat and read. It is
+// distinct from ErrUnsupportedFormat (the bytes were readable but match
+// no magic) and from format corruption errors (the bytes were readable
+// but malformed): callers branching on it know the storage failed, not
+// the content. Test with errors.Is.
+var ErrSourceRead = errors.New("rapidgzip: reading compressed source failed")
+
 // ErrNoIndexSupport reports an index operation (Build/Export/Import,
 // WithIndexFile) unsupported by the archive's format or backing. Since
 // the span engine landed, every supported format persists an index

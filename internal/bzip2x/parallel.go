@@ -3,9 +3,11 @@ package bzip2x
 import (
 	"bytes"
 	"compress/bzip2"
+	"errors"
 	"fmt"
 	"io"
 
+	"repro/internal/filereader"
 	"repro/internal/pool"
 	"repro/internal/spanengine"
 )
@@ -18,6 +20,22 @@ const FormatTag = "bz2 "
 // empty stream).
 const streamMagicLen = 10
 
+// streamMagicAt reports whether b (at least streamMagicLen bytes)
+// spells a bzip2 stream header followed by a block or footer magic.
+func streamMagicAt(b []byte) bool {
+	if b[0] != 'B' || b[1] != 'Z' || b[2] != 'h' {
+		return false
+	}
+	if b[3] < '1' || b[3] > '9' {
+		return false
+	}
+	m := uint64(0)
+	for _, c := range b[4:10] {
+		m = m<<8 | uint64(c)
+	}
+	return m == blockMagic || m == footerMagic
+}
+
 // FindStreams scans for byte offsets that look like bzip2 stream
 // starts. Offset 0 is always included (the caller validates it by
 // decompressing). Like the gzip block finder, this may return false
@@ -26,21 +44,64 @@ const streamMagicLen = 10
 func FindStreams(data []byte) []int {
 	offs := []int{0}
 	for i := 1; i+streamMagicLen <= len(data); i++ {
-		if data[i] != 'B' || data[i+1] != 'Z' || data[i+2] != 'h' {
-			continue
-		}
-		if data[i+3] < '1' || data[i+3] > '9' {
-			continue
-		}
-		m := uint64(0)
-		for _, b := range data[i+4 : i+10] {
-			m = m<<8 | uint64(b)
-		}
-		if m == blockMagic || m == footerMagic {
+		if streamMagicAt(data[i:]) {
 			offs = append(offs, i)
 		}
 	}
 	return offs
+}
+
+// findWindow is the chunk size FindStreamsReader scans at a time.
+// bzip2 declares nothing, so the magic scan must touch every byte of
+// the file either way — the window only bounds how much of it is
+// resident at once.
+const findWindow = 1 << 20
+
+// FindStreamsReader is FindStreams over a positional reader: the file
+// is scanned in findWindow-sized chunks overlapping by
+// streamMagicLen-1 bytes, so peak resident source stays one window
+// regardless of file size. Memory-backed sources take the zero-copy
+// whole-buffer path.
+func FindStreamsReader(src filereader.FileReader) ([]int64, error) {
+	if data, ok := filereader.Bytes(src); ok {
+		ints := FindStreams(data)
+		offs := make([]int64, len(ints))
+		for i, v := range ints {
+			offs[i] = int64(v)
+		}
+		return offs, nil
+	}
+	offs := []int64{0}
+	size := src.Size()
+	buf := make([]byte, findWindow)
+	for base := int64(0); base+streamMagicLen <= size; {
+		n := int64(len(buf))
+		if base+n > size {
+			n = size - base
+		}
+		chunk := buf[:n]
+		if rn, err := src.ReadAt(chunk, base); int64(rn) < n {
+			if err == nil {
+				err = io.ErrUnexpectedEOF
+			}
+			return nil, fmt.Errorf("%w: bzip2 magic scan at offset %d: %w", filereader.ErrIO, base, err)
+		}
+		for p := 0; p+streamMagicLen <= len(chunk); p++ {
+			if base+int64(p) == 0 {
+				continue
+			}
+			if streamMagicAt(chunk[p:]) {
+				offs = append(offs, base+int64(p))
+			}
+		}
+		if base+n == size {
+			break
+		}
+		// Overlap by streamMagicLen-1 so a magic straddling the window
+		// boundary is still seen exactly once.
+		base += n - (streamMagicLen - 1)
+	}
+	return offs, nil
 }
 
 // Decompress inflates a bzip2 file serially (any block/stream layout),
@@ -106,38 +167,59 @@ type Codec struct {
 // FormatTag implements spanengine.Codec.
 func (Codec) FormatTag() string { return FormatTag }
 
+// sizeSpan decodes the candidate span [start, stop) of src and returns
+// only its decompressed length: the compressed extent is read once
+// (pooled), the output streamed through io.Copy and never materialized
+// — the sizing pass of a file larger than RAM keeps peak memory at
+// threads × compressed span size.
+func sizeSpan(src filereader.FileReader, start, stop int64) (int64, error) {
+	ext, release, err := filereader.Extent(src, start, stop)
+	if err != nil {
+		return 0, err
+	}
+	defer release()
+	n, err := io.Copy(io.Discard, bzip2.NewReader(bytes.NewReader(ext)))
+	if err != nil {
+		return 0, fmt.Errorf("bzip2x: %w", err)
+	}
+	return n, nil
+}
+
 // Scan implements spanengine.Codec: candidate stream boundaries come
-// from FindStreams, the spans between them decode in parallel, and any
-// span that fails (a false-positive magic splitting a real stream) is
-// merged with its successor and retried, which converges on the true
-// stream layout. Peak memory stays bounded by threads × span output —
-// only the span sizes are recorded.
-func (c Codec) Scan(data []byte) (spanengine.ScanResult, error) {
+// from FindStreamsReader (a bounded windowed magic scan), the spans
+// between them size-decode in parallel, and any span that fails (a
+// false-positive magic splitting a real stream) is merged with its
+// successor and retried, which converges on the true stream layout.
+// Peak memory stays bounded by the scan window plus threads × span
+// extent — only the span sizes are recorded, never the outputs.
+func (c Codec) Scan(src filereader.FileReader) (spanengine.ScanResult, error) {
 	threads := c.Threads
 	if threads < 1 {
 		threads = 1
 	}
-	cands := FindStreams(data)
-	end := func(i int) int {
+	cands, err := FindStreamsReader(src)
+	if err != nil {
+		return spanengine.ScanResult{}, err
+	}
+	end := func(i int) int64 {
 		if i+1 < len(cands) {
 			return cands[i+1]
 		}
-		return len(data)
+		return src.Size()
 	}
 
 	// First guess: every candidate starts a stream. Size all spans
 	// concurrently; failures are resolved by merging below.
 	p := pool.New(threads)
 	defer p.Close()
-	futs := make([]*pool.Future[int], len(cands))
+	futs := make([]*pool.Future[int64], len(cands))
 	for i := range cands {
 		start, stop := cands[i], end(i)
-		futs[i] = pool.Go(p, func() (int, error) {
-			out, err := Decompress(data[start:stop])
-			return len(out), err
+		futs[i] = pool.Go(p, func() (int64, error) {
+			return sizeSpan(src, start, stop)
 		})
 	}
-	firstLen := make([]int, len(cands))
+	firstLen := make([]int64, len(cands))
 	firstErr := make([]error, len(cands))
 	for i, fut := range futs {
 		firstLen[i], firstErr[i] = fut.Wait()
@@ -150,33 +232,43 @@ func (c Codec) Scan(data []byte) (spanengine.ScanResult, error) {
 		j := i
 		size, err := firstLen[i], firstErr[i]
 		for err != nil {
+			// Merging only resolves format errors (a false-positive
+			// candidate cut a real stream short). A read failure would
+			// just recur over ever-larger extents — fail fast instead.
+			if errors.Is(err, filereader.ErrIO) {
+				return spanengine.ScanResult{}, fmt.Errorf("bzip2x: sizing stream at offset %d: %w", start, err)
+			}
 			// The span was cut short by a false-positive candidate:
 			// extend it over the next candidate and retry.
 			j++
 			if j >= len(cands) {
 				return spanengine.ScanResult{}, fmt.Errorf("bzip2x: stream at offset %d: %w", start, err)
 			}
-			var out []byte
-			out, err = Decompress(data[start:end(j)])
-			size = len(out)
+			size, err = sizeSpan(src, start, end(j))
 			res.SizingDecodes++
 		}
 		res.Spans = append(res.Spans, spanengine.Span{
-			CompOff:    int64(start),
-			CompEnd:    int64(end(j)),
+			CompOff:    start,
+			CompEnd:    end(j),
 			DecompOff:  decomp,
-			DecompSize: int64(size),
+			DecompSize: size,
 		})
-		decomp += int64(size)
+		decomp += size
 		i = j + 1
 	}
 	return res, nil
 }
 
-// DecodeSpan implements spanengine.Codec. The stdlib decoder verifies
-// block CRCs on every decode, so span decodes always verify integrity.
-func (Codec) DecodeSpan(data []byte, s spanengine.Span) ([]byte, error) {
-	out, err := Decompress(data[s.CompOff:s.CompEnd])
+// DecodeSpan implements spanengine.Codec: one pread of the span's
+// compressed extent, decompressed with the stdlib decoder (which
+// verifies block CRCs, so span decodes always verify integrity).
+func (Codec) DecodeSpan(src filereader.FileReader, s spanengine.Span) ([]byte, error) {
+	ext, release, err := filereader.Extent(src, s.CompOff, s.CompEnd)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	out, err := Decompress(ext)
 	if err != nil {
 		// The span decoded during the sizing pass (or was persisted by
 		// one); only data corruption since then can get here.
@@ -201,13 +293,15 @@ type Reader struct {
 // NewReader validates data and builds the checkpoint table with one
 // parallel sizing pass.
 func NewReader(data []byte, threads int) (*Reader, error) {
-	return NewReaderConfig(data, spanengine.Config{Threads: threads})
+	return NewReaderConfig(filereader.MemoryReader(data), spanengine.Config{Threads: threads})
 }
 
 // NewReaderConfig is NewReader with full engine tuning (cache size,
-// prefetch depth, strategy).
-func NewReaderConfig(data []byte, cfg spanengine.Config) (*Reader, error) {
-	eng, err := spanengine.New(data, Codec{Threads: cfg.Threads}, cfg)
+// prefetch depth, strategy), over any positional source — an open file
+// serves random access without the compressed bytes ever being
+// resident as a whole.
+func NewReaderConfig(src filereader.FileReader, cfg spanengine.Config) (*Reader, error) {
+	eng, err := spanengine.New(src, Codec{Threads: cfg.Threads}, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -216,8 +310,8 @@ func NewReaderConfig(data []byte, cfg spanengine.Config) (*Reader, error) {
 
 // NewReaderFromCheckpoints builds a reader from a persisted checkpoint
 // table, skipping the sizing pass entirely.
-func NewReaderFromCheckpoints(data []byte, spans []spanengine.Span, cfg spanengine.Config) (*Reader, error) {
-	eng, err := spanengine.NewFromCheckpoints(data, Codec{Threads: cfg.Threads}, spans, 0, cfg)
+func NewReaderFromCheckpoints(src filereader.FileReader, spans []spanengine.Span, cfg spanengine.Config) (*Reader, error) {
+	eng, err := spanengine.NewFromCheckpoints(src, Codec{Threads: cfg.Threads}, spans, 0, cfg)
 	if err != nil {
 		return nil, err
 	}

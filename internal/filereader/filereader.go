@@ -8,10 +8,18 @@ package filereader
 
 import (
 	"errors"
+	"fmt"
 	"io"
 	"os"
+	"sync"
 	"sync/atomic"
 )
+
+// ErrIO marks a positional read that failed for I/O reasons — a short
+// pread, a vanished file, a directory opened as a file. It lets callers
+// distinguish "the storage failed" from "the content is not the format
+// it claims to be". Test with errors.Is.
+var ErrIO = errors.New("filereader: read failed")
 
 // FileReader is a sized, concurrently usable positional reader. All
 // implementations must allow concurrent ReadAt calls.
@@ -116,6 +124,68 @@ func (s *SharedFileReader) BytesRead() int64 { return s.bytesRead.Load() }
 // Reads returns the number of ReadAt calls served so far.
 func (s *SharedFileReader) Reads() int64 { return s.reads.Load() }
 
+// Bytes returns the underlying buffer when src is memory-backed —
+// directly, or behind a SharedFileReader — so callers can take
+// zero-copy fast paths (slicing instead of preading). The second result
+// reports whether src was memory-backed.
+func Bytes(src FileReader) ([]byte, bool) {
+	switch r := src.(type) {
+	case MemoryReader:
+		return r, true
+	case *SharedFileReader:
+		if m, ok := r.src.(MemoryReader); ok {
+			return m, true
+		}
+	}
+	return nil, false
+}
+
+// scratchPool recycles extent buffers between span decodes, so steady
+// random access over a file-backed source allocates no per-read
+// compressed-side garbage.
+var scratchPool = sync.Pool{New: func() any { return new([]byte) }}
+
+// extentNoop is the release function for zero-copy extents.
+func extentNoop() {}
+
+// Extent returns the compressed bytes [off, end) of src. Memory-backed
+// sources are sliced without copying; file-backed sources are read with
+// one pread into a pooled scratch buffer. The caller must call release
+// exactly once when done with the bytes (and must not use them after).
+// Read failures and short reads report ErrIO.
+func Extent(src FileReader, off, end int64) (data []byte, release func(), err error) {
+	if off < 0 || end < off || end > src.Size() {
+		return nil, nil, fmt.Errorf("%w: extent [%d,%d) out of bounds (%d-byte source)", ErrIO, off, end, src.Size())
+	}
+	if m, ok := Bytes(src); ok {
+		// Count the logical access even on the zero-copy path, so the
+		// traffic counters mean the same thing for both backings.
+		if s, shared := src.(*SharedFileReader); shared {
+			s.bytesRead.Add(end - off)
+			s.reads.Add(1)
+		}
+		return m[off:end], extentNoop, nil
+	}
+	bp := scratchPool.Get().(*[]byte)
+	buf := *bp
+	n := int(end - off)
+	if cap(buf) < n {
+		buf = make([]byte, n)
+	} else {
+		buf = buf[:n]
+	}
+	rn, rerr := src.ReadAt(buf, off)
+	if rn < n {
+		*bp = buf
+		scratchPool.Put(bp)
+		if rerr == nil {
+			rerr = io.ErrUnexpectedEOF
+		}
+		return nil, nil, fmt.Errorf("%w: extent [%d,%d): %w", ErrIO, off, end, rerr)
+	}
+	return buf, func() { *bp = buf; scratchPool.Put(bp) }, nil
+}
+
 // ReadAll loads the entire source into memory.
 func ReadAll(src FileReader) ([]byte, error) {
 	// In-memory sources alias their slice instead of copying: every
@@ -133,5 +203,5 @@ func ReadAll(src FileReader) ([]byte, error) {
 	if err == nil {
 		err = io.ErrUnexpectedEOF
 	}
-	return nil, err
+	return nil, fmt.Errorf("%w: %w", ErrIO, err)
 }

@@ -140,8 +140,7 @@ func TestScanFrames(t *testing.T) {
 	if len(frames) != 5 {
 		t.Fatalf("got %d frames, want 5", len(frames))
 	}
-	contentPos := 0
-	prevEnd := 0
+	var contentPos, prevEnd int64
 	for i, f := range frames {
 		if f.Offset != prevEnd {
 			t.Fatalf("frame %d starts at %d, previous ended at %d", i, f.Offset, prevEnd)
@@ -152,7 +151,7 @@ func TestScanFrames(t *testing.T) {
 		contentPos += f.ContentSize
 		prevEnd = f.End
 	}
-	if prevEnd != len(comp) || contentPos != len(data) {
+	if prevEnd != int64(len(comp)) || contentPos != int64(len(data)) {
 		t.Fatalf("scan covered %d/%d compressed, %d/%d content", prevEnd, len(comp), contentPos, len(data))
 	}
 }

@@ -3,6 +3,7 @@ package lz4x
 import (
 	"fmt"
 
+	"repro/internal/filereader"
 	"repro/internal/pool"
 	"repro/internal/spanengine"
 )
@@ -31,7 +32,7 @@ func DecompressParallel(data []byte, threads int) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	total := 0
+	var total int64
 	for _, f := range frames {
 		total += f.ContentSize
 	}
@@ -65,11 +66,12 @@ type Codec struct{}
 // FormatTag implements spanengine.Codec.
 func (Codec) FormatTag() string { return FormatTag }
 
-// Scan implements spanengine.Codec via ScanFrames (the §4.9 metadata
-// planning pass). It fails on anything ScanFrames cannot plan — in
-// particular frames that omit the content-size field.
-func (Codec) Scan(data []byte) (spanengine.ScanResult, error) {
-	frames, err := ScanFrames(data)
+// Scan implements spanengine.Codec via ScanFramesReader (the §4.9
+// metadata planning pass, windowed: only header bytes are ever read).
+// It fails on anything the scan cannot plan — in particular frames
+// that omit the content-size field.
+func (Codec) Scan(src filereader.FileReader) (spanengine.ScanResult, error) {
+	frames, err := ScanFramesReader(src)
 	if err != nil {
 		return spanengine.ScanResult{}, err
 	}
@@ -82,21 +84,27 @@ func (Codec) Scan(data []byte) (spanengine.ScanResult, error) {
 			res.Flags |= FlagChecksummed
 		}
 		res.Spans = append(res.Spans, spanengine.Span{
-			CompOff:    int64(f.Offset),
-			CompEnd:    int64(f.End),
-			DecompOff:  int64(f.ContentStart),
-			DecompSize: int64(f.ContentSize),
+			CompOff:    f.Offset,
+			CompEnd:    f.End,
+			DecompOff:  f.ContentStart,
+			DecompSize: f.ContentSize,
 		})
 	}
 	return res, nil
 }
 
-// DecodeSpan implements spanengine.Codec: one span is one frame,
-// inflated as a unit (dependent blocks decode fine — the frame is the
-// smallest seekable grain either way).
-func (Codec) DecodeSpan(data []byte, s spanengine.Span) ([]byte, error) {
+// DecodeSpan implements spanengine.Codec: one span is one frame, read
+// with one pread of its compressed extent and inflated as a unit
+// (dependent blocks decode fine — the frame is the smallest seekable
+// grain either way).
+func (Codec) DecodeSpan(src filereader.FileReader, s spanengine.Span) ([]byte, error) {
+	ext, release, err := filereader.Extent(src, s.CompOff, s.CompEnd)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
 	out := make([]byte, s.DecompSize)
-	if err := decompressFrame(data[s.CompOff:s.CompEnd], out); err != nil {
+	if err := decompressFrame(ext, out); err != nil {
 		return nil, fmt.Errorf("lz4x: frame at offset %d: %w", s.CompOff, err)
 	}
 	return out, nil
@@ -117,13 +125,15 @@ type Reader struct {
 // anything ScanFrames cannot plan — in particular frames that omit the
 // content-size field.
 func NewReader(data []byte, threads int) (*Reader, error) {
-	return NewReaderConfig(data, spanengine.Config{Threads: threads})
+	return NewReaderConfig(filereader.MemoryReader(data), spanengine.Config{Threads: threads})
 }
 
 // NewReaderConfig is NewReader with full engine tuning (cache size,
-// prefetch depth, strategy).
-func NewReaderConfig(data []byte, cfg spanengine.Config) (*Reader, error) {
-	eng, err := spanengine.New(data, Codec{}, cfg)
+// prefetch depth, strategy), over any positional source — an open file
+// serves random access with only headers read at open and one frame
+// extent per decode.
+func NewReaderConfig(src filereader.FileReader, cfg spanengine.Config) (*Reader, error) {
+	eng, err := spanengine.New(src, Codec{}, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -132,8 +142,8 @@ func NewReaderConfig(data []byte, cfg spanengine.Config) (*Reader, error) {
 
 // NewReaderFromCheckpoints builds a reader from a persisted checkpoint
 // table, skipping even the header walk.
-func NewReaderFromCheckpoints(data []byte, spans []spanengine.Span, flags uint8, cfg spanengine.Config) (*Reader, error) {
-	eng, err := spanengine.NewFromCheckpoints(data, Codec{}, spans, flags, cfg)
+func NewReaderFromCheckpoints(src filereader.FileReader, spans []spanengine.Span, flags uint8, cfg spanengine.Config) (*Reader, error) {
+	eng, err := spanengine.NewFromCheckpoints(src, Codec{}, spans, flags, cfg)
 	if err != nil {
 		return nil, err
 	}

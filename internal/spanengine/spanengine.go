@@ -11,6 +11,14 @@
 // complete span table up front — either from the codec's sizing pass or
 // from a persisted checkpoint table (an RGZIDX04 index), in which case
 // the sizing pass is skipped entirely.
+//
+// The engine operates over a positional reader (filereader.FileReader),
+// never a resident buffer: codecs size the file with bounded windowed
+// reads and decode each span from its own compressed extent, so a
+// file-backed archive serves random access without ever materializing
+// the whole compressed file in memory. All source traffic flows through
+// one SharedFileReader per engine — its pread and byte counters are the
+// observable proof of that bound.
 package spanengine
 
 import (
@@ -21,6 +29,7 @@ import (
 	"sync"
 
 	"repro/internal/cache"
+	"repro/internal/filereader"
 	"repro/internal/pool"
 	"repro/internal/prefetch"
 )
@@ -60,16 +69,20 @@ type ScanResult struct {
 // Codec is the per-format half of the engine: how to split a file into
 // spans and how to decode one. Implementations must be safe for
 // concurrent DecodeSpan calls — the prefetcher runs them on a worker
-// pool.
+// pool — and must read src positionally with bounded windows: a span's
+// compressed extent (via filereader.Extent) for decodes, a walker for
+// sizing passes. src may be memory- or file-backed; the helpers take
+// the zero-copy path automatically for the former.
 type Codec interface {
 	// FormatTag is the 4-byte tag identifying this codec in persisted
 	// checkpoint tables (e.g. "bz2 ", "lz4 ", "zstd").
 	FormatTag() string
 	// Scan runs the sizing pass over src, producing the span table.
-	Scan(src []byte) (ScanResult, error)
-	// DecodeSpan decodes the compressed bytes of one span, returning
-	// exactly s.DecompSize bytes.
-	DecodeSpan(src []byte, s Span) ([]byte, error)
+	Scan(src filereader.FileReader) (ScanResult, error)
+	// DecodeSpan decodes the compressed bytes of one span (reading only
+	// [s.CompOff, s.CompEnd) of src), returning exactly s.DecompSize
+	// bytes.
+	DecodeSpan(src filereader.FileReader, s Span) ([]byte, error)
 }
 
 // Config tunes an Engine. The zero value selects defaults.
@@ -130,6 +143,14 @@ type Stats struct {
 	PrefetchJoined uint64
 	// CacheHits / CacheMisses / Evictions mirror the span cache.
 	CacheHits, CacheMisses, Evictions uint64
+	// SourceReads counts positional reads issued against the compressed
+	// source (sizing-pass windows and span-extent reads alike; memory-
+	// backed sources count one logical read per zero-copy extent).
+	// SourceBytesRead is the bytes those reads returned. Together they
+	// bound the compressed bytes the engine ever made resident: for a
+	// file-backed archive, SourceBytesRead staying far below the file
+	// size is the larger-than-RAM property, measured.
+	SourceReads, SourceBytesRead uint64
 }
 
 // ErrClosed is returned by operations on a closed engine.
@@ -141,14 +162,17 @@ type entry struct {
 }
 
 // Engine serves concurrent random access over the decompressed stream
-// of one compressed buffer: ReadAt locates the spans covering a
+// of one compressed source: ReadAt locates the spans covering a
 // request, serves them from the LRU cache when possible, and feeds the
 // prefetch strategy with every span access so upcoming spans decode on
-// the worker pool while the caller consumes the current one.
+// the worker pool while the caller consumes the current one. The
+// source is positional — a file on disk works exactly like a resident
+// buffer, each decode preading only its own compressed extent.
 //
-// All methods are safe for concurrent use.
+// All methods are safe for concurrent use. The engine does not own the
+// source: closing the underlying file is the caller's job, after Close.
 type Engine struct {
-	src   []byte
+	src   *filereader.SharedFileReader
 	codec Codec
 	spans []Span
 	size  int64
@@ -165,13 +189,16 @@ type Engine struct {
 }
 
 // New runs the codec's sizing pass over src and returns an engine over
-// the resulting span table.
-func New(src []byte, codec Codec, cfg Config) (*Engine, error) {
-	scan, err := codec.Scan(src)
+// the resulting span table. All source traffic — the sizing pass
+// included — is routed through one SharedFileReader and shows up in
+// Stats.
+func New(src filereader.FileReader, codec Codec, cfg Config) (*Engine, error) {
+	shared := filereader.NewShared(src)
+	scan, err := codec.Scan(shared)
 	if err != nil {
 		return nil, err
 	}
-	e, err := newEngine(src, codec, scan.Spans, scan.Flags, cfg)
+	e, err := newEngine(shared, codec, scan.Spans, scan.Flags, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -186,19 +213,22 @@ func New(src []byte, codec Codec, cfg Config) (*Engine, error) {
 }
 
 // NewFromCheckpoints builds an engine from a persisted span table,
-// skipping the sizing pass entirely — the reopen-with-index fast path.
-// The table is validated structurally (ordered, in-bounds, contiguous
-// decompressed extents); decode errors from a stale table surface on
-// first access, exactly like data corruption would.
-func NewFromCheckpoints(src []byte, codec Codec, spans []Span, flags uint8, cfg Config) (*Engine, error) {
+// skipping the sizing pass entirely — the reopen-with-index fast path
+// (and, file-backed, the zero-read open: no byte of the source is
+// touched until the first span access). The table is validated
+// structurally (ordered, in-bounds, contiguous decompressed extents);
+// decode errors from a stale table surface on first access, exactly
+// like data corruption would.
+func NewFromCheckpoints(src filereader.FileReader, codec Codec, spans []Span, flags uint8, cfg Config) (*Engine, error) {
 	if len(spans) == 0 {
 		return nil, errors.New("spanengine: empty checkpoint table")
 	}
+	size := src.Size()
 	var decomp int64
 	for i, s := range spans {
-		if s.CompOff < 0 || s.CompEnd <= s.CompOff || s.CompEnd > int64(len(src)) {
+		if s.CompOff < 0 || s.CompEnd <= s.CompOff || s.CompEnd > size {
 			return nil, fmt.Errorf("spanengine: checkpoint %d compressed extent [%d,%d) out of bounds (%d-byte source)",
-				i, s.CompOff, s.CompEnd, len(src))
+				i, s.CompOff, s.CompEnd, size)
 		}
 		if i > 0 && s.CompOff < spans[i-1].CompEnd {
 			return nil, fmt.Errorf("spanengine: checkpoint %d overlaps its predecessor", i)
@@ -208,10 +238,10 @@ func NewFromCheckpoints(src []byte, codec Codec, spans []Span, flags uint8, cfg 
 		}
 		decomp += s.DecompSize
 	}
-	return newEngine(src, codec, spans, flags, cfg)
+	return newEngine(filereader.NewShared(src), codec, spans, flags, cfg)
 }
 
-func newEngine(src []byte, codec Codec, spans []Span, flags uint8, cfg Config) (*Engine, error) {
+func newEngine(src *filereader.SharedFileReader, codec Codec, spans []Span, flags uint8, cfg Config) (*Engine, error) {
 	cfg = cfg.withDefaults()
 	e := &Engine{
 		src:      src,
@@ -277,6 +307,8 @@ func (e *Engine) Stats() Stats {
 	s := e.stats
 	cs := e.cache.Stats()
 	s.CacheHits, s.CacheMisses, s.Evictions = cs.Hits, cs.Misses, cs.Evictions
+	s.SourceReads = uint64(e.src.Reads())
+	s.SourceBytesRead = uint64(e.src.BytesRead())
 	return s
 }
 

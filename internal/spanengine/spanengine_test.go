@@ -4,16 +4,19 @@ import (
 	"bytes"
 	"errors"
 	"io"
+	"os"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"testing"
 
+	"repro/internal/filereader"
 	"repro/internal/prefetch"
 )
 
 // fakeCodec splits src into fixed-size spans; DecodeSpan "decodes" by
-// slicing. decodes counts DecodeSpan calls; scanDecodes simulates a
-// sizing pass that must decode everything (bzip2-style) when set.
+// reading the span extent. decodes counts DecodeSpan calls; sizingCost
+// simulates a sizing pass that must decode everything (bzip2-style).
 type fakeCodec struct {
 	spanSize    int64
 	sizingCost  bool
@@ -23,10 +26,10 @@ type fakeCodec struct {
 
 func (c *fakeCodec) FormatTag() string { return "fake" }
 
-func (c *fakeCodec) Scan(src []byte) (ScanResult, error) {
+func (c *fakeCodec) Scan(src filereader.FileReader) (ScanResult, error) {
 	var res ScanResult
-	for off := int64(0); off < int64(len(src)); off += c.spanSize {
-		end := min(off+c.spanSize, int64(len(src)))
+	for off := int64(0); off < src.Size(); off += c.spanSize {
+		end := min(off+c.spanSize, src.Size())
 		res.Spans = append(res.Spans, Span{
 			CompOff: off, CompEnd: end,
 			DecompOff: off, DecompSize: end - off,
@@ -39,12 +42,17 @@ func (c *fakeCodec) Scan(src []byte) (ScanResult, error) {
 	return res, nil
 }
 
-func (c *fakeCodec) DecodeSpan(src []byte, s Span) ([]byte, error) {
+func (c *fakeCodec) DecodeSpan(src filereader.FileReader, s Span) ([]byte, error) {
 	if c.decodeDelay != nil {
 		<-c.decodeDelay
 	}
 	c.decodes.Add(1)
-	return bytes.Clone(src[s.CompOff:s.CompEnd]), nil
+	data, release, err := filereader.Extent(src, s.CompOff, s.CompEnd)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	return bytes.Clone(data), nil
 }
 
 func testSrc(n int) []byte {
@@ -58,7 +66,7 @@ func testSrc(n int) []byte {
 func TestReadAtMatchesSource(t *testing.T) {
 	src := testSrc(10_000)
 	codec := &fakeCodec{spanSize: 512}
-	e, err := New(src, codec, Config{Threads: 2})
+	e, err := New(filereader.MemoryReader(src), codec, Config{Threads: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +95,7 @@ func TestReadAtMatchesSource(t *testing.T) {
 func TestSequentialReadPrefetches(t *testing.T) {
 	src := testSrc(64 << 10)
 	codec := &fakeCodec{spanSize: 1 << 10}
-	e, err := New(src, codec, Config{Threads: 4})
+	e, err := New(filereader.MemoryReader(src), codec, Config{Threads: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +128,7 @@ func TestSequentialReadPrefetches(t *testing.T) {
 func TestCheckpointRoundTripSkipsSizing(t *testing.T) {
 	src := testSrc(32 << 10)
 	codec := &fakeCodec{spanSize: 1 << 10, sizingCost: true}
-	e, err := New(src, codec, Config{Threads: 2})
+	e, err := New(filereader.MemoryReader(src), codec, Config{Threads: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +140,7 @@ func TestCheckpointRoundTripSkipsSizing(t *testing.T) {
 	e.Close()
 
 	codec2 := &fakeCodec{spanSize: 1 << 10, sizingCost: true}
-	e2, err := NewFromCheckpoints(src, codec2, spans, flags, Config{Threads: 2})
+	e2, err := NewFromCheckpoints(filereader.MemoryReader(src), codec2, spans, flags, Config{Threads: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,11 +178,11 @@ func TestCheckpointValidation(t *testing.T) {
 		"decomp-not-at-0": {{CompOff: 0, CompEnd: 10, DecompOff: 5, DecompSize: 1}},
 	}
 	for name, spans := range cases {
-		if _, err := NewFromCheckpoints(src, codec, spans, 0, Config{}); err == nil {
+		if _, err := NewFromCheckpoints(filereader.MemoryReader(src), codec, spans, 0, Config{}); err == nil {
 			t.Errorf("%s: invalid checkpoint table accepted", name)
 		}
 	}
-	e, err := NewFromCheckpoints(src, codec, good, 0, Config{})
+	e, err := NewFromCheckpoints(filereader.MemoryReader(src), codec, good, 0, Config{})
 	if err != nil {
 		t.Fatalf("valid table rejected: %v", err)
 	}
@@ -184,7 +192,7 @@ func TestCheckpointValidation(t *testing.T) {
 func TestConcurrentReadAt(t *testing.T) {
 	src := testSrc(128 << 10)
 	codec := &fakeCodec{spanSize: 4 << 10}
-	e, err := New(src, codec, Config{Threads: 4, CacheSize: 3})
+	e, err := New(filereader.MemoryReader(src), codec, Config{Threads: 4, CacheSize: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -219,7 +227,7 @@ func TestConcurrentReadAt(t *testing.T) {
 func TestEvictionPressureMidPrefetch(t *testing.T) {
 	src := testSrc(256 << 10)
 	codec := &fakeCodec{spanSize: 2 << 10} // 128 spans
-	e, err := New(src, codec, Config{Threads: 4, CacheSize: 2, MaxPrefetch: 8})
+	e, err := New(filereader.MemoryReader(src), codec, Config{Threads: 4, CacheSize: 2, MaxPrefetch: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -258,7 +266,7 @@ func TestPrefetchJoin(t *testing.T) {
 	src := testSrc(64 << 10)
 	delay := make(chan struct{})
 	codec := &fakeCodec{spanSize: 4 << 10, decodeDelay: delay}
-	e, err := New(src, codec, Config{Threads: 2, Strategy: prefetch.NewFixed(), MaxPrefetch: 2})
+	e, err := New(filereader.MemoryReader(src), codec, Config{Threads: 2, Strategy: prefetch.NewFixed(), MaxPrefetch: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -290,7 +298,7 @@ func TestPrefetchJoin(t *testing.T) {
 func TestClosedEngineFails(t *testing.T) {
 	src := testSrc(4096)
 	codec := &fakeCodec{spanSize: 1024}
-	e, err := New(src, codec, Config{})
+	e, err := New(filereader.MemoryReader(src), codec, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -308,7 +316,7 @@ func TestDecodeSizeMismatchSurfaces(t *testing.T) {
 	src := testSrc(4096)
 	codec := &fakeCodec{spanSize: 1024}
 	spans := []Span{{CompOff: 0, CompEnd: 1024, DecompOff: 0, DecompSize: 999}} // lies about size
-	e, err := NewFromCheckpoints(src, codec, spans, 0, Config{})
+	e, err := NewFromCheckpoints(filereader.MemoryReader(src), codec, spans, 0, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -320,7 +328,7 @@ func TestDecodeSizeMismatchSurfaces(t *testing.T) {
 
 func TestSpanContentOutOfRange(t *testing.T) {
 	src := testSrc(4096)
-	e, err := New(src, &fakeCodec{spanSize: 1024}, Config{})
+	e, err := New(filereader.MemoryReader(src), &fakeCodec{spanSize: 1024}, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -335,7 +343,7 @@ func TestSpanContentOutOfRange(t *testing.T) {
 func BenchmarkReadAtSequential(b *testing.B) {
 	src := testSrc(1 << 20)
 	codec := &fakeCodec{spanSize: 32 << 10}
-	e, err := New(src, codec, Config{Threads: 4})
+	e, err := New(filereader.MemoryReader(src), codec, Config{Threads: 4})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -354,5 +362,58 @@ func BenchmarkReadAtSequential(b *testing.B) {
 				break
 			}
 		}
+	}
+}
+
+// TestFileBackedEngineMatchesMemory drives the same codec over the same
+// bytes through both backings — a resident buffer and a real temp file —
+// and demands identical content plus truthful source-traffic counters:
+// the file-backed engine reads spans by positional extent, never the
+// whole file at once.
+func TestFileBackedEngineMatchesMemory(t *testing.T) {
+	src := testSrc(96 << 10)
+	path := filepath.Join(t.TempDir(), "spans.bin")
+	if err := os.WriteFile(path, src, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := filereader.OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	em, err := New(filereader.MemoryReader(src), &fakeCodec{spanSize: 4 << 10}, Config{Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer em.Close()
+	ef, err := New(f, &fakeCodec{spanSize: 4 << 10}, Config{Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ef.Close()
+
+	if em.Size() != ef.Size() || em.NumSpans() != ef.NumSpans() {
+		t.Fatalf("backings disagree: mem %d/%d file %d/%d",
+			em.Size(), em.NumSpans(), ef.Size(), ef.NumSpans())
+	}
+	for _, off := range []int64{0, 1, 4095, 4096, 50_000, em.Size() - 100} {
+		bm := make([]byte, 5000)
+		bf := make([]byte, 5000)
+		nm, errm := em.ReadAt(bm, off)
+		nf, errf := ef.ReadAt(bf, off)
+		if nm != nf || !bytes.Equal(bm[:nm], bf[:nf]) {
+			t.Fatalf("ReadAt(%d): mem %d bytes (err %v), file %d bytes (err %v)", off, nm, errm, nf, errf)
+		}
+		if !bytes.Equal(bf[:nf], src[off:off+int64(nf)]) {
+			t.Fatalf("ReadAt(%d): file-backed content mismatch", off)
+		}
+	}
+	s := ef.Stats()
+	if s.SourceReads == 0 || s.SourceBytesRead == 0 {
+		t.Fatalf("file-backed engine reported no source traffic: %+v", s)
+	}
+	if s.SourceBytesRead%(4<<10) != 0 {
+		t.Fatalf("file-backed engine read %d bytes; want a multiple of the 4 KiB span extent (extent preads only)", s.SourceBytesRead)
 	}
 }

@@ -1,0 +1,222 @@
+package workloads
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+
+	"repro/internal/xxhash"
+)
+
+// SparsePlan describes a synthetic sparse archive written by
+// WriteSparseLZ4 or WriteSparseZstd: a multi-gigabyte-shaped compressed
+// file whose all-zero block payloads are filesystem holes, so the
+// on-disk allocation stays megabytes while the logical file (and its
+// decompressed content) can exceed RAM. The plan carries everything a
+// test needs to verify decoded bytes without materializing the content.
+type SparsePlan struct {
+	// ContentSize is the total decompressed size.
+	ContentSize int64
+	// FrameContent is the decompressed bytes per frame (the last frame
+	// may be shorter).
+	FrameContent int64
+	// NumFrames counts the frames written.
+	NumFrames int
+	// CompressedSize is the logical size of the written file.
+	CompressedSize int64
+	// DataFrames maps a frame index to the seed of its deterministic
+	// random payload; every frame not present decodes to zeros (and
+	// was written as a hole).
+	DataFrames map[int]uint64
+}
+
+// ExpectedAt regenerates the decompressed bytes [off, off+n) from the
+// plan — zeros for hole frames, seeded random payloads for data frames.
+func (p *SparsePlan) ExpectedAt(off int64, n int) []byte {
+	out := make([]byte, n)
+	for i := 0; i < n; {
+		pos := off + int64(i)
+		if pos >= p.ContentSize {
+			break
+		}
+		fi := int(pos / p.FrameContent)
+		fStart := int64(fi) * p.FrameContent
+		fLen := p.FrameContent
+		if fStart+fLen > p.ContentSize {
+			fLen = p.ContentSize - fStart
+		}
+		within := pos - fStart
+		chunk := int64(n - i)
+		if chunk > fLen-within {
+			chunk = fLen - within
+		}
+		if seed, ok := p.DataFrames[fi]; ok {
+			payload := Random(int(fLen), seed)
+			copy(out[i:], payload[within:within+chunk])
+		}
+		i += int(chunk)
+	}
+	return out
+}
+
+// frameSeed derives a per-frame payload seed deterministically.
+func frameSeed(seed uint64, frame int) uint64 {
+	return seed ^ (uint64(frame)+1)*0x9E3779B97F4A7C15
+}
+
+// planFrames validates the geometry and returns the shared plan shell.
+func planFrames(contentSize, frameContent int64, dataFrames []int) (*SparsePlan, error) {
+	if contentSize <= 0 || frameContent <= 0 {
+		return nil, fmt.Errorf("workloads: non-positive sparse archive geometry (%d/%d)", contentSize, frameContent)
+	}
+	n := int((contentSize + frameContent - 1) / frameContent)
+	p := &SparsePlan{
+		ContentSize:  contentSize,
+		FrameContent: frameContent,
+		NumFrames:    n,
+		DataFrames:   map[int]uint64{},
+	}
+	for _, fi := range dataFrames {
+		if fi < 0 || fi >= n {
+			return nil, fmt.Errorf("workloads: data frame %d out of range [0,%d)", fi, n)
+		}
+		p.DataFrames[fi] = 0 // seeds filled by the writer
+	}
+	return p, nil
+}
+
+// WriteSparseLZ4 writes a synthetic multi-frame LZ4 archive of
+// contentSize decompressed bytes to f: every frame declares its content
+// size and consists of stored (uncompressed) blocks of blockSize bytes,
+// so a frame's compressed extent equals its content plus a few header
+// bytes. Frames listed in dataFrames carry seeded random payloads;
+// every other frame's payload is all zeros and is written as a hole
+// (only the 4-byte block headers land on disk). No checksums are
+// written — holes would have to be read back to hash them.
+//
+// The result parses with the package's own scanner and any compliant
+// LZ4 frame decoder; generation cost scales with headers plus data
+// frames, not with contentSize.
+func WriteSparseLZ4(f *os.File, contentSize, frameContent int64, blockSize int, seed uint64, dataFrames []int) (*SparsePlan, error) {
+	p, err := planFrames(contentSize, frameContent, dataFrames)
+	if err != nil {
+		return nil, err
+	}
+	if blockSize <= 0 || int64(blockSize) > frameContent || blockSize > 4<<20 {
+		return nil, fmt.Errorf("workloads: bad LZ4 block size %d", blockSize)
+	}
+	var bd byte
+	switch {
+	case blockSize <= 64<<10:
+		bd = 4 << 4
+	case blockSize <= 256<<10:
+		bd = 5 << 4
+	case blockSize <= 1<<20:
+		bd = 6 << 4
+	default:
+		bd = 7 << 4
+	}
+	const flg = 0x40 | 0x20 | 0x08 // version 01, block-independent, content size
+	var pos int64
+	for fi := 0; fi < p.NumFrames; fi++ {
+		cl := frameContent
+		if int64(fi)*frameContent+cl > contentSize {
+			cl = contentSize - int64(fi)*frameContent
+		}
+		var payload []byte
+		if _, ok := p.DataFrames[fi]; ok {
+			s := frameSeed(seed, fi)
+			p.DataFrames[fi] = s
+			payload = Random(int(cl), s)
+		}
+		hdr := binary.LittleEndian.AppendUint32(nil, 0x184D2204)
+		desc := append([]byte{flg, bd}, binary.LittleEndian.AppendUint64(nil, uint64(cl))...)
+		hdr = append(hdr, desc...)
+		hdr = append(hdr, byte(xxhash.Sum32(desc, 0)>>8)) // HC
+		if _, err := f.WriteAt(hdr, pos); err != nil {
+			return nil, err
+		}
+		pos += int64(len(hdr))
+		for off := int64(0); off < cl; off += int64(blockSize) {
+			bs := int64(blockSize)
+			if off+bs > cl {
+				bs = cl - off
+			}
+			bh := binary.LittleEndian.AppendUint32(nil, uint32(bs)|1<<31) // stored
+			if _, err := f.WriteAt(bh, pos); err != nil {
+				return nil, err
+			}
+			pos += 4
+			if payload != nil {
+				if _, err := f.WriteAt(payload[off:off+bs], pos); err != nil {
+					return nil, err
+				}
+			}
+			pos += bs // hole when payload is nil
+		}
+		if _, err := f.WriteAt([]byte{0, 0, 0, 0}, pos); err != nil { // EndMark
+			return nil, err
+		}
+		pos += 4
+	}
+	p.CompressedSize = pos
+	return p, f.Truncate(pos)
+}
+
+// WriteSparseZstd is WriteSparseLZ4 for Zstandard: every frame declares
+// its content size (8-byte FCS) and consists of raw blocks of at most
+// 128 KiB (the format's Block_Maximum_Size); hole frames' payloads are
+// filesystem holes. No content checksums.
+func WriteSparseZstd(f *os.File, contentSize, frameContent int64, seed uint64, dataFrames []int) (*SparsePlan, error) {
+	p, err := planFrames(contentSize, frameContent, dataFrames)
+	if err != nil {
+		return nil, err
+	}
+	const blockSize = 128 << 10
+	var pos int64
+	for fi := 0; fi < p.NumFrames; fi++ {
+		cl := frameContent
+		if int64(fi)*frameContent+cl > contentSize {
+			cl = contentSize - int64(fi)*frameContent
+		}
+		var payload []byte
+		if _, ok := p.DataFrames[fi]; ok {
+			s := frameSeed(seed, fi)
+			p.DataFrames[fi] = s
+			payload = Random(int(cl), s)
+		}
+		hdr := binary.LittleEndian.AppendUint32(nil, 0xFD2FB528)
+		// FHD: 8-byte FCS (flag 3), no checksum, no dict, not single-
+		// segment — so a window descriptor follows: exponent 24 (16 MiB),
+		// comfortably above any frame content this generator emits.
+		hdr = append(hdr, 0xC0, 14<<3)
+		hdr = binary.LittleEndian.AppendUint64(hdr, uint64(cl))
+		if _, err := f.WriteAt(hdr, pos); err != nil {
+			return nil, err
+		}
+		pos += int64(len(hdr))
+		for off := int64(0); off < cl; off += blockSize {
+			bs := int64(blockSize)
+			if off+bs > cl {
+				bs = cl - off
+			}
+			last := off+bs >= cl
+			bh := uint32(bs)<<3 | 0<<1 // raw block
+			if last {
+				bh |= 1
+			}
+			if _, err := f.WriteAt([]byte{byte(bh), byte(bh >> 8), byte(bh >> 16)}, pos); err != nil {
+				return nil, err
+			}
+			pos += 3
+			if payload != nil {
+				if _, err := f.WriteAt(payload[off:off+bs], pos); err != nil {
+					return nil, err
+				}
+			}
+			pos += bs // hole when payload is nil
+		}
+	}
+	p.CompressedSize = pos
+	return p, f.Truncate(pos)
+}

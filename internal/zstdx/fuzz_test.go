@@ -24,11 +24,11 @@ func FuzzDecompress(f *testing.F) {
 			t.Fatalf("Decompress accepted what ScanFrames rejects: %v", serr)
 		}
 		if scan.Sized {
-			total := 0
+			var total int64
 			for _, fr := range scan.Frames {
 				total += fr.ContentSize
 			}
-			if total != len(out) {
+			if total != int64(len(out)) {
 				t.Fatalf("declared sizes sum to %d, decoded %d bytes", total, len(out))
 			}
 		}

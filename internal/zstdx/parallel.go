@@ -3,6 +3,7 @@ package zstdx
 import (
 	"fmt"
 
+	"repro/internal/filereader"
 	"repro/internal/pool"
 	"repro/internal/spanengine"
 )
@@ -36,7 +37,7 @@ func DecompressParallel(data []byte, threads int) ([]byte, error) {
 	if !scan.Sized || threads < 2 || len(scan.Frames) < 2 {
 		return Decompress(data)
 	}
-	total := 0
+	var total int64
 	for _, f := range scan.Frames {
 		total += f.ContentSize
 	}
@@ -75,10 +76,11 @@ type Codec struct {
 // FormatTag implements spanengine.Codec.
 func (*Codec) FormatTag() string { return FormatTag }
 
-// Scan implements spanengine.Codec via ScanFrames plus a sizing decode
+// Scan implements spanengine.Codec via ScanFramesReader (a windowed
+// header walk that never reads block payloads) plus a sizing decode
 // for every frame that omits its content size.
-func (c *Codec) Scan(data []byte) (spanengine.ScanResult, error) {
-	scan, err := ScanFrames(data)
+func (c *Codec) Scan(src filereader.FileReader) (spanengine.ScanResult, error) {
+	scan, err := ScanFramesReader(src)
 	if err != nil {
 		return spanengine.ScanResult{}, err
 	}
@@ -97,12 +99,17 @@ func (c *Codec) Scan(data []byte) (spanengine.ScanResult, error) {
 	}
 	var decomp int64
 	for i, f := range scan.Frames {
-		size := int64(f.ContentSize)
+		size := f.ContentSize
 		if f.ContentSize < 0 {
 			// Sizing pass: decode the unsized frame once to pin down its
 			// decompressed extent, handing the content to the engine so
 			// it lands in the span cache.
-			content, err := decodeFrame(data[f.Offset:f.End])
+			ext, release, err := filereader.Extent(src, f.Offset, f.End)
+			if err != nil {
+				return spanengine.ScanResult{}, err
+			}
+			content, err := decodeFrame(ext)
+			release()
 			if err != nil {
 				return spanengine.ScanResult{}, fmt.Errorf("zstdx: sizing frame %d: %w", i, err)
 			}
@@ -114,8 +121,8 @@ func (c *Codec) Scan(data []byte) (spanengine.ScanResult, error) {
 			res.Primed[i] = content
 		}
 		res.Spans = append(res.Spans, spanengine.Span{
-			CompOff:    int64(f.Offset),
-			CompEnd:    int64(f.End),
+			CompOff:    f.Offset,
+			CompEnd:    f.End,
 			DecompOff:  decomp,
 			DecompSize: size,
 		})
@@ -125,10 +132,16 @@ func (c *Codec) Scan(data []byte) (spanengine.ScanResult, error) {
 }
 
 // DecodeSpan implements spanengine.Codec: one span is one data frame,
-// verified against its content checksum when present. (The engine
-// checks the decoded length against the table.)
-func (*Codec) DecodeSpan(data []byte, s spanengine.Span) ([]byte, error) {
-	out, err := decodeFrame(data[s.CompOff:s.CompEnd])
+// read with one pread of its compressed extent and verified against
+// its content checksum when present. (The engine checks the decoded
+// length against the table.)
+func (*Codec) DecodeSpan(src filereader.FileReader, s spanengine.Span) ([]byte, error) {
+	ext, release, err := filereader.Extent(src, s.CompOff, s.CompEnd)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	out, err := decodeFrame(ext)
 	if err != nil {
 		return nil, fmt.Errorf("zstdx: frame at offset %d: %w", s.CompOff, err)
 	}
@@ -156,14 +169,16 @@ type Reader struct {
 // without a content size force a sequential sizing decode here, and
 // demote the Sized (parallel-plannable) capability.
 func NewReader(data []byte, threads int) (*Reader, error) {
-	return NewReaderConfig(data, spanengine.Config{Threads: threads})
+	return NewReaderConfig(filereader.MemoryReader(data), spanengine.Config{Threads: threads})
 }
 
 // NewReaderConfig is NewReader with full engine tuning (cache size,
-// prefetch depth, strategy).
-func NewReaderConfig(data []byte, cfg spanengine.Config) (*Reader, error) {
+// prefetch depth, strategy), over any positional source — an open file
+// serves random access with only headers read at open (plus sizing
+// decodes for unsized frames) and one frame extent per decode.
+func NewReaderConfig(src filereader.FileReader, cfg spanengine.Config) (*Reader, error) {
 	codec := &Codec{}
-	eng, err := spanengine.New(data, codec, cfg)
+	eng, err := spanengine.New(src, codec, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -172,8 +187,8 @@ func NewReaderConfig(data []byte, cfg spanengine.Config) (*Reader, error) {
 
 // NewReaderFromCheckpoints builds a reader from a persisted checkpoint
 // table, skipping the scan (and any sizing decodes) entirely.
-func NewReaderFromCheckpoints(data []byte, spans []spanengine.Span, flags uint8, cfg spanengine.Config) (*Reader, error) {
-	eng, err := spanengine.NewFromCheckpoints(data, &Codec{}, spans, flags, cfg)
+func NewReaderFromCheckpoints(src filereader.FileReader, spans []spanengine.Span, flags uint8, cfg spanengine.Config) (*Reader, error) {
+	eng, err := spanengine.NewFromCheckpoints(src, &Codec{}, spans, flags, cfg)
 	if err != nil {
 		return nil, err
 	}

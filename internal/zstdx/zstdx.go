@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/filereader"
 	"repro/internal/xxhash"
 )
 
@@ -143,16 +144,19 @@ func skipBlocks(data []byte, p int) (int, error) {
 }
 
 // FrameInfo locates one data frame inside a (possibly multi-frame,
-// possibly skippable-frame-interleaved) Zstandard file.
+// possibly skippable-frame-interleaved) Zstandard file. Fields are
+// int64: the scan also runs over positional readers, where offsets are
+// not bounded by a slice length (files can exceed 2 GiB on 32-bit
+// platforms).
 type FrameInfo struct {
 	// Offset is the byte position of the frame magic; End is just past
 	// the frame (including any content checksum).
-	Offset, End int
+	Offset, End int64
 	// ContentSize is the declared decompressed size, or -1 when the
 	// frame header omits it (sized on open by a sequential decode).
-	ContentSize int
+	ContentSize int64
 	// ContentStart is the decompressed offset of this frame's content.
-	ContentStart int
+	ContentStart int64
 	// HasChecksum reports a trailing xxHash64 content checksum.
 	HasChecksum bool
 }
@@ -165,6 +169,110 @@ type ScanResult struct {
 	// Sized reports that every frame declares its content size, the
 	// precondition for parallel decode and metadata-only ReadAt plans.
 	Sized bool
+}
+
+// ScanFramesReader is ScanFrames over a positional reader: frame and
+// block headers are parsed through a small refill window and block
+// payloads (plus skippable frames) are skipped without reading them,
+// so sizing a multi-gigabyte file touches only its metadata bytes.
+// Memory-backed sources take the zero-copy whole-buffer path.
+func ScanFramesReader(src filereader.FileReader) (ScanResult, error) {
+	if data, ok := filereader.Bytes(src); ok {
+		return ScanFrames(data)
+	}
+	w := filereader.NewWalker(src, 0)
+	res := ScanResult{Sized: true}
+	var contentPos int64
+	for w.Remaining() > 0 {
+		pos := w.Pos()
+		if w.Remaining() >= 8 {
+			b, err := w.Peek(8)
+			if err != nil {
+				return res, err
+			}
+			if binary.LittleEndian.Uint32(b)&^0xF == skippableMagicBase {
+				w.Skip(8 + int64(binary.LittleEndian.Uint32(b[4:])))
+				if w.Remaining() < 0 {
+					return res, errCorrupt("truncated skippable frame")
+				}
+				res.Skippable++
+				continue
+			}
+		}
+		// The fixed header is at most 18 bytes (magic, FHD, window
+		// descriptor, 4-byte dict ID, 8-byte content size); peek what
+		// the file still has and let the parser report truncation.
+		hdrLen := int64(18)
+		if hdrLen > w.Remaining() {
+			hdrLen = w.Remaining()
+		}
+		hdr, err := w.Peek(int(hdrLen))
+		if err != nil {
+			return res, fmt.Errorf("frame %d at offset %d: %w", len(res.Frames), pos, err)
+		}
+		h, err := parseFrameHeader(hdr)
+		if err != nil {
+			return res, fmt.Errorf("frame %d at offset %d: %w", len(res.Frames), pos, err)
+		}
+		w.Skip(int64(h.headerLen))
+		for {
+			bh3, err := w.Next(3)
+			if err != nil {
+				// A pread failure is a storage problem, not corrupt data:
+				// pass it through with its filereader.ErrIO mark intact and
+				// reserve ErrCorrupt for genuine truncation.
+				if errors.Is(err, filereader.ErrIO) {
+					return res, fmt.Errorf("block header at offset %d: %w", w.Pos(), err)
+				}
+				return res, fmt.Errorf("%w: truncated block header: %w", ErrCorrupt, err)
+			}
+			bh := uint32(bh3[0]) | uint32(bh3[1])<<8 | uint32(bh3[2])<<16
+			switch bh >> 1 & 3 {
+			case 0, 2: // raw, compressed: payload is bsize bytes
+				w.Skip(int64(bh >> 3))
+			case 1: // RLE: one byte regenerates bsize
+				w.Skip(1)
+			default:
+				return res, errCorrupt("reserved block type")
+			}
+			if w.Remaining() < 0 {
+				return res, errCorrupt("truncated block payload")
+			}
+			if bh&1 != 0 {
+				break
+			}
+		}
+		if h.hasChecksum {
+			w.Skip(4)
+			if w.Remaining() < 0 {
+				return res, errCorrupt("truncated content checksum")
+			}
+		}
+		end := w.Pos()
+		// Same forged-header bound as the in-memory scan: an RLE block
+		// is the densest construct, 4 bytes regenerating 128 KiB.
+		if h.contentSize > (end-pos)*(maxBlockSize/4)+maxBlockSize {
+			return res, errCorrupt("declared content size exceeds maximum expansion")
+		}
+		f := FrameInfo{
+			Offset:      pos,
+			End:         end,
+			ContentSize: h.contentSize,
+			HasChecksum: h.hasChecksum,
+		}
+		if h.contentSize < 0 || !res.Sized {
+			res.Sized = false
+			f.ContentStart = -1
+			if h.contentSize < 0 {
+				f.ContentSize = -1
+			}
+		} else {
+			f.ContentStart = contentPos
+			contentPos += h.contentSize
+		}
+		res.Frames = append(res.Frames, f)
+	}
+	return res, nil
 }
 
 // ScanFrames walks a Zstandard file without decompressing: frame
@@ -208,9 +316,9 @@ func ScanFrames(data []byte) (ScanResult, error) {
 			return res, errCorrupt("declared content size exceeds maximum expansion")
 		}
 		f := FrameInfo{
-			Offset:      pos,
-			End:         pos + end,
-			ContentSize: int(h.contentSize),
+			Offset:      int64(pos),
+			End:         int64(pos + end),
+			ContentSize: h.contentSize,
 			HasChecksum: h.hasChecksum,
 		}
 		if h.contentSize < 0 || !res.Sized {
@@ -220,7 +328,7 @@ func ScanFrames(data []byte) (ScanResult, error) {
 				f.ContentSize = -1
 			}
 		} else {
-			f.ContentStart = contentPos
+			f.ContentStart = int64(contentPos)
 			contentPos += int(h.contentSize)
 		}
 		res.Frames = append(res.Frames, f)

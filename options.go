@@ -105,6 +105,7 @@ type config struct {
 	format      Format // FormatUnknown means sniff the content
 	indexFile   string // explicit index to import; implies no discovery
 	noDiscovery bool
+	inMemory    bool // load the whole file instead of serving it file-backed
 }
 
 // An Option configures Open, OpenBytes or any of the constructors that
@@ -172,12 +173,34 @@ func WithMaxPrefetch(n int) Option {
 
 // WithAccessCacheSize sets the accessed-chunk cache capacity (the span
 // cache, for bzip2/LZ4/zstd). Zero selects the default.
+//
+// Since Open serves bzip2/LZ4/zstd file-backed — the compressed bytes
+// are never resident as a whole — this cache is the dominant term of
+// an archive's decompressed-side memory budget: peak resident decoded
+// bytes are bounded by roughly (AccessCacheSize + MaxPrefetch) × the
+// largest span's decompressed size, plus one in-flight compressed
+// extent per worker.
 func WithAccessCacheSize(n int) Option {
 	return func(c *config) error {
 		if n < 0 {
 			return fmt.Errorf("rapidgzip: negative cache size %d", n)
 		}
 		c.opts.AccessCacheSize = n
+		return nil
+	}
+}
+
+// WithInMemory loads the whole compressed file into memory at Open and
+// serves every decode zero-copy from the resident buffer — the
+// pre-file-backed behavior. It only makes sense for files comfortably
+// smaller than RAM on storage slow enough that re-reading span extents
+// hurts (network filesystems); the default file-backed path needs
+// bounded memory regardless of file size. OpenBytes is always
+// in-memory; the option is a no-op there (and for gzip/BGZF, whose
+// core reads positionally either way).
+func WithInMemory() Option {
+	return func(c *config) error {
+		c.inMemory = true
 		return nil
 	}
 }

@@ -93,6 +93,15 @@ type Stats struct {
 	// SpanCacheHits / SpanCacheMisses / SpanCacheEvictions mirror the
 	// engine's span cache.
 	SpanCacheHits, SpanCacheMisses, SpanCacheEvictions uint64
+	// SourceReads counts positional reads the span engine issued
+	// against the compressed source (sizing-pass windows and span-
+	// extent preads alike), and SourceBytesRead the bytes they
+	// returned. For a file-backed archive these bound the compressed
+	// bytes ever made resident: SourceBytesRead staying far below the
+	// file size on a random-access workload is the larger-than-RAM
+	// property, measured. Memory-backed archives count one logical
+	// read per zero-copy span extent.
+	SourceReads, SourceBytesRead uint64
 }
 
 // coreStats maps the gzip fetcher's counters into the public Stats.
@@ -122,6 +131,8 @@ func engineStats(s spanengine.Stats) Stats {
 		SpanCacheHits:      s.CacheHits,
 		SpanCacheMisses:    s.CacheMisses,
 		SpanCacheEvictions: s.Evictions,
+		SourceReads:        s.SourceReads,
+		SourceBytesRead:    s.SourceBytesRead,
 	}
 }
 
