@@ -91,12 +91,16 @@ func Open(path string, opts ...Option) (Archive, error) {
 	}
 	switch t := a.(type) {
 	case *Reader:
-		t.owned = src
-	case *spanArchive:
 		if t.fileBacked {
 			t.owned = src
 		} else {
 			// WithInMemory copied the data out; the file is done.
+			src.Close()
+		}
+	case *spanArchive:
+		if t.fileBacked {
+			t.owned = src
+		} else {
 			src.Close()
 		}
 	default:
@@ -142,19 +146,21 @@ func openArchive(src filereader.FileReader, path string, cfg config) (Archive, e
 			return nil, fmt.Errorf("%w: %d-byte prefix matches no supported magic", ErrUnsupportedFormat, n)
 		}
 	}
-	switch format {
-	case FormatGzip, FormatBGZF:
-		return openIndexed(src, path, cfg, format)
-	case FormatBzip2, FormatLZ4, FormatZstd:
-		if cfg.inMemory {
-			// Opt-in legacy behavior: load everything once, then serve
-			// decodes zero-copy from the resident buffer.
+	if cfg.inMemory {
+		// Opt-in legacy behavior, same for every format: load everything
+		// once, then serve decodes zero-copy from the resident buffer.
+		if _, mem := filereader.Bytes(src); !mem {
 			data, err := filereader.ReadAll(src)
 			if err != nil {
 				return nil, sourceErr(err)
 			}
 			src = filereader.MemoryReader(data)
 		}
+	}
+	switch format {
+	case FormatGzip, FormatBGZF:
+		return openIndexed(src, path, cfg, format)
+	case FormatBzip2, FormatLZ4, FormatZstd:
 		return newSpanArchive(src, format, cfg, path)
 	}
 	return nil, fmt.Errorf("%w: content matches no supported magic", ErrUnsupportedFormat)
@@ -194,9 +200,13 @@ func openIndexed(src filereader.FileReader, path string, cfg config, format Form
 	}
 	pr, err := core.NewReader(src, coreCfg)
 	if err != nil {
-		return nil, err
+		// The core tags open-time read failures (fingerprint probe on a
+		// directory, a shrinking file) with filereader.ErrIO; surface
+		// those as the typed ErrSourceRead, like every other backend.
+		return nil, sourceErr(err)
 	}
-	return &Reader{pr: pr, format: format}, nil
+	_, mem := filereader.Bytes(src)
+	return &Reader{pr: pr, format: format, fileBacked: !mem}, nil
 }
 
 // importIndexReader constructs a reader destined for an immediate index
@@ -213,9 +223,10 @@ func importIndexReader(src filereader.FileReader, coreCfg core.Config, indexPath
 	coreCfg.SkipMetadataScan = true
 	pr, err := core.NewReader(src, coreCfg)
 	if err != nil {
-		return nil, err
+		return nil, sourceErr(err)
 	}
-	r := &Reader{pr: pr, format: format}
+	_, mem := filereader.Bytes(src)
+	r := &Reader{pr: pr, format: format, fileBacked: !mem}
 	// The file holds nothing but the index, so buffering is safe and
 	// spares the varint-level deserializer per-byte file reads.
 	if err := r.ImportIndex(bufio.NewReader(ixf)); err != nil {

@@ -7,6 +7,7 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 
@@ -390,8 +391,8 @@ func TestWithIndexFile(t *testing.T) {
 		t.Fatalf("explicit index import still probed the finder %d times", probes)
 	}
 
-	// A seek-point index carries no checkpoint table, so handing it to
-	// a bzip2 archive is a typed mismatch, not a silent fallback.
+	// A gzip index carries a "gzip"-tagged checkpoint table, so handing
+	// it to a bzip2 archive is a format mismatch, not a silent fallback.
 	bz, err := bzip2x.Compress(data, bzip2x.WriterOptions{Level: 1})
 	if err != nil {
 		t.Fatal(err)
@@ -400,8 +401,8 @@ func TestWithIndexFile(t *testing.T) {
 	if err := os.WriteFile(bzPath, bz, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Open(bzPath, WithIndexFile(ixPath)); !errors.Is(err, ErrNoIndexSupport) {
-		t.Fatalf("err = %v, want ErrNoIndexSupport", err)
+	if _, err := Open(bzPath, WithIndexFile(ixPath)); err == nil || !strings.Contains(err.Error(), "checkpoint table is for format") {
+		t.Fatalf("err = %v, want checkpoint-table format mismatch", err)
 	}
 
 	// Unlike discovery, an explicit index must fail loudly when broken —

@@ -79,7 +79,13 @@ func writeJSONBench(path string, corpusBytes, repeats int, coreCounts []int) err
 	// File-backed cold ReadAt: Open(path) with no index, then read the
 	// whole decompressed stream positionally — the path where the
 	// compressed file stays on disk and every span decode is a pread.
-	fbRows, err := fileBackedRows(data, lz, repeats, coreCounts, suffixed)
+	// LZ4 isolates the pread-per-span cost (its open is a pure header
+	// walk); gzip exercises the speculative chunk pipeline on the same
+	// file-backed path it now shares with the other formats.
+	fbRows, err := fileBackedRows(data, []fileBackedInput{
+		{name: "lz4-filebacked-readat", ext: ".lz4", comp: lz, err: nil},
+		{name: "gzip-filebacked-readat", ext: ".gz", comp: gz, err: gzErr},
+	}, repeats, coreCounts, suffixed)
 	if err != nil {
 		return err
 	}
@@ -217,59 +223,84 @@ func coldOpenRows(data, bz []byte, bzErr error, repeats int, coreCounts []int, s
 	return rows, nil
 }
 
-// fileBackedRows measures the file-backed cold ReadAt path: the LZ4
-// corpus is written to a real temp file, opened without an index, and
-// the decompressed stream is read positionally in 1 MiB slices — every
-// span decode preads its own compressed extent from disk. LZ4 is the
-// format whose open is a pure header walk, so the row isolates the
-// pread-per-span cost rather than a sizing pass.
-func fileBackedRows(data, lz []byte, repeats int, coreCounts []int, suffixed bool) ([]benchfmt.Result, error) {
-	f, err := os.CreateTemp("", "benchsuite-*.lz4")
-	if err != nil {
-		return nil, err
-	}
-	path := f.Name()
-	defer os.Remove(path)
-	_, err = f.Write(lz)
-	if cerr := f.Close(); err == nil {
-		err = cerr
-	}
-	if err != nil {
-		return nil, err
-	}
+// fileBackedInput is one corpus for the file-backed cold-ReadAt rows.
+type fileBackedInput struct {
+	name string
+	ext  string
+	comp []byte
+	err  error
+}
+
+// fileBackedRows measures the file-backed cold ReadAt path: each corpus
+// is written to a real temp file, opened without an index, and the
+// decompressed stream is read positionally in 1 MiB slices — every span
+// decode preads its own compressed extent from disk.
+func fileBackedRows(data []byte, inputs []fileBackedInput, repeats int, coreCounts []int, suffixed bool) ([]benchfmt.Result, error) {
 	var rows []benchfmt.Result
-	for _, threads := range coreCounts {
-		res := benchfmt.Result{
-			Name:     "lz4-filebacked-readat",
-			OutBytes: len(data),
-			InBytes:  len(lz),
-			Repeats:  repeats,
-			Parallel: threads,
-		}
-		if suffixed {
-			res.Name = fmt.Sprintf("%s-p%d", res.Name, threads)
-		}
-		var samples []float64
-		var format rapidgzip.Format
-		for rep := 0; rep < repeats; rep++ {
-			mbps, f, err := fileBackedReadAtOnce(path, len(data), threads)
-			if err != nil {
-				res.FailureMsg = err.Error()
-				break
+	for _, in := range inputs {
+		if in.err != nil {
+			for _, threads := range coreCounts {
+				res := benchfmt.Result{
+					Name:       in.name,
+					OutBytes:   len(data),
+					Repeats:    repeats,
+					Parallel:   threads,
+					FailureMsg: in.err.Error(),
+				}
+				if suffixed {
+					res.Name = fmt.Sprintf("%s-p%d", res.Name, threads)
+				}
+				rows = append(rows, res)
 			}
-			format = f
-			samples = append(samples, mbps)
+			continue
 		}
-		if len(samples) == repeats {
-			res.Format = format.String()
-			_, res.StdDev = meanStd(samples)
-			for _, s := range samples {
-				res.MBps = max(res.MBps, s)
+		f, err := os.CreateTemp("", "benchsuite-*"+in.ext)
+		if err != nil {
+			return nil, err
+		}
+		path := f.Name()
+		_, err = f.Write(in.comp)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			os.Remove(path)
+			return nil, err
+		}
+		for _, threads := range coreCounts {
+			res := benchfmt.Result{
+				Name:     in.name,
+				OutBytes: len(data),
+				InBytes:  len(in.comp),
+				Repeats:  repeats,
+				Parallel: threads,
 			}
+			if suffixed {
+				res.Name = fmt.Sprintf("%s-p%d", res.Name, threads)
+			}
+			var samples []float64
+			var format rapidgzip.Format
+			for rep := 0; rep < repeats; rep++ {
+				mbps, f, err := fileBackedReadAtOnce(path, len(data), threads)
+				if err != nil {
+					res.FailureMsg = err.Error()
+					break
+				}
+				format = f
+				samples = append(samples, mbps)
+			}
+			if len(samples) == repeats {
+				res.Format = format.String()
+				_, res.StdDev = meanStd(samples)
+				for _, s := range samples {
+					res.MBps = max(res.MBps, s)
+				}
+			}
+			rows = append(rows, res)
+			fmt.Fprintf(os.Stderr, "benchsuite: %-27s %8.1f MB/s ± %.1f (%s, P=%d)\n",
+				res.Name, res.MBps, res.StdDev, res.Format, threads)
 		}
-		rows = append(rows, res)
-		fmt.Fprintf(os.Stderr, "benchsuite: %-27s %8.1f MB/s ± %.1f (%s, P=%d)\n",
-			res.Name, res.MBps, res.StdDev, res.Format, threads)
+		os.Remove(path)
 	}
 	return rows, nil
 }

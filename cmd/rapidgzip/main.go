@@ -14,9 +14,9 @@
 // "<FILE>.rgzidx" index saved by --export-index is picked up
 // automatically on later runs (disable with --no-index-discovery).
 //
-// bzip2, LZ4 and zstd inputs are served file-backed: the compressed
-// file stays on disk and each decode preads only the span extents it
-// needs, so inputs larger than RAM work (--in-memory restores the old
+// Every input format is served file-backed: the compressed file stays
+// on disk and each decode preads only the span extents it needs, so
+// inputs larger than RAM work (--in-memory restores the old
 // load-it-all behavior; --stats prints the pread counters).
 //
 // With --export-index, the index built during decompression is saved —
@@ -180,14 +180,17 @@ func run() error {
 		}
 	}
 	if *stats {
+		// Every format runs on the shared span engine now, so the engine
+		// counters (including the pread counters that prove the input was
+		// served file-backed) are meaningful for all of them; gzip/BGZF
+		// add a second line for their speculative chunk pipeline.
 		s := r.Stats()
+		fmt.Fprintf(os.Stderr, "decompressed %d bytes (%s); sizingPasses=%d sizingDecodes=%d spanDecodes=%d prefetchIssued=%d prefetchJoined=%d cacheHits=%d cacheMisses=%d evictions=%d preads=%d preadBytes=%d\n",
+			n, r.Format(), s.SizingPasses, s.SizingDecodes, s.SpanDecodes, s.PrefetchIssued, s.PrefetchJoined, s.SpanCacheHits, s.SpanCacheMisses, s.SpanCacheEvictions, s.SourceReads, s.SourceBytesRead)
 		switch r.Format() {
-		case rapidgzip.FormatBzip2, rapidgzip.FormatLZ4, rapidgzip.FormatZstd:
-			fmt.Fprintf(os.Stderr, "decompressed %d bytes (%s); sizingPasses=%d sizingDecodes=%d spanDecodes=%d prefetchIssued=%d prefetchJoined=%d cacheHits=%d cacheMisses=%d evictions=%d preads=%d preadBytes=%d\n",
-				n, r.Format(), s.SizingPasses, s.SizingDecodes, s.SpanDecodes, s.PrefetchIssued, s.PrefetchJoined, s.SpanCacheHits, s.SpanCacheMisses, s.SpanCacheEvictions, s.SourceReads, s.SourceBytesRead)
-		default:
-			fmt.Fprintf(os.Stderr, "decompressed %d bytes (%s); chunks=%d speculative=%d finderProbes=%d noBlock=%d falseStarts=%d onDemand=%d indexed=%d delegated=%d\n",
-				n, r.Format(), s.ChunksConsumed, s.GuessTasks, s.FinderProbes, s.GuessNoBlock, s.GuessFalseStarts, s.OnDemandDecodes, s.IndexedDecodes, s.DelegatedDecodes)
+		case rapidgzip.FormatGzip, rapidgzip.FormatBGZF:
+			fmt.Fprintf(os.Stderr, "gzip pipeline: chunks=%d speculative=%d finderProbes=%d noBlock=%d falseStarts=%d onDemand=%d indexed=%d delegated=%d\n",
+				s.ChunksConsumed, s.GuessTasks, s.FinderProbes, s.GuessNoBlock, s.GuessFalseStarts, s.OnDemandDecodes, s.IndexedDecodes, s.DelegatedDecodes)
 		}
 	}
 	return nil

@@ -12,6 +12,7 @@ import (
 	"testing"
 
 	"repro/internal/bzip2x"
+	"repro/internal/gzipw"
 	"repro/internal/lz4x"
 	"repro/internal/workloads"
 	"repro/internal/zstdx"
@@ -67,11 +68,24 @@ func TestLargerThanMemoryHarness(t *testing.T) {
 		format       Format
 		content      int64 // decompressed (and, stored, roughly compressed) size
 		frameContent int64
-		blockSize    int // LZ4 only; zstd blocks are fixed at 128 KiB
+		blockSize    int // LZ4 and gzip stored-block size; zstd blocks are fixed at 128 KiB
+		// spanCompMax bounds one engine span's compressed extent; zero
+		// means frameContent plus framing slack (formats whose span is
+		// one frame). BGZF groups many members per span and gzip cuts
+		// chunk-sized spans, so they set it explicitly.
+		spanCompMax uint64
+		// viaIndex prebuilds and exports the seek-point index with a
+		// throwaway open, then runs the harness against a reopen that
+		// discovers it — plain gzip's random-access mode (a cold gzip
+		// open can only grow its span table sequentially).
+		viaIndex bool
 	}
 	tiers := []tier{
 		{name: "small", format: FormatLZ4, content: 128 << 20, frameContent: 4 << 20, blockSize: 1 << 20},
 		{name: "small", format: FormatZstd, content: 128 << 20, frameContent: 4 << 20},
+		{name: "small", format: FormatBGZF, content: 64 << 20, frameContent: 65280, spanCompMax: 4<<20 + 64<<10},
+		{name: "small", format: FormatGzip, content: 128 << 20, frameContent: 4 << 20, blockSize: 60_000,
+			spanCompMax: 8<<20 + 64<<10, viaIndex: true},
 	}
 	if !testing.Short() {
 		// The big tiers pin one format each so a full test run stays
@@ -80,6 +94,9 @@ func TestLargerThanMemoryHarness(t *testing.T) {
 		tiers = append(tiers,
 			tier{name: "large-4GiB", format: FormatLZ4, content: 4 << 30, frameContent: 16 << 20, blockSize: 4 << 20},
 			tier{name: "large-1GiB", format: FormatZstd, content: 1 << 30, frameContent: 8 << 20},
+			tier{name: "large-1GiB", format: FormatBGZF, content: 1 << 30, frameContent: 65280, spanCompMax: 4<<20 + 64<<10},
+			tier{name: "large-1GiB", format: FormatGzip, content: 1 << 30, frameContent: 8 << 20, blockSize: 65535,
+				spanCompMax: 8<<20 + 64<<10, viaIndex: true},
 		)
 	}
 	for _, ti := range tiers {
@@ -98,6 +115,10 @@ func TestLargerThanMemoryHarness(t *testing.T) {
 			dataFrames := []int{0, numFrames / 2, numFrames - 1}
 			var plan *workloads.SparsePlan
 			switch format {
+			case FormatGzip:
+				plan, err = workloads.WriteSparseGzip(f, ti.content, ti.frameContent, ti.blockSize, 42, dataFrames)
+			case FormatBGZF:
+				plan, err = workloads.WriteSparseBGZF(f, ti.content, ti.frameContent, 42, dataFrames)
 			case FormatLZ4:
 				plan, err = workloads.WriteSparseLZ4(f, ti.content, ti.frameContent, ti.blockSize, 42, dataFrames)
 			case FormatZstd:
@@ -113,7 +134,35 @@ func TestLargerThanMemoryHarness(t *testing.T) {
 				t.Fatal(err)
 			}
 
-			a, err := Open(f.Name(), WithParallelism(2), WithMaxPrefetch(2), WithoutIndexDiscovery())
+			if ti.viaIndex {
+				// Throwaway sequential open: grow the span table over the
+				// whole file once and persist it as the sibling index the
+				// harness open below discovers.
+				cold, err := Open(f.Name(), WithParallelism(4), WithoutIndexDiscovery())
+				if err != nil {
+					t.Fatal(err)
+				}
+				ixf, err := os.Create(f.Name() + IndexSuffix)
+				if err != nil {
+					t.Fatal(err)
+				}
+				err = cold.ExportIndex(ixf)
+				if cerr := ixf.Close(); err == nil {
+					err = cerr
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := cold.Close(); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			opts := []Option{WithParallelism(2), WithMaxPrefetch(2)}
+			if !ti.viaIndex {
+				opts = append(opts, WithoutIndexDiscovery())
+			}
+			a, err := Open(f.Name(), opts...)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -126,18 +175,32 @@ func TestLargerThanMemoryHarness(t *testing.T) {
 			}
 
 			open := a.Stats()
-			if open.SizingPasses != 1 || open.SizingDecodes != 0 {
-				t.Fatalf("metadata-sized open ran sizing decodes: %+v", open)
-			}
-			// The open is a header walk: windowed reads around frame and
-			// block headers, a low single-digit percentage of the file.
-			scanBound := uint64(plan.CompressedSize/8) + 64<<10
-			if open.SourceBytesRead > scanBound {
-				t.Fatalf("open read %d source bytes of a %d-byte file (bound %d): not a windowed metadata scan",
-					open.SourceBytesRead, plan.CompressedSize, scanBound)
-			}
-			if open.SourceReads == 0 {
-				t.Fatal("file-backed open reported zero source reads")
+			if ti.viaIndex {
+				// The index reopen contract, counter-asserted: the span
+				// table comes from the sibling index — no sizing pass, no
+				// source bytes touched before the first access (the
+				// fingerprint probe reads outside the counters).
+				if open.SizingPasses != 0 || open.SizingDecodes != 0 {
+					t.Fatalf("index reopen ran a sizing pass: %+v", open)
+				}
+				if open.SourceReads != 0 || open.SourceBytesRead != 0 {
+					t.Fatalf("index reopen read %d source bytes in %d preads before any access; want zero",
+						open.SourceBytesRead, open.SourceReads)
+				}
+			} else {
+				if open.SizingPasses != 1 || open.SizingDecodes != 0 {
+					t.Fatalf("metadata-sized open ran sizing decodes: %+v", open)
+				}
+				// The open is a header walk: windowed reads around frame and
+				// block headers, a low single-digit percentage of the file.
+				scanBound := uint64(plan.CompressedSize/8) + 64<<10
+				if open.SourceBytesRead > scanBound {
+					t.Fatalf("open read %d source bytes of a %d-byte file (bound %d): not a windowed metadata scan",
+						open.SourceBytesRead, plan.CompressedSize, scanBound)
+				}
+				if open.SourceReads == 0 {
+					t.Fatal("file-backed open reported zero source reads")
+				}
 			}
 
 			// Random accesses: data frames (seeded payload), hole frames
@@ -175,11 +238,14 @@ func TestLargerThanMemoryHarness(t *testing.T) {
 			// extent-granular reads, not whole-file ones. Up to MaxPrefetch
 			// decodes may still be in flight when the counters are sampled
 			// (their preads land before their completions), hence the +2.
-			frameCompMax := uint64(ti.frameContent) + 64<<10
+			spanCompMax := uint64(ti.frameContent) + 64<<10
+			if ti.spanCompMax != 0 {
+				spanCompMax = ti.spanCompMax
+			}
 			accessBytes := s.SourceBytesRead - open.SourceBytesRead
-			if accessBytes > (s.SpanDecodes+2)*frameCompMax {
+			if accessBytes > (s.SpanDecodes+2)*spanCompMax {
 				t.Fatalf("%d source bytes for %d span decodes (max %d per span): reads are not extent-granular",
-					accessBytes, s.SpanDecodes, frameCompMax)
+					accessBytes, s.SpanDecodes, spanCompMax)
 			}
 			if s.SpanDecodes == 0 || s.SpanDecodes >= uint64(numFrames) {
 				t.Fatalf("%d span decodes for %d targeted reads over %d frames: expected a small, access-driven subset",
@@ -200,13 +266,16 @@ func fileBackedFixture(t *testing.T, dir string, format Format, contentSize int)
 	content := workloads.Base64(contentSize, 7)
 	var comp []byte
 	var name string
+	var err error
 	switch format {
+	case FormatGzip:
+		comp, _, err = gzipw.Compress(content, gzipw.Options{Level: 1, BlockSize: 32 << 10})
+		name = "fixture.gz"
+	case FormatBGZF:
+		comp, _, err = gzipw.Compress(content, gzipw.Options{Level: 1, BGZF: true})
+		name = "fixture.bgzf"
 	case FormatBzip2:
-		var err error
 		comp, err = bzip2x.Compress(content, bzip2x.WriterOptions{Level: 1, StreamSize: 256 << 10})
-		if err != nil {
-			t.Fatal(err)
-		}
 		name = "fixture.bz2"
 	case FormatLZ4:
 		comp = lz4x.CompressFrames(content, lz4x.FrameOptions{FrameSize: 256 << 10, ContentChecksum: true})
@@ -217,12 +286,19 @@ func fileBackedFixture(t *testing.T, dir string, format Format, contentSize int)
 	default:
 		t.Fatalf("no file-backed fixture for %v", format)
 	}
+	if err != nil {
+		t.Fatal(err)
+	}
 	return writeTempFile(t, dir, name, comp), content
 }
 
-// spanFormats are the three span-engine formats the file-backed matrix
-// covers.
-var spanFormats = []Format{FormatBzip2, FormatLZ4, FormatZstd}
+// spanFormats are the five span-engine formats the file-backed matrix
+// covers — since the gzip/BGZF chunk pipeline runs on the shared
+// engine, gzip and BGZF go through the same file-backed contracts as
+// the rest. The WithChunkSize in the matrix opens only affects
+// gzip/BGZF (span granularity is format-inherent elsewhere) and keeps
+// their span tables multi-entry at these fixture sizes.
+var spanFormats = []Format{FormatGzip, FormatBGZF, FormatBzip2, FormatLZ4, FormatZstd}
 
 // TestFileBackedConcurrentReadAt mirrors the in-memory concurrent
 // matrix over real files: 8 goroutines hammer random offsets of a
@@ -231,7 +307,7 @@ func TestFileBackedConcurrentReadAt(t *testing.T) {
 	for _, format := range spanFormats {
 		t.Run(format.String(), func(t *testing.T) {
 			path, content := fileBackedFixture(t, t.TempDir(), format, 2<<20)
-			a, err := Open(path, WithParallelism(4), WithoutIndexDiscovery())
+			a, err := Open(path, WithParallelism(4), WithChunkSize(256<<10), WithoutIndexDiscovery())
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -272,8 +348,8 @@ func TestFileBackedEvictionPressureMidPrefetch(t *testing.T) {
 	for _, format := range spanFormats {
 		t.Run(format.String(), func(t *testing.T) {
 			path, content := fileBackedFixture(t, t.TempDir(), format, 4<<20)
-			a, err := Open(path,
-				WithParallelism(4), WithAccessCacheSize(2), WithMaxPrefetch(8), WithoutIndexDiscovery())
+			a, err := Open(path, WithParallelism(4), WithChunkSize(256<<10),
+				WithAccessCacheSize(2), WithMaxPrefetch(8), WithoutIndexDiscovery())
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -319,7 +395,7 @@ func TestFileBackedReopenWithIndexZeroSizing(t *testing.T) {
 				path, content := fileBackedFixture(t, dir, format, 2<<20)
 
 				// Cold open builds the checkpoint table; export it.
-				cold, err := Open(path, WithParallelism(2), WithoutIndexDiscovery())
+				cold, err := Open(path, WithParallelism(2), WithChunkSize(256<<10), WithoutIndexDiscovery())
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -342,7 +418,7 @@ func TestFileBackedReopenWithIndexZeroSizing(t *testing.T) {
 					t.Fatal(err)
 				}
 
-				opts := []Option{WithParallelism(2)}
+				opts := []Option{WithParallelism(2), WithChunkSize(256 << 10)}
 				if mode == "explicit" {
 					opts = append(opts, WithIndexFile(ixPath))
 				}
@@ -397,12 +473,12 @@ func TestFileBackedMatchesInMemory(t *testing.T) {
 	for _, format := range spanFormats {
 		t.Run(format.String(), func(t *testing.T) {
 			path, content := fileBackedFixture(t, t.TempDir(), format, 1<<20)
-			fb, err := Open(path, WithParallelism(2), WithoutIndexDiscovery())
+			fb, err := Open(path, WithParallelism(2), WithChunkSize(256<<10), WithoutIndexDiscovery())
 			if err != nil {
 				t.Fatal(err)
 			}
 			defer fb.Close()
-			im, err := Open(path, WithParallelism(2), WithoutIndexDiscovery(), WithInMemory())
+			im, err := Open(path, WithParallelism(2), WithChunkSize(256<<10), WithoutIndexDiscovery(), WithInMemory())
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -432,6 +508,14 @@ func TestFileBackedMatchesInMemory(t *testing.T) {
 // ErrUnsupportedFormat.
 func TestOpenFailurePaths(t *testing.T) {
 	dir := t.TempDir()
+	gz, _, err := gzipw.Compress(workloads.Base64(64<<10, 3), gzipw.Options{Level: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bgzf, _, err := gzipw.Compress(workloads.Base64(64<<10, 3), gzipw.Options{Level: 1, BGZF: true})
+	if err != nil {
+		t.Fatal(err)
+	}
 	cases := []struct {
 		name string
 		path string
@@ -440,11 +524,25 @@ func TestOpenFailurePaths(t *testing.T) {
 	}{
 		{name: "nonexistent", path: filepath.Join(dir, "missing.lz4"), want: fs.ErrNotExist},
 		{name: "directory-sniffed", path: dir, want: ErrSourceRead},
+		{name: "directory-forced-gzip", path: dir, opts: []Option{WithFormat(FormatGzip)}, want: ErrSourceRead},
+		{name: "directory-forced-bgzf", path: dir, opts: []Option{WithFormat(FormatBGZF)}, want: ErrSourceRead},
 		{name: "directory-forced-lz4", path: dir, opts: []Option{WithFormat(FormatLZ4)}, want: ErrSourceRead},
 		{name: "directory-forced-bzip2", path: dir, opts: []Option{WithFormat(FormatBzip2)}, want: ErrSourceRead},
 		{name: "directory-forced-zstd", path: dir, opts: []Option{WithFormat(FormatZstd)}, want: ErrSourceRead},
 		{name: "empty-file", path: writeTempFile(t, dir, "empty", nil), want: ErrUnsupportedFormat},
 		{name: "no-magic", path: writeTempFile(t, dir, "garbage", []byte("this is not compressed data at all")), want: ErrUnsupportedFormat},
+		{
+			// The magic bytes sniff as gzip, but the member header is cut
+			// short: the open-time header parse must fail loudly.
+			name: "truncated-gzip-header",
+			path: writeTempFile(t, dir, "cut.gz", gz[:8]),
+		},
+		{
+			// Cut mid-member: the BGZF metadata scan walks member headers
+			// at open and must report the member overrunning the file.
+			name: "truncated-bgzf-member",
+			path: writeTempFile(t, dir, "cut.bgzf", bgzf[:len(bgzf)/2]),
+		},
 		{
 			name: "truncated-lz4",
 			path: writeTempFile(t, dir, "cut.lz4",

@@ -7,20 +7,25 @@ import (
 	"repro/internal/bitio"
 	"repro/internal/gzformat"
 	"repro/internal/gzindex"
+	"repro/internal/spanengine"
 )
 
-// initBGZF builds the full chunk table of a BGZF file from metadata
+// scanBGZF builds the full span table of a BGZF file from metadata
 // alone — the trivially parallel fast path of §3.4.4: every member
 // header carries the compressed member size (BSIZE) and every footer
-// the uncompressed size (ISIZE), so chunk boundaries, sizes, and the
+// the uncompressed size (ISIZE), so span boundaries, sizes, and the
 // index are known without decompressing or searching anything.
 //
-// Members are grouped into chunks of about ChunkSize compressed bytes
+// Headers and footers are read through small bounded windows (a few
+// hundred bytes per member) rather than a file-wide reader, so the
+// sizing pass over a larger-than-RAM file touches only metadata bytes.
+//
+// Members are grouped into spans of about ChunkSize compressed bytes
 // so the per-task overhead stays comparable to the generic path.
-func (f *Fetcher) initBGZF() error {
-	fileSize := int64(f.fileBits / 8)
-	br := bitio.NewBitReader(f.file, fileSize)
+func (c *gzipCodec) scanBGZF() (spanengine.ScanResult, error) {
+	fileSize := int64(c.fileBits / 8)
 
+	var spans []spanengine.Span
 	var pos int64
 	var decomp uint64
 	groupStart := int64(0)
@@ -28,54 +33,57 @@ func (f *Fetcher) initBGZF() error {
 	var groupMembers []memberMark
 
 	flush := func(end int64, endDecomp uint64, eof bool) error {
-		ci := chunkInfo{
+		m := spanMeta{
 			startBit:      uint64(groupStart) * 8,
 			endBit:        uint64(end) * 8,
 			startDecomp:   groupDecomp,
 			size:          endDecomp - groupDecomp,
 			atMemberStart: true,
-			unitStart:     len(f.chunks),
 			endIsEOF:      eof,
 			members:       groupMembers,
 		}
 		groupMembers = nil
-		if err := f.index.Add(gzindex.SeekPoint{
-			CompressedBitOffset: ci.startBit,
-			UncompressedOffset:  ci.startDecomp,
+		if err := c.index.Add(gzindex.SeekPoint{
+			CompressedBitOffset: m.startBit,
+			UncompressedOffset:  m.startDecomp,
 			AtMemberStart:       true,
 		}, nil); err != nil {
 			return err
 		}
-		for _, m := range ci.members {
-			f.index.AddMemberEnd(ci.startBit,
-				gzindex.MemberEnd{RelEnd: m.absEnd - ci.startDecomp, CRC32: m.crc})
+		for _, mm := range m.members {
+			c.index.AddMemberEnd(m.startBit,
+				gzindex.MemberEnd{RelEnd: mm.absEnd - m.startDecomp, CRC32: mm.crc})
 		}
-		f.chunks = append(f.chunks, ci)
+		c.byOff[groupStart] = len(c.metas)
+		c.metas = append(c.metas, m)
+		spans = append(spans, spanengine.Span{
+			CompOff:    groupStart,
+			CompEnd:    end,
+			DecompOff:  int64(m.startDecomp),
+			DecompSize: int64(m.size),
+		})
 		groupStart = end
 		groupDecomp = endDecomp
 		return nil
 	}
 
 	for pos < fileSize {
-		if err := br.SeekBits(uint64(pos) * 8); err != nil {
-			return err
-		}
-		hdr, err := gzformat.ParseHeader(br)
+		hdr, err := c.parseHeaderAt(pos, fileSize)
 		if err != nil {
-			return fmt.Errorf("core: BGZF member scan at %d: %w", pos, err)
+			return spanengine.ScanResult{}, fmt.Errorf("core: BGZF member scan at %d: %w", pos, err)
 		}
 		if hdr.BGZFBlockSize <= 0 {
-			return fmt.Errorf("core: member at %d lacks BGZF metadata", pos)
+			return spanengine.ScanResult{}, fmt.Errorf("core: member at %d lacks BGZF metadata", pos)
 		}
 		memberEnd := pos + int64(hdr.BGZFBlockSize)
 		if memberEnd > fileSize {
-			return fmt.Errorf("core: BGZF member at %d overruns the file", pos)
+			return spanengine.ScanResult{}, fmt.Errorf("core: BGZF member at %d overruns the file", pos)
 		}
 		// The footer is CRC32 then ISIZE; one read captures both, so the
 		// member marks enable architecture-level CRC verification too.
 		var footerRaw [8]byte
-		if _, err := f.file.ReadAt(footerRaw[:], memberEnd-8); err != nil {
-			return err
+		if _, err := c.src.ReadAt(footerRaw[:], memberEnd-8); err != nil {
+			return spanengine.ScanResult{}, err
 		}
 		decomp += uint64(binary.LittleEndian.Uint32(footerRaw[4:]))
 		groupMembers = append(groupMembers, memberMark{
@@ -83,19 +91,40 @@ func (f *Fetcher) initBGZF() error {
 			crc:    binary.LittleEndian.Uint32(footerRaw[:4]),
 		})
 		pos = memberEnd
-		if pos-groupStart >= int64(f.cfg.ChunkSize) || pos >= fileSize {
+		if pos-groupStart >= int64(c.cfg.ChunkSize) || pos >= fileSize {
 			if err := flush(pos, decomp, pos >= fileSize); err != nil {
-				return err
+				return spanengine.ScanResult{}, err
 			}
 		}
 	}
 	if pos != fileSize {
-		return fmt.Errorf("core: BGZF members end at %d, file has %d bytes", pos, fileSize)
+		return spanengine.ScanResult{}, fmt.Errorf("core: BGZF members end at %d, file has %d bytes", pos, fileSize)
 	}
-	f.eof = true
-	f.frontierBit = uint64(fileSize) * 8
-	f.frontierDecomp = decomp
-	f.index.Finalized = true
-	f.index.UncompressedSize = decomp
-	return nil
+	c.eof = true
+	c.frontierBit = uint64(fileSize) * 8
+	c.frontierDecomp = decomp
+	c.index.Finalized = true
+	c.index.UncompressedSize = decomp
+	return spanengine.ScanResult{Spans: spans}, nil
+}
+
+// parseHeaderAt parses one gzip member header through a bounded window
+// read at byte offset pos, growing the window geometrically when a
+// header (with its optional fields) spills past it.
+func (c *gzipCodec) parseHeaderAt(pos, fileSize int64) (gzformat.Header, error) {
+	win := int64(512)
+	for {
+		if win > fileSize-pos {
+			win = fileSize - pos
+		}
+		buf := make([]byte, win)
+		if n, err := c.src.ReadAt(buf, pos); err != nil && int64(n) < win {
+			return gzformat.Header{}, err
+		}
+		hdr, err := gzformat.ParseHeader(bitio.NewBitReaderBytes(buf))
+		if err == nil || win >= fileSize-pos {
+			return hdr, err
+		}
+		win *= 8
+	}
 }

@@ -7,11 +7,10 @@ import (
 	"repro/internal/gzipw"
 )
 
-// TestChunkCoverageAfterRandomAccess is a regression test: a per-entry
-// indexed decode shares its start bit with the decode unit it belongs
-// to, and the unit path of ChunkByIndex once mistook such an entry
-// payload for the whole unit, caching chunks that did not cover the
-// offsets they were registered for.
+// TestChunkCoverageAfterRandomAccess is a regression test: the span
+// serving a random-access offset must actually cover that offset, and
+// its cached content must match its table extent — the bespoke chunk
+// path once cached unit payloads under entries they did not cover.
 func TestChunkCoverageAfterRandomAccess(t *testing.T) {
 	data := mkText(6, 600_000)
 	comp, _, _ := gzipw.Compress(data, gzipw.Options{Level: 6, BlockSize: 16 << 10})
@@ -19,22 +18,20 @@ func TestChunkCoverageAfterRandomAccess(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	for trial := 0; trial < 200; trial++ {
 		off := rng.Intn(len(data) - 100)
-		rc, idx, err := r.f.ChunkAt(uint64(off))
+		i, err := r.f.eng.SpanAt(int64(off))
 		if err != nil {
 			t.Fatalf("trial %d off %d: %v", trial, off, err)
 		}
-		segs, err := rc.Bytes()
+		content, err := r.f.eng.SpanContent(i)
 		if err != nil {
 			t.Fatal(err)
 		}
-		total := 0
-		for _, s := range segs {
-			total += len(s)
+		start, size := r.f.eng.SpanExtent(i)
+		if int64(len(content)) != size {
+			t.Fatalf("span %d: content %d bytes, table says %d", i, len(content), size)
 		}
-		if uint64(off) < rc.StartDecomp || uint64(off) >= rc.StartDecomp+uint64(total) {
-			ci := r.f.chunks[idx]
-			t.Fatalf("not covered: off=%d rc=[%d,+%d) entry={startDecomp:%d size:%d unit:%d}",
-				off, rc.StartDecomp, total, ci.startDecomp, ci.size, ci.unitStart)
+		if int64(off) < start || int64(off) >= start+size {
+			t.Fatalf("not covered: off=%d span %d=[%d,+%d)", off, i, start, size)
 		}
 	}
 }

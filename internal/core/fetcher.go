@@ -3,14 +3,14 @@
 // via a cache-and-parallel-prefetch chunk architecture (paper §3,
 // Figures 4 and 5).
 //
-// The Fetcher is the GzipChunkFetcher of the paper: it partitions the
-// compressed file into a fixed grid of chunk-sized cells, speculatively
-// decodes cells with the block finder and the two-stage decoder, keys
-// every decode result by the exact bit offset where it actually began,
-// and serves sequential consumption from the exact frontier offset —
-// which makes the whole design robust against block-finder false
-// positives: a misguided speculative result simply never matches a
-// requested key and ages out of the cache (§3: "Robustness against
+// Since the span-engine port, the chunk table, the caches and the
+// prefetch pipeline live in internal/spanengine — the same core that
+// serves bzip2, LZ4 and zstd. This package contributes the gzip codec
+// (codec.go): speculative block-finder decodes parked as tentative
+// results, confirmed one decode unit at a time at the exact frontier
+// offset — which makes the whole design robust against block-finder
+// false positives: a misguided speculative result simply never matches
+// a requested key and ages out of the pool (§3: "Robustness against
 // false positives results from the cache acting as an intermediary with
 // the offset as key").
 package core
@@ -18,19 +18,14 @@ package core
 import (
 	"errors"
 	"fmt"
-	"io"
 	"sync/atomic"
 
 	"repro/internal/bitio"
-	"repro/internal/blockfinder"
-	"repro/internal/cache"
-	"repro/internal/crc32x"
-	"repro/internal/deflate"
 	"repro/internal/filereader"
 	"repro/internal/gzformat"
 	"repro/internal/gzindex"
-	"repro/internal/pool"
 	"repro/internal/prefetch"
+	"repro/internal/spanengine"
 )
 
 // Config tunes the parallel reader.
@@ -99,81 +94,20 @@ var errNoBlock = errors.New("core: no deflate block found in chunk")
 // ErrClosed is returned after Close.
 var ErrClosed = errors.New("core: reader is closed")
 
-// chunkInfo is one confirmed chunk-table entry.
-type chunkInfo struct {
-	startBit, endBit  uint64
-	startDecomp, size uint64
-	atMemberStart     bool
-	// unitStart is the table index of the first entry of this entry's
-	// decode unit (a first-pass decode that got split into several
-	// entries). After an index import every entry is its own unit.
-	unitStart int
-	endIsEOF  bool
-	// members records every gzip member end inside (or at the end of)
-	// this entry, captured when the entry was confirmed. Re-decodes of
-	// the entry — in particular the stdlib-delegated fast path, whose
-	// results carry no footer events — verify against these marks.
-	members []memberMark
-}
-
-// memberMark is the footer of a member ending inside a confirmed entry:
-// the absolute decompressed offset where the member ends and the CRC32
-// its footer declares.
-type memberMark struct {
-	absEnd uint64
-	crc    uint32
-}
-
-// chunkPayload is a decoded (possibly still marker-bearing) chunk.
-type chunkPayload struct {
-	res *deflate.ChunkResult
-	// delegated marks results produced by the stdlib fast path.
-	delegated bool
-}
-
-// resolvedData is the output of the parallel marker-replacement task.
-type resolvedData struct {
-	segs  [][]byte
-	parts []crcPart
-}
-
-// crcPart carries the checksum of a member-delimited span of a chunk.
-type crcPart struct {
-	len       uint64
-	crc       uint32
-	expect    uint32 // footer CRC32 of the member ending after this part
-	hasExpect bool
-}
-
-// crcBound marks a member end within a resolved span: the offset
-// relative to the span start and the expected footer CRC32.
-type crcBound struct {
-	relEnd uint64
-	crc    uint32
-}
-
-// ResolvedChunk is a fully decoded span ready for reading.
-type ResolvedChunk struct {
-	// StartDecomp/Size delimit the decompressed span this chunk covers.
-	StartDecomp uint64
-	Size        uint64
-	// firstEntry/lastEntry delimit the chunk-table entries this span
-	// covers (for sequential CRC accounting).
-	firstEntry, lastEntry int
-	// consumed marks the first read access (for the ChunksConsumed
-	// statistic). Guarded by the reader's mutex like everything else.
-	consumed bool
-	fut      *pool.Future[*resolvedData]
-}
-
-// Bytes waits for marker replacement and returns the decompressed
-// segments of the span.
-func (rc *ResolvedChunk) Bytes() ([][]byte, error) {
-	d, err := rc.fut.Wait()
-	if err != nil {
-		return nil, err
-	}
-	return d.segs, nil
+// counters holds the gzip activity counters. They are bumped from
+// worker goroutines and the consumer alike, so every field is atomic;
+// the struct is owned by the Fetcher and outlives engine swaps (an
+// index import replaces the engine, not the statistics).
+type counters struct {
+	guessTasks       atomic.Uint64
+	guessNoBlock     atomic.Uint64
+	guessFalseStarts atomic.Uint64
+	finderProbes     atomic.Uint64
+	onDemand         atomic.Uint64
+	indexed          atomic.Uint64
+	delegated        atomic.Uint64
+	consumed         atomic.Uint64
+	crcFailures      atomic.Uint64
 }
 
 // FetcherStats counts fetcher activity for diagnostics and experiments.
@@ -195,945 +129,155 @@ type FetcherStats struct {
 	CRCFailures      uint64
 }
 
-// Fetcher is the GzipChunkFetcher. It is not goroutine-safe; the
-// ParallelGzipReader serialises access to it. Worker tasks touch only
-// their own state plus the thread-safe SharedFileReader.
+// Fetcher is the GzipChunkFetcher: a span engine driven by the gzip
+// codec. All methods are safe for concurrent use — the engine
+// serialises its own state, the codec its own.
 type Fetcher struct {
 	cfg      Config
+	engCfg   spanengine.Config
 	file     *filereader.SharedFileReader
 	fileBits uint64
-	pool     *pool.Pool
-	strategy prefetch.Strategy
-
-	index *gzindex.Index
+	codec    *gzipCodec
+	eng      *spanengine.Engine
+	cnt      counters
 	// sourceFP is the fingerprint of the open file, computed once at
 	// construction; exported indexes carry it and imports are checked
 	// against it.
 	sourceFP gzindex.Fingerprint
-	chunks   []chunkInfo
-	// marksKnown reports that the chunk table's member marks are
-	// authoritative: first-pass confirmation, BGZF metadata scan, or an
-	// imported index that persisted its marks. Only a legacy index
-	// import clears it; member verification then has to rely on the
-	// decode results' own footer events.
-	marksKnown bool
-
-	frontierBit    uint64
-	frontierDecomp uint64
-	frontierWindow []byte
-	memberStart    uint64 // decompressed offset where the current member began
-	eof            bool
-
-	results       *cache.Cache[uint64, *chunkPayload]
-	access        *cache.Cache[int, *ResolvedChunk]
-	inflightGuess map[uint64]*pool.Future[*chunkPayload]
-	inflightIdx   map[int]*pool.Future[*chunkPayload]
-	guessIssued   map[uint64]bool
-	noBlock       map[uint64]bool
-
-	// completions receives a signal whenever a speculative task ends,
-	// so a consumer blocked on the frontier chunk can keep sweeping
-	// results and dispatching follow-up work — paper Figure 4 step 6:
-	// "Periodically check for ready chunks and move them into the cache
-	// until C1 has become ready".
-	completions chan struct{}
-
-	// Sequential CRC verification state (valid while consumption stays
-	// in table order from entry 0).
-	crcNext   int
-	crcAcc    uint32
-	crcBroken bool
-
-	// Stats is mutated on the consumer goroutine only; finderProbes is
-	// the one counter bumped from workers and so lives apart as an
-	// atomic. StatsSnapshot folds it in.
-	Stats        FetcherStats
-	finderProbes atomic.Uint64
-
-	closed bool
+	closed   bool
 }
-
-func (f *Fetcher) chunkBits() uint64 { return uint64(f.cfg.ChunkSize) * 8 }
 
 // NewFetcher opens a gzip file for parallel reading. It validates the
 // first gzip header eagerly and routes BGZF files to the metadata fast
-// path of §3.4.4.
+// path of §3.4.4 (a complete-table engine); everything else runs the
+// growing engine, whose span table extends one confirmed decode unit
+// at a time.
 func NewFetcher(src filereader.FileReader, cfg Config) (*Fetcher, error) {
 	cfg = cfg.withDefaults()
+	size := src.Size()
 	f := &Fetcher{
-		cfg:         cfg,
-		file:        filereader.NewShared(src),
-		fileBits:    uint64(src.Size()) * 8,
-		pool:        pool.New(cfg.Parallelism),
-		strategy:    cfg.Strategy,
-		index:       gzindex.New(cfg.ChunkSize),
-		marksKnown:  true,
-		noBlock:     map[uint64]bool{},
-		completions: make(chan struct{}, 4096),
+		cfg:      cfg,
+		fileBits: uint64(size) * 8,
+		engCfg: spanengine.Config{
+			Threads:     cfg.Parallelism,
+			CacheSize:   cfg.AccessCacheSize,
+			MaxPrefetch: cfg.MaxPrefetch,
+			Strategy:    cfg.Strategy,
+		},
 	}
-	f.resetCaches()
-	f.index.CompressedSize = uint64(src.Size())
-	fp, err := gzindex.ComputeFingerprint(f.file, src.Size())
+	// Open-time setup (fingerprint, first-header validation) reads the
+	// raw source before the counting wrapper goes on: SourceReads then
+	// reports decode traffic only, so a reopen from a persisted index
+	// performs zero counted reads before the first access.
+	fp, err := gzindex.ComputeFingerprint(src, size)
 	if err != nil {
-		f.pool.Close()
-		return nil, fmt.Errorf("core: %w", err)
+		// Fingerprinting only reads bytes, so any failure here is a
+		// source I/O problem (a directory opened as a file, a file that
+		// shrank under us) — never a format verdict. Tagging it ErrIO
+		// lets the public layer classify it as ErrSourceRead.
+		return nil, fmt.Errorf("core: %w: %w", filereader.ErrIO, err)
 	}
 	f.sourceFP = fp
-	f.index.SourceFP = &f.sourceFP
-	// First-pass confirmation observes every footer, so the index it
-	// builds carries the complete set of member marks.
-	f.index.MemberMarksComplete = true
-
-	br := bitio.NewBitReader(f.file, src.Size())
-	hdr, err := gzformat.ParseHeader(br)
+	hdr, err := gzformat.ParseHeader(bitio.NewBitReader(src, size))
 	if err != nil {
-		f.pool.Close()
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	if hdr.BGZFBlockSize > 0 && !cfg.SkipMetadataScan {
-		if err := f.initBGZF(); err != nil {
-			f.pool.Close()
-			return nil, err
-		}
+
+	if shared, ok := src.(*filereader.SharedFileReader); ok {
+		f.file = shared
+	} else {
+		f.file = filereader.NewShared(src)
+	}
+	f.codec = newGzipCodec(cfg, f.file, &f.cnt)
+	f.codec.bgzf = hdr.BGZFBlockSize > 0
+	f.codec.index.CompressedSize = uint64(size)
+	f.codec.index.SourceFP = &f.sourceFP
+	// First-pass confirmation observes every footer, so the index it
+	// builds carries the complete set of member marks.
+	f.codec.index.MemberMarksComplete = true
+
+	if f.codec.bgzf && !cfg.SkipMetadataScan {
+		f.eng, err = spanengine.New(f.file, f.codec, f.engCfg)
+	} else {
+		f.eng, err = spanengine.NewGrowing(f.file, f.codec, 0, f.engCfg)
+	}
+	if err != nil {
+		return nil, err
 	}
 	return f, nil
-}
-
-// resetCaches (re)creates every cache keyed by the chunk table or grid
-// geometry, abandoning in-flight decodes (their tasks touch no mutable
-// fetcher state). Used at construction and when an index import
-// replaces the table.
-func (f *Fetcher) resetCaches() {
-	f.results = cache.NewLRUCache[uint64, *chunkPayload](max(2*f.cfg.MaxPrefetch, 4))
-	f.results.OnEvict = func(key uint64, _ *chunkPayload) {
-		delete(f.guessIssued, key/f.chunkBits())
-	}
-	f.access = cache.NewLRUCache[int, *ResolvedChunk](f.cfg.AccessCacheSize)
-	f.inflightGuess = map[uint64]*pool.Future[*chunkPayload]{}
-	f.inflightIdx = map[int]*pool.Future[*chunkPayload]{}
-	f.guessIssued = map[uint64]bool{}
 }
 
 // Close shuts the worker pool down.
 func (f *Fetcher) Close() {
 	if !f.closed {
 		f.closed = true
-		f.pool.Close()
+		f.eng.Close()
 	}
-}
-
-// --- frontier ----------------------------------------------------------
-
-// EnsureCovered extends the confirmed chunk table until it covers the
-// decompressed offset (or EOF is reached).
-func (f *Fetcher) EnsureCovered(offset uint64) error {
-	for !f.eof && offset >= f.frontierDecomp {
-		if err := f.extendFrontier(); err != nil {
-			return err
-		}
-	}
-	return nil
 }
 
 // EnsureAll scans to EOF, completing the index.
-func (f *Fetcher) EnsureAll() error {
-	for !f.eof {
-		if err := f.extendFrontier(); err != nil {
-			return err
-		}
-	}
-	return nil
-}
+func (f *Fetcher) EnsureAll() error { return f.eng.EnsureComplete() }
 
 // TotalSize returns the decompressed size, scanning the rest of the
 // file if necessary.
 func (f *Fetcher) TotalSize() (uint64, error) {
-	if err := f.EnsureAll(); err != nil {
-		return 0, err
-	}
-	return f.frontierDecomp, nil
-}
-
-// extendFrontier confirms the next decode unit: it obtains the result
-// for the exact frontier offset (prefetch cache, in-flight speculative
-// task, or on-demand decode), propagates the window serially, verifies
-// member sizes, splits oversized units into index entries, and advances
-// the frontier.
-func (f *Fetcher) extendFrontier() error {
-	if f.closed {
-		return ErrClosed
-	}
-	if f.eof {
-		return io.EOF
-	}
-	// Trigger prefetching before blocking on the frontier chunk so that
-	// decompression starts fully parallel (paper §3.2).
-	f.strategy.Access(uint64(len(f.chunks)))
-	f.sweep()
-	f.issuePrefetches()
-
-	atMember := len(f.chunks) == 0 // chunk 0 starts at the gzip header
-	cd, err := f.obtainFrontier(f.frontierBit, atMember)
-	if err != nil {
-		return err
-	}
-	// The payload moves into the access cache below (resolved); drop
-	// the marked copy so the result cache only holds unconfirmed
-	// speculative chunks (paper §1.4 memory bound).
-	f.results.Delete(f.frontierBit)
-	res := cd.res
-	total := res.TotalOut()
-
-	// Serial window propagation: resolve only the final <=32 KiB
-	// (paper §2.2 — the non-parallelizable Amdahl term).
-	newWindow, err := res.WindowAt(total, f.frontierWindow)
-	if err != nil {
-		return fmt.Errorf("core: window propagation: %w", err)
-	}
-
-	// ISIZE verification for every member ending inside this unit.
-	for i := range res.Members {
-		ev := &res.Members[i]
-		absEnd := f.frontierDecomp + ev.DecompOffset
-		size := absEnd - f.memberStart
-		if uint32(size) != ev.Footer.ISize {
-			return fmt.Errorf("core: gzip ISIZE mismatch at offset %d: footer %d, decoded %d",
-				absEnd, ev.Footer.ISize, uint32(size))
-		}
-		f.memberStart = absEnd
-	}
-
-	// Record the unit, splitting oversized outputs into multiple index
-	// entries so decompressed chunk sizes stay comparable (§1.4).
-	unitStart := len(f.chunks)
-	splits := f.splitPoints(res)
-	startBit := f.frontierBit
-	startDecomp := f.frontierDecomp
-	for _, sp := range splits {
-		ci := chunkInfo{
-			startBit:      startBit,
-			endBit:        sp.endBit,
-			startDecomp:   startDecomp,
-			size:          f.frontierDecomp + sp.endDecomp - startDecomp,
-			atMemberStart: unitStart == 0 && startBit == 0,
-			unitStart:     unitStart,
-		}
-		window := f.windowFor(ci, res)
-		if err := f.index.Add(gzindex.SeekPoint{
-			CompressedBitOffset: ci.startBit,
-			UncompressedOffset:  ci.startDecomp,
-			AtMemberStart:       ci.atMemberStart,
-		}, window); err != nil {
-			return err
-		}
-		f.chunks = append(f.chunks, ci)
-		startBit = sp.endBit
-		startDecomp = f.frontierDecomp + sp.endDecomp
-	}
-	f.chunks[len(f.chunks)-1].endIsEOF = res.EndIsEOF
-	f.recordMemberMarks(unitStart, res)
-
-	// Dispatch this unit's full marker replacement to the pool right
-	// away (paper Figure 4, step 5: "Resolve the markers inside each
-	// chunk in parallel using the thread pool") — confirmation of the
-	// next unit does not wait for it, so replacements overlap.
-	rc := f.resolve(unitStart, cd)
-	rc.firstEntry, rc.lastEntry = unitStart, len(f.chunks)
-	for e := unitStart; e < len(f.chunks); e++ {
-		f.access.Put(e, rc)
-	}
-
-	f.frontierWindow = newWindow
-	f.frontierBit = res.EndBit
-	f.frontierDecomp += total
-	if res.EndIsEOF {
-		f.eof = true
-		f.index.Finalized = true
-		f.index.UncompressedSize = f.frontierDecomp
-		f.drainGuesses()
-	}
-	return nil
-}
-
-// drainGuesses settles every speculative task still in flight once the
-// frontier has reached EOF. No future frontier request will ever wait
-// on them, so without this their outcomes (no-block cells, usable
-// results for later random access) would be recorded only if another
-// sweep happened to run — and a single-block file would report zero
-// no-block cells despite having probed every one of them.
-func (f *Fetcher) drainGuesses() {
-	for g, fut := range f.inflightGuess {
-		delete(f.inflightGuess, g)
-		cd, err := fut.Wait()
-		f.recordGuess(g, cd, err)
-	}
-}
-
-// recordMemberMarks distributes the footer events of a freshly
-// confirmed decode unit over its table entries [unitStart, len(chunks)).
-// A member ending at decompressed offset X belongs to the entry whose
-// span (start, start+size] contains X; the zero-length edge case (a
-// member boundary exactly at the unit start) attaches to the first
-// entry.
-func (f *Fetcher) recordMemberMarks(unitStart int, res *deflate.ChunkResult) {
-	e := unitStart
-	for i := range res.Members {
-		absEnd := f.frontierDecomp + res.Members[i].DecompOffset
-		for e < len(f.chunks)-1 && absEnd > f.chunks[e].startDecomp+f.chunks[e].size {
-			e++
-		}
-		crc := res.Members[i].Footer.CRC32
-		f.chunks[e].members = append(f.chunks[e].members, memberMark{absEnd: absEnd, crc: crc})
-		// Mirror the mark into the index so an export→import round trip
-		// restores it (and with it, full member verification).
-		f.index.AddMemberEnd(f.chunks[e].startBit,
-			gzindex.MemberEnd{RelEnd: absEnd - f.chunks[e].startDecomp, CRC32: crc})
-	}
-}
-
-// advanceReady confirms every decode unit whose speculative result is
-// already cached at the exact frontier offset, without blocking. This
-// is what lets the serial window-propagation walk run ahead of
-// consumption, so the full marker replacements it dispatches execute
-// in parallel (§2.2's Amdahl analysis assumes exactly this overlap).
-func (f *Fetcher) advanceReady() {
-	for !f.eof && f.results.Contains(f.frontierBit) {
-		if err := f.extendFrontier(); err != nil {
-			return
-		}
-	}
-}
-
-// splitPoint delimits one index entry inside a decode unit.
-type splitPoint struct {
-	endBit    uint64 // compressed end of this entry
-	endDecomp uint64 // decompressed end within the unit output
-}
-
-// splitPoints returns entry boundaries for a decode unit: roughly one
-// entry per ChunkSize of decompressed output, cut at recorded non-final
-// Dynamic/Stored block starts (which the per-entry stop condition can
-// recognise).
-func (f *Fetcher) splitPoints(res *deflate.ChunkResult) []splitPoint {
-	total := res.TotalOut()
-	target := uint64(f.cfg.ChunkSize)
-	var out []splitPoint
-	if total > 2*target {
-		nextCut := target
-		for _, bs := range res.BlockStarts {
-			if bs.DecompOffset == 0 || bs.Final || bs.Type == deflate.BlockFixed {
-				continue
-			}
-			if bs.DecompOffset >= nextCut && total-bs.DecompOffset > target/2 {
-				out = append(out, splitPoint{endBit: bs.Bit, endDecomp: bs.DecompOffset})
-				nextCut = bs.DecompOffset + target
-			}
-		}
-	}
-	out = append(out, splitPoint{endBit: res.EndBit, endDecomp: total})
-	return out
-}
-
-// windowFor computes the stored window for an index entry of the unit
-// currently being confirmed.
-func (f *Fetcher) windowFor(ci chunkInfo, res *deflate.ChunkResult) []byte {
-	if ci.atMemberStart {
-		return nil
-	}
-	if ci.startDecomp == f.frontierDecomp {
-		w := make([]byte, len(f.frontierWindow))
-		copy(w, f.frontierWindow)
-		return w
-	}
-	w, err := res.WindowAt(ci.startDecomp-f.frontierDecomp, f.frontierWindow)
-	if err != nil {
-		return nil
-	}
-	return w
-}
-
-// obtainFrontier fetches the decode result starting exactly at bit E —
-// paper Figure 4: the consumer requests chunks by the exact end offset
-// of the previous chunk; mismatches fall back to an on-demand decode.
-func (f *Fetcher) obtainFrontier(E uint64, atMember bool) (*chunkPayload, error) {
-	if cd, ok := f.results.Get(E); ok {
-		return cd, nil
-	}
-	g := E / f.chunkBits()
-	if fut, ok := f.inflightGuess[g]; ok {
-		delete(f.inflightGuess, g)
-		cd, err := f.waitServicing(fut)
-		f.recordGuess(g, cd, err)
-		if err == nil && cd.res.StartBit == E {
-			return cd, nil
-		}
-		if err == nil {
-			f.Stats.GuessFalseStarts++
-		}
-	}
-	// On-demand exact decode with the known window (single-stage).
-	f.Stats.OnDemandDecodes++
-	stop := (E/f.chunkBits() + 1) * f.chunkBits()
-	br := bitio.NewBitReader(f.file, int64(f.fileBits/8))
-	var dec deflate.Decoder
-	res, err := dec.DecodeChunk(br, deflate.ChunkConfig{
-		Start:              E,
-		Stop:               stop,
-		Window:             f.frontierWindow,
-		StartsAtGzipHeader: atMember,
-		SizeHint:           4 * f.cfg.ChunkSize,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("core: decode at bit %d: %w", E, err)
-	}
-	return &chunkPayload{res: res}, nil
-}
-
-// --- prefetching --------------------------------------------------------
-
-// sweep moves completed speculative tasks into the result cache
-// (paper Figure 4, step 6).
-func (f *Fetcher) sweep() {
-	for g, fut := range f.inflightGuess {
-		if !fut.Ready() {
-			continue
-		}
-		delete(f.inflightGuess, g)
-		cd, err := fut.Wait()
-		f.recordGuess(g, cd, err)
-	}
-	for idx, fut := range f.inflightIdx {
-		if !fut.Ready() {
-			continue
-		}
-		delete(f.inflightIdx, idx)
-		cd, err := fut.Wait()
-		if err == nil {
-			f.countDelegated(cd)
-			f.results.Put(cd.res.StartBit, cd)
-		}
-	}
-}
-
-func (f *Fetcher) recordGuess(g uint64, cd *chunkPayload, err error) {
-	switch {
-	case err == nil:
-		f.results.Put(cd.res.StartBit, cd)
-	case errors.Is(err, errNoBlock):
-		f.noBlock[g] = true
-		f.Stats.GuessNoBlock++
-	}
-}
-
-// issuePrefetches asks the strategy for chunk indexes and dispatches
-// indexed or speculative decodes, filtering already-available chunks
-// (paper §3.2: "The prefetcher has to filter out already cached chunks
-// and chunks that are currently being prefetched").
-func (f *Fetcher) issuePrefetches() {
-	cands := f.strategy.Prefetch(f.cfg.MaxPrefetch)
-	inflight := len(f.inflightGuess) + len(f.inflightIdx)
-	for _, cand := range cands {
-		if inflight >= f.cfg.MaxPrefetch {
-			return
-		}
-		if cand < uint64(len(f.chunks)) {
-			if f.dispatchIndexed(int(cand)) {
-				inflight++
-			}
-			continue
-		}
-		if f.eof {
-			continue
-		}
-		gap := cand - uint64(len(f.chunks))
-		g := f.frontierBit/f.chunkBits() + 1 + gap
-		if f.dispatchGuess(g) {
-			inflight++
-		}
-	}
-}
-
-// dispatchIndexed starts a window-primed decode of one confirmed
-// entry. The window is snapshotted on the caller's goroutine: the
-// index is still being appended to while workers run.
-func (f *Fetcher) dispatchIndexed(idx int) bool {
-	if f.access.Contains(idx) || f.inflightIdx[idx] != nil {
-		return false
-	}
-	ci := f.chunks[idx]
-	if f.results.Contains(ci.startBit) {
-		return false
-	}
-	window, hasWin := f.index.Window(ci.startBit)
-	if !hasWin && !ci.atMemberStart {
-		return false
-	}
-	f.Stats.IndexedDecodes++
-	allowDelegate := f.delegationOK()
-	fut := pool.GoLow(f.pool, func() (*chunkPayload, error) {
-		defer f.notifyCompletion()
-		return f.decodeIndexed(ci, window, allowDelegate)
-	})
-	f.inflightIdx[idx] = fut
-	return true
-}
-
-// delegationOK reports whether indexed decodes may take the
-// stdlib-delegated fast path. Delegated results carry no footer
-// events, so when checksum verification is on, delegation requires the
-// chunk table's member marks to be authoritative — without them (a
-// legacy index import) every mid-stream footer would silently escape
-// verification and desynchronise the member CRC chain.
-func (f *Fetcher) delegationOK() bool {
-	return !f.cfg.VerifyChecksums || f.marksKnown
-}
-
-// notifyCompletion wakes a consumer blocked on the frontier so it can
-// sweep finished speculative results and dispatch follow-up work. Never
-// blocks; a full channel means the consumer has plenty to look at.
-func (f *Fetcher) notifyCompletion() {
-	select {
-	case f.completions <- struct{}{}:
-	default:
-	}
-}
-
-// waitServicing waits for fut while servicing completion events: each
-// event sweeps ready results into the cache and issues new prefetches,
-// keeping the workers fed during the wait (Figure 4 step 6).
-func (f *Fetcher) waitServicing(fut *pool.Future[*chunkPayload]) (*chunkPayload, error) {
-	for {
-		select {
-		case <-fut.Done():
-			return fut.Wait()
-		case <-f.completions:
-			f.sweep()
-			f.issuePrefetches()
-		}
-	}
-}
-
-// decodeIndexed decodes a confirmed entry with its stored window — the
-// fast path used when an index exists (§3.3, §4.4: "the output buffer
-// can be allocated beforehand ... marker replacement can be skipped").
-// When allowDelegate is set it first attempts the paper's zlib
-// delegation (here: compress/flate on a bit-realigned copy of the
-// chunk, see deflate.DelegateWindow) and falls back to the custom
-// single-stage decoder when the chunk cannot be delegated (e.g. a
-// member boundary inside it). It is safe to call from worker
-// goroutines: it touches no mutable fetcher state.
-func (f *Fetcher) decodeIndexed(ci chunkInfo, window []byte, allowDelegate bool) (*chunkPayload, error) {
-	if allowDelegate {
-		if res, err := f.decodeDelegated(ci, window); err == nil {
-			return &chunkPayload{res: res, delegated: true}, nil
-		}
-	}
-	br := bitio.NewBitReader(f.file, int64(f.fileBits/8))
-	var dec deflate.Decoder
-	stop := ci.endBit
-	if ci.endIsEOF {
-		stop = deflate.StopAtEOF
-	}
-	res, err := dec.DecodeChunk(br, deflate.ChunkConfig{
-		Start:              ci.startBit,
-		Stop:               stop,
-		StopBeforeMember:   stop,
-		Window:             window,
-		StartsAtGzipHeader: ci.atMemberStart,
-		SizeHint:           int(ci.size),
-	})
-	if err != nil {
-		return nil, err
-	}
-	if res.TotalOut() != ci.size {
-		return nil, fmt.Errorf("core: indexed chunk at bit %d decoded %d bytes, index says %d",
-			ci.startBit, res.TotalOut(), ci.size)
-	}
-	return &chunkPayload{res: res}, nil
-}
-
-// decodeDelegated decodes one confirmed entry with the standard
-// library (flate with a preset dictionary for mid-stream entries, gzip
-// for member-aligned entries). Any failure is reported so the caller
-// can fall back to the custom decoder.
-func (f *Fetcher) decodeDelegated(ci chunkInfo, window []byte) (*deflate.ChunkResult, error) {
-	if ci.size == 0 || ci.size > uint64(int(^uint(0)>>1)) {
-		return nil, errNoBlock
-	}
-	byteStart := int64(ci.startBit / 8)
-	byteEnd := int64((ci.endBit + 7) / 8)
-	if max := int64(f.fileBits / 8); byteEnd > max {
-		byteEnd = max
-	}
-	buf := make([]byte, byteEnd-byteStart)
-	if _, err := f.file.ReadAt(buf, byteStart); err != nil && err != io.EOF {
-		return nil, err
-	}
-	var out []byte
-	var err error
-	if ci.atMemberStart {
-		out, err = deflate.DelegateMembers(buf, 0, int(ci.size))
-	} else {
-		out, err = deflate.DelegateWindow(buf, ci.startBit-uint64(byteStart)*8, ci.endBit-uint64(byteStart)*8, window, int(ci.size))
-	}
-	if err != nil {
-		return nil, err
-	}
-	return &deflate.ChunkResult{
-		StartBit: ci.startBit,
-		EndBit:   ci.endBit,
-		Raw:      out,
-		EndIsEOF: ci.endIsEOF,
-	}, nil
-}
-
-// dispatchGuess starts a speculative two-stage decode for grid cell g.
-func (f *Fetcher) dispatchGuess(g uint64) bool {
-	cb := f.chunkBits()
-	if g*cb >= f.fileBits || f.guessIssued[g] || f.noBlock[g] || f.inflightGuess[g] != nil {
-		return false
-	}
-	f.guessIssued[g] = true
-	f.Stats.GuessTasks++
-	fut := pool.GoLow(f.pool, func() (*chunkPayload, error) {
-		defer f.notifyCompletion()
-		return f.guessTask(g)
-	})
-	f.inflightGuess[g] = fut
-	return true
-}
-
-// guessTask searches cell g for a block start and decodes from it with
-// markers (paper Figure 4, steps 4-5). It runs on a worker goroutine
-// and touches no mutable fetcher state.
-func (f *Fetcher) guessTask(g uint64) (*chunkPayload, error) {
-	cb := f.chunkBits()
-	B := g * cb
-	stop := B + cb
-	end := stop
-	if end > f.fileBits {
-		end = f.fileBits
-	}
-	// Search buffer: the cell plus margin so headers that spill past the
-	// boundary can still be validated.
-	bufStart := int64(B / 8)
-	bufEnd := int64((end+7)/8) + 512
-	if bufEnd > int64(f.fileBits/8) {
-		bufEnd = int64(f.fileBits / 8)
-	}
-	buf := make([]byte, bufEnd-bufStart)
-	if n, err := f.file.ReadAt(buf, bufStart); err != nil && n < len(buf) {
-		return nil, err
-	}
-	finder := blockfinder.NewCombinedFinder()
-	br := bitio.NewBitReader(f.file, int64(f.fileBits/8))
-	var dec deflate.Decoder
-	searchFrom := B - uint64(bufStart)*8
-	for {
-		f.finderProbes.Add(1)
-		cand, ok := finder.Next(buf, searchFrom)
-		abs := uint64(bufStart)*8 + cand
-		if !ok || abs >= end {
-			return nil, errNoBlock
-		}
-		res, err := dec.DecodeChunk(br, deflate.ChunkConfig{
-			Start:           abs,
-			Stop:            stop,
-			TwoStage:        true,
-			MaxDecompressed: uint64(f.cfg.GuessedRatioLimit) * uint64(f.cfg.ChunkSize),
-			SizeHint:        2 * f.cfg.ChunkSize,
-		})
-		if err == nil {
-			return &chunkPayload{res: res}, nil
-		}
-		searchFrom = cand + 1
-	}
-}
-
-// --- access -------------------------------------------------------------
-
-// ChunkAt returns the resolved chunk covering the decompressed offset
-// plus its table index. io.EOF signals offsets at/after the end.
-func (f *Fetcher) ChunkAt(offset uint64) (*ResolvedChunk, int, error) {
-	if f.closed {
-		return nil, 0, ErrClosed
-	}
-	if err := f.EnsureCovered(offset); err != nil {
-		return nil, 0, err
-	}
-	if offset >= f.frontierDecomp {
-		return nil, 0, io.EOF
-	}
-	idx := f.findChunk(offset)
-	rc, err := f.ChunkByIndex(idx)
-	return rc, idx, err
-}
-
-func (f *Fetcher) findChunk(offset uint64) int {
-	lo, hi := 0, len(f.chunks)-1
-	for lo < hi {
-		mid := (lo + hi + 1) / 2
-		if f.chunks[mid].startDecomp <= offset {
-			lo = mid
-		} else {
-			hi = mid - 1
-		}
-	}
-	return lo
-}
-
-// ChunkByIndex returns the resolved chunk for table index idx.
-func (f *Fetcher) ChunkByIndex(idx int) (*ResolvedChunk, error) {
-	if f.closed {
-		return nil, ErrClosed
-	}
-	if idx < 0 || idx >= len(f.chunks) {
-		return nil, io.EOF
-	}
-	if rc, ok := f.access.Get(idx); ok {
-		f.verifySequential(rc.firstEntry, rc.lastEntry, rc)
-		if !rc.consumed {
-			rc.consumed = true
-			f.Stats.ChunksConsumed++
-		}
-		f.onAccess(idx)
-		return rc, nil
-	}
-
-	// First preference: the whole decode unit from the first pass. The
-	// result cache is keyed by start bit, which a later per-entry decode
-	// of the unit's first entry shares — so accept the payload only if
-	// it really spans the whole unit.
-	unit := f.chunks[idx].unitStart
-	unitCI := f.chunks[unit]
-	if cd, ok := f.results.Get(unitCI.startBit); ok {
-		last := unit + 1
-		for last < len(f.chunks) && f.chunks[last].unitStart == unit {
-			last++
-		}
-		span := f.chunks[last-1].startDecomp + f.chunks[last-1].size - unitCI.startDecomp
-		if cd.res.TotalOut() == span {
-			f.results.Delete(unitCI.startBit)
-			rc := f.resolve(unit, cd)
-			rc.firstEntry, rc.lastEntry = unit, last
-			for e := unit; e < last; e++ {
-				f.access.Put(e, rc)
-			}
-			f.verifySequential(unit, last, rc)
-			f.onAccess(idx)
-			rc.consumed = true
-			f.Stats.ChunksConsumed++
-			return rc, nil
-		}
-	}
-
-	// Per-entry path: indexed decode of just this entry.
-	ci := f.chunks[idx]
-	cd, err := f.obtainEntry(idx, ci)
-	if err != nil {
-		return nil, err
-	}
-	rc := f.resolve(idx, cd)
-	rc.firstEntry, rc.lastEntry = idx, idx+1
-	f.access.Put(idx, rc)
-	f.verifySequential(idx, idx+1, rc)
-	f.onAccess(idx)
-	rc.consumed = true
-	f.Stats.ChunksConsumed++
-	return rc, nil
-}
-
-func (f *Fetcher) onAccess(idx int) {
-	f.strategy.Access(uint64(idx))
-	f.sweep()
-	f.issuePrefetches()
-	f.advanceReady()
-}
-
-// obtainEntry fetches the payload for a single confirmed entry. Cached
-// payloads that share the entry's start bit but cover a different span
-// (speculative decodes stopped at a grid-cell boundary) are discarded:
-// once the chunk table is confirmed they can never match an entry.
-func (f *Fetcher) obtainEntry(idx int, ci chunkInfo) (*chunkPayload, error) {
-	if cd, ok := f.results.Get(ci.startBit); ok {
-		f.results.Delete(ci.startBit)
-		if cd.res.TotalOut() == ci.size {
-			return cd, nil
-		}
-	}
-	if fut, ok := f.inflightIdx[idx]; ok {
-		delete(f.inflightIdx, idx)
-		if cd, err := f.waitServicing(fut); err == nil {
-			f.countDelegated(cd)
-			return cd, nil
-		}
-	}
-	f.Stats.OnDemandDecodes++
-	window, hasWin := f.index.Window(ci.startBit)
-	if !hasWin && !ci.atMemberStart {
-		return nil, fmt.Errorf("core: no window for chunk at bit %d", ci.startBit)
-	}
-	cd, err := f.decodeIndexed(ci, window, f.delegationOK())
-	if err != nil {
-		return nil, err
-	}
-	f.countDelegated(cd)
-	return cd, nil
-}
-
-// countDelegated tallies stdlib-delegated decodes (main thread only).
-func (f *Fetcher) countDelegated(cd *chunkPayload) {
-	if cd.delegated {
-		f.Stats.DelegatedDecodes++
-	}
-}
-
-// resolve dispatches full marker replacement (and CRC computation) to
-// the pool and returns the handle — paper Figure 4: "Resolve the
-// markers inside each chunk in parallel using the thread pool". first
-// is the table index of the first entry the payload covers.
-func (f *Fetcher) resolve(first int, cd *chunkPayload) *ResolvedChunk {
-	ci := f.chunks[first]
-	res := cd.res
-	var window []byte
-	if len(res.Marked) > 0 {
-		window, _ = f.index.Window(ci.startBit)
-	}
-	verify := f.cfg.VerifyChecksums
-	var bounds []crcBound
-	if verify {
-		bounds = f.crcBounds(first, res)
-	}
-	rc := &ResolvedChunk{StartDecomp: ci.startDecomp, Size: res.TotalOut()}
-	rc.fut = pool.Go(f.pool, func() (*resolvedData, error) {
-		segs, err := res.Resolved(window)
-		if err != nil {
-			return nil, err
-		}
-		rd := &resolvedData{segs: segs}
-		if verify {
-			rd.parts = crcParts(bounds, res.TotalOut(), segs)
-		}
-		return rd, nil
-	})
-	return rc
-}
-
-// crcBounds lists the member ends inside the span that starts at table
-// entry first and covers res.TotalOut() bytes. The confirmed table is
-// authoritative: its marks survive re-decodes through the delegated
-// fast path, whose results carry no footer events. Only when the table
-// came from a legacy index import (no marks persisted) do the decode
-// result's own footer events serve as the boundary source — and
-// delegation is disabled then (see delegationOK).
-func (f *Fetcher) crcBounds(first int, res *deflate.ChunkResult) []crcBound {
-	var bounds []crcBound
-	if f.marksKnown {
-		spanStart := f.chunks[first].startDecomp
-		spanEnd := spanStart + res.TotalOut()
-		for e := first; e < len(f.chunks) && f.chunks[e].startDecomp < spanEnd; e++ {
-			for _, m := range f.chunks[e].members {
-				bounds = append(bounds, crcBound{relEnd: m.absEnd - spanStart, crc: m.crc})
-			}
-		}
-		return bounds
-	}
-	for i := range res.Members {
-		bounds = append(bounds, crcBound{relEnd: res.Members[i].DecompOffset, crc: res.Members[i].Footer.CRC32})
-	}
-	return bounds
-}
-
-// crcParts computes member-delimited CRCs of the chunk bytes.
-func crcParts(bounds []crcBound, total uint64, segs [][]byte) []crcPart {
-	var parts []crcPart
-	pos := uint64(0)
-	segIdx, segOff := 0, 0
-	advance := func(n uint64) uint32 {
-		crc := uint32(0)
-		for n > 0 && segIdx < len(segs) {
-			seg := segs[segIdx][segOff:]
-			take := uint64(len(seg))
-			if take > n {
-				take = n
-			}
-			crc = crc32x.Combine(crc, crc32x.Checksum(seg[:take]), int64(take))
-			segOff += int(take)
-			n -= take
-			if segOff == len(segs[segIdx]) {
-				segIdx++
-				segOff = 0
-			}
-		}
-		return crc
-	}
-	for _, b := range bounds {
-		n := b.relEnd - pos
-		parts = append(parts, crcPart{len: n, crc: advance(n), expect: b.crc, hasExpect: true})
-		pos = b.relEnd
-	}
-	if rest := total - pos; rest > 0 || len(parts) == 0 {
-		parts = append(parts, crcPart{len: rest, crc: advance(rest)})
-	}
-	return parts
-}
-
-// verifySequential accumulates member CRCs while consumption stays in
-// table order and compares them against the gzip footers (§6 future
-// work, implemented). Out-of-order access disables verification.
-func (f *Fetcher) verifySequential(first, lastExclusive int, rc *ResolvedChunk) {
-	if !f.cfg.VerifyChecksums || f.crcBroken {
-		return
-	}
-	if lastExclusive <= f.crcNext {
-		return // already accounted (repeated access to a cached chunk)
-	}
-	if first != f.crcNext {
-		f.crcBroken = true
-		return
-	}
-	rd, err := rc.fut.Wait()
-	if err != nil {
-		f.crcBroken = true
-		return
-	}
-	for _, p := range rd.parts {
-		f.crcAcc = crc32x.Combine(f.crcAcc, p.crc, int64(p.len))
-		if p.hasExpect {
-			if f.crcAcc != p.expect {
-				f.crcBroken = true
-				f.Stats.CRCFailures++
-				return
-			}
-			f.crcAcc = 0
-		}
-	}
-	f.crcNext = lastExclusive
+	size, err := f.eng.TotalSize()
+	return uint64(size), err
 }
 
 // CRCStatus reports (verifiedSoFar, failures). verifiedSoFar is false
 // once consumption left sequential order or a mismatch occurred.
-func (f *Fetcher) CRCStatus() (bool, uint64) {
-	return !f.crcBroken, f.Stats.CRCFailures
+func (f *Fetcher) CRCStatus() (bool, uint64) { return f.codec.crcStatus() }
+
+// StatsSnapshot returns the gzip activity counters.
+func (f *Fetcher) StatsSnapshot() FetcherStats {
+	return FetcherStats{
+		GuessTasks:       f.cnt.guessTasks.Load(),
+		GuessNoBlock:     f.cnt.guessNoBlock.Load(),
+		GuessFalseStarts: f.cnt.guessFalseStarts.Load(),
+		FinderProbes:     f.cnt.finderProbes.Load(),
+		OnDemandDecodes:  f.cnt.onDemand.Load(),
+		IndexedDecodes:   f.cnt.indexed.Load(),
+		DelegatedDecodes: f.cnt.delegated.Load(),
+		ChunksConsumed:   f.cnt.consumed.Load(),
+		CRCFailures:      f.cnt.crcFailures.Load(),
+	}
 }
 
-// StatsSnapshot returns the activity counters, folding in the
-// worker-side finder-probe count.
-func (f *Fetcher) StatsSnapshot() FetcherStats {
-	s := f.Stats
-	s.FinderProbes = f.finderProbes.Load()
-	return s
-}
+// EngineStats returns the span-engine counters (cache, prefetch and
+// source-read activity).
+func (f *Fetcher) EngineStats() spanengine.Stats { return f.eng.Stats() }
 
 // --- index import/export -------------------------------------------------
 
 // Index returns the seek-point index built so far.
-func (f *Fetcher) Index() *gzindex.Index { return f.index }
+func (f *Fetcher) Index() *gzindex.Index {
+	f.codec.mu.Lock()
+	defer f.codec.mu.Unlock()
+	return f.codec.index
+}
+
+// checkpointTable maps the engine's span table into the index's
+// persistable per-format section, tagged with the codec format.
+func (f *Fetcher) checkpointTable() *gzindex.CheckpointTable {
+	spans := f.eng.Checkpoints()
+	t := &gzindex.CheckpointTable{Format: f.codec.FormatTag(), Flags: f.eng.Flags()}
+	t.Spans = make([]gzindex.Checkpoint, len(spans))
+	for i, s := range spans {
+		t.Spans[i] = gzindex.Checkpoint{
+			CompOff: s.CompOff, CompEnd: s.CompEnd,
+			DecompOff: s.DecompOff, DecompSize: s.DecompSize,
+		}
+	}
+	return t
+}
 
 // ImportIndex installs a finalized index, skipping the initial
 // decompression pass entirely (§1.3: "The seek point index can be
 // exported and imported ... to avoid the decompression time for the
-// initial decompression pass").
+// initial decompression pass"). The current engine — span table,
+// caches, in-flight decodes — is replaced wholesale: everything it
+// holds is keyed by the old geometry.
 func (f *Fetcher) ImportIndex(ix *gzindex.Index) error {
 	if !ix.Finalized {
 		return errors.New("core: can only import finalized indexes")
@@ -1149,63 +293,105 @@ func (f *Fetcher) ImportIndex(ix *gzindex.Index) error {
 		return fmt.Errorf("core: index fingerprint %08x/%08x does not match the open file's %08x/%08x (index built for a different file of the same size)",
 			ix.SourceFP.Head, ix.SourceFP.Tail, f.sourceFP.Head, f.sourceFP.Tail)
 	}
+	if ix.Checkpoints != nil {
+		if tag := ix.Checkpoints.Format; tag != "gzip" && tag != "bgzf" {
+			return fmt.Errorf("core: index checkpoint table is for format %q, not gzip/BGZF", tag)
+		}
+	}
 	// Adopt the file's own fingerprint so a re-export of an index
 	// imported from the fingerprint-less v2 format gains one.
 	ix.SourceFP = &f.sourceFP
-	chunks := make([]chunkInfo, ix.Len())
-	for i := range chunks {
+
+	n := ix.Len()
+	metas := make([]spanMeta, n)
+	spans := make([]spanengine.Span, n)
+	byOff := make(map[int64]int, n)
+	for i := range metas {
 		p := ix.Point(i)
-		ci := chunkInfo{
+		m := spanMeta{
 			startBit:      p.CompressedBitOffset,
 			startDecomp:   p.UncompressedOffset,
 			atMemberStart: p.AtMemberStart,
-			unitStart:     i,
 		}
-		if i+1 < ix.Len() {
+		if i+1 < n {
 			next := ix.Point(i + 1)
-			ci.endBit = next.CompressedBitOffset
-			ci.size = next.UncompressedOffset - p.UncompressedOffset
+			m.endBit = next.CompressedBitOffset
+			m.size = next.UncompressedOffset - p.UncompressedOffset
 		} else {
-			ci.endBit = ix.CompressedSize * 8
-			ci.size = ix.UncompressedSize - p.UncompressedOffset
-			ci.endIsEOF = true
+			m.endBit = ix.CompressedSize * 8
+			m.size = ix.UncompressedSize - p.UncompressedOffset
+			m.endIsEOF = true
 		}
-		for _, m := range ix.MemberEnds(p.CompressedBitOffset) {
-			ci.members = append(ci.members,
-				memberMark{absEnd: p.UncompressedOffset + m.RelEnd, crc: m.CRC32})
+		for _, me := range ix.MemberEnds(p.CompressedBitOffset) {
+			m.members = append(m.members,
+				memberMark{absEnd: p.UncompressedOffset + me.RelEnd, crc: me.CRC32})
 		}
-		chunks[i] = ci
+		metas[i] = m
+		s := spanengine.Span{
+			CompOff:    int64(m.startBit / 8),
+			CompEnd:    int64(m.endBit / 8),
+			DecompOff:  int64(m.startDecomp),
+			DecompSize: int64(m.size),
+		}
+		if m.endIsEOF {
+			s.CompEnd = int64(ix.CompressedSize)
+		}
+		if _, dup := byOff[s.CompOff]; dup {
+			return fmt.Errorf("core: index entries share start byte %d", s.CompOff)
+		}
+		byOff[s.CompOff] = i
+		spans[i] = s
 	}
-	// Discard everything derived from the previous chunk table: cached
-	// spans and in-flight decodes are keyed by the old geometry, and
-	// the sequential CRC cursor refers to the old entry numbering. An
-	// import mid-stream would otherwise serve stale chunk mappings.
-	f.resetCaches()
-	f.crcNext, f.crcAcc = 0, 0
-	// Re-arm sequential verification under the new table — unless a
-	// mismatch was already detected: an import must not launder a
-	// stream that has failed verification.
-	f.crcBroken = f.Stats.CRCFailures > 0
-	f.chunks = chunks
-	f.index = ix
+
+	// Build the replacement engine first: a table the engine rejects
+	// must leave the current state untouched.
+	eng, err := spanengine.NewFromCheckpoints(f.file, f.codec, spans, 0, f.engCfg)
+	if err != nil {
+		return err
+	}
+	// Retire the old engine before rewiring the codec: Close waits for
+	// its workers, so no decode observes the geometry mid-swap.
+	f.eng.Close()
+
+	c := f.codec
+	c.mu.Lock()
+	c.metas = metas
+	c.byOff = byOff
+	c.index = ix
 	// Indexes exported by this implementation persist the member marks,
 	// restoring full member verification; legacy (v1) indexes do not,
 	// and verification then has to lean on the decode results instead.
-	f.marksKnown = ix.MemberMarksComplete
-	f.eof = true
-	f.frontierBit = ix.CompressedSize * 8
-	f.frontierDecomp = ix.UncompressedSize
+	c.marksKnown = ix.MemberMarksComplete
+	c.eof = true
+	c.frontierBit = ix.CompressedSize * 8
+	c.frontierDecomp = ix.UncompressedSize
+	c.frontierWindow = nil
+	c.guessIssued = map[uint64]bool{}
+	c.noBlock = map[uint64]bool{}
+	c.inflightGuess = map[uint64]*futureChunk{}
+	c.mu.Unlock()
+
+	c.crcMu.Lock()
+	c.crcNext, c.crcAcc = 0, 0
+	// Re-arm sequential verification under the new table — unless a
+	// mismatch was already detected: an import must not launder a
+	// stream that has failed verification.
+	c.crcBroken = f.cnt.crcFailures.Load() > 0
+	c.consumed = map[int]bool{}
+	c.crcMu.Unlock()
+
+	f.eng = eng
 	return nil
 }
 
 // Chunks returns the number of confirmed table entries.
-func (f *Fetcher) Chunks() int { return len(f.chunks) }
+func (f *Fetcher) Chunks() int { return f.eng.NumSpans() }
 
 // EOF reports whether the whole file has been scanned.
-func (f *Fetcher) EOF() bool { return f.eof }
+func (f *Fetcher) EOF() bool { return f.eng.Complete() }
 
 // FrontierDecomp returns the decompressed bytes confirmed so far.
-func (f *Fetcher) FrontierDecomp() uint64 { return f.frontierDecomp }
+func (f *Fetcher) FrontierDecomp() uint64 { return uint64(f.eng.Size()) }
 
 // BytesRead reports compressed bytes read from the underlying file.
 func (f *Fetcher) BytesRead() int64 { return f.file.BytesRead() }

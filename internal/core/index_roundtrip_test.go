@@ -261,8 +261,10 @@ func TestImportPreservesDetectedCRCFailures(t *testing.T) {
 
 	r := open(t, comp, Config{Parallelism: 2, ChunkSize: 32 << 10, VerifyChecksums: true})
 	// Simulate a detected mismatch from earlier consumption.
-	r.f.crcBroken = true
-	r.f.Stats.CRCFailures = 1
+	r.f.codec.crcMu.Lock()
+	r.f.codec.crcBroken = true
+	r.f.codec.crcMu.Unlock()
+	r.f.cnt.crcFailures.Store(1)
 	if err := r.ImportIndex(bytes.NewReader(ixRaw)); err != nil {
 		t.Fatal(err)
 	}

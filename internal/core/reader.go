@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/filereader"
 	"repro/internal/gzindex"
+	"repro/internal/spanengine"
 )
 
 // ParallelGzipReader is the public face of the architecture (§3.1): an
@@ -15,10 +16,10 @@ import (
 // on the fly.
 //
 // All methods are safe for concurrent use; concurrent ReadAt calls at
-// different offsets share the chunk caches, the scenario §3 describes
+// different offsets share the span caches, the scenario §3 describes
 // for ratarmount-style filesystem access.
 type ParallelGzipReader struct {
-	mu  sync.Mutex
+	mu  sync.Mutex // guards pos and index import/export ordering
 	f   *Fetcher
 	pos uint64
 }
@@ -45,8 +46,11 @@ func (r *ParallelGzipReader) Close() error {
 func (r *ParallelGzipReader) Read(p []byte) (int, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	n, err := r.readAtLocked(p, r.pos)
+	n, err := r.f.eng.ReadAt(p, int64(r.pos))
 	r.pos += uint64(n)
+	if n > 0 && err == io.EOF {
+		err = nil
+	}
 	return n, err
 }
 
@@ -78,86 +82,43 @@ func (r *ParallelGzipReader) Seek(offset int64, whence int) (int64, error) {
 	return target, nil
 }
 
-// ReadAt implements io.ReaderAt without disturbing the Read cursor.
+// ReadAt implements io.ReaderAt without disturbing the Read cursor. It
+// deliberately bypasses the reader mutex: the engine is concurrent-safe
+// and parallel ReadAt callers share its span cache (§3's ratarmount
+// scenario).
 func (r *ParallelGzipReader) ReadAt(p []byte, off int64) (int, error) {
 	if off < 0 {
 		return 0, fmt.Errorf("core: negative offset %d", off)
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.readAtLocked(p, uint64(off))
-}
-
-// readAtLocked copies decompressed bytes starting at offset into p.
-func (r *ParallelGzipReader) readAtLocked(p []byte, offset uint64) (int, error) {
-	n := 0
-	for n < len(p) {
-		rc, _, err := r.f.ChunkAt(offset)
-		if err != nil {
-			return n, err
-		}
-		segs, err := rc.Bytes()
-		if err != nil {
-			return n, err
-		}
-		if offset < rc.StartDecomp {
-			return n, fmt.Errorf("core: chunk at %d does not cover offset %d", rc.StartDecomp, offset)
-		}
-		within := offset - rc.StartDecomp
-		copied := 0
-		for _, seg := range segs {
-			if within >= uint64(len(seg)) {
-				within -= uint64(len(seg))
-				continue
-			}
-			c := copy(p[n:], seg[within:])
-			n += c
-			copied += c
-			offset += uint64(c)
-			within = 0
-			if n == len(p) {
-				return n, nil
-			}
-		}
-		if copied == 0 {
-			return n, fmt.Errorf("core: chunk at %d too short for offset %d", rc.StartDecomp, offset)
-		}
-	}
-	return n, nil
+	return r.f.eng.ReadAt(p, off)
 }
 
 // WriteTo implements io.WriterTo: the fast path for full-file
-// decompression, streaming chunk segments in order without the copy
+// decompression, streaming span contents in order without the copy
 // into a caller buffer.
 func (r *ParallelGzipReader) WriteTo(w io.Writer) (int64, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	eng := r.f.eng
 	var written int64
 	for {
-		rc, _, err := r.f.ChunkAt(r.pos)
+		i, err := eng.SpanAt(int64(r.pos))
 		if err == io.EOF {
 			return written, nil
 		}
 		if err != nil {
 			return written, err
 		}
-		segs, err := rc.Bytes()
+		data, err := eng.SpanContent(i)
 		if err != nil {
 			return written, err
 		}
-		within := r.pos - rc.StartDecomp
-		for _, seg := range segs {
-			if within >= uint64(len(seg)) {
-				within -= uint64(len(seg))
-				continue
-			}
-			n, err := w.Write(seg[within:])
-			written += int64(n)
-			r.pos += uint64(n)
-			within = 0
-			if err != nil {
-				return written, err
-			}
+		off, _ := eng.SpanExtent(i)
+		n, err := w.Write(data[r.pos-uint64(off):])
+		written += int64(n)
+		r.pos += uint64(n)
+		if err != nil {
+			return written, err
 		}
 	}
 }
@@ -165,27 +126,27 @@ func (r *ParallelGzipReader) WriteTo(w io.Writer) (int64, error) {
 // Size returns the decompressed size, scanning the remainder of the
 // file if it has not been fully indexed yet.
 func (r *ParallelGzipReader) Size() (int64, error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
 	size, err := r.f.TotalSize()
 	return int64(size), err
 }
 
 // BuildIndex completes the seek-point index for the whole file.
 func (r *ParallelGzipReader) BuildIndex() error {
-	r.mu.Lock()
-	defer r.mu.Unlock()
 	return r.f.EnsureAll()
 }
 
-// ExportIndex serialises the (completed) index to w.
+// ExportIndex serialises the (completed) index to w, including the
+// engine's span table as a persistable checkpoint section — the part a
+// reopen uses to skip the sizing pass entirely.
 func (r *ParallelGzipReader) ExportIndex(w io.Writer) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if err := r.f.EnsureAll(); err != nil {
 		return err
 	}
-	_, err := r.f.Index().WriteTo(w)
+	ix := r.f.Index()
+	ix.Checkpoints = r.f.checkpointTable()
+	_, err := ix.WriteTo(w)
 	return err
 }
 
@@ -206,21 +167,21 @@ func (r *ParallelGzipReader) ImportIndex(rd io.Reader) error {
 
 // Index exposes the index built so far (read-only use).
 func (r *ParallelGzipReader) Index() *gzindex.Index {
-	r.mu.Lock()
-	defer r.mu.Unlock()
 	return r.f.Index()
 }
 
 // FetcherStats returns a snapshot of fetcher activity counters.
 func (r *ParallelGzipReader) FetcherStats() FetcherStats {
-	r.mu.Lock()
-	defer r.mu.Unlock()
 	return r.f.StatsSnapshot()
+}
+
+// EngineStats returns the span-engine counters (cache, prefetch,
+// source-read activity).
+func (r *ParallelGzipReader) EngineStats() spanengine.Stats {
+	return r.f.EngineStats()
 }
 
 // CRCStatus reports checksum verification state (see Fetcher.CRCStatus).
 func (r *ParallelGzipReader) CRCStatus() (bool, uint64) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
 	return r.f.CRCStatus()
 }

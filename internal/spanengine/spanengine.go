@@ -5,12 +5,17 @@
 // sizing pass) and how to decode one span.
 //
 // This is the paper's cache-plus-prefetch chunk-fetcher architecture
-// (§3.2, Figure 5) factored out of the gzip path: where gzip needs
-// speculative two-stage decoding to discover chunk boundaries, the
-// formats served here (bzip2, LZ4, Zstandard) hand the engine a
+// (§3.2, Figure 5), serving two kinds of codecs. Formats whose metadata
+// declares boundaries (bzip2, LZ4, Zstandard, BGZF) hand the engine a
 // complete span table up front — either from the codec's sizing pass or
 // from a persisted checkpoint table (an RGZIDX04 index), in which case
-// the sizing pass is skipped entirely.
+// the sizing pass is skipped entirely. Formats that must discover
+// boundaries by decoding (gzip) implement Grower on top of Codec and
+// run the engine in growing mode (see growing.go): the span table
+// starts empty and extends one confirmed decode unit at a time, while
+// speculative results parked in the tentative pool stay exactly that —
+// tentative — until a clean upstream decode confirms where the next
+// span really starts.
 //
 // The engine operates over a positional reader (filereader.FileReader),
 // never a resident buffer: codecs size the file with bounded windowed
@@ -174,18 +179,38 @@ type entry struct {
 type Engine struct {
 	src   *filereader.SharedFileReader
 	codec Codec
-	spans []Span
-	size  int64
 	flags uint8
 	cfg   Config
 
-	mu       sync.Mutex
+	mu sync.Mutex
+	// spans and size are guarded by mu: a growing engine appends while
+	// readers are active. Span values are never mutated after append.
+	spans    []Span
+	size     int64
+	complete bool
 	cache    *cache.Cache[int, *entry]
 	inflight map[int]*pool.Future[[]byte]
 	strategy prefetch.Strategy
 	pool     *pool.Pool
 	stats    Stats
 	closed   bool
+
+	// Growing-mode state (nil/unused for complete-table engines).
+	grower   Grower
+	observer AccessObserver
+	growMu   sync.Mutex // serialises GrowNext calls
+	tentMu   sync.Mutex
+	tent     *cache.Cache[uint64, any]
+}
+
+// share returns src as a SharedFileReader, wrapping it only if it is
+// not one already — so a caller that pre-wraps the source (to observe
+// the same read counters the engine reports) keeps counter continuity.
+func share(src filereader.FileReader) *filereader.SharedFileReader {
+	if s, ok := src.(*filereader.SharedFileReader); ok {
+		return s
+	}
+	return filereader.NewShared(src)
 }
 
 // New runs the codec's sizing pass over src and returns an engine over
@@ -193,7 +218,7 @@ type Engine struct {
 // included — is routed through one SharedFileReader and shows up in
 // Stats.
 func New(src filereader.FileReader, codec Codec, cfg Config) (*Engine, error) {
-	shared := filereader.NewShared(src)
+	shared := share(src)
 	scan, err := codec.Scan(shared)
 	if err != nil {
 		return nil, err
@@ -238,7 +263,7 @@ func NewFromCheckpoints(src filereader.FileReader, codec Codec, spans []Span, fl
 		}
 		decomp += s.DecompSize
 	}
-	return newEngine(filereader.NewShared(src), codec, spans, flags, cfg)
+	return newEngine(share(src), codec, spans, flags, cfg)
 }
 
 func newEngine(src *filereader.SharedFileReader, codec Codec, spans []Span, flags uint8, cfg Config) (*Engine, error) {
@@ -249,10 +274,14 @@ func newEngine(src *filereader.SharedFileReader, codec Codec, spans []Span, flag
 		spans:    spans,
 		flags:    flags,
 		cfg:      cfg,
+		complete: true,
 		cache:    cache.NewLRUCache[int, *entry](cfg.CacheSize),
 		inflight: map[int]*pool.Future[[]byte]{},
 		strategy: cfg.Strategy,
 		pool:     pool.New(cfg.Threads),
+	}
+	if o, ok := codec.(AccessObserver); ok {
+		e.observer = o
 	}
 	for _, s := range spans {
 		e.size += s.DecompSize
@@ -277,12 +306,21 @@ func (e *Engine) Close() error {
 	return nil
 }
 
-// Size returns the total decompressed size (known since construction —
-// the span table is always complete).
-func (e *Engine) Size() int64 { return e.size }
+// Size returns the decompressed size confirmed so far: the total size
+// for a complete-table engine, the confirmed frontier for a growing
+// one (use TotalSize to force completion first).
+func (e *Engine) Size() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.size
+}
 
-// NumSpans returns the number of checkpoints.
-func (e *Engine) NumSpans() int { return len(e.spans) }
+// NumSpans returns the number of checkpoints confirmed so far.
+func (e *Engine) NumSpans() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.spans)
+}
 
 // Flags returns the codec capability bits recorded at scan (or import)
 // time.
@@ -290,6 +328,8 @@ func (e *Engine) Flags() uint8 { return e.flags }
 
 // Checkpoints returns a copy of the span table, for persisting.
 func (e *Engine) Checkpoints() []Span {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	out := make([]Span, len(e.spans))
 	copy(out, e.spans)
 	return out
@@ -297,6 +337,8 @@ func (e *Engine) Checkpoints() []Span {
 
 // SpanExtent returns the decompressed offset and size of span i.
 func (e *Engine) SpanExtent(i int) (off, size int64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	return e.spans[i].DecompOff, e.spans[i].DecompSize
 }
 
@@ -316,14 +358,17 @@ func (e *Engine) Stats() Stats {
 // access with the prefetch strategy, and issues follow-up prefetches.
 // The returned slice is shared with the cache and must not be modified.
 func (e *Engine) SpanContent(i int) ([]byte, error) {
-	if i < 0 || i >= len(e.spans) {
-		return nil, fmt.Errorf("spanengine: span %d out of range [0,%d)", i, len(e.spans))
-	}
 	e.mu.Lock()
 	if e.closed {
 		e.mu.Unlock()
 		return nil, ErrClosed
 	}
+	if i < 0 || i >= len(e.spans) {
+		n := len(e.spans)
+		e.mu.Unlock()
+		return nil, fmt.Errorf("spanengine: span %d out of range [0,%d)", i, n)
+	}
+	s := e.spans[i]
 	// Feed the strategy first so the prefetches issued below already
 	// reflect this access (paper §3.2: prefetching starts before the
 	// blocking fetch of the requested chunk).
@@ -331,6 +376,7 @@ func (e *Engine) SpanContent(i int) ([]byte, error) {
 	if ent, ok := e.cache.Get(i); ok {
 		e.issuePrefetches()
 		e.mu.Unlock()
+		e.noteAccess(i, ent.data)
 		return ent.data, nil
 	}
 	fut := e.inflight[i]
@@ -343,18 +389,22 @@ func (e *Engine) SpanContent(i int) ([]byte, error) {
 	if fut != nil {
 		// The span is already decoding on a worker; join it. The worker
 		// moves the result into the cache itself.
-		return fut.Wait()
+		data, err := fut.Wait()
+		if err == nil {
+			e.noteAccess(i, data)
+		}
+		return data, err
 	}
 
 	// On-demand decode on the caller's goroutine (concurrent callers
 	// racing on the same span duplicate work, not results).
-	data, err := e.codec.DecodeSpan(e.src, e.spans[i])
+	data, err := e.codec.DecodeSpan(e.src, s)
 	if err != nil {
 		return nil, err
 	}
-	if int64(len(data)) != e.spans[i].DecompSize {
+	if int64(len(data)) != s.DecompSize {
 		return nil, fmt.Errorf("spanengine: span %d decoded %d bytes, table says %d",
-			i, len(data), e.spans[i].DecompSize)
+			i, len(data), s.DecompSize)
 	}
 	e.mu.Lock()
 	e.stats.SpanDecodes++
@@ -362,7 +412,16 @@ func (e *Engine) SpanContent(i int) ([]byte, error) {
 		e.cache.Put(i, &entry{data: data})
 	}
 	e.mu.Unlock()
+	e.noteAccess(i, data)
 	return data, nil
+}
+
+// noteAccess reports a span consumption to the codec's observer (if
+// any). Called without e.mu held, after content is available.
+func (e *Engine) noteAccess(i int, data []byte) {
+	if e.observer != nil {
+		e.observer.SpanAccessed(i, data)
+	}
 }
 
 // issuePrefetches asks the strategy for span candidates and dispatches
@@ -379,6 +438,12 @@ func (e *Engine) issuePrefetches() {
 			return
 		}
 		if cand >= uint64(len(e.spans)) {
+			// Beyond the confirmed table. A growing codec turns these
+			// candidates into speculative decodes of grid cells past the
+			// frontier; complete tables have nothing there.
+			if e.grower != nil && !e.complete {
+				e.grower.Speculate(e, cand)
+			}
 			continue
 		}
 		i := int(cand)
@@ -406,9 +471,10 @@ func (e *Engine) issuePrefetches() {
 	}
 }
 
-// findSpan returns the index of the span covering decompressed offset
-// off, skipping zero-size spans (which cover nothing).
-func (e *Engine) findSpan(off int64) int {
+// findSpanLocked returns the index of the span covering decompressed
+// offset off, skipping zero-size spans (which cover nothing). Caller
+// holds e.mu.
+func (e *Engine) findSpanLocked(off int64) int {
 	i := sort.Search(len(e.spans), func(i int) bool {
 		return e.spans[i].DecompOff > off
 	}) - 1
@@ -418,25 +484,34 @@ func (e *Engine) findSpan(off int64) int {
 	return i
 }
 
-// ReadAt implements io.ReaderAt over the decompressed stream.
+// ReadAt implements io.ReaderAt over the decompressed stream. On a
+// growing engine it extends the confirmed table as far as the request
+// needs; io.EOF is only reported once the table is complete.
 func (e *Engine) ReadAt(p []byte, off int64) (int, error) {
 	if off < 0 {
 		return 0, fmt.Errorf("spanengine: negative offset %d", off)
 	}
 	n := 0
 	for n < len(p) {
-		if off >= e.size {
-			return n, io.EOF
+		if err := e.ensureCovered(off); err != nil {
+			return n, err
 		}
-		i := e.findSpan(off)
-		if i < 0 || i >= len(e.spans) {
+		e.mu.Lock()
+		i := e.findSpanLocked(off)
+		ok := off < e.size && i >= 0 && i < len(e.spans)
+		var s Span
+		if ok {
+			s = e.spans[i]
+		}
+		e.mu.Unlock()
+		if !ok {
 			return n, io.EOF
 		}
 		out, err := e.SpanContent(i)
 		if err != nil {
 			return n, err
 		}
-		within := off - e.spans[i].DecompOff
+		within := off - s.DecompOff
 		c := copy(p[n:], out[within:])
 		n += c
 		off += int64(c)

@@ -5,11 +5,13 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/crc32x"
 	"repro/internal/xxhash"
 )
 
-// SparsePlan describes a synthetic sparse archive written by
-// WriteSparseLZ4 or WriteSparseZstd: a multi-gigabyte-shaped compressed
+// SparsePlan describes a synthetic sparse archive written by one of
+// the WriteSparse* generators (LZ4, zstd, gzip, BGZF): a multi-
+// gigabyte-shaped compressed
 // file whose all-zero block payloads are filesystem holes, so the
 // on-disk allocation stays megabytes while the logical file (and its
 // decompressed content) can exceed RAM. The plan carries everything a
@@ -159,6 +161,192 @@ func WriteSparseLZ4(f *os.File, contentSize, frameContent int64, blockSize int, 
 		}
 		pos += 4
 	}
+	p.CompressedSize = pos
+	return p, f.Truncate(pos)
+}
+
+// zeroCRC returns the CRC32 (IEEE) of n zero bytes in O(log n) via
+// GF(2) combine doubling — hole members need correct footers without
+// reading the hole back.
+func zeroCRC(n int64) uint32 {
+	var crc uint32
+	blockCRC := crc32x.Checksum([]byte{0})
+	blockLen := int64(1)
+	for n > 0 {
+		if n&1 == 1 {
+			crc = crc32x.Combine(crc, blockCRC, blockLen)
+		}
+		n >>= 1
+		if n > 0 {
+			blockCRC = crc32x.Combine(blockCRC, blockCRC, blockLen)
+			blockLen <<= 1
+		}
+	}
+	return crc
+}
+
+// gzipMemberHeader is a minimal 10-byte gzip header (deflate, no flags,
+// unknown OS).
+var gzipMemberHeader = []byte{0x1f, 0x8b, 0x08, 0x00, 0, 0, 0, 0, 0x00, 0xff}
+
+// writeStoredDeflate writes data (or a hole, when payload is nil) of
+// length cl at pos as stored deflate blocks of at most blockSize bytes
+// and returns the new position. Stored blocks keep the compressed
+// extent equal to the content plus 5 bytes of framing per block, so
+// hole payloads stay holes.
+func writeStoredDeflate(f *os.File, pos, cl int64, blockSize int, payload []byte) (int64, error) {
+	for off := int64(0); ; off += int64(blockSize) {
+		bs := int64(blockSize)
+		if off+bs > cl {
+			bs = cl - off
+		}
+		final := off+bs >= cl
+		// 3-bit block header (BFINAL, BTYPE=00) padded to the byte
+		// boundary, then LEN/NLEN.
+		var b byte
+		if final {
+			b = 1
+		}
+		bh := []byte{b, byte(bs), byte(bs >> 8), ^byte(bs), ^byte(bs >> 8)}
+		if _, err := f.WriteAt(bh, pos); err != nil {
+			return 0, err
+		}
+		pos += int64(len(bh))
+		if payload != nil {
+			if _, err := f.WriteAt(payload[off:off+bs], pos); err != nil {
+				return 0, err
+			}
+		}
+		pos += bs // hole when payload is nil
+		if final {
+			return pos, nil
+		}
+	}
+}
+
+// WriteSparseGzip is WriteSparseLZ4 for gzip: every frame is one gzip
+// member whose deflate stream consists of stored blocks of blockSize
+// bytes (at most 65535, the stored-block cap), so a member's compressed
+// extent equals its content plus a few bytes of framing. Hole members'
+// payloads are filesystem holes; their footers still carry the correct
+// CRC32 (computed in O(log n) over zeros) and ISIZE, so verified
+// sequential consumption passes.
+func WriteSparseGzip(f *os.File, contentSize, frameContent int64, blockSize int, seed uint64, dataFrames []int) (*SparsePlan, error) {
+	p, err := planFrames(contentSize, frameContent, dataFrames)
+	if err != nil {
+		return nil, err
+	}
+	if blockSize <= 0 || blockSize > 65535 {
+		return nil, fmt.Errorf("workloads: bad stored-block size %d (want 1..65535)", blockSize)
+	}
+	zeroCRCs := map[int64]uint32{} // by member length; at most two distinct
+	var pos int64
+	for fi := 0; fi < p.NumFrames; fi++ {
+		cl := frameContent
+		if int64(fi)*frameContent+cl > contentSize {
+			cl = contentSize - int64(fi)*frameContent
+		}
+		var payload []byte
+		crc, ok := zeroCRCs[cl]
+		if !ok {
+			crc = zeroCRC(cl)
+			zeroCRCs[cl] = crc
+		}
+		if _, data := p.DataFrames[fi]; data {
+			s := frameSeed(seed, fi)
+			p.DataFrames[fi] = s
+			payload = Random(int(cl), s)
+			crc = crc32x.Checksum(payload)
+		}
+		if _, err := f.WriteAt(gzipMemberHeader, pos); err != nil {
+			return nil, err
+		}
+		pos += int64(len(gzipMemberHeader))
+		pos, err = writeStoredDeflate(f, pos, cl, blockSize, payload)
+		if err != nil {
+			return nil, err
+		}
+		var ftr [8]byte
+		binary.LittleEndian.PutUint32(ftr[:4], crc)
+		binary.LittleEndian.PutUint32(ftr[4:], uint32(uint64(cl)))
+		if _, err := f.WriteAt(ftr[:], pos); err != nil {
+			return nil, err
+		}
+		pos += 8
+	}
+	p.CompressedSize = pos
+	return p, f.Truncate(pos)
+}
+
+// bgzfEOF is the canonical 28-byte empty BGZF EOF member.
+var bgzfEOF = []byte{
+	0x1f, 0x8b, 0x08, 0x04, 0, 0, 0, 0, 0x00, 0xff,
+	0x06, 0x00, 'B', 'C', 0x02, 0x00, 0x1b, 0x00,
+	0x03, 0x00,
+	0, 0, 0, 0, 0, 0, 0, 0,
+}
+
+// WriteSparseBGZF is WriteSparseGzip in BGZF framing: every frame is
+// one BGZF member (frameContent at most 65280, the format's member
+// payload cap) whose header carries the member's compressed size in the
+// "BC" extra subfield, stored as a single stored deflate block, closed
+// by the canonical empty EOF member. Hole members' payloads are
+// filesystem holes with correct CRC32/ISIZE footers.
+func WriteSparseBGZF(f *os.File, contentSize, frameContent int64, seed uint64, dataFrames []int) (*SparsePlan, error) {
+	if frameContent > 65280 {
+		return nil, fmt.Errorf("workloads: BGZF member content %d exceeds the 65280-byte cap", frameContent)
+	}
+	p, err := planFrames(contentSize, frameContent, dataFrames)
+	if err != nil {
+		return nil, err
+	}
+	zeroCRCs := map[int64]uint32{}
+	var pos int64
+	for fi := 0; fi < p.NumFrames; fi++ {
+		cl := frameContent
+		if int64(fi)*frameContent+cl > contentSize {
+			cl = contentSize - int64(fi)*frameContent
+		}
+		var payload []byte
+		crc, ok := zeroCRCs[cl]
+		if !ok {
+			crc = zeroCRC(cl)
+			zeroCRCs[cl] = crc
+		}
+		if _, data := p.DataFrames[fi]; data {
+			s := frameSeed(seed, fi)
+			p.DataFrames[fi] = s
+			payload = Random(int(cl), s)
+			crc = crc32x.Checksum(payload)
+		}
+		// 18-byte BGZF header: gzip header with FEXTRA and the 6-byte
+		// BC subfield holding BSIZE-1 (total member size minus one).
+		bsize := 18 + 5 + cl + 8 // header + one stored block's framing + payload + footer
+		hdr := []byte{
+			0x1f, 0x8b, 0x08, 0x04, 0, 0, 0, 0, 0x00, 0xff,
+			0x06, 0x00, 'B', 'C', 0x02, 0x00,
+			byte(bsize - 1), byte((bsize - 1) >> 8),
+		}
+		if _, err := f.WriteAt(hdr, pos); err != nil {
+			return nil, err
+		}
+		pos += int64(len(hdr))
+		pos, err = writeStoredDeflate(f, pos, cl, 65535, payload)
+		if err != nil {
+			return nil, err
+		}
+		var ftr [8]byte
+		binary.LittleEndian.PutUint32(ftr[:4], crc)
+		binary.LittleEndian.PutUint32(ftr[4:], uint32(uint64(cl)))
+		if _, err := f.WriteAt(ftr[:], pos); err != nil {
+			return nil, err
+		}
+		pos += 8
+	}
+	if _, err := f.WriteAt(bgzfEOF, pos); err != nil {
+		return nil, err
+	}
+	pos += int64(len(bgzfEOF))
 	p.CompressedSize = pos
 	return p, f.Truncate(pos)
 }

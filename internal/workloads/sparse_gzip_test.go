@@ -1,0 +1,70 @@
+package workloads
+
+import (
+	"bytes"
+	"compress/gzip"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestSparseGzipDecodesWithStdlib validates the gzip/BGZF sparse
+// generators against an independent decoder: the emitted file must
+// decode byte-exactly with compress/gzip (which also verifies every
+// member's CRC32 and ISIZE — including the O(log n) zero-hole CRCs)
+// and match the plan's ExpectedAt regeneration.
+func TestSparseGzipDecodesWithStdlib(t *testing.T) {
+	dir := t.TempDir()
+	cases := []struct {
+		name  string
+		write func(f *os.File) (*SparsePlan, error)
+	}{
+		{name: "gzip", write: func(f *os.File) (*SparsePlan, error) {
+			return WriteSparseGzip(f, 1<<20, 256<<10, 60_000, 99, []int{0, 2})
+		}},
+		{name: "gzip-ragged-tail", write: func(f *os.File) (*SparsePlan, error) {
+			return WriteSparseGzip(f, 1<<20-12345, 256<<10, 65535, 7, []int{3})
+		}},
+		{name: "bgzf", write: func(f *os.File) (*SparsePlan, error) {
+			return WriteSparseBGZF(f, 600_000, 65280, 41, []int{0, 5})
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f, err := os.Create(filepath.Join(dir, tc.name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+			plan, err := tc.write(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fi, err := f.Stat()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fi.Size() != plan.CompressedSize {
+				t.Fatalf("file is %d bytes, plan says %d", fi.Size(), plan.CompressedSize)
+			}
+			if _, err := f.Seek(0, io.SeekStart); err != nil {
+				t.Fatal(err)
+			}
+			zr, err := gzip.NewReader(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := io.ReadAll(zr)
+			if err != nil {
+				t.Fatalf("stdlib decode: %v", err)
+			}
+			if int64(len(got)) != plan.ContentSize {
+				t.Fatalf("decoded %d bytes, want %d", len(got), plan.ContentSize)
+			}
+			if want := plan.ExpectedAt(0, int(plan.ContentSize)); !bytes.Equal(got, want) {
+				t.Fatal("decoded content does not match the generation plan")
+			}
+		})
+	}
+}

@@ -171,10 +171,11 @@ func WithMaxPrefetch(n int) Option {
 	}
 }
 
-// WithAccessCacheSize sets the accessed-chunk cache capacity (the span
-// cache, for bzip2/LZ4/zstd). Zero selects the default.
+// WithAccessCacheSize sets the span-cache capacity, in spans, for
+// every format (for gzip/BGZF a span is a chunk of the speculative
+// pipeline). Zero selects the default.
 //
-// Since Open serves bzip2/LZ4/zstd file-backed — the compressed bytes
+// Since Open serves every format file-backed — the compressed bytes
 // are never resident as a whole — this cache is the dominant term of
 // an archive's decompressed-side memory budget: peak resident decoded
 // bytes are bounded by roughly (AccessCacheSize + MaxPrefetch) × the
@@ -192,12 +193,12 @@ func WithAccessCacheSize(n int) Option {
 
 // WithInMemory loads the whole compressed file into memory at Open and
 // serves every decode zero-copy from the resident buffer — the
-// pre-file-backed behavior. It only makes sense for files comfortably
-// smaller than RAM on storage slow enough that re-reading span extents
-// hurts (network filesystems); the default file-backed path needs
-// bounded memory regardless of file size. OpenBytes is always
-// in-memory; the option is a no-op there (and for gzip/BGZF, whose
-// core reads positionally either way).
+// pre-file-backed behavior, for every format including gzip/BGZF. It
+// only makes sense for files comfortably smaller than RAM on storage
+// slow enough that re-reading span extents hurts (network
+// filesystems); the default file-backed path needs bounded memory
+// regardless of file size. OpenBytes is always in-memory; the option
+// is a no-op there.
 func WithInMemory() Option {
 	return func(c *config) error {
 		c.inMemory = true

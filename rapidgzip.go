@@ -1,8 +1,9 @@
 // Package rapidgzip provides parallel decompression of, and constant-
 // time random access ("seeking") into, compressed files — gzip first
 // and foremost, plus BGZF, bzip2, LZ4 and Zstandard instantiations of
-// the same cache-plus-prefetch chunk-fetcher architecture (the
-// non-gzip formats share one engine, internal/spanengine).
+// the same cache-plus-prefetch chunk-fetcher architecture (all five
+// formats run on one engine, internal/spanengine; gzip adds its
+// speculative chunk pipeline as a codec on top).
 //
 // It is a from-scratch Go reproduction of the system described in
 // "Rapidgzip: Parallel Decompression and Seeking in Gzip Files Using
@@ -53,13 +54,15 @@ import (
 	"repro/internal/tarfs"
 )
 
-// Stats counts backend activity. The gzip/BGZF chunk fetcher fills the
-// speculative-decode counters; the span engine behind bzip2/LZ4/zstd
-// fills the sizing/span/prefetch counters. Either way, zeros mean the
-// machinery genuinely never ran — an index import is visible as
-// FinderProbes == 0 (gzip) or SizingPasses == 0 (span formats).
+// Stats counts backend activity. Every format runs on the shared span
+// engine, so the sizing/span/prefetch/source-read counters are live for
+// all of them; the speculative-decode counters on top are specific to
+// the gzip/BGZF chunk pipeline (the only format whose chunk boundaries
+// must be guessed). Zeros mean the machinery genuinely never ran — an
+// index import is visible as FinderProbes == 0 (gzip/BGZF) or
+// SizingPasses == 0 (every format).
 type Stats struct {
-	// --- gzip/BGZF chunk fetcher -------------------------------------
+	// --- gzip/BGZF chunk pipeline ------------------------------------
 	GuessTasks       uint64
 	GuessNoBlock     uint64
 	GuessFalseStarts uint64
@@ -75,9 +78,10 @@ type Stats struct {
 	ChunksConsumed   uint64
 	CRCFailures      uint64
 
-	// --- span engine (bzip2, LZ4, zstd) ------------------------------
+	// --- span engine (all formats) -----------------------------------
 	// SizingPasses counts codec sizing scans (0 after an index import,
-	// 1 after a cold open).
+	// 1 after a cold open — for gzip the "pass" is the growing span
+	// table itself, for BGZF the member-metadata scan).
 	SizingPasses uint64
 	// SizingDecodes counts full span decodes the sizing pass needed
 	// (bzip2 decodes everything once; LZ4 and sized zstd need none).
@@ -139,9 +143,10 @@ func engineStats(s spanengine.Stats) Stats {
 // Reader decompresses a gzip (or BGZF) file in parallel. It implements
 // Archive; all methods are safe for concurrent use.
 type Reader struct {
-	pr     *core.ParallelGzipReader
-	format Format
-	owned  io.Closer // closed together with the reader, if non-nil
+	pr         *core.ParallelGzipReader
+	format     Format
+	fileBacked bool      // false when the source is a resident buffer (WithInMemory, OpenBytes)
+	owned      io.Closer // closed together with the reader, if non-nil
 }
 
 // OpenOptions opens the gzip file at path with explicit legacy
@@ -240,7 +245,8 @@ func newGzipReader(src filereader.FileReader, opts Options) (*Reader, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Reader{pr: pr, format: sniffGzipFormat(src)}, nil
+	_, mem := filereader.Bytes(src)
+	return &Reader{pr: pr, format: sniffGzipFormat(src), fileBacked: !mem}, nil
 }
 
 // sniffGzipFormat distinguishes BGZF from plain gzip for Format
@@ -306,8 +312,27 @@ func (r *Reader) ExportIndex(w io.Writer) error { return r.pr.ExportIndex(w) }
 // compressed size and the source fingerprint stored in the index).
 func (r *Reader) ImportIndex(rd io.Reader) error { return r.pr.ImportIndex(rd) }
 
-// Stats returns a snapshot of fetcher activity counters.
-func (r *Reader) Stats() Stats { return coreStats(r.pr.FetcherStats()) }
+// Stats returns a snapshot of backend activity counters. Since the
+// gzip/BGZF pipeline runs on the shared span engine, both counter
+// groups are live: the chunk-pipeline counters (speculation, block
+// finding, delegation) come from the fetcher, the cache/prefetch/
+// source-read counters from the engine underneath it.
+func (r *Reader) Stats() Stats {
+	s := coreStats(r.pr.FetcherStats())
+	e := engineStats(r.pr.EngineStats())
+	s.SizingPasses = e.SizingPasses
+	s.SizingDecodes = e.SizingDecodes
+	s.SpanDecodes = e.SpanDecodes
+	s.PrefetchProposed = e.PrefetchProposed
+	s.PrefetchIssued = e.PrefetchIssued
+	s.PrefetchJoined = e.PrefetchJoined
+	s.SpanCacheHits = e.SpanCacheHits
+	s.SpanCacheMisses = e.SpanCacheMisses
+	s.SpanCacheEvictions = e.SpanCacheEvictions
+	s.SourceReads = e.SourceReads
+	s.SourceBytesRead = e.SourceBytesRead
+	return s
+}
 
 // Format reports the container format this reader decodes (FormatGzip
 // or FormatBGZF).

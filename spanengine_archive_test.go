@@ -16,10 +16,15 @@ import (
 	"repro/internal/zstdx"
 )
 
-// spanFixtures builds one multi-chunk fixture per non-gzip format from
-// the same corpus (gzip itself is covered by the core tests).
+// spanFixtures builds one multi-chunk fixture per format from the same
+// corpus — every format, gzip included, runs on the shared span engine
+// now, so the whole matrix goes through the same contracts.
 func spanFixtures(t *testing.T, data []byte) map[Format][]byte {
 	t.Helper()
+	gz, _, err := gzipw.Compress(data, gzipw.Options{Level: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
 	bgzf, _, err := gzipw.Compress(data, gzipw.Options{Level: 6, BGZF: true})
 	if err != nil {
 		t.Fatal(err)
@@ -29,6 +34,7 @@ func spanFixtures(t *testing.T, data []byte) map[Format][]byte {
 		t.Fatal(err)
 	}
 	return map[Format][]byte{
+		FormatGzip:  gz,
 		FormatBGZF:  bgzf,
 		FormatBzip2: bz,
 		FormatLZ4:   lz4x.CompressFrames(data, lz4x.FrameOptions{FrameSize: 64 << 10, ContentChecksum: true}),
@@ -62,21 +68,19 @@ func TestStrategyHonoredPerFormat(t *testing.T) {
 				}
 				a.Close()
 			}
-			if format == FormatBGZF {
-				// The gzip core has no per-strategy issue counter to
-				// compare; option plumbing is covered above.
-				return
-			}
-
 			// Jumpy access pattern: every access breaks the sequential
 			// streak, so Adaptive stays at degree 2 while Fixed proposes
 			// the full MaxPrefetch each time. PrefetchProposed counts
 			// raw strategy proposals, so it is deterministic regardless
-			// of decode timing or worker-slot availability.
+			// of decode timing or worker-slot availability. Since the
+			// gzip/BGZF pipeline runs on the span engine, the same
+			// counter comparison covers all five formats (the chunk size
+			// keeps their span tables multi-entry; other formats ignore
+			// it).
 			issued := map[string]uint64{}
 			for _, name := range []string{"adaptive", "fixed"} {
 				a, err := OpenBytes(comp,
-					WithStrategy(name), WithParallelism(2), WithMaxPrefetch(8))
+					WithStrategy(name), WithParallelism(2), WithMaxPrefetch(8), WithChunkSize(64<<10))
 				if err != nil {
 					t.Fatal(err)
 				}
