@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"io/fs"
 	"os"
 	"sync"
 
@@ -35,6 +36,14 @@ type Archive interface {
 	// Size returns the decompressed size, completing whatever scan the
 	// backend needs first.
 	Size() (int64, error)
+	// DecompressedSize reports the decompressed size when it is already
+	// known without any decoding — always for bzip2/LZ4/zstd (the sizing
+	// pass ran at open) and for gzip/BGZF once the chunk table is
+	// complete (index imported, BGZF metadata scan, or a finished first
+	// pass). ok=false means answering would cost a decode; callers that
+	// must stay cheap (a server emitting Content-Length) branch on it
+	// instead of calling Size.
+	DecompressedSize() (size int64, ok bool)
 	// BuildIndex completes the backend's seek checkpoints for the whole
 	// file, making every subsequent Seek/ReadAt constant-time where the
 	// format allows it.
@@ -177,10 +186,25 @@ func sourceErr(err error) error {
 	return err
 }
 
+// closedErr maps the internal closed-state errors a read can surface —
+// the engine's own gate, the core's, or a pread on a file descriptor
+// that Close won the race for — onto the public ErrClosed, so a caller
+// racing Close against ReadAt gets one typed answer regardless of
+// which layer noticed first. Other errors pass through untouched.
+func closedErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, spanengine.ErrClosed) || errors.Is(err, core.ErrClosed) || errors.Is(err, fs.ErrClosed) {
+		return fmt.Errorf("%w: %w", ErrClosed, err)
+	}
+	return err
+}
+
 // openIndexed builds the gzip/BGZF backend, importing an explicit or
 // discovered index when available.
 func openIndexed(src filereader.FileReader, path string, cfg config, format Format) (*Reader, error) {
-	coreCfg, err := cfg.opts.toCore()
+	coreCfg, err := cfg.coreConfig()
 	if err != nil {
 		return nil, err
 	}
@@ -265,7 +289,7 @@ type spanArchive struct {
 	fileBacked bool
 	owned      io.Closer // underlying file, closed with the archive (Open only)
 	format     Format
-	opts       Options // retained to rebuild the backend on ImportIndex
+	cfg        config // retained to rebuild the backend on ImportIndex (keeps the shared pool)
 
 	mu   sync.Mutex
 	back spanBackend
@@ -305,7 +329,7 @@ func newSpanArchive(src filereader.FileReader, format Format, cfg config, path s
 			}
 		}
 	}
-	engCfg, err := cfg.opts.toEngine()
+	engCfg, err := cfg.engineConfig()
 	if err != nil {
 		return nil, err
 	}
@@ -319,7 +343,7 @@ func newSpanArchive(src filereader.FileReader, format Format, cfg config, path s
 // finishSpanArchive wraps a constructed backend in the Archive shell.
 func finishSpanArchive(src filereader.FileReader, format Format, cfg config, back spanBackend, caps Capabilities) *spanArchive {
 	_, mem := filereader.Bytes(src)
-	return &spanArchive{src: src, fileBacked: !mem, format: format, opts: cfg.opts, back: back, caps: caps}
+	return &spanArchive{src: src, fileBacked: !mem, format: format, cfg: cfg, back: back, caps: caps}
 }
 
 // spanArchiveFromIndexFile opens the index at indexPath and builds the
@@ -336,7 +360,7 @@ func spanArchiveFromIndexFile(src filereader.FileReader, format Format, cfg conf
 	if err != nil {
 		return nil, err
 	}
-	engCfg, err := cfg.opts.toEngine()
+	engCfg, err := cfg.engineConfig()
 	if err != nil {
 		return nil, err
 	}
@@ -453,7 +477,7 @@ func (a *spanArchive) Read(p []byte) (int, error) {
 	defer a.mu.Unlock()
 	n, err := a.back.ReadAt(p, a.pos)
 	a.pos += int64(n)
-	return n, err
+	return n, closedErr(err)
 }
 
 func (a *spanArchive) Seek(offset int64, whence int) (int64, error) {
@@ -482,7 +506,8 @@ func (a *spanArchive) ReadAt(p []byte, off int64) (int, error) {
 	a.mu.Lock()
 	back := a.back
 	a.mu.Unlock()
-	return back.ReadAt(p, off)
+	n, err := back.ReadAt(p, off)
+	return n, closedErr(err)
 }
 
 // WriteTo streams the remaining decompressed bytes in span order — the
@@ -493,6 +518,11 @@ func (a *spanArchive) ReadAt(p []byte, off int64) (int, error) {
 func (a *spanArchive) WriteTo(w io.Writer) (int64, error) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	if a.fileBacked {
+		// The whole remaining compressed tail is about to be preaded in
+		// span order; tell the kernel so readahead widens.
+		filereader.AdviseSequential(a.src, 0, a.src.Size())
+	}
 	n := a.back.NumChunks()
 	var written int64
 	for i := 0; i < n; i++ {
@@ -502,7 +532,7 @@ func (a *spanArchive) WriteTo(w io.Writer) (int64, error) {
 		}
 		seg, err := a.back.ChunkContent(i)
 		if err != nil {
-			return written, err
+			return written, closedErr(err)
 		}
 		if skip := a.pos - off; skip > 0 {
 			seg = seg[skip:]
@@ -522,6 +552,23 @@ func (a *spanArchive) Size() (int64, error) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	return a.back.Size(), nil
+}
+
+// DecompressedSize implements Archive; span backends size the stream
+// at construction, so the answer is always free.
+func (a *spanArchive) DecompressedSize() (int64, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.back.Size(), true
+}
+
+// AdviseSequentialRead hints the OS that the compressed file is about
+// to be read front to back (a whole-archive streaming GET). No-op for
+// memory-backed archives and platforms without posix_fadvise.
+func (a *spanArchive) AdviseSequentialRead() {
+	if a.fileBacked {
+		filereader.AdviseSequential(a.src, 0, a.src.Size())
+	}
 }
 
 // BuildIndex is a no-op: the checkpoint table (stream spans, frame
@@ -564,7 +611,7 @@ func (a *spanArchive) ImportIndex(rd io.Reader) error {
 	if err != nil {
 		return err
 	}
-	engCfg, err := a.opts.toEngine()
+	engCfg, err := a.cfg.engineConfig()
 	if err != nil {
 		return err
 	}

@@ -90,6 +90,13 @@ func writeJSONBench(path string, corpusBytes, repeats int, coreCounts []int) err
 		return err
 	}
 	report.Results = append(report.Results, fbRows...)
+	// HTTP range serving: rgzserve's whole request path (handle cache,
+	// shared pool, range grammar, ReadAt fan-out) as one throughput row.
+	serveRows, err := serveReadAtRows(lz, len(data), repeats, coreCounts, suffixed)
+	if err != nil {
+		return err
+	}
+	report.Results = append(report.Results, serveRows...)
 	for _, in := range inputs {
 		for _, threads := range coreCounts {
 			res := benchfmt.Result{

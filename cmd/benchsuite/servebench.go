@@ -1,0 +1,149 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro"
+	"repro/internal/benchfmt"
+	"repro/internal/server"
+)
+
+// serveReadAtRows measures rgzserve's request path end to end: an
+// in-process HTTP server over a file-backed archive, hammered with
+// concurrent ranged GETs. The row's MB/s is decompressed body bytes
+// served per second — it covers the handle cache, the shared span-cache
+// pool, range parsing and the ReadAt fan-out together, so a regression
+// in any of those layers moves the number.
+func serveReadAtRows(comp []byte, outBytes, repeats int, coreCounts []int, suffixed bool) ([]benchfmt.Result, error) {
+	dir, err := os.MkdirTemp("", "benchsuite-serve-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	if err := os.WriteFile(filepath.Join(dir, "corpus.lz4"), comp, 0o644); err != nil {
+		return nil, err
+	}
+	var rows []benchfmt.Result
+	for _, threads := range coreCounts {
+		res := benchfmt.Result{
+			Name:     "rgzserve-readat-rps",
+			OutBytes: outBytes,
+			InBytes:  len(comp),
+			Repeats:  repeats,
+			Parallel: threads,
+			Format:   "lz4",
+		}
+		if suffixed {
+			res.Name = fmt.Sprintf("%s-p%d", res.Name, threads)
+		}
+		var samples []float64
+		for rep := 0; rep < repeats; rep++ {
+			mbps, err := serveReadAtOnce(dir, outBytes, threads)
+			if err != nil {
+				res.FailureMsg = err.Error()
+				break
+			}
+			samples = append(samples, mbps)
+		}
+		if len(samples) == repeats {
+			_, res.StdDev = meanStd(samples)
+			for _, s := range samples {
+				res.MBps = max(res.MBps, s)
+			}
+		}
+		rows = append(rows, res)
+		fmt.Fprintf(os.Stderr, "benchsuite: %-27s %8.1f MB/s ± %.1f (%s, P=%d)\n",
+			res.Name, res.MBps, res.StdDev, res.Format, threads)
+	}
+	return rows, nil
+}
+
+// serveReadAtOnce runs one sample: 2×threads workers issue random
+// 64 KiB ranged GETs against a fresh server until minSampleTime, and
+// the sample is body MB/s across all workers.
+func serveReadAtOnce(root string, outBytes, threads int) (float64, error) {
+	s, err := server.New(server.Config{
+		Root:       root,
+		PoolBudget: 64 << 20,
+		Options:    []rapidgzip.Option{rapidgzip.WithParallelism(threads)},
+	})
+	if err != nil {
+		return 0, err
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	url := ts.URL + "/archives/corpus.lz4"
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 4 * threads}}
+
+	// One warm request pays the cold open outside the clock.
+	if err := fetchRange(client, url, 0, 1); err != nil {
+		return 0, err
+	}
+
+	const reqSize = 64 << 10
+	workers := 2 * threads
+	var total atomic.Int64
+	var firstErr atomic.Value
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w) + 1))
+			for time.Since(start) < minSampleTime {
+				n := int64(reqSize)
+				if n > int64(outBytes) {
+					n = int64(outBytes)
+				}
+				off := rng.Int63n(int64(outBytes) - n + 1)
+				if err := fetchRange(client, url, off, n); err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+				total.Add(n)
+			}
+		}(w)
+	}
+	wg.Wait()
+	sec := time.Since(start).Seconds()
+	if err, ok := firstErr.Load().(error); ok {
+		return 0, err
+	}
+	return float64(total.Load()) / 1e6 / sec, nil
+}
+
+// fetchRange GETs [off, off+n) and fully drains the body.
+func fetchRange(client *http.Client, url string, off, n int64) error {
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Range", fmt.Sprintf("bytes=%d-%d", off, off+n-1))
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	got, err := io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusPartialContent {
+		return fmt.Errorf("ranged GET: status %d, want 206", resp.StatusCode)
+	}
+	if got != n {
+		return fmt.Errorf("ranged GET: %d body bytes, want %d", got, n)
+	}
+	return nil
+}

@@ -1,0 +1,109 @@
+// Command rgzserve serves HTTP range requests over the decompressed
+// streams of compressed archives — gzip, BGZF, bzip2, LZ4 and zstd —
+// without ever decompressing a file as a whole. Clients address byte
+// ranges of the *decompressed* content:
+//
+//	rgzserve -root /data -addr :8080 -pool-budget 512M
+//	curl -r 1000000-1000999 http://localhost:8080/archives/big.tar.gz
+//
+// Memory stays bounded regardless of archive count and size: all open
+// archives share one span-cache byte budget (-pool-budget), at most
+// -max-open archives are open at once (LRU), and -open-slots /
+// -read-slots bound concurrent sizing passes and body decodes.
+//
+// Endpoints:
+//
+//	GET/HEAD /archives/<name>  decompressed bytes, Range-aware (206/416)
+//	GET      /archives/        JSON list of servable archives
+//	GET      /stats/<name>     backend counters of one archive
+//	GET      /metrics          pool, server and per-archive counters
+//
+// A sibling "<name>.rgzidx" index (saved by the rapidgzip CLI's
+// -export-index) is imported automatically on first access, making the
+// cold open of an indexed archive metadata-only.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		root       = flag.String("root", ".", "directory of archives to serve")
+		poolBudget = flag.String("pool-budget", "256M", "shared decompressed-span cache budget across all open archives (K/M/G suffixes; 'off' disables the shared pool)")
+		maxOpen    = flag.Int("max-open", 64, "max concurrently open archives (LRU-evicted beyond this)")
+		openSlots  = flag.Int("open-slots", 0, "max concurrent archive opens (0 = NumCPU/2)")
+		readSlots  = flag.Int("read-slots", 0, "max concurrent response bodies decoding (0 = 4*NumCPU)")
+		par        = flag.Int("P", 0, "decompression threads per archive (0 = NumCPU)")
+	)
+	flag.Parse()
+
+	budget := int64(-1)
+	if *poolBudget != "off" {
+		n, err := parseSize(*poolBudget)
+		if err != nil {
+			fatal(fmt.Errorf("bad -pool-budget: %w", err))
+		}
+		budget = int64(n)
+	}
+	var opts []rapidgzip.Option
+	if *par > 0 {
+		opts = append(opts, rapidgzip.WithParallelism(*par))
+	}
+	s, err := server.New(server.Config{
+		Root:            *root,
+		MaxOpenArchives: *maxOpen,
+		OpenSlots:       *openSlots,
+		ReadSlots:       *readSlots,
+		PoolBudget:      budget,
+		Options:         opts,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	defer s.Close()
+
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	log.Printf("rgzserve: serving %s on %s (pool budget %s, max %d open archives)",
+		*root, *addr, *poolBudget, *maxOpen)
+	if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		fatal(err)
+	}
+}
+
+func parseSize(s string) (int, error) {
+	mult := 1
+	switch {
+	case strings.HasSuffix(s, "K"), strings.HasSuffix(s, "k"):
+		mult, s = 1<<10, s[:len(s)-1]
+	case strings.HasSuffix(s, "M"), strings.HasSuffix(s, "m"):
+		mult, s = 1<<20, s[:len(s)-1]
+	case strings.HasSuffix(s, "G"), strings.HasSuffix(s, "g"):
+		mult, s = 1<<30, s[:len(s)-1]
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n <= 0 {
+		return 0, fmt.Errorf("bad size %q", s)
+	}
+	return n * mult, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rgzserve:", err)
+	os.Exit(1)
+}

@@ -84,6 +84,12 @@ var ErrUnsupportedFormat = errors.New("rapidgzip: unsupported format")
 // the content. Test with errors.Is.
 var ErrSourceRead = errors.New("rapidgzip: reading compressed source failed")
 
+// ErrClosed reports an operation on an archive whose Close has been
+// called (or began concurrently: a ReadAt racing Close loses cleanly
+// with this error instead of surfacing a pread on a closed file
+// descriptor). Test with errors.Is.
+var ErrClosed = errors.New("rapidgzip: archive is closed")
+
 // ErrNoIndexSupport reports an index operation (Build/Export/Import,
 // WithIndexFile) unsupported by the archive's format or backing. Since
 // the span engine landed, every supported format persists an index

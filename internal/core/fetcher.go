@@ -57,6 +57,10 @@ type Config struct {
 	// replace the chunk table anyway; without an import the file is
 	// simply handled by the generic (slower) path.
 	SkipMetadataScan bool
+	// Pool, when non-nil, places the chunk cache in a shared
+	// cross-engine pool: cached decompressed bytes are bounded
+	// pool-wide instead of AccessCacheSize chunks per reader.
+	Pool *spanengine.CachePool
 }
 
 func (c Config) withDefaults() Config {
@@ -163,6 +167,7 @@ func NewFetcher(src filereader.FileReader, cfg Config) (*Fetcher, error) {
 			CacheSize:   cfg.AccessCacheSize,
 			MaxPrefetch: cfg.MaxPrefetch,
 			Strategy:    cfg.Strategy,
+			Pool:        cfg.Pool,
 		},
 	}
 	// Open-time setup (fingerprint, first-header validation) reads the

@@ -130,6 +130,24 @@ func (r *ParallelGzipReader) Size() (int64, error) {
 	return int64(size), err
 }
 
+// KnownSize returns the decompressed size if it is already known
+// without further decoding: immediately for BGZF (whose metadata scan
+// enumerates every member up front) and for plain gzip once the
+// initial scan completed or an index was imported.
+func (r *ParallelGzipReader) KnownSize() (int64, bool) {
+	if !r.f.eng.Complete() {
+		return 0, false
+	}
+	return r.f.eng.Size(), true
+}
+
+// AdviseSequential hints the OS that the compressed backing file is
+// about to be read front to back (no-op for memory-backed sources and
+// on platforms without posix_fadvise).
+func (r *ParallelGzipReader) AdviseSequential() {
+	filereader.AdviseSequential(r.f.file, 0, r.f.file.Size())
+}
+
 // BuildIndex completes the seek-point index for the whole file.
 func (r *ParallelGzipReader) BuildIndex() error {
 	return r.f.EnsureAll()

@@ -1,0 +1,22 @@
+//go:build linux
+
+package filereader
+
+import (
+	"os"
+	"syscall"
+)
+
+// posix_fadvise advice value: the application expects to access the
+// range sequentially, so the kernel may double the readahead window.
+const fadvSequential = 2
+
+// adviseSequential issues posix_fadvise(POSIX_FADV_SEQUENTIAL) for
+// [off, off+n) of f. The stdlib syscall package exposes no Fadvise
+// wrapper, so this calls fadvise64 directly. Failures are deliberately
+// ignored: the hint is an optimization, and some filesystems (and
+// seccomp profiles) reject it.
+func adviseSequential(f *os.File, off, n int64) {
+	_, _, _ = syscall.Syscall6(syscall.SYS_FADVISE64, f.Fd(),
+		uintptr(off), uintptr(n), fadvSequential, 0, 0)
+}

@@ -1,0 +1,8 @@
+//go:build !linux
+
+package filereader
+
+import "os"
+
+// adviseSequential is a no-op where posix_fadvise is unavailable.
+func adviseSequential(f *os.File, off, n int64) {}

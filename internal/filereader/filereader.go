@@ -140,6 +140,31 @@ func Bytes(src FileReader) ([]byte, bool) {
 	return nil, false
 }
 
+// AdviseSequential hints the OS that the byte range [off, end) of src
+// is about to be read sequentially (posix_fadvise SEQUENTIAL on Linux,
+// widening the kernel readahead window). It is a no-op for
+// memory-backed sources and on platforms without the syscall — callers
+// hint unconditionally and let the platform decide.
+func AdviseSequential(src FileReader, off, end int64) {
+	if end <= off {
+		return
+	}
+	if f := osFile(src); f != nil {
+		adviseSequential(f, off, end-off)
+	}
+}
+
+// osFile unwraps src to its backing *os.File, when it has one.
+func osFile(src FileReader) *os.File {
+	switch r := src.(type) {
+	case *StandardFileReader:
+		return r.f
+	case *SharedFileReader:
+		return osFile(r.src)
+	}
+	return nil
+}
+
 // scratchPool recycles extent buffers between span decodes, so steady
 // random access over a file-backed source allocates no per-read
 // compressed-side garbage.

@@ -1,0 +1,240 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"mime"
+	"net/http"
+	"os"
+	"path"
+	"sort"
+	"strings"
+	"time"
+
+	"repro"
+)
+
+// Handler returns the server's HTTP interface:
+//
+//	GET/HEAD /archives/<name>  decompressed bytes of <name>, Range-aware
+//	GET      /archives/        JSON list of servable archive names
+//	GET      /stats/<name>     backend counters of one archive (opens it)
+//	GET      /metrics          pool, server and per-archive counters
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/archives/", s.handleArchive)
+	mux.HandleFunc("/stats/", s.handleStats)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	return mux
+}
+
+// openError maps an archive-open failure onto an HTTP status.
+func openError(err error) int {
+	switch {
+	case errors.Is(err, fs.ErrNotExist):
+		return http.StatusNotFound
+	case errors.Is(err, rapidgzip.ErrUnsupportedFormat):
+		return http.StatusUnsupportedMediaType
+	case errors.Is(err, fs.ErrPermission):
+		return http.StatusForbidden
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// compressedExts are stripped before guessing a Content-Type, so
+// "logs.json.gz" serves as application/json — the response body is the
+// decompressed stream, after all.
+var compressedExts = map[string]bool{
+	".gz": true, ".bgz": true, ".bgzf": true, ".bz2": true,
+	".lz4": true, ".zst": true, ".zstd": true,
+}
+
+// contentType guesses the media type of the decompressed content.
+func contentType(name string) string {
+	if compressedExts[strings.ToLower(path.Ext(name))] {
+		name = strings.TrimSuffix(name, path.Ext(name))
+	}
+	if t := mime.TypeByExtension(path.Ext(name)); t != "" {
+		return t
+	}
+	return "application/octet-stream"
+}
+
+// makeETag derives a strong validator from everything the response
+// depends on: the compressed file's identity (size + mtime) and the
+// decompressed size.
+func makeETag(compSize int64, mod time.Time, decompSize int64) string {
+	return fmt.Sprintf(`"%x-%x-%x"`, compSize, mod.UnixNano(), decompSize)
+}
+
+// handleArchive serves GET/HEAD /archives/<name> and GET /archives/.
+func (s *Server) handleArchive(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		w.Header().Set("Allow", "GET, HEAD")
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	raw := strings.TrimPrefix(r.URL.Path, "/archives/")
+	if raw == "" {
+		s.handleList(w, r)
+		return
+	}
+	name, ok := cleanName(raw)
+	if !ok {
+		http.Error(w, "not found", http.StatusNotFound)
+		return
+	}
+	h, err := s.acquire(name)
+	if err != nil {
+		http.Error(w, "server closed", http.StatusServiceUnavailable)
+		return
+	}
+	defer s.release(h)
+	if h.err != nil {
+		http.Error(w, h.err.Error(), openError(h.err))
+		return
+	}
+
+	hdr := w.Header()
+	hdr.Set("Accept-Ranges", "bytes")
+	hdr.Set("ETag", h.etag)
+	hdr.Set("Last-Modified", h.modTime.UTC().Format(http.TimeFormat))
+	hdr.Set("Content-Type", contentType(name))
+
+	off, n, res := int64(0), h.size, rangeNone
+	if rh := r.Header.Get("Range"); rh != "" {
+		s.rangeRequests.Add(1)
+		// If-Range: serve the range only against the exact entity it
+		// was requested for; on mismatch fall back to the full body.
+		if ir := r.Header.Get("If-Range"); ir == "" || ir == h.etag ||
+			ir == h.modTime.UTC().Format(http.TimeFormat) {
+			off, n, res = parseRange(rh, h.size)
+		}
+	}
+	switch res {
+	case rangeUnsatisfiable:
+		hdr.Set("Content-Range", fmt.Sprintf("bytes */%d", h.size))
+		http.Error(w, "range not satisfiable", http.StatusRequestedRangeNotSatisfiable)
+		return
+	case rangePartial:
+		hdr.Set("Content-Range", fmt.Sprintf("bytes %d-%d/%d", off, off+n-1, h.size))
+		hdr.Set("Content-Length", fmt.Sprint(n))
+		w.WriteHeader(http.StatusPartialContent)
+	default:
+		off, n = 0, h.size
+		hdr.Set("Content-Length", fmt.Sprint(n))
+		w.WriteHeader(http.StatusOK)
+	}
+	if r.Method == http.MethodHead || n == 0 {
+		return
+	}
+
+	// Body decode, bounded by readSem. All bodies — full and partial —
+	// are served through ReadAt (via SectionReader): the archives'
+	// sequential WriteTo path holds a cursor lock for the whole stream,
+	// which would serialise concurrent downloads of the same archive.
+	s.readSem <- struct{}{}
+	defer func() { <-s.readSem }()
+	if res == rangeNone {
+		// A whole-file GET reads the compressed source front to back;
+		// let the kernel widen readahead.
+		if adv, ok := h.a.(interface{ AdviseSequentialRead() }); ok {
+			adv.AdviseSequentialRead()
+		}
+	}
+	written, err := io.Copy(w, io.NewSectionReader(h.a, off, n))
+	s.bytesServed.Add(uint64(written))
+	_ = err // headers are gone; a decode or client failure just truncates
+}
+
+// handleList serves GET /archives/: the servable names under root.
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	var names []string
+	err := fs.WalkDir(os.DirFS(s.root), ".", func(p string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		if !strings.HasSuffix(p, rapidgzip.IndexSuffix) {
+			names = append(names, p)
+		}
+		return nil
+	})
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	sort.Strings(names)
+	writeJSON(w, map[string]any{"archives": names})
+}
+
+// handleStats serves GET /stats/<name>: the archive's backend
+// counters, opening it through the handle cache if necessary.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", "GET")
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	name, ok := cleanName(strings.TrimPrefix(r.URL.Path, "/stats/"))
+	if !ok {
+		http.Error(w, "not found", http.StatusNotFound)
+		return
+	}
+	h, err := s.acquire(name)
+	if err != nil {
+		http.Error(w, "server closed", http.StatusServiceUnavailable)
+		return
+	}
+	defer s.release(h)
+	if h.err != nil {
+		http.Error(w, h.err.Error(), openError(h.err))
+		return
+	}
+	writeJSON(w, map[string]any{
+		"name":              h.name,
+		"format":            h.a.Format().String(),
+		"decompressed_size": h.size,
+		"stats":             h.a.Stats(),
+	})
+}
+
+// handleMetrics serves GET /metrics: pool accounting, server counters
+// and a per-open-archive stats map.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	archives := map[string]any{}
+	handles := s.openHandles()
+	for _, h := range handles {
+		<-h.ready
+		if h.err == nil && h.a != nil {
+			archives[h.name] = map[string]any{
+				"format":            h.a.Format().String(),
+				"decompressed_size": h.size,
+				"stats":             h.a.Stats(),
+			}
+		}
+		s.release(h)
+	}
+	out := map[string]any{
+		"server":   s.Metrics(),
+		"archives": archives,
+	}
+	if s.pool != nil {
+		out["pool"] = s.pool.Stats()
+	}
+	writeJSON(w, out)
+}
+
+// writeJSON emits v as an indented JSON response.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,86 @@
+package server
+
+import (
+	"strconv"
+	"strings"
+)
+
+// rangeResult classifies a Range header against a known entity size.
+type rangeResult int
+
+const (
+	// rangeNone: no usable range — serve the full entity with 200.
+	// Covers "no Range header", syntactically invalid ranges and
+	// multi-range requests (RFC 7233 lets a server ignore Range
+	// entirely; this server does so rather than emit multipart
+	// responses).
+	rangeNone rangeResult = iota
+	// rangePartial: serve [off, off+n) with 206.
+	rangePartial
+	// rangeUnsatisfiable: no byte of the entity satisfies the range —
+	// 416 with Content-Range: bytes */size.
+	rangeUnsatisfiable
+)
+
+// parseRange interprets a Range header value against size. Only
+// single "bytes=" ranges are honored:
+//
+//	bytes=a-b  → [a, min(b+1, size)); a >= size is unsatisfiable,
+//	             b < a is ignored (full 200)
+//	bytes=a-   → [a, size); a >= size is unsatisfiable
+//	bytes=-n   → the final n bytes; n <= 0 is unsatisfiable, n >= size
+//	             is the whole entity (as a 206)
+func parseRange(header string, size int64) (off, n int64, res rangeResult) {
+	const prefix = "bytes="
+	if !strings.HasPrefix(header, prefix) {
+		return 0, 0, rangeNone
+	}
+	spec := strings.TrimSpace(header[len(prefix):])
+	if spec == "" || strings.ContainsRune(spec, ',') {
+		return 0, 0, rangeNone
+	}
+	dash := strings.IndexByte(spec, '-')
+	if dash < 0 {
+		return 0, 0, rangeNone
+	}
+	first, last := strings.TrimSpace(spec[:dash]), strings.TrimSpace(spec[dash+1:])
+	if first == "" {
+		// Suffix range: the final n bytes.
+		suffix, err := strconv.ParseInt(last, 10, 64)
+		if err != nil {
+			return 0, 0, rangeNone
+		}
+		if suffix <= 0 {
+			return 0, 0, rangeUnsatisfiable
+		}
+		if suffix > size {
+			suffix = size
+		}
+		if suffix == 0 { // empty entity: no byte can satisfy a suffix range
+			return 0, 0, rangeUnsatisfiable
+		}
+		return size - suffix, suffix, rangePartial
+	}
+	start, err := strconv.ParseInt(first, 10, 64)
+	if err != nil || start < 0 {
+		return 0, 0, rangeNone
+	}
+	if start >= size {
+		return 0, 0, rangeUnsatisfiable
+	}
+	if last == "" {
+		// Open-ended: to the end of the entity.
+		return start, size - start, rangePartial
+	}
+	end, err := strconv.ParseInt(last, 10, 64)
+	if err != nil {
+		return 0, 0, rangeNone
+	}
+	if end < start {
+		return 0, 0, rangeNone
+	}
+	if end >= size {
+		end = size - 1
+	}
+	return start, end - start + 1, rangePartial
+}

@@ -1,0 +1,76 @@
+package server
+
+import "testing"
+
+// TestParseRange pins the range grammar: single bytes= ranges in all
+// three RFC forms, clamping, and the ignore-vs-416 split.
+func TestParseRange(t *testing.T) {
+	const size = 1000
+	cases := []struct {
+		name   string
+		header string
+		off, n int64
+		res    rangeResult
+	}{
+		{"exact", "bytes=0-99", 0, 100, rangePartial},
+		{"interior", "bytes=250-749", 250, 500, rangePartial},
+		{"single-byte", "bytes=999-999", 999, 1, rangePartial},
+		{"clamp-end", "bytes=900-5000", 900, 100, rangePartial},
+		{"open-ended", "bytes=400-", 400, 600, rangePartial},
+		{"open-ended-zero", "bytes=0-", 0, 1000, rangePartial},
+		{"suffix", "bytes=-100", 900, 100, rangePartial},
+		{"suffix-whole", "bytes=-1000", 0, 1000, rangePartial},
+		{"suffix-over", "bytes=-9999", 0, 1000, rangePartial},
+		{"start-at-size", "bytes=1000-", 0, 0, rangeUnsatisfiable},
+		{"start-past-size", "bytes=5000-6000", 0, 0, rangeUnsatisfiable},
+		{"suffix-zero", "bytes=-0", 0, 0, rangeUnsatisfiable},
+		{"inverted", "bytes=500-400", 0, 0, rangeNone},
+		{"multi", "bytes=0-1,500-501", 0, 0, rangeNone},
+		{"not-bytes", "lines=0-10", 0, 0, rangeNone},
+		{"garbage", "bytes=abc-def", 0, 0, rangeNone},
+		{"negative-start", "bytes=-5-10", 0, 0, rangeNone},
+		{"empty-spec", "bytes=", 0, 0, rangeNone},
+		{"no-dash", "bytes=123", 0, 0, rangeNone},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			off, n, res := parseRange(tc.header, size)
+			if res != tc.res {
+				t.Fatalf("parseRange(%q): result %v, want %v", tc.header, res, tc.res)
+			}
+			if res == rangePartial && (off != tc.off || n != tc.n) {
+				t.Fatalf("parseRange(%q) = [%d,+%d), want [%d,+%d)", tc.header, off, n, tc.off, tc.n)
+			}
+		})
+	}
+
+	// Empty entity: nothing satisfies any range, including suffixes.
+	for _, h := range []string{"bytes=0-", "bytes=0-0", "bytes=-1"} {
+		if _, _, res := parseRange(h, 0); res != rangeUnsatisfiable {
+			t.Fatalf("parseRange(%q, size=0): result %v, want unsatisfiable", h, res)
+		}
+	}
+}
+
+// TestCleanName pins the URL-name validation: traversal collapses
+// against the root, index sidecars and malformed names are refused.
+func TestCleanName(t *testing.T) {
+	good := map[string]string{
+		"a.gz":          "a.gz",
+		"dir/a.gz":      "dir/a.gz",
+		"./a.gz":        "a.gz",
+		"dir/../a.gz":   "a.gz",
+		"../../etc/pwd": "etc/pwd", // rooted clean: cannot climb above root
+	}
+	for raw, want := range good {
+		got, ok := cleanName(raw)
+		if !ok || got != want {
+			t.Errorf("cleanName(%q) = %q, %v; want %q, true", raw, got, ok, want)
+		}
+	}
+	for _, raw := range []string{"", ".", "..", "a.gz.rgzidx", "dir\\a.gz", "a\x00b"} {
+		if got, ok := cleanName(raw); ok {
+			t.Errorf("cleanName(%q) = %q, true; want rejection", raw, got)
+		}
+	}
+}

@@ -1,0 +1,343 @@
+// Package server implements rgzserve's core: an HTTP handler that maps
+// GET /archives/<name> with Range headers onto ReadAt calls against
+// file-backed compressed archives, so clients address byte ranges of
+// the *decompressed* stream of files that are never decompressed as a
+// whole. Three pieces make that safe to run over a directory of
+// archives bigger than RAM:
+//
+//   - a shared rapidgzip.CachePool bounds the decompressed span bytes
+//     cached across every open archive to one byte budget;
+//   - an LRU handle cache bounds how many archives are open at once,
+//     closing the coldest when a new name is requested;
+//   - two admission semaphores bound concurrent archive opens (each may
+//     cost a sizing pass) and concurrent body decodes.
+package server
+
+import (
+	"errors"
+	"io/fs"
+	"os"
+	"path"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro"
+	"repro/internal/cache"
+)
+
+// Config configures a Server. The zero value of every field selects a
+// sensible default; Root is the only required field.
+type Config struct {
+	// Root is the directory whose files are served as archives.
+	Root string
+	// MaxOpenArchives caps concurrently open archives (the handle
+	// cache's LRU capacity). Opening the N+1th closes the coldest.
+	// Zero selects 64.
+	MaxOpenArchives int
+	// OpenSlots caps concurrent cold opens — each may run a sizing
+	// pass over the whole compressed file. Zero selects NumCPU/2
+	// (min 1).
+	OpenSlots int
+	// ReadSlots caps concurrent response bodies being decoded. Zero
+	// selects 4×NumCPU.
+	ReadSlots int
+	// PoolBudget is the shared span-cache budget in bytes across all
+	// open archives. Zero selects 256 MiB; negative disables the
+	// shared pool (each archive keeps a private span-count cache and
+	// memory is unbounded across archives).
+	PoolBudget int64
+	// Options are extra open options applied to every archive (e.g.
+	// rapidgzip.WithParallelism). The server appends its own
+	// WithSharedPool.
+	Options []rapidgzip.Option
+}
+
+// Metrics is a snapshot of the server's request counters.
+type Metrics struct {
+	Requests        uint64 `json:"requests"`
+	RangeRequests   uint64 `json:"range_requests"`
+	BytesServed     uint64 `json:"bytes_served"`
+	HandleHits      uint64 `json:"handle_hits"`
+	HandleMisses    uint64 `json:"handle_misses"`
+	HandleEvictions uint64 `json:"handle_evictions"`
+	OpenFailures    uint64 `json:"open_failures"`
+	OpenArchives    int    `json:"open_archives"`
+}
+
+// Server serves decompressed byte ranges of the archives under a root
+// directory. Create with New, mount via Handler, release with Close.
+type Server struct {
+	root      string
+	pool      *rapidgzip.CachePool // nil when disabled
+	openSem   chan struct{}
+	readSem   chan struct{}
+	openOpts  []rapidgzip.Option
+	mu        sync.Mutex
+	handles   *cache.Cache[string, *handle]
+	releasing []*handle // evicted handles pending release outside mu
+	closed    bool
+
+	requests        atomic.Uint64
+	rangeRequests   atomic.Uint64
+	bytesServed     atomic.Uint64
+	handleHits      atomic.Uint64
+	handleMisses    atomic.Uint64
+	handleEvictions atomic.Uint64
+	openFailures    atomic.Uint64
+}
+
+// handle is one open archive plus the response metadata derived from
+// it. Opens are single-flight: the creating request inserts the handle
+// with ready still open, opens the archive, then closes ready; every
+// other request for the same name waits on ready instead of opening a
+// second time.
+//
+// refs counts the cache's reference (1 while cached) plus one per
+// request currently serving from the handle; the last release closes
+// the archive. Eviction from the handle cache therefore never yanks an
+// archive out from under an in-flight response — it only drops the
+// cache's reference.
+type handle struct {
+	name  string
+	ready chan struct{} // closed when open finished (a or err set)
+
+	a       rapidgzip.Archive
+	size    int64 // decompressed size, resolved at open
+	etag    string
+	modTime time.Time
+	err     error // open failure; handle was removed from the cache
+
+	refs int // guarded by the server's mu
+}
+
+// New constructs a Server over cfg.Root. The root must exist and be a
+// directory.
+func New(cfg Config) (*Server, error) {
+	st, err := os.Stat(cfg.Root)
+	if err != nil {
+		return nil, err
+	}
+	if !st.IsDir() {
+		return nil, errors.New("server: root is not a directory")
+	}
+	maxOpen := cfg.MaxOpenArchives
+	if maxOpen <= 0 {
+		maxOpen = 64
+	}
+	openSlots := cfg.OpenSlots
+	if openSlots <= 0 {
+		openSlots = max(1, runtime.NumCPU()/2)
+	}
+	readSlots := cfg.ReadSlots
+	if readSlots <= 0 {
+		readSlots = 4 * runtime.NumCPU()
+	}
+	budget := cfg.PoolBudget
+	if budget == 0 {
+		budget = 256 << 20
+	}
+	s := &Server{
+		root:     cfg.Root,
+		openSem:  make(chan struct{}, openSlots),
+		readSem:  make(chan struct{}, readSlots),
+		openOpts: cfg.Options,
+		handles:  cache.NewLRUCache[string, *handle](maxOpen),
+	}
+	if budget > 0 {
+		s.pool = rapidgzip.NewCachePool(budget)
+		s.openOpts = append(s.openOpts[:len(s.openOpts):len(s.openOpts)],
+			rapidgzip.WithSharedPool(s.pool))
+	}
+	// Eviction only drops the cache's reference; the handle closes when
+	// the last in-flight request releases it. The release itself (which
+	// may close an archive and wait out its workers) runs after mu is
+	// dropped — see drainReleases.
+	s.handles.OnEvict = func(_ string, h *handle) {
+		s.handleEvictions.Add(1)
+		s.releasing = append(s.releasing, h)
+	}
+	return s, nil
+}
+
+// Pool returns the shared span-cache pool, or nil when disabled.
+func (s *Server) Pool() *rapidgzip.CachePool { return s.pool }
+
+// Metrics returns a snapshot of the request counters.
+func (s *Server) Metrics() Metrics {
+	s.mu.Lock()
+	open := s.handles.Len()
+	s.mu.Unlock()
+	return Metrics{
+		Requests:        s.requests.Load(),
+		RangeRequests:   s.rangeRequests.Load(),
+		BytesServed:     s.bytesServed.Load(),
+		HandleHits:      s.handleHits.Load(),
+		HandleMisses:    s.handleMisses.Load(),
+		HandleEvictions: s.handleEvictions.Load(),
+		OpenFailures:    s.openFailures.Load(),
+		OpenArchives:    open,
+	}
+}
+
+// Close evicts and closes every open archive. In-flight requests
+// holding references finish against their handles; the last release
+// closes each archive.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	for _, name := range s.handles.Keys() {
+		if h, ok := s.handles.Peek(name); ok {
+			s.releasing = append(s.releasing, h)
+			s.handles.Delete(name)
+		}
+	}
+	s.mu.Unlock()
+	s.drainReleases()
+	return nil
+}
+
+// errServerClosed reports acquire after Close.
+var errServerClosed = errors.New("server: closed")
+
+// cleanName validates and normalises an archive name from a URL path.
+// It rejects anything that could escape the root (the name is resolved
+// rooted, so ".." collapses harmlessly, but absolute/backslash forms
+// are refused outright) and the server's own index sidecars.
+func cleanName(raw string) (string, bool) {
+	if raw == "" || strings.ContainsRune(raw, '\\') || strings.ContainsRune(raw, 0) {
+		return "", false
+	}
+	name := path.Clean("/" + raw)[1:] // rooted clean: ".." cannot climb
+	if name == "" || name == "." {
+		return "", false
+	}
+	if strings.HasSuffix(name, rapidgzip.IndexSuffix) {
+		return "", false // index sidecars are not archives
+	}
+	return name, true
+}
+
+// acquire returns a ready handle for name, opening the archive if it
+// is not cached. The caller must call s.release(h) when done. A handle
+// with h.err != nil is returned for failed opens (already released
+// from the cache so the next request retries).
+func (s *Server) acquire(name string) (*handle, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, errServerClosed
+	}
+	if h, ok := s.handles.Get(name); ok {
+		h.refs++
+		s.mu.Unlock()
+		s.handleHits.Add(1)
+		<-h.ready
+		return h, nil
+	}
+	h := &handle{name: name, ready: make(chan struct{}), refs: 2} // cache + this request
+	s.handles.Put(name, h)
+	s.mu.Unlock()
+	s.handleMisses.Add(1)
+	s.drainReleases()
+
+	// Cold open, bounded by openSem: a sizing pass over a large archive
+	// is expensive, and an unbounded stampede of distinct names must
+	// not run one per request.
+	s.openSem <- struct{}{}
+	h.open(s)
+	<-s.openSem
+	close(h.ready)
+
+	if h.err != nil {
+		s.openFailures.Add(1)
+		// Drop the cache's reference so the next request retries
+		// instead of caching the failure.
+		s.mu.Lock()
+		if cur, ok := s.handles.Peek(name); ok && cur == h {
+			s.handles.Delete(name)
+			h.refs--
+		}
+		s.mu.Unlock()
+	}
+	return h, nil
+}
+
+// open resolves the archive behind h. Called once, by the acquiring
+// request, with an openSem slot held.
+func (h *handle) open(s *Server) {
+	full := filepath.Join(s.root, filepath.FromSlash(h.name))
+	st, err := os.Stat(full)
+	if err != nil {
+		h.err = err
+		return
+	}
+	if st.IsDir() {
+		h.err = fs.ErrNotExist
+		return
+	}
+	a, err := rapidgzip.Open(full, s.openOpts...)
+	if err != nil {
+		h.err = err
+		return
+	}
+	size, known := a.DecompressedSize()
+	if !known {
+		// Complete the scan now, once, under the open slot — every
+		// request needs Content-Length, and resolving it per request
+		// would serialise decodes behind the archive's cursor lock.
+		if size, err = a.Size(); err != nil {
+			a.Close()
+			h.err = err
+			return
+		}
+	}
+	h.a = a
+	h.size = size
+	h.modTime = st.ModTime()
+	h.etag = makeETag(st.Size(), st.ModTime(), size)
+	h.err = nil
+}
+
+// release drops one reference; the last reference closes the archive.
+func (s *Server) release(h *handle) {
+	s.mu.Lock()
+	h.refs--
+	last := h.refs == 0
+	s.mu.Unlock()
+	if last && h.a != nil {
+		h.a.Close()
+	}
+}
+
+// drainReleases releases handles evicted while mu was held.
+func (s *Server) drainReleases() {
+	s.mu.Lock()
+	pending := s.releasing
+	s.releasing = nil
+	s.mu.Unlock()
+	for _, h := range pending {
+		s.release(h)
+	}
+}
+
+// openHandles snapshots the currently cached, successfully opened
+// handles for the metrics endpoint, taking a reference on each. The
+// caller must release every returned handle.
+func (s *Server) openHandles() []*handle {
+	s.mu.Lock()
+	var out []*handle
+	for _, name := range s.handles.Keys() {
+		h, ok := s.handles.Peek(name)
+		if !ok {
+			continue
+		}
+		h.refs++
+		out = append(out, h)
+	}
+	s.mu.Unlock()
+	return out
+}

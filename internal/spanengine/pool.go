@@ -1,0 +1,256 @@
+// Cross-engine pool mode: a CachePool is one byte-budgeted span cache
+// shared by any number of engines — the scaling primitive behind the
+// archive server, where "N bytes across all open archives" is the
+// memory contract, not "N spans per archive". Each participating
+// engine gets a view into the pool; recency is global, so a hot
+// archive's spans push a cold archive's spans out, and the sum of
+// cached decompressed bytes never exceeds the configured budget.
+
+package spanengine
+
+import (
+	"sync"
+
+	"repro/internal/cache"
+)
+
+// poolKey identifies one cached span pool-wide: the owning view's id
+// plus the span index within that engine.
+type poolKey struct {
+	view uint64
+	span int
+}
+
+// PoolStats is a snapshot of a CachePool's accounting.
+type PoolStats struct {
+	// BudgetBytes is the configured capacity; UsedBytes the cached
+	// decompressed bytes right now; PeakBytes the high-water mark of
+	// UsedBytes over the pool's lifetime. UsedBytes <= BudgetBytes is a
+	// structural invariant (spans larger than the whole budget are
+	// simply not cached), so PeakBytes <= BudgetBytes always holds.
+	BudgetBytes, UsedBytes, PeakBytes int64
+	// Entries counts cached spans; Engines the views currently
+	// registered (one per open engine in pool mode).
+	Entries, Engines int
+	// Hits/Misses/Evictions aggregate over all member engines.
+	// Rejected counts spans that were not cached because they alone
+	// exceed the budget.
+	Hits, Misses, Evictions, Rejected uint64
+}
+
+// CachePool is a shared span cache with a global byte budget and
+// global LRU recency across every engine registered with it. It is
+// safe for concurrent use and may outlive any of its engines; closing
+// an engine releases its entries back to the budget.
+type CachePool struct {
+	mu     sync.Mutex
+	budget int64
+	used   int64
+	peak   int64
+	nextID uint64
+	lru    *cache.LRU[poolKey]
+	items  map[poolKey]*entry
+	views  map[uint64]*poolView
+	// aggregate counters over closed views, so Stats does not dip when
+	// an engine deregisters.
+	hits, misses, evictions, rejected uint64
+}
+
+// NewCachePool returns a pool bounding the cached decompressed bytes
+// of all member engines to budgetBytes. A non-positive budget caches
+// nothing (every span is served by decoding).
+func NewCachePool(budgetBytes int64) *CachePool {
+	return &CachePool{
+		budget: budgetBytes,
+		lru:    cache.NewLRU[poolKey](),
+		items:  map[poolKey]*entry{},
+		views:  map[uint64]*poolView{},
+	}
+}
+
+// Stats returns a snapshot of the pool's accounting, aggregated over
+// all member engines (past and present).
+func (p *CachePool) Stats() PoolStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := PoolStats{
+		BudgetBytes: p.budget,
+		UsedBytes:   p.used,
+		PeakBytes:   p.peak,
+		Entries:     len(p.items),
+		Engines:     len(p.views),
+		Hits:        p.hits,
+		Misses:      p.misses,
+		Evictions:   p.evictions,
+		Rejected:    p.rejected,
+	}
+	for _, v := range p.views {
+		s.Hits += v.hits
+		s.Misses += v.misses
+		s.Evictions += v.evictions
+		s.Rejected += v.rejected
+	}
+	return s
+}
+
+// register creates a view for one engine. Called by newEngine when
+// Config.Pool is set.
+func (p *CachePool) register() *poolView {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.nextID++
+	v := &poolView{pool: p, id: p.nextID, keys: map[int]struct{}{}}
+	p.views[v.id] = v
+	return v
+}
+
+// evictOneLocked drops the globally least-recently-used entry and
+// credits its bytes back. Caller holds p.mu.
+func (p *CachePool) evictOneLocked() bool {
+	k, ok := p.lru.Evict()
+	if !ok {
+		return false
+	}
+	ent := p.items[k]
+	delete(p.items, k)
+	p.used -= int64(len(ent.data))
+	if owner := p.views[k.view]; owner != nil {
+		delete(owner.keys, k.span)
+		owner.evictions++
+	} else {
+		p.evictions++
+	}
+	return true
+}
+
+// poolView adapts the shared pool to the engine's spanStore interface.
+// All methods are called with the owning engine's mutex held; the view
+// only takes the pool mutex inside, so the lock order is always
+// engine -> pool and the pool never calls back into an engine.
+type poolView struct {
+	pool *CachePool
+	id   uint64
+	// guarded by pool.mu:
+	keys                              map[int]struct{}
+	hits, misses, evictions, rejected uint64
+	closed                            bool
+}
+
+func (v *poolView) Get(i int) (*entry, bool) {
+	p := v.pool
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if v.closed {
+		return nil, false
+	}
+	k := poolKey{view: v.id, span: i}
+	ent, ok := p.items[k]
+	if ok {
+		p.lru.Touch(k)
+		v.hits++
+	} else {
+		v.misses++
+	}
+	return ent, ok
+}
+
+func (v *poolView) Put(i int, ent *entry) {
+	cost := int64(len(ent.data))
+	p := v.pool
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if v.closed {
+		return
+	}
+	if cost > p.budget {
+		// Caching this span alone would break the budget invariant;
+		// serve it uncached instead (the caller already has the bytes).
+		v.rejected++
+		return
+	}
+	k := poolKey{view: v.id, span: i}
+	if old, ok := p.items[k]; ok {
+		p.used -= int64(len(old.data))
+		p.lru.Remove(k)
+	}
+	for p.used+cost > p.budget {
+		if !p.evictOneLocked() {
+			return // nothing left to evict; should be unreachable
+		}
+	}
+	p.items[k] = ent
+	p.lru.Insert(k)
+	v.keys[i] = struct{}{}
+	p.used += cost
+	if p.used > p.peak {
+		p.peak = p.used
+	}
+}
+
+func (v *poolView) Contains(i int) bool {
+	p := v.pool
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if v.closed {
+		return false
+	}
+	_, ok := p.items[poolKey{view: v.id, span: i}]
+	return ok
+}
+
+func (v *poolView) Stats() cache.Stats {
+	p := v.pool
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return cache.Stats{Hits: v.hits, Misses: v.misses, Evictions: v.evictions}
+}
+
+// Close deregisters the view: its entries are dropped, their bytes
+// credited back to the budget, and its counters folded into the pool
+// aggregates. Idempotent; subsequent Get/Put are no-ops.
+func (v *poolView) Close() {
+	p := v.pool
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if v.closed {
+		return
+	}
+	v.closed = true
+	for span := range v.keys {
+		k := poolKey{view: v.id, span: span}
+		if ent, ok := p.items[k]; ok {
+			p.used -= int64(len(ent.data))
+			delete(p.items, k)
+			p.lru.Remove(k)
+		}
+	}
+	v.keys = nil
+	p.hits += v.hits
+	p.misses += v.misses
+	p.evictions += v.evictions
+	p.rejected += v.rejected
+	delete(p.views, v.id)
+}
+
+// localStore is the classic per-engine span cache (capacity in spans,
+// private LRU) behind the same spanStore interface pool mode uses.
+type localStore struct {
+	c *cache.Cache[int, *entry]
+}
+
+func (l *localStore) Get(i int) (*entry, bool) { return l.c.Get(i) }
+func (l *localStore) Put(i int, ent *entry)    { l.c.Put(i, ent) }
+func (l *localStore) Contains(i int) bool      { return l.c.Contains(i) }
+func (l *localStore) Stats() cache.Stats       { return l.c.Stats() }
+func (l *localStore) Close()                   {}
+
+// spanStore is the engine's cache seam: either a private LRU
+// (localStore) or a view into a shared cross-engine CachePool.
+// Methods are called with the engine mutex held.
+type spanStore interface {
+	Get(i int) (*entry, bool)
+	Put(i int, ent *entry)
+	Contains(i int) bool
+	Stats() cache.Stats
+	Close()
+}

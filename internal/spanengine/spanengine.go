@@ -105,6 +105,11 @@ type Config struct {
 	// Strategy proposes spans to prefetch; nil selects
 	// prefetch.NewAdaptive().
 	Strategy prefetch.Strategy
+	// Pool, when non-nil, replaces the engine's private span cache with
+	// a view into a shared cross-engine CachePool: cached bytes are
+	// bounded pool-wide (in bytes, not spans) and recency is global
+	// across every member engine. CacheSize is ignored in pool mode.
+	Pool *CachePool
 }
 
 func (c Config) withDefaults() Config {
@@ -188,7 +193,7 @@ type Engine struct {
 	spans    []Span
 	size     int64
 	complete bool
-	cache    *cache.Cache[int, *entry]
+	cache    spanStore
 	inflight map[int]*pool.Future[[]byte]
 	strategy prefetch.Strategy
 	pool     *pool.Pool
@@ -268,6 +273,12 @@ func NewFromCheckpoints(src filereader.FileReader, codec Codec, spans []Span, fl
 
 func newEngine(src *filereader.SharedFileReader, codec Codec, spans []Span, flags uint8, cfg Config) (*Engine, error) {
 	cfg = cfg.withDefaults()
+	var store spanStore
+	if cfg.Pool != nil {
+		store = cfg.Pool.register()
+	} else {
+		store = &localStore{c: cache.NewLRUCache[int, *entry](cfg.CacheSize)}
+	}
 	e := &Engine{
 		src:      src,
 		codec:    codec,
@@ -275,7 +286,7 @@ func newEngine(src *filereader.SharedFileReader, codec Codec, spans []Span, flag
 		flags:    flags,
 		cfg:      cfg,
 		complete: true,
-		cache:    cache.NewLRUCache[int, *entry](cfg.CacheSize),
+		cache:    store,
 		inflight: map[int]*pool.Future[[]byte]{},
 		strategy: cfg.Strategy,
 		pool:     pool.New(cfg.Threads),
@@ -303,6 +314,10 @@ func (e *Engine) Close() error {
 	// Close outside the lock: it waits for workers, and workers take
 	// the lock briefly to record their results.
 	e.pool.Close()
+	// With the workers drained and e.closed set, nothing touches the
+	// store any more; in pool mode this releases the engine's cached
+	// bytes back to the shared budget.
+	e.cache.Close()
 	return nil
 }
 

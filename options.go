@@ -105,8 +105,38 @@ type config struct {
 	format      Format // FormatUnknown means sniff the content
 	indexFile   string // explicit index to import; implies no discovery
 	noDiscovery bool
-	inMemory    bool // load the whole file instead of serving it file-backed
+	inMemory    bool       // load the whole file instead of serving it file-backed
+	pool        *CachePool // shared span-cache pool (WithSharedPool); nil = private cache
 }
+
+// coreConfig resolves the gzip/BGZF core configuration, applying the
+// shared pool when one was requested.
+func (c config) coreConfig() (core.Config, error) {
+	cfg, err := c.opts.toCore()
+	if err != nil {
+		return core.Config{}, err
+	}
+	if c.pool != nil {
+		cfg.Pool = c.pool.p
+	}
+	return cfg, nil
+}
+
+// engineConfig resolves the span-engine configuration for bzip2/LZ4/
+// zstd, applying the shared pool when one was requested.
+func (c config) engineConfig() (spanengine.Config, error) {
+	cfg, err := c.opts.toEngine()
+	if err != nil {
+		return spanengine.Config{}, err
+	}
+	if c.pool != nil {
+		cfg.Pool = c.pool.p
+	}
+	return cfg, nil
+}
+
+// errOptNilPool is WithSharedPool's eager validation failure.
+var errOptNilPool = fmt.Errorf("rapidgzip: WithSharedPool(nil)")
 
 // An Option configures Open, OpenBytes or any of the constructors that
 // accept functional options. Invalid settings (an unknown strategy, a
@@ -181,6 +211,10 @@ func WithMaxPrefetch(n int) Option {
 // bytes are bounded by roughly (AccessCacheSize + MaxPrefetch) × the
 // largest span's decompressed size, plus one in-flight compressed
 // extent per worker.
+//
+// Archives opened with WithSharedPool ignore this option: the pool's
+// byte budget replaces the per-archive span count as the cache bound,
+// shared across every archive in the pool.
 func WithAccessCacheSize(n int) Option {
 	return func(c *config) error {
 		if n < 0 {

@@ -262,7 +262,10 @@ func sniffGzipFormat(src filereader.FileReader) Format {
 }
 
 // Read implements io.Reader on the decompressed stream.
-func (r *Reader) Read(p []byte) (int, error) { return r.pr.Read(p) }
+func (r *Reader) Read(p []byte) (int, error) {
+	n, err := r.pr.Read(p)
+	return n, closedErr(err)
+}
 
 // Seek implements io.Seeker on the decompressed stream. Seeking is
 // cheap: it only moves the cursor; decompression happens on the next
@@ -275,15 +278,41 @@ func (r *Reader) Seek(offset int64, whence int) (int64, error) {
 // ReadAt implements io.ReaderAt without disturbing the Read cursor.
 // Concurrent ReadAt calls at different offsets share the chunk caches —
 // the access pattern of a mounted gzip-compressed TAR.
-func (r *Reader) ReadAt(p []byte, off int64) (int, error) { return r.pr.ReadAt(p, off) }
+func (r *Reader) ReadAt(p []byte, off int64) (int, error) {
+	n, err := r.pr.ReadAt(p, off)
+	return n, closedErr(err)
+}
 
 // WriteTo implements io.WriterTo: the fast path for whole-file
 // decompression used by io.Copy.
-func (r *Reader) WriteTo(w io.Writer) (int64, error) { return r.pr.WriteTo(w) }
+func (r *Reader) WriteTo(w io.Writer) (int64, error) {
+	if r.fileBacked {
+		// Whole-file decompression reads the compressed source front to
+		// back; hint the kernel so readahead widens.
+		r.pr.AdviseSequential()
+	}
+	n, err := r.pr.WriteTo(w)
+	return n, closedErr(err)
+}
 
 // Size returns the decompressed size, scanning the remainder of the
 // file if it has not been fully indexed yet.
 func (r *Reader) Size() (int64, error) { return r.pr.Size() }
+
+// DecompressedSize implements Archive: the size is known without
+// decoding once the chunk table is complete — after an index import, a
+// BGZF metadata scan, or a finished first pass. Before that it reports
+// ok=false rather than trigger the scan Size would run.
+func (r *Reader) DecompressedSize() (int64, bool) { return r.pr.KnownSize() }
+
+// AdviseSequentialRead hints the OS that the compressed file is about
+// to be read front to back. No-op for memory-backed readers and
+// platforms without posix_fadvise.
+func (r *Reader) AdviseSequentialRead() {
+	if r.fileBacked {
+		r.pr.AdviseSequential()
+	}
+}
 
 // Close releases the worker pool (and the file, for readers created
 // with Open). Outstanding calls must have returned.
