@@ -97,6 +97,21 @@ func writeJSONBench(path string, corpusBytes, repeats int, coreCounts []int) err
 		return err
 	}
 	report.Results = append(report.Results, serveRows...)
+	// The write side: sharded parallel compression throughput at one and
+	// four workers (the -w4 row is the scaling evidence — shards are
+	// independent, so it should run well past 1.5x the -w1 row), plus the
+	// create-then-open row that times a cold reopen of a Create-produced
+	// archive with its sidecar — the born-seekable claim as a number.
+	compRows, err := compressRows(data, repeats)
+	if err != nil {
+		return err
+	}
+	report.Results = append(report.Results, compRows...)
+	ctoRows, err := createThenOpenRows(data, repeats)
+	if err != nil {
+		return err
+	}
+	report.Results = append(report.Results, ctoRows...)
 	for _, in := range inputs {
 		for _, threads := range coreCounts {
 			res := benchfmt.Result{
@@ -228,6 +243,218 @@ func coldOpenRows(data, bz []byte, bzErr error, repeats int, coreCounts []int, s
 		}
 	}
 	return rows, nil
+}
+
+// compressRows measures parallel compression throughput (MB/s of
+// uncompressed input consumed) through the public NewWriter API for the
+// two sharded encoders, each at one and at four workers. The fixed
+// worker counts — rather than the coreCounts sweep — keep the w1/w4
+// pair present in every report, so the scaling ratio is always
+// checkable against the acceptance floor.
+func compressRows(data []byte, repeats int) ([]benchfmt.Result, error) {
+	type compressInput struct {
+		name   string
+		format rapidgzip.Format
+		level  int
+	}
+	inputs := []compressInput{
+		// Level 6 matches the gzip decode rows' corpus; level 1 matches
+		// the zstd decode rows.
+		{name: "gzip-parallel-compress", format: rapidgzip.FormatGzip, level: 6},
+		{name: "zstd-parallel-compress", format: rapidgzip.FormatZstd, level: 1},
+	}
+	workerCounts := []int{1, 4}
+	var rows []benchfmt.Result
+	for _, in := range inputs {
+		results := make([]benchfmt.Result, len(workerCounts))
+		samples := make([][]float64, len(workerCounts))
+		for wi, workers := range workerCounts {
+			results[wi] = benchfmt.Result{
+				Name:     fmt.Sprintf("%s-w%d", in.name, workers),
+				OutBytes: len(data),
+				Repeats:  repeats,
+				Parallel: workers,
+			}
+		}
+		// Interleave the worker counts within each repeat rather than
+		// finishing one row before starting the next: on shared
+		// machines throughput drifts on a seconds-to-minutes scale, and
+		// back-to-back sampling keeps the w1/w4 pair — whose ratio is
+		// the scaling evidence — inside the same machine state.
+		for rep := 0; rep < repeats; rep++ {
+			for wi, workers := range workerCounts {
+				if results[wi].FailureMsg != "" {
+					continue
+				}
+				mbps, compLen, err := compressOnce(data, in.format, in.level, workers)
+				if err != nil {
+					results[wi].FailureMsg = err.Error()
+					continue
+				}
+				results[wi].InBytes = compLen
+				samples[wi] = append(samples[wi], mbps)
+			}
+		}
+		// Report the whole pair from the single least-throttled repeat
+		// (maximum combined throughput) instead of taking each row's
+		// independent best: per-row maxima can come from different
+		// machine states, which turns the w1/w4 ratio into a comparison
+		// of two unrelated throttle windows.
+		bestRep, bestSum := -1, 0.0
+		for rep := 0; rep < repeats; rep++ {
+			sum := 0.0
+			ok := true
+			for wi := range workerCounts {
+				if rep >= len(samples[wi]) {
+					ok = false
+					break
+				}
+				sum += samples[wi][rep]
+			}
+			if ok && sum > bestSum {
+				bestRep, bestSum = rep, sum
+			}
+		}
+		for wi, workers := range workerCounts {
+			res := &results[wi]
+			if len(samples[wi]) == repeats && bestRep >= 0 {
+				res.Format = in.format.String()
+				_, res.StdDev = meanStd(samples[wi])
+				res.MBps = samples[wi][bestRep]
+			}
+			rows = append(rows, *res)
+			fmt.Fprintf(os.Stderr, "benchsuite: %-27s %8.1f MB/s ± %.1f (%s, W=%d)\n",
+				res.Name, res.MBps, res.StdDev, res.Format, workers)
+		}
+	}
+	return rows, nil
+}
+
+// compressOnce measures one compression throughput sample, repeating
+// whole-corpus encodes until compressSampleTime — deliberately longer
+// than minSampleTime, because one whole-corpus encode alone is long
+// enough to "satisfy" the floor while still being a single draw from a
+// noisy scheduler, and the w1/w4 ratio is gated on these rows. The
+// forced collection decouples the sample from whatever garbage the
+// preceding rows left behind — without it the GC debt of a decode row
+// can land mid-encode and skew the pair it happens to hit.
+func compressOnce(data []byte, format rapidgzip.Format, level, workers int) (float64, int, error) {
+	runtime.GC()
+	const compressSampleTime = 4 * minSampleTime
+	var total int64
+	var compLen int
+	start := time.Now()
+	for {
+		var sink countingWriter
+		w, err := rapidgzip.NewWriter(&sink,
+			rapidgzip.WithWriterFormat(format),
+			rapidgzip.WithWriterParallelism(workers),
+			rapidgzip.WithLevel(level))
+		if err != nil {
+			return 0, 0, err
+		}
+		if _, err := w.Write(data); err != nil {
+			return 0, 0, err
+		}
+		if err := w.Close(); err != nil {
+			return 0, 0, err
+		}
+		compLen = int(sink.n)
+		sink.n = 0
+		total += int64(len(data))
+		if time.Since(start) >= compressSampleTime {
+			break
+		}
+	}
+	sec := time.Since(start).Seconds()
+	return float64(total) / 1e6 / sec, compLen, nil
+}
+
+// countingWriter discards its input, keeping only the byte count.
+type countingWriter struct{ n int64 }
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	c.n += int64(len(p))
+	return len(p), nil
+}
+
+// createThenOpenRows times the cold reopen of an archive Create just
+// produced: the sidecar is auto-discovered, so Open must import the
+// checkpoint table and be ready to serve — zero sizing passes — and the
+// row's MB/s is the eventual output per second of that open. It is the
+// counter-asserted acceptance scenario as a tracked number.
+func createThenOpenRows(data []byte, repeats int) ([]benchfmt.Result, error) {
+	threads := runtime.NumCPU()
+	dir, err := os.MkdirTemp("", "benchsuite-create")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	path := dir + "/corpus.gz"
+	w, err := rapidgzip.Create(path, rapidgzip.WithWriterParallelism(threads))
+	if err != nil {
+		return nil, err
+	}
+	if _, err := w.Write(data); err != nil {
+		w.Close()
+		return nil, err
+	}
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	compLen := int(w.Stats().CompressedBytes)
+
+	res := benchfmt.Result{
+		Name:      "create-then-open",
+		OutBytes:  len(data),
+		InBytes:   compLen,
+		Repeats:   repeats,
+		WithIndex: true,
+		Parallel:  threads,
+	}
+	var samples []float64
+	for rep := 0; rep < repeats; rep++ {
+		mbps, err := createThenOpenOnce(path, len(data), threads)
+		if err != nil {
+			res.FailureMsg = err.Error()
+			break
+		}
+		samples = append(samples, mbps)
+	}
+	if len(samples) == repeats {
+		res.Format = rapidgzip.FormatGzip.String()
+		_, res.StdDev = meanStd(samples)
+		for _, s := range samples {
+			res.MBps = max(res.MBps, s)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "benchsuite: %-27s %8.1f MB/s ± %.1f (%s, P=%d)\n",
+		res.Name, res.MBps, res.StdDev, res.Format, threads)
+	return []benchfmt.Result{res}, nil
+}
+
+// createThenOpenOnce measures one cold-reopen sample, repeated until
+// minSampleTime; it fails if any reopen needed a sizing pass.
+func createThenOpenOnce(path string, outBytes, threads int) (float64, error) {
+	var total int64
+	start := time.Now()
+	for {
+		a, err := rapidgzip.Open(path, rapidgzip.WithParallelism(threads))
+		if err != nil {
+			return 0, err
+		}
+		sizing := a.Stats().SizingPasses
+		a.Close()
+		if sizing != 0 {
+			return 0, fmt.Errorf("create-then-open took %d sizing passes, want 0", sizing)
+		}
+		total += int64(outBytes)
+		if time.Since(start) >= minSampleTime {
+			break
+		}
+	}
+	sec := time.Since(start).Seconds()
+	return float64(total) / 1e6 / sec, nil
 }
 
 // fileBackedInput is one corpus for the file-backed cold-ReadAt rows.

@@ -9,6 +9,15 @@
 //	rapidgzip --count-lines logs.tar.zst         # multi-frame zstd in parallel
 //	rapidgzip --format lz4 -c blob > blob.out    # ...or forced
 //
+// With --compress the data flows the other way: the file is compressed
+// in parallel shards (gzip by default; --format bgzf or zstd for the
+// others) and an .rgzidx sidecar is written next to the output, so the
+// archive reopens with zero sizing passes and full random access:
+//
+//	rapidgzip --compress -P 16 big.tar              # -> big.tar.gz + .rgzidx
+//	rapidgzip --compress --format zstd big.tar      # -> big.tar.zst + .rgzidx
+//	rapidgzip --compress --level 9 -c big.tar > big.tar.gz   # stdout, no sidecar
+//
 // The input format (gzip, BGZF, bzip2, LZ4, zstd) is detected from the
 // content's magic bytes; --format overrides the detection. A sibling
 // "<FILE>.rgzidx" index saved by --export-index is picked up
@@ -71,12 +80,20 @@ func run() error {
 	noDiscovery := flag.Bool("no-index-discovery", false, "do not auto-import a sibling .rgzidx index")
 	inMemory := flag.Bool("in-memory", false, "load the whole compressed file into memory instead of serving it file-backed")
 	stats := flag.Bool("stats", false, "print fetcher statistics to stderr")
+	compress := flag.Bool("compress", false, "compress FILE instead of decompressing it")
+	level := flag.Int("level", -1, "compression level 0-9 (--compress only; default 6)")
+	shardSize := flag.Int("shard-size", 0, "uncompressed bytes compressed independently per shard (--compress only; default 1 MiB)")
+	noSidecar := flag.Bool("no-index", false, "do not write the .rgzidx sidecar next to the output (--compress only)")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
 		return fmt.Errorf("usage: rapidgzip [flags] FILE (see -h)")
 	}
 	path := flag.Arg(0)
+
+	if *compress {
+		return runCompress(path, *formatName, *outPath, *toStdout, *parallel, *level, *shardSize, *noSidecar, *stats)
+	}
 
 	format, err := rapidgzip.ParseFormat(*formatName)
 	if err != nil {
@@ -192,6 +209,86 @@ func run() error {
 			fmt.Fprintf(os.Stderr, "gzip pipeline: chunks=%d speculative=%d finderProbes=%d noBlock=%d falseStarts=%d onDemand=%d indexed=%d delegated=%d\n",
 				s.ChunksConsumed, s.GuessTasks, s.FinderProbes, s.GuessNoBlock, s.GuessFalseStarts, s.OnDemandDecodes, s.IndexedDecodes, s.DelegatedDecodes)
 		}
+	}
+	return nil
+}
+
+// compressSuffixes maps a writer format to the extension appended to
+// the input name to derive the default output name.
+var compressSuffixes = map[rapidgzip.Format]string{
+	rapidgzip.FormatGzip: ".gz",
+	rapidgzip.FormatBGZF: ".bgz",
+	rapidgzip.FormatZstd: ".zst",
+}
+
+// runCompress is the write side of the CLI: it shards FILE across -P
+// workers into gzip, BGZF or zstd output and (unless writing to stdout
+// or told otherwise) drops the .rgzidx sidecar that makes the very
+// first reopen sizing-free.
+func runCompress(path, formatName, outPath string, toStdout bool, parallel, level, shardSize int, noSidecar, stats bool) error {
+	format, err := rapidgzip.ParseFormat(formatName)
+	if err != nil {
+		return err
+	}
+	var wopts []rapidgzip.WriterOption
+	if format != rapidgzip.FormatUnknown {
+		wopts = append(wopts, rapidgzip.WithWriterFormat(format))
+	}
+	wopts = append(wopts, rapidgzip.WithWriterParallelism(parallel))
+	if level >= 0 {
+		wopts = append(wopts, rapidgzip.WithLevel(level))
+	}
+	if shardSize > 0 {
+		wopts = append(wopts, rapidgzip.WithShardSize(shardSize))
+	}
+	if noSidecar {
+		wopts = append(wopts, rapidgzip.WithoutIndexSidecar())
+	}
+
+	in, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+
+	var w rapidgzip.Writer
+	var flushOut *bufio.Writer
+	if toStdout {
+		// Stdout is not seekable and has no sibling path, so no sidecar.
+		flushOut = bufio.NewWriterSize(os.Stdout, 1<<20)
+		w, err = rapidgzip.NewWriter(flushOut, wopts...)
+	} else {
+		p := outPath
+		if p == "" {
+			suffix := compressSuffixes[format]
+			if suffix == "" {
+				suffix = ".gz" // --format auto compresses to gzip
+			}
+			p = path + suffix
+		}
+		w, err = rapidgzip.Create(p, wopts...)
+	}
+	if err != nil {
+		return err
+	}
+	n, err := w.ReadFrom(bufio.NewReaderSize(in, 1<<20))
+	if err != nil {
+		w.Close()
+		return err
+	}
+	if err := w.Close(); err != nil {
+		return err
+	}
+	if flushOut != nil {
+		if err := flushOut.Flush(); err != nil {
+			return err
+		}
+	}
+	if stats {
+		s := w.Stats()
+		fmt.Fprintf(os.Stderr, "compressed %d bytes (%s) into %d bytes across %d shards (%.2fx)\n",
+			n, w.Format(), s.CompressedBytes, s.Shards,
+			float64(s.UncompressedBytes)/float64(max(s.CompressedBytes, 1)))
 	}
 	return nil
 }

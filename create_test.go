@@ -1,0 +1,388 @@
+package rapidgzip
+
+import (
+	"bytes"
+	"compress/gzip"
+	"errors"
+	"io"
+	"math/rand"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writerCorpus builds compressible-but-varied input for writer tests.
+func writerCorpus(n int, seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	words := []string{"the", "quick", "brown", "fox", "jumps", "over", "lazy", "dogs", "012345"}
+	var b bytes.Buffer
+	for b.Len() < n {
+		b.WriteString(words[rng.Intn(len(words))])
+		if rng.Intn(4) == 0 {
+			b.WriteByte(byte(rng.Intn(256)))
+		}
+		b.WriteByte(' ')
+	}
+	return b.Bytes()[:n]
+}
+
+// TestCreateThenOpenCounterAsserted is the tentpole acceptance test:
+// Create an archive, reopen it through the emitted sidecar, and
+// counter-assert that the reopen was free — zero sizing passes, zero
+// block-finder probes — while the archive reports full Parallel and
+// RandomAccess capabilities and decodes byte-exact.
+func TestCreateThenOpenCounterAsserted(t *testing.T) {
+	data := writerCorpus(700_000, 1)
+	for _, tc := range []struct {
+		name string
+		ext  string
+		opts []WriterOption
+	}{
+		{"gzip", ".gz", []WriterOption{WithShardSize(64 << 10)}},
+		{"bgzf", ".bgz", nil},
+		{"zstd", ".zst", []WriterOption{WithShardSize(64 << 10), WithContentChecksum(true)}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "archive"+tc.ext)
+			w, err := Create(path, append(tc.opts, WithWriterParallelism(4))...)
+			if err != nil {
+				t.Fatalf("Create: %v", err)
+			}
+			if _, err := w.ReadFrom(bytes.NewReader(data)); err != nil {
+				t.Fatalf("ReadFrom: %v", err)
+			}
+			if err := w.Close(); err != nil {
+				t.Fatalf("Close: %v", err)
+			}
+			st := w.Stats()
+			if st.Shards < 2 {
+				t.Fatalf("only %d shards encoded; the test needs a multi-shard archive", st.Shards)
+			}
+			if st.UncompressedBytes != uint64(len(data)) {
+				t.Fatalf("Stats counted %d uncompressed bytes, want %d", st.UncompressedBytes, len(data))
+			}
+			if _, err := os.Stat(path + IndexSuffix); err != nil {
+				t.Fatalf("Create left no sidecar: %v", err)
+			}
+
+			a, err := Open(path) // sidecar is auto-discovered
+			if err != nil {
+				t.Fatalf("Open: %v", err)
+			}
+			defer a.Close()
+			got, err := io.ReadAll(a)
+			if err != nil {
+				t.Fatalf("read back: %v", err)
+			}
+			if !bytes.Equal(got, data) {
+				t.Fatalf("round trip mismatch: got %d bytes, want %d", len(got), len(data))
+			}
+			s := a.Stats()
+			if s.SizingPasses != 0 {
+				t.Fatalf("reopen cost %d sizing passes, want 0 (index not honoured)", s.SizingPasses)
+			}
+			if s.FinderProbes != 0 {
+				t.Fatalf("reopen ran %d block-finder probes, want 0", s.FinderProbes)
+			}
+			caps := a.Capabilities()
+			if !caps.Parallel || !caps.RandomAccess {
+				t.Fatalf("capabilities %+v, want Parallel and RandomAccess", caps)
+			}
+			// Random access actually works at an interior offset.
+			buf := make([]byte, 1000)
+			off := int64(len(data) / 2)
+			if _, err := a.ReadAt(buf, off); err != nil {
+				t.Fatalf("ReadAt(%d): %v", off, err)
+			}
+			if !bytes.Equal(buf, data[off:off+1000]) {
+				t.Fatal("ReadAt content mismatch")
+			}
+		})
+	}
+}
+
+// TestCreateRoundTripMatrix sweeps WriterOption combinations and
+// checks every archive decodes byte-exact through Open — including
+// boundary sizes (empty, one byte, exact shard multiples).
+func TestCreateRoundTripMatrix(t *testing.T) {
+	shard := 32 << 10
+	sizes := []int{0, 1, shard, shard + 1, 3*shard - 7}
+	type combo struct {
+		name string
+		opts []WriterOption
+	}
+	combos := []combo{
+		{"gzip-sharded-l1", []WriterOption{WithWriterFormat(FormatGzip), WithShardSize(shard), WithLevel(1)}},
+		{"gzip-sharded-l6", []WriterOption{WithWriterFormat(FormatGzip), WithShardSize(shard), WithLevel(6)}},
+		{"gzip-sharded-l9", []WriterOption{WithWriterFormat(FormatGzip), WithShardSize(shard), WithLevel(9)}},
+		{"gzip-stored", []WriterOption{WithWriterFormat(FormatGzip), WithShardSize(shard), WithLevel(0)}},
+		{"bgzf", []WriterOption{WithWriterFormat(FormatBGZF), WithLevel(6)}},
+		{"zstd-multiframe", []WriterOption{WithWriterFormat(FormatZstd), WithShardSize(shard), WithLevel(1)}},
+		{"zstd-stored", []WriterOption{WithWriterFormat(FormatZstd), WithShardSize(shard), WithLevel(0)}},
+		{"zstd-checksummed", []WriterOption{WithWriterFormat(FormatZstd), WithShardSize(shard), WithLevel(1), WithContentChecksum(true)}},
+	}
+	for _, c := range combos {
+		t.Run(c.name, func(t *testing.T) {
+			for _, n := range sizes {
+				data := writerCorpus(n, int64(n)+7)
+				path := filepath.Join(t.TempDir(), "m.bin")
+				w, err := Create(path, append(c.opts, WithWriterParallelism(3))...)
+				if err != nil {
+					t.Fatalf("Create: %v", err)
+				}
+				if _, err := w.Write(data); err != nil {
+					t.Fatalf("n=%d Write: %v", n, err)
+				}
+				if err := w.Close(); err != nil {
+					t.Fatalf("n=%d Close: %v", n, err)
+				}
+				a, err := Open(path)
+				if err != nil {
+					t.Fatalf("n=%d Open: %v", n, err)
+				}
+				got, err := io.ReadAll(a)
+				a.Close()
+				if err != nil {
+					t.Fatalf("n=%d read: %v", n, err)
+				}
+				if !bytes.Equal(got, data) {
+					t.Fatalf("n=%d mismatch: got %d bytes", n, len(got))
+				}
+			}
+		})
+	}
+}
+
+// TestCreateReferenceCLIs decodes our archives with the reference
+// command-line tools where available — the interop half of the
+// round-trip matrix.
+func TestCreateReferenceCLIs(t *testing.T) {
+	data := writerCorpus(300_000, 5)
+	run := func(t *testing.T, tool string, args []string, path string) []byte {
+		if _, err := exec.LookPath(tool); err != nil {
+			t.Skipf("%s not in PATH", tool)
+		}
+		cmd := exec.Command(tool, args...)
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		cmd.Stdin = f
+		var out, errb bytes.Buffer
+		cmd.Stdout, cmd.Stderr = &out, &errb
+		if err := cmd.Run(); err != nil {
+			t.Fatalf("%s: %v (%s)", tool, err, errb.String())
+		}
+		return out.Bytes()
+	}
+	t.Run("gzip-d", func(t *testing.T) {
+		path := filepath.Join(t.TempDir(), "x.gz")
+		w, _ := Create(path, WithShardSize(48<<10), WithWriterParallelism(4))
+		w.Write(data)
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if got := run(t, "gzip", []string{"-dc"}, path); !bytes.Equal(got, data) {
+			t.Fatalf("gzip -d output mismatch (%d bytes)", len(got))
+		}
+	})
+	t.Run("gzip-d-bgzf", func(t *testing.T) {
+		path := filepath.Join(t.TempDir(), "x.bgz")
+		w, _ := Create(path, WithWriterParallelism(4))
+		w.Write(data)
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if got := run(t, "gzip", []string{"-dc"}, path); !bytes.Equal(got, data) {
+			t.Fatalf("gzip -d BGZF output mismatch (%d bytes)", len(got))
+		}
+	})
+	t.Run("zstd-d", func(t *testing.T) {
+		path := filepath.Join(t.TempDir(), "x.zst")
+		w, _ := Create(path, WithShardSize(48<<10), WithWriterParallelism(4), WithContentChecksum(true))
+		w.Write(data)
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if got := run(t, "zstd", []string{"-dc"}, path); !bytes.Equal(got, data) {
+			t.Fatalf("zstd -d output mismatch (%d bytes)", len(got))
+		}
+	})
+}
+
+// TestCreateGzipStdlibInterop always runs (no external tool): the
+// sharded single-member gzip output must satisfy compress/gzip,
+// including the combined footer CRC it verifies at EOF.
+func TestCreateGzipStdlibInterop(t *testing.T) {
+	data := writerCorpus(200_000, 13)
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, WithShardSize(32<<10), WithWriterParallelism(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Write(data)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	zr, err := gzip.NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(zr) // ReadAll reaches EOF, which checks CRC32+ISIZE
+	if err != nil {
+		t.Fatalf("stdlib decode: %v", err)
+	}
+	if err := zr.Close(); err != nil {
+		t.Fatalf("stdlib close: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("stdlib round trip mismatch")
+	}
+}
+
+// TestNewWriterExportIndex checks the bring-your-own-destination path:
+// NewWriter into a buffer, ExportIndex after Close, then Open the
+// bytes with the exported index via OpenBytes+ImportIndex semantics
+// (WithIndexFile on a temp file).
+func TestNewWriterExportIndex(t *testing.T) {
+	data := writerCorpus(400_000, 21)
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, WithWriterFormat(FormatZstd), WithShardSize(64<<10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.ExportIndex(io.Discard); err == nil {
+		t.Fatal("ExportIndex before Close succeeded")
+	}
+	w.Write(data)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	ixPath := filepath.Join(dir, "x.rgzidx")
+	ixf, err := os.Create(ixPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.ExportIndex(ixf); err != nil {
+		t.Fatalf("ExportIndex: %v", err)
+	}
+	ixf.Close()
+	a, err := OpenBytes(buf.Bytes(), WithIndexFile(ixPath))
+	if err != nil {
+		t.Fatalf("OpenBytes with index: %v", err)
+	}
+	defer a.Close()
+	if s := a.Stats(); s.SizingPasses != 0 {
+		t.Fatalf("SizingPasses = %d, want 0", s.SizingPasses)
+	}
+	got, err := io.ReadAll(a)
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("round trip via exported index failed: %v", err)
+	}
+}
+
+// TestWriterOptionErrors table-tests the writer option surface's typed
+// failures, plus the read side's new ErrConflictingOptions.
+func TestWriterOptionErrors(t *testing.T) {
+	tmp := filepath.Join(t.TempDir(), "x.gz")
+	cases := []struct {
+		name string
+		do   func() error
+		want error
+	}{
+		{"unsupported writer format bzip2", func() error {
+			_, err := Create(tmp, WithWriterFormat(FormatBzip2))
+			return err
+		}, ErrUnsupportedFormat},
+		{"unsupported writer format lz4", func() error {
+			_, err := NewWriter(io.Discard, WithWriterFormat(FormatLZ4))
+			return err
+		}, ErrUnsupportedFormat},
+		{"sidecar with and without", func() error {
+			_, err := Create(tmp, WithIndexSidecar(tmp+".idx"), WithoutIndexSidecar())
+			return err
+		}, ErrConflictingOptions},
+		{"cache size under shared pool", func() error {
+			p := NewCachePool(1 << 20)
+			_, err := Open(tmp, WithSharedPool(p), WithAccessCacheSize(8))
+			return err
+		}, ErrConflictingOptions},
+		{"cache size under shared pool, reversed order", func() error {
+			p := NewCachePool(1 << 20)
+			_, err := Open(tmp, WithAccessCacheSize(8), WithSharedPool(p))
+			return err
+		}, ErrConflictingOptions},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.do()
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("got %v, want %v", err, tc.want)
+			}
+		})
+	}
+	// Level/shard/parallelism validation is eager, before any file I/O.
+	if _, err := NewWriter(io.Discard, WithLevel(10)); err == nil {
+		t.Fatal("level 10 accepted")
+	}
+	if _, err := NewWriter(io.Discard, WithShardSize(-1)); err == nil {
+		t.Fatal("negative shard size accepted")
+	}
+	if _, err := NewWriter(io.Discard, WithWriterParallelism(-1)); err == nil {
+		t.Fatal("negative parallelism accepted")
+	}
+	// Write after Close reports the typed ErrClosed.
+	w, _ := NewWriter(io.Discard)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write([]byte("x")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("write after Close = %v, want ErrClosed", err)
+	}
+}
+
+// TestCreateFormatInference checks extension-based format selection.
+func TestCreateFormatInference(t *testing.T) {
+	dir := t.TempDir()
+	for ext, want := range map[string]Format{
+		".gz": FormatGzip, ".bgz": FormatBGZF, ".bgzf": FormatBGZF,
+		".zst": FormatZstd, ".zstd": FormatZstd, ".bin": FormatGzip,
+	} {
+		w, err := Create(filepath.Join(dir, "f"+strings.ReplaceAll(ext, ".", "_")+ext))
+		if err != nil {
+			t.Fatalf("%s: %v", ext, err)
+		}
+		if got := w.Format(); got != want {
+			t.Fatalf("ext %s inferred %v, want %v", ext, got, want)
+		}
+		w.Close()
+	}
+}
+
+// TestCreateWithoutSidecar checks WithoutIndexSidecar leaves no index
+// file but keeps ExportIndex working.
+func TestCreateWithoutSidecar(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.gz")
+	w, err := Create(path, WithoutIndexSidecar(), WithShardSize(16<<10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Write(writerCorpus(50_000, 2))
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path + IndexSuffix); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("sidecar exists despite WithoutIndexSidecar: %v", err)
+	}
+	var ix bytes.Buffer
+	if err := w.ExportIndex(&ix); err != nil {
+		t.Fatalf("ExportIndex: %v", err)
+	}
+	if ix.Len() == 0 {
+		t.Fatal("empty exported index")
+	}
+}

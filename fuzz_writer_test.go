@@ -1,0 +1,53 @@
+package rapidgzip
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// FuzzWriterRoundTrip drives the write side with arbitrary payloads
+// and option combinations, and requires every archive it produces to
+// decode byte-exact through Open. The writer must never emit an
+// archive its own reader rejects — that invariant is the whole point
+// of a symmetric Create/Open surface.
+func FuzzWriterRoundTrip(f *testing.F) {
+	f.Add([]byte("hello world"), uint8(0), uint16(64), uint8(6))
+	f.Add([]byte{}, uint8(1), uint16(1), uint8(0))
+	f.Add(bytes.Repeat([]byte("abc"), 5000), uint8(2), uint16(512), uint8(1))
+	f.Add([]byte{0, 1, 2, 3, 255}, uint8(2), uint16(2), uint8(9))
+	f.Fuzz(func(t *testing.T, data []byte, formatSel uint8, shardKiB uint16, level uint8) {
+		format := []Format{FormatGzip, FormatBGZF, FormatZstd}[int(formatSel)%3]
+		opts := []WriterOption{
+			WithWriterFormat(format),
+			WithWriterParallelism(2),
+			// Small shards exercise many boundaries; cap the count so a
+			// large fuzz payload cannot explode the shard table.
+			WithShardSize(max(int(shardKiB)*64, 1024)),
+			WithLevel(int(level) % 10),
+		}
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf, opts...)
+		if err != nil {
+			t.Fatalf("NewWriter: %v", err)
+		}
+		if _, err := w.Write(data); err != nil {
+			t.Fatalf("Write: %v", err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+		a, err := OpenBytes(buf.Bytes(), WithParallelism(2))
+		if err != nil {
+			t.Fatalf("OpenBytes rejected our own output: %v", err)
+		}
+		defer a.Close()
+		got, err := io.ReadAll(a)
+		if err != nil {
+			t.Fatalf("decoding our own output: %v", err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("round trip mismatch: wrote %d bytes, read %d", len(data), len(got))
+		}
+	})
+}

@@ -207,7 +207,8 @@ func emitBlock(bw *bitio.BitWriter, meta *Meta, m *matcher, data []byte, bStart,
 	}
 	var tokens []token
 	if m != nil {
-		tokens = m.appendTokens(nil, data, bStart, bEnd, windowStart)
+		tokens = m.appendTokens(m.tok[:0], data, bStart, bEnd, windowStart)
+		m.tok = tokens
 	} else {
 		for _, b := range raw {
 			tokens = append(tokens, literalToken(b))

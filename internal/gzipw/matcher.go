@@ -7,7 +7,10 @@
 // output is verified against the standard library's gzip reader.
 package gzipw
 
-import "encoding/binary"
+import (
+	"encoding/binary"
+	"math/bits"
+)
 
 // Token encoding: literals are the byte value; matches set bit 31 and
 // pack length-3 in bits 16..23 and distance-1 in bits 0..15.
@@ -60,6 +63,11 @@ type matcher struct {
 	head [hashSize]int32
 	prev [maxDist]int32
 	p    levelParams
+	// tok is the token scratch reused across blocks (and, via
+	// matcherPool, across shards): tokenising a 128 KiB block grows a
+	// multi-hundred-KiB slice, which dominated the encode path's GC
+	// pressure when allocated fresh per block.
+	tok []token
 }
 
 func newMatcher(level int) *matcher {
@@ -143,6 +151,15 @@ func (m *matcher) findMatch(data []byte, i, end, windowStart int) (length, dist 
 
 func matchLen(data []byte, a, b, limit int) int {
 	n := 0
+	// Compare eight bytes per step while both runs stay in bounds; the
+	// first differing byte falls out of the XOR's trailing zeros.
+	for n+8 <= limit && b+n+8 <= len(data) {
+		x := binary.LittleEndian.Uint64(data[a+n:]) ^ binary.LittleEndian.Uint64(data[b+n:])
+		if x != 0 {
+			return n + bits.TrailingZeros64(x)>>3
+		}
+		n += 8
+	}
 	for n < limit && data[a+n] == data[b+n] {
 		n++
 	}

@@ -1,0 +1,29 @@
+package gzipw
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/workloads"
+)
+
+func benchWriterWorkers(b *testing.B, workers int) {
+	data := workloads.Base64(8<<20, 42)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w, err := NewWriter(io.Discard, WriterOptions{Level: 6, Parallelism: workers})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := w.Write(data); err != nil {
+			b.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWriterW1(b *testing.B) { benchWriterWorkers(b, 1) }
+func BenchmarkWriterW4(b *testing.B) { benchWriterWorkers(b, 4) }

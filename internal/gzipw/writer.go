@@ -1,0 +1,414 @@
+package gzipw
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+
+	"repro/internal/bitio"
+	"repro/internal/crc32x"
+	"repro/internal/gzformat"
+	"repro/internal/shardpipe"
+)
+
+// The encode path recycles its three large per-shard allocations —
+// the 256 KiB matcher, the input shard buffer, and the output segment
+// buffer — across shards and Writers. Without this, every shard left
+// multiple megabytes of garbage behind and the concurrent GC competed
+// with the encode workers for cores, which showed up directly as lost
+// parallel scaling.
+var (
+	matcherPool  sync.Pool // *matcher
+	segBufPool   sync.Pool // *bytes.Buffer (output segments; returned by drain)
+	shardBufPool sync.Pool // []byte (input shards; returned after encode)
+)
+
+// getMatcher returns a dictionary-clean matcher configured for level.
+func getMatcher(level int) *matcher {
+	if v := matcherPool.Get(); v != nil {
+		m := v.(*matcher)
+		m.p = levels[level]
+		m.reset()
+		return m
+	}
+	return newMatcher(level)
+}
+
+func getSegBuf() *bytes.Buffer {
+	if v := segBufPool.Get(); v != nil {
+		b := v.(*bytes.Buffer)
+		b.Reset()
+		return b
+	}
+	return new(bytes.Buffer)
+}
+
+// getShardBuf returns an empty buffer with capacity for an n-byte shard.
+func getShardBuf(n int) []byte {
+	if v := shardBufPool.Get(); v != nil {
+		if b := v.([]byte); cap(b) >= n {
+			return b[:0]
+		}
+	}
+	return make([]byte, 0, n)
+}
+
+// WriterOptions configures a parallel Writer. The zero value compresses
+// like a single-threaded gzip -6 over 1 MiB independent shards.
+type WriterOptions struct {
+	// Level 0 stores without compression; 1..9 trade speed for ratio
+	// like zlib's levels. The default (when left zero by the public
+	// API) is chosen by the caller; this package treats 0 literally.
+	Level int
+	// ShardSize is the uncompressed bytes compressed independently per
+	// shard (the parallel work unit AND the random-access granularity
+	// of the emitted index). Zero selects DefaultShardSize. BGZF
+	// ignores it: the format caps members at BGZFChunkSize.
+	ShardSize int
+	// BlockSize is the uncompressed bytes per Deflate block within a
+	// shard. Zero selects DefaultBlockSize.
+	BlockSize int
+	// Parallelism is the number of encode workers. Zero selects
+	// runtime.NumCPU().
+	Parallelism int
+	// BGZF emits Blocked-GNU-Zip-Format framing: one member per
+	// 65280-byte chunk, each header carrying the compressed size, plus
+	// the canonical empty EOF member on Close.
+	BGZF bool
+	// Name is the optional original-file name stored in the header.
+	Name string
+}
+
+// DefaultShardSize is the uncompressed bytes per independent shard:
+// large enough that the per-shard dictionary reset costs little ratio,
+// small enough that a shard is a sensible random-access unit.
+const DefaultShardSize = 1 << 20
+
+// Checkpoint records one drained shard: its compressed byte extent in
+// the output, the decompressed extent it encodes, and the CRC32 of the
+// uncompressed shard bytes (for BGZF, the member's footer CRC). The
+// compressed extents are byte-aligned by construction — every shard
+// ends on an empty stored block's boundary (plain gzip) or a member
+// boundary (BGZF) — which is exactly what makes the emitted archive
+// seekable without a sizing pass.
+type Checkpoint struct {
+	CompOff, CompEnd      int64
+	DecompOff, DecompSize int64
+	CRC32                 uint32
+}
+
+// encodedShard is one shard's encode result moving through the pipeline.
+// buf, when set, is the pooled buffer backing seg; drain returns it to
+// segBufPool once the segment has been written out.
+type encodedShard struct {
+	seg    []byte
+	buf    *bytes.Buffer
+	crc    uint32
+	rawLen int
+}
+
+// Writer is a parallel sharded gzip/BGZF encoder: input is cut into
+// fixed-size shards, each compressed independently (reset dictionary)
+// on a worker pool, and the compressed segments are joined in order —
+// pigz's structure, which Table 3 / §4.8 of the paper identifies as the
+// one that keeps parallel decompression possible. Plain gzip output is
+// a single member whose shards are joined by empty stored blocks and
+// whose footer CRC is combined shard-wise in GF(2); BGZF output is one
+// member per chunk plus the canonical EOF marker.
+//
+// Not safe for concurrent use: one producer writes, the encoding
+// parallelizes underneath.
+type Writer struct {
+	out  io.Writer
+	opts WriterOptions
+	pipe *shardpipe.Pipeline[encodedShard]
+
+	shard []byte // pending uncompressed input
+
+	compOff     int64 // bytes written to out
+	decompOff   int64 // uncompressed bytes drained
+	crc         uint32
+	checkpoints []Checkpoint
+	headerLen   int
+
+	closed bool
+	err    error
+}
+
+// NewWriter constructs a parallel writer over w. For plain gzip the
+// member header is written immediately; the first checkpoint's CompOff
+// is therefore the header length.
+func NewWriter(w io.Writer, opts WriterOptions) (*Writer, error) {
+	if opts.Level < 0 || opts.Level > 9 {
+		return nil, fmt.Errorf("gzipw: invalid level %d", opts.Level)
+	}
+	if opts.ShardSize < 0 {
+		return nil, fmt.Errorf("gzipw: negative shard size %d", opts.ShardSize)
+	}
+	if opts.ShardSize == 0 {
+		opts.ShardSize = DefaultShardSize
+	}
+	if opts.BGZF {
+		opts.ShardSize = BGZFChunkSize
+	}
+	if opts.BlockSize <= 0 {
+		opts.BlockSize = DefaultBlockSize
+	}
+	if opts.Parallelism <= 0 {
+		opts.Parallelism = runtime.NumCPU()
+	}
+	pw := &Writer{out: w, opts: opts}
+	pw.pipe = shardpipe.New[encodedShard](opts.Parallelism, 2*opts.Parallelism, pw.drain)
+	if !opts.BGZF {
+		hdr := buildHeaderBytes(Options{Name: opts.Name}, 0)
+		if _, err := w.Write(hdr); err != nil {
+			pw.pipe.Close()
+			return nil, err
+		}
+		pw.headerLen = len(hdr)
+		pw.compOff = int64(len(hdr))
+	}
+	return pw, nil
+}
+
+// drain is the pipeline sink: it writes one encoded shard and records
+// its checkpoint. Runs on the producer goroutine (inside Write/Close).
+func (w *Writer) drain(es encodedShard) error {
+	if _, err := w.out.Write(es.seg); err != nil {
+		return err
+	}
+	w.checkpoints = append(w.checkpoints, Checkpoint{
+		CompOff:    w.compOff,
+		CompEnd:    w.compOff + int64(len(es.seg)),
+		DecompOff:  w.decompOff,
+		DecompSize: int64(es.rawLen),
+		CRC32:      es.crc,
+	})
+	w.compOff += int64(len(es.seg))
+	w.decompOff += int64(es.rawLen)
+	// The single-member CRC chain: shard CRCs combine in GF(2) exactly
+	// like the parallel verification path combines them on decode.
+	w.crc = crc32x.Combine(w.crc, es.crc, int64(es.rawLen))
+	if es.buf != nil {
+		segBufPool.Put(es.buf)
+	}
+	return nil
+}
+
+// Write implements io.Writer, buffering into the current shard and
+// submitting full shards to the encode pool. It blocks only when the
+// bounded in-flight window is full.
+func (w *Writer) Write(p []byte) (int, error) {
+	if w.closed {
+		return 0, errors.New("gzipw: write after Close")
+	}
+	if w.err != nil {
+		return 0, w.err
+	}
+	total := len(p)
+	for len(p) > 0 {
+		if w.shard == nil {
+			w.shard = getShardBuf(w.opts.ShardSize)
+		}
+		n := w.opts.ShardSize - len(w.shard)
+		if n > len(p) {
+			n = len(p)
+		}
+		w.shard = append(w.shard, p[:n]...)
+		p = p[n:]
+		if len(w.shard) == w.opts.ShardSize {
+			if err := w.submitShard(); err != nil {
+				return total - len(p), err
+			}
+		}
+	}
+	return total, nil
+}
+
+// ReadFrom implements io.ReaderFrom: it fills shards straight from r,
+// avoiding the caller's intermediate buffer.
+func (w *Writer) ReadFrom(r io.Reader) (int64, error) {
+	if w.closed {
+		return 0, errors.New("gzipw: write after Close")
+	}
+	var total int64
+	for {
+		if w.shard == nil {
+			w.shard = getShardBuf(w.opts.ShardSize)
+		}
+		n, err := r.Read(w.shard[len(w.shard):w.opts.ShardSize])
+		w.shard = w.shard[:len(w.shard)+n]
+		total += int64(n)
+		if len(w.shard) == w.opts.ShardSize {
+			if serr := w.submitShard(); serr != nil {
+				return total, serr
+			}
+		}
+		if err == io.EOF {
+			return total, nil
+		}
+		if err != nil {
+			return total, err
+		}
+	}
+}
+
+// submitShard hands the pending shard to the pool. The shard slice is
+// owned by the job from here on.
+func (w *Writer) submitShard() error {
+	data := w.shard
+	w.shard = nil
+	opts := w.opts
+	err := w.pipe.Submit(func() (encodedShard, error) {
+		var es encodedShard
+		var err error
+		if opts.BGZF {
+			es, err = encodeBGZFShard(data, opts)
+		} else {
+			es, err = encodeGzipShard(data, opts)
+		}
+		shardBufPool.Put(data[:0])
+		return es, err
+	})
+	if err != nil {
+		w.err = err
+	}
+	return err
+}
+
+// Close flushes the pending shard, drains the pipeline, and writes the
+// stream trailer: for plain gzip the final empty stored block plus the
+// member footer (combined CRC32, total size), for BGZF the canonical
+// EOF member. Close does not close the underlying writer.
+func (w *Writer) Close() error {
+	if w.closed {
+		return w.err
+	}
+	w.closed = true
+	if len(w.shard) > 0 && w.err == nil {
+		w.submitShard()
+	}
+	if err := w.pipe.Close(); err != nil {
+		if w.err == nil {
+			w.err = err
+		}
+		return w.err
+	}
+	if w.err != nil {
+		return w.err
+	}
+	var trailer []byte
+	if w.opts.BGZF {
+		trailer = BGZFEOFMarker
+	} else {
+		// A final empty stored block terminates the Deflate stream at a
+		// byte boundary (shards are all non-final), then the footer.
+		trailer = append(trailer, 0x01, 0x00, 0x00, 0xff, 0xff)
+		var ftr [8]byte
+		putFooter(ftr[:], w.crc, uint64(w.decompOff))
+		trailer = append(trailer, ftr[:]...)
+	}
+	if _, err := w.out.Write(trailer); err != nil {
+		w.err = err
+		return err
+	}
+	w.compOff += int64(len(trailer))
+	return nil
+}
+
+// Checkpoints returns the per-shard checkpoint table recorded while
+// encoding. Complete only after Close.
+func (w *Writer) Checkpoints() []Checkpoint { return w.checkpoints }
+
+// HeaderLen returns the gzip member header length (0 for BGZF, whose
+// members each carry their own header).
+func (w *Writer) HeaderLen() int { return w.headerLen }
+
+// CompressedSize returns the total bytes written to the underlying
+// writer. Final only after Close.
+func (w *Writer) CompressedSize() int64 { return w.compOff }
+
+// UncompressedSize returns the input bytes encoded so far (drained
+// shards only; final after Close).
+func (w *Writer) UncompressedSize() int64 { return w.decompOff }
+
+// CRC32 returns the combined CRC of the whole uncompressed stream
+// (plain gzip's member footer value). Final only after Close.
+func (w *Writer) CRC32() uint32 { return w.crc }
+
+// encodeGzipShard compresses one shard as an independent Deflate
+// segment: a fresh dictionary, all blocks non-final, terminated by an
+// empty stored block so the segment is byte-aligned — the join point
+// the next shard (or the stream trailer) continues from.
+func encodeGzipShard(data []byte, opts WriterOptions) (encodedShard, error) {
+	buf := getSegBuf()
+	bw := bitio.NewBitWriter(buf)
+	var m *matcher
+	if opts.Level > 0 {
+		m = getMatcher(opts.Level)
+		defer matcherPool.Put(m)
+	}
+	meta := &Meta{} // block offsets are relative to the shard; discarded
+	bopts := Options{Level: opts.Level, BlockSize: opts.BlockSize}
+	for bStart := 0; bStart < len(data); bStart += opts.BlockSize {
+		bEnd := bStart + opts.BlockSize
+		if bEnd > len(data) {
+			bEnd = len(data)
+		}
+		if err := emitBlock(bw, meta, m, data, bStart, bEnd, 0, false, bopts); err != nil {
+			return encodedShard{}, err
+		}
+	}
+	emitEmptyStored(bw)
+	if err := bw.Flush(); err != nil {
+		return encodedShard{}, err
+	}
+	if bw.BitsWritten%8 != 0 {
+		return encodedShard{}, errors.New("gzipw: shard segment not byte-aligned")
+	}
+	return encodedShard{seg: buf.Bytes(), buf: buf, crc: gzformat.UpdateCRC(0, data), rawLen: len(data)}, nil
+}
+
+// encodeBGZFShard compresses one shard as a complete BGZF member:
+// header with the BSIZE extra subfield, Deflate body ending in a final
+// block, CRC32/ISIZE footer.
+func encodeBGZFShard(data []byte, opts WriterOptions) (encodedShard, error) {
+	body := getSegBuf()
+	defer segBufPool.Put(body)
+	bw := bitio.NewBitWriter(body)
+	var m *matcher
+	if opts.Level > 0 {
+		m = getMatcher(opts.Level)
+		defer matcherPool.Put(m)
+	}
+	sub := &Meta{}
+	if err := compressMember(bw, sub, m, data, 0, len(data), Options{
+		Level: opts.Level, BlockSize: opts.BlockSize,
+	}); err != nil {
+		return encodedShard{}, err
+	}
+	if err := bw.Flush(); err != nil {
+		return encodedShard{}, err
+	}
+	hdr := buildHeaderBytes(Options{Name: opts.Name}, 0)
+	bsize := len(hdr) + 8 + body.Len() + 8 // +8 for the extra field itself
+	hdr = buildHeaderBytes(Options{Name: opts.Name}, bsize)
+	if len(hdr)+body.Len()+8 != bsize {
+		return encodedShard{}, errors.New("gzipw: BGZF size accounting error")
+	}
+	if bsize > 1<<16 {
+		return encodedShard{}, fmt.Errorf("gzipw: BGZF member of %d bytes exceeds the 64 KiB format cap", bsize)
+	}
+	crc := gzformat.UpdateCRC(0, data)
+	out := getSegBuf()
+	out.Grow(bsize)
+	out.Write(hdr)
+	out.Write(body.Bytes())
+	var ftr [8]byte
+	putFooter(ftr[:], crc, uint64(len(data)))
+	out.Write(ftr[:])
+	return encodedShard{seg: out.Bytes(), buf: out, crc: crc, rawLen: len(data)}, nil
+}

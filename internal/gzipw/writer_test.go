@@ -1,0 +1,200 @@
+package gzipw
+
+import (
+	"bytes"
+	"compress/gzip"
+	"io"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitio"
+	"repro/internal/gzformat"
+)
+
+// testPayload builds compressible-but-varied input.
+func testPayload(n int, seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	words := []string{"the", "quick", "brown", "fox", "jumps", "over", "lazy", "dogs", "0123456789"}
+	var b bytes.Buffer
+	for b.Len() < n {
+		b.WriteString(words[rng.Intn(len(words))])
+		if rng.Intn(4) == 0 {
+			b.WriteByte(byte(rng.Intn(256)))
+		}
+		b.WriteByte(' ')
+	}
+	return b.Bytes()[:n]
+}
+
+// TestWriterRoundTrip verifies parallel-sharded output decodes
+// byte-exact with the stdlib across sizes straddling shard boundaries.
+func TestWriterRoundTrip(t *testing.T) {
+	shard := 8 << 10
+	for _, n := range []int{0, 1, shard - 1, shard, shard + 1, 5*shard + 321} {
+		for _, level := range []int{0, 1, 6} {
+			data := testPayload(n, int64(n))
+			var out bytes.Buffer
+			w, err := NewWriter(&out, WriterOptions{Level: level, ShardSize: shard, BlockSize: 4 << 10, Parallelism: 3})
+			if err != nil {
+				t.Fatalf("NewWriter: %v", err)
+			}
+			if _, err := w.Write(data); err != nil {
+				t.Fatalf("n=%d level=%d Write: %v", n, level, err)
+			}
+			if err := w.Close(); err != nil {
+				t.Fatalf("n=%d level=%d Close: %v", n, level, err)
+			}
+			if got := w.CompressedSize(); got != int64(out.Len()) {
+				t.Fatalf("CompressedSize = %d, wrote %d", got, out.Len())
+			}
+			zr, err := gzip.NewReader(bytes.NewReader(out.Bytes()))
+			if err != nil {
+				t.Fatalf("n=%d level=%d gzip.NewReader: %v", n, level, err)
+			}
+			dec, err := io.ReadAll(zr)
+			if err != nil {
+				t.Fatalf("n=%d level=%d decode: %v", n, level, err)
+			}
+			if !bytes.Equal(dec, data) {
+				t.Fatalf("n=%d level=%d round trip mismatch (%d vs %d bytes)", n, level, len(dec), len(data))
+			}
+		}
+	}
+}
+
+// TestWriterReadFrom checks the io.ReaderFrom path matches Write.
+func TestWriterReadFrom(t *testing.T) {
+	data := testPayload(100_000, 7)
+	var out bytes.Buffer
+	w, err := NewWriter(&out, WriterOptions{Level: 6, ShardSize: 16 << 10, Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := w.ReadFrom(bytes.NewReader(data))
+	if err != nil || n != int64(len(data)) {
+		t.Fatalf("ReadFrom = %d, %v", n, err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	zr, _ := gzip.NewReader(bytes.NewReader(out.Bytes()))
+	dec, err := io.ReadAll(zr)
+	if err != nil || !bytes.Equal(dec, data) {
+		t.Fatalf("round trip failed: %v", err)
+	}
+}
+
+// TestWriterCheckpoints asserts the recorded checkpoint table tiles the
+// output exactly: contiguous compressed extents starting after the
+// header, contiguous decompressed extents covering the input, per-shard
+// CRCs matching, and every boundary byte-aligned by construction.
+func TestWriterCheckpoints(t *testing.T) {
+	shard := 10 << 10
+	data := testPayload(4*shard+99, 3)
+	var out bytes.Buffer
+	w, err := NewWriter(&out, WriterOptions{Level: 6, ShardSize: shard, Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Write(data)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	cps := w.Checkpoints()
+	if len(cps) != 5 {
+		t.Fatalf("got %d checkpoints, want 5", len(cps))
+	}
+	wantComp := int64(w.HeaderLen())
+	wantDecomp := int64(0)
+	for i, cp := range cps {
+		if cp.CompOff != wantComp || cp.DecompOff != wantDecomp {
+			t.Fatalf("checkpoint %d at (%d,%d), want (%d,%d)", i, cp.CompOff, cp.DecompOff, wantComp, wantDecomp)
+		}
+		if cp.CompEnd <= cp.CompOff {
+			t.Fatalf("checkpoint %d empty compressed extent", i)
+		}
+		wantCRC := gzformat.UpdateCRC(0, data[cp.DecompOff:cp.DecompOff+cp.DecompSize])
+		if cp.CRC32 != wantCRC {
+			t.Fatalf("checkpoint %d CRC %08x, want %08x", i, cp.CRC32, wantCRC)
+		}
+		wantComp = cp.CompEnd
+		wantDecomp += cp.DecompSize
+	}
+	if wantDecomp != int64(len(data)) {
+		t.Fatalf("checkpoints cover %d bytes, input is %d", wantDecomp, len(data))
+	}
+	// trailer = 5-byte empty stored final block + 8-byte footer
+	if wantComp+13 != w.CompressedSize() {
+		t.Fatalf("checkpoints end at %d, file is %d (want 13-byte trailer)", wantComp, w.CompressedSize())
+	}
+	// The footer CRC must equal the whole-input CRC (GF(2) combination).
+	if got, want := w.CRC32(), gzformat.UpdateCRC(0, data); got != want {
+		t.Fatalf("combined CRC %08x, want %08x", got, want)
+	}
+}
+
+// TestWriterBGZF verifies member-per-chunk mode: stdlib multistream
+// decode, per-member checkpoints, EOF marker.
+func TestWriterBGZF(t *testing.T) {
+	data := testPayload(3*BGZFChunkSize/2, 11)
+	var out bytes.Buffer
+	w, err := NewWriter(&out, WriterOptions{Level: 6, BGZF: true, Parallelism: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Write(data)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasSuffix(out.Bytes(), BGZFEOFMarker) {
+		t.Fatal("output missing BGZF EOF marker")
+	}
+	zr, err := gzip.NewReader(bytes.NewReader(out.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := io.ReadAll(zr)
+	if err != nil || !bytes.Equal(dec, data) {
+		t.Fatalf("BGZF round trip failed: %v", err)
+	}
+	cps := w.Checkpoints()
+	if len(cps) != 2 {
+		t.Fatalf("got %d checkpoints, want 2", len(cps))
+	}
+	if cps[0].CompOff != 0 || cps[0].DecompSize != BGZFChunkSize {
+		t.Fatalf("first member checkpoint = %+v", cps[0])
+	}
+	// Each member's header must carry its BSIZE.
+	for i, cp := range cps {
+		hdr, err := gzformat.ParseHeader(bitio.NewBitReaderBytes(out.Bytes()[cp.CompOff:]))
+		if err != nil {
+			t.Fatalf("member %d header: %v", i, err)
+		}
+		if int64(hdr.BGZFBlockSize) != cp.CompEnd-cp.CompOff {
+			t.Fatalf("member %d BSIZE %d, extent %d", i, hdr.BGZFBlockSize, cp.CompEnd-cp.CompOff)
+		}
+	}
+}
+
+// TestWriterErrors covers invalid options and write-after-close.
+func TestWriterErrors(t *testing.T) {
+	if _, err := NewWriter(io.Discard, WriterOptions{Level: 10}); err == nil {
+		t.Fatal("level 10 accepted")
+	}
+	if _, err := NewWriter(io.Discard, WriterOptions{ShardSize: -1}); err == nil {
+		t.Fatal("negative shard size accepted")
+	}
+	w, err := NewWriter(io.Discard, WriterOptions{Level: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write([]byte("x")); err == nil {
+		t.Fatal("Write after Close accepted")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}

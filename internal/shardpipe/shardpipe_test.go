@@ -1,0 +1,130 @@
+package shardpipe
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestOrderPreserved submits jobs that finish out of order and checks
+// the sink still sees submit order.
+func TestOrderPreserved(t *testing.T) {
+	var got []int
+	pl := New(4, 8, func(v int) error {
+		got = append(got, v)
+		return nil
+	})
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		d := time.Duration(rng.Intn(300)) * time.Microsecond
+		if err := pl.Submit(func() (int, error) {
+			time.Sleep(d)
+			return i, nil
+		}); err != nil {
+			t.Fatalf("Submit(%d): %v", i, err)
+		}
+	}
+	if err := pl.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if len(got) != 100 {
+		t.Fatalf("sink saw %d results, want 100", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("result %d = %d, want %d (order broken)", i, v, i)
+		}
+	}
+}
+
+// TestInFlightBound asserts Submit blocks rather than buffering
+// unboundedly: with a window of 2 and jobs gated on a channel, the
+// third Submit cannot complete until a job is released.
+func TestInFlightBound(t *testing.T) {
+	release := make(chan struct{})
+	var drained []int
+	pl := New(2, 2, func(v int) error {
+		drained = append(drained, v)
+		return nil
+	})
+	for i := 0; i < 2; i++ {
+		pl.Submit(func() (int, error) {
+			<-release
+			return i, nil
+		})
+	}
+	third := make(chan error, 1)
+	go func() {
+		third <- pl.Submit(func() (int, error) { return 2, nil })
+	}()
+	select {
+	case err := <-third:
+		t.Fatalf("third Submit returned (%v) while window was full", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(release)
+	if err := <-third; err != nil {
+		t.Fatalf("third Submit after release: %v", err)
+	}
+	if err := pl.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if len(drained) != 3 {
+		t.Fatalf("drained %d, want 3", len(drained))
+	}
+}
+
+// TestJobErrorPoisons checks a failing job surfaces from Submit/Close
+// and stops the sink from seeing later results.
+func TestJobErrorPoisons(t *testing.T) {
+	boom := errors.New("boom")
+	var sunk int
+	pl := New(2, 2, func(int) error { sunk++; return nil })
+	pl.Submit(func() (int, error) { return 0, nil })
+	pl.Submit(func() (int, error) { return 0, boom })
+	// Enough submits to force draining past the failed job.
+	var err error
+	for i := 0; i < 10 && err == nil; i++ {
+		err = pl.Submit(func() (int, error) { return 0, nil })
+	}
+	if !errors.Is(err, boom) {
+		t.Fatalf("Submit after failure = %v, want %v", err, boom)
+	}
+	if cerr := pl.Close(); !errors.Is(cerr, boom) {
+		t.Fatalf("Close = %v, want %v", cerr, boom)
+	}
+	if sunk > 1 {
+		t.Fatalf("sink ran %d times after poison, want <= 1", sunk)
+	}
+}
+
+// TestSinkErrorPoisons checks a sink failure also poisons the pipeline.
+func TestSinkErrorPoisons(t *testing.T) {
+	bad := errors.New("sink full")
+	pl := New(1, 1, func(int) error { return bad })
+	pl.Submit(func() (int, error) { return 1, nil })
+	pl.Submit(func() (int, error) { return 2, nil }) // forces a drain
+	if err := pl.Close(); !errors.Is(err, bad) {
+		t.Fatalf("Close = %v, want %v", err, bad)
+	}
+	if err := pl.Submit(func() (int, error) { return 3, nil }); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Submit after Close = %v, want ErrClosed", err)
+	}
+}
+
+func ExamplePipeline() {
+	pl := New(4, 0, func(s string) error {
+		fmt.Println(s)
+		return nil
+	})
+	for _, w := range []string{"a", "b", "c"} {
+		pl.Submit(func() (string, error) { return w, nil })
+	}
+	pl.Close()
+	// Output:
+	// a
+	// b
+	// c
+}

@@ -1,0 +1,69 @@
+package tarfs
+
+import (
+	"archive/tar"
+	"fmt"
+	"io"
+	"io/fs"
+)
+
+// Create streams src into w as a TAR archive: every directory and
+// regular file under src, in fs.WalkDir order, with deterministic
+// USTAR-compatible headers. Pointed at a compressing Writer (the write
+// side of this repository), it produces the .tar.gz/.tar.zst inputs
+// the read side's TarFS serves randomly — the round trip the paper's
+// ratarmount use case (§1.3) starts from. Irregular files (symlinks,
+// devices, sockets) are skipped: an fs.FS cannot represent their
+// content.
+//
+// Create does not close w.
+func Create(w io.Writer, src fs.FS) error {
+	tw := tar.NewWriter(w)
+	err := fs.WalkDir(src, ".", func(name string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if name == "." {
+			return nil
+		}
+		info, err := d.Info()
+		if err != nil {
+			return err
+		}
+		switch {
+		case d.IsDir():
+			hdr, err := tar.FileInfoHeader(info, "")
+			if err != nil {
+				return err
+			}
+			hdr.Name = name + "/"
+			hdr.Format = tar.FormatPAX
+			return tw.WriteHeader(hdr)
+		case !info.Mode().IsRegular():
+			return nil
+		}
+		hdr, err := tar.FileInfoHeader(info, "")
+		if err != nil {
+			return err
+		}
+		hdr.Name = name
+		hdr.Format = tar.FormatPAX
+		if err := tw.WriteHeader(hdr); err != nil {
+			return err
+		}
+		f, err := src.Open(name)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if n, err := io.Copy(tw, f); err != nil {
+			return fmt.Errorf("tarfs: streaming %s after %d bytes: %w", name, n, err)
+		}
+		return nil
+	})
+	if err != nil {
+		tw.Close()
+		return err
+	}
+	return tw.Close()
+}

@@ -1,0 +1,53 @@
+package tarfs
+
+import (
+	"bytes"
+	"io"
+	"io/fs"
+	"testing"
+	"testing/fstest"
+)
+
+// TestCreateRoundTrip streams a MapFS into a TAR and opens it back
+// through this package's FS.
+func TestCreateRoundTrip(t *testing.T) {
+	src := fstest.MapFS{
+		"readme.txt":       {Data: []byte("hello tar")},
+		"dir/a.bin":        {Data: bytes.Repeat([]byte{0xAB}, 4096)},
+		"dir/sub/deep.txt": {Data: []byte("nested")},
+		"empty.dat":        {Data: nil},
+	}
+	var buf bytes.Buffer
+	if err := Create(&buf, src); err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	tfs, err := New(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	for name, want := range src {
+		f, err := tfs.Open(name)
+		if err != nil {
+			t.Fatalf("Open(%s): %v", name, err)
+		}
+		got, err := io.ReadAll(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("read %s: %v", name, err)
+		}
+		if !bytes.Equal(got, want.Data) {
+			t.Fatalf("%s: got %d bytes, want %d", name, len(got), len(want.Data))
+		}
+	}
+	// The directory structure must walk identically.
+	var names []string
+	fs.WalkDir(tfs, ".", func(name string, d fs.DirEntry, err error) error {
+		if err == nil && !d.IsDir() {
+			names = append(names, name)
+		}
+		return nil
+	})
+	if len(names) != len(src) {
+		t.Fatalf("walk found %d files, want %d (%v)", len(names), len(src), names)
+	}
+}

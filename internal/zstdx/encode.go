@@ -3,6 +3,7 @@ package zstdx
 import (
 	"encoding/binary"
 	"math/bits"
+	"sync"
 
 	"repro/internal/xxhash"
 )
@@ -37,12 +38,19 @@ func (o FrameOptions) withDefaults() FrameOptions {
 
 // CompressFrames compresses data into one or more Zstandard frames.
 func CompressFrames(data []byte, opts FrameOptions) []byte {
+	return AppendFrames(nil, data, opts)
+}
+
+// AppendFrames appends the frames for data to dst, so callers that
+// recycle output buffers (the parallel Writer) avoid regrowing a
+// multi-megabyte slice per shard.
+func AppendFrames(dst, data []byte, opts FrameOptions) []byte {
 	opts = opts.withDefaults()
 	frameSize := opts.FrameSize
 	if frameSize <= 0 {
 		frameSize = len(data)
 	}
-	var out []byte
+	out := dst
 	for start := 0; ; start += frameSize {
 		end := min(start+frameSize, len(data))
 		out = appendFrame(out, data[start:end], opts)
@@ -121,7 +129,7 @@ func appendFrame(out, content []byte, opts FrameOptions) []byte {
 		out = binary.LittleEndian.AppendUint32(out, uint32(len(content)))
 	}
 
-	enc := &frameEncoder{content: content, maxOffset: maxOffset}
+	enc := getFrameEncoder(content, maxOffset)
 	for blockStart := 0; ; blockStart += opts.BlockSize {
 		blockEnd := min(blockStart+opts.BlockSize, len(content))
 		last := blockEnd == len(content)
@@ -133,6 +141,7 @@ func appendFrame(out, content []byte, opts FrameOptions) []byte {
 	if opts.ContentChecksum {
 		out = binary.LittleEndian.AppendUint32(out, uint32(xxhash.Sum64(content, 0)))
 	}
+	putFrameEncoder(enc)
 	return out
 }
 
@@ -143,6 +152,36 @@ type frameEncoder struct {
 	content   []byte
 	maxOffset int
 	table     [1 << 15]int32 // hash -> position+1 of a previous 4-byte match
+	// The remaining fields are per-block scratch reused across blocks
+	// and, via frameEncPool, across frames: regrowing them per block
+	// dominated the encode path's allocation volume.
+	seqs      []seqRec
+	lit       []byte
+	cs        []coded // sequence codes
+	seqOut    []byte  // sequences-section output
+	bwBuf     []byte  // sequences bitstream
+	litOut    []byte  // literals-section output
+	streamBuf []byte  // Huffman literal streams
+	payload   []byte  // assembled block payload
+}
+
+// frameEncPool recycles frameEncoders across frames and Writers. The
+// 128 KiB match table must be cleared on reuse — findSequences only
+// validates candidates against the current content, and a stale entry
+// may point past its end (or ahead of the cursor) and corrupt a match.
+var frameEncPool = sync.Pool{New: func() any { return new(frameEncoder) }}
+
+func getFrameEncoder(content []byte, maxOffset int) *frameEncoder {
+	e := frameEncPool.Get().(*frameEncoder)
+	e.content = content
+	e.maxOffset = maxOffset
+	clear(e.table[:])
+	return e
+}
+
+func putFrameEncoder(e *frameEncoder) {
+	e.content = nil
+	frameEncPool.Put(e)
 }
 
 func hash4(v uint32) uint32 { return v * 2654435761 >> 17 }
@@ -198,8 +237,8 @@ const (
 // returning the sequences and the concatenated literals.
 func (e *frameEncoder) findSequences(start, end int) ([]seqRec, []byte) {
 	src := e.content
-	var seqs []seqRec
-	var lit []byte
+	seqs := e.seqs[:0]
+	lit := e.lit[:0]
 	anchor := start
 	i := start
 	for i+4 <= end {
@@ -212,10 +251,7 @@ func (e *frameEncoder) findSequences(start, end int) ([]seqRec, []byte) {
 			i++
 			continue
 		}
-		ml := 4
-		for i+ml < end && src[cand+ml] == src[i+ml] && ml < maxMatchLen {
-			ml++
-		}
+		ml := extendMatch(src, cand, i, min(end-i, maxMatchLen))
 		// ll never overflows its code range: blocks cap at 128 KiB and
 		// matches start at most blockSize-4 bytes past the anchor.
 		ll := i - anchor
@@ -225,36 +261,63 @@ func (e *frameEncoder) findSequences(start, end int) ([]seqRec, []byte) {
 		anchor = i
 	}
 	lit = append(lit, src[anchor:end]...)
+	e.seqs, e.lit = seqs, lit
 	return seqs, lit
+}
+
+// extendMatch returns the match length at src[cand:] vs src[i:]
+// (cand < i, first four bytes already verified equal), comparing eight
+// bytes per step; the first differing byte falls out of the XOR's
+// trailing zeros. limit must not reach past len(src)-i.
+func extendMatch(src []byte, cand, i, limit int) int {
+	n := 4
+	for n+8 <= limit {
+		x := binary.LittleEndian.Uint64(src[cand+n:]) ^ binary.LittleEndian.Uint64(src[i+n:])
+		if x != 0 {
+			return n + bits.TrailingZeros64(x)>>3
+		}
+		n += 8
+	}
+	for n < limit && src[cand+n] == src[i+n] {
+		n++
+	}
+	return n
 }
 
 // compressBlock builds a compressed-block payload for
 // content[start:end], or nil when compression does not pay.
 func (e *frameEncoder) compressBlock(start, end int) []byte {
 	seqs, lit := e.findSequences(start, end)
-	litSection := encodeLiteralsSection(lit)
+	litSection := e.encodeLiteralsSection(lit)
 	if litSection == nil {
 		return nil
 	}
-	seqSection := encodeSequencesSection(seqs)
+	seqSection := e.encodeSequencesSection(seqs)
 	if seqSection == nil {
 		return nil
 	}
-	return append(litSection, seqSection...)
+	payload := append(e.payload[:0], litSection...)
+	payload = append(payload, seqSection...)
+	e.payload = payload
+	return payload
 }
 
 // --- literals ------------------------------------------------------------
 
 // encodeLiteralsSection emits the literals section, choosing RLE, raw
-// or Huffman-compressed encoding.
-func encodeLiteralsSection(lit []byte) []byte {
+// or Huffman-compressed encoding. The returned slice is encoder
+// scratch, valid until the next block.
+func (e *frameEncoder) encodeLiteralsSection(lit []byte) []byte {
 	if len(lit) > 1 && allEqual(lit) {
 		return append(litHeader(litRLE, len(lit), 0), lit[0])
 	}
-	if comp := huffCompressLiterals(lit); comp != nil {
+	if comp := e.huffCompressLiterals(lit); comp != nil {
 		return comp
 	}
-	return append(litHeader(litRaw, len(lit), 0), lit...)
+	out := append(e.litOut[:0], litHeader(litRaw, len(lit), 0)...)
+	out = append(out, lit...)
+	e.litOut = out
+	return out
 }
 
 // litHeader builds the literals section header. For raw/RLE pass
@@ -286,8 +349,9 @@ func litHeader(litType, regen, comp int) []byte {
 }
 
 // huffCompressLiterals Huffman-codes lit (with a direct-representation
-// tree description), or returns nil when it does not pay.
-func huffCompressLiterals(lit []byte) []byte {
+// tree description), or returns nil when it does not pay. The returned
+// slice is encoder scratch, valid until the next block.
+func (e *frameEncoder) huffCompressLiterals(lit []byte) []byte {
 	if len(lit) < 32 {
 		return nil
 	}
@@ -313,63 +377,71 @@ func huffCompressLiterals(lit []byte) []byte {
 		return nil
 	}
 	// Tree description: direct 4-bit weights for symbols 0..last-1.
-	desc := make([]byte, 0, 1+last/2+1)
-	desc = append(desc, byte(127+last))
+	var desc [65]byte // 1 + ceil(127/2) is the direct-description cap
+	desc[0] = byte(127 + last)
+	dn := 1
 	for i := 0; i < last; i += 2 {
 		b := weights[i] << 4
 		if i+1 < last {
 			b |= weights[i+1]
 		}
-		desc = append(desc, b)
+		desc[dn] = b
+		dn++
 	}
 
 	oneStream := len(lit) < 1024
-	var streams []byte
+	sb := e.streamBuf[:0]
 	if oneStream {
-		streams = table.encodeStream(lit)
+		sb = table.appendStream(sb, lit)
+		e.streamBuf = sb
 	} else {
+		// Jump table first, then the four streams back to back; the
+		// stream sizes are patched in once known.
+		sb = append(sb, 0, 0, 0, 0, 0, 0)
 		seg := (len(lit) + 3) / 4
-		s1 := table.encodeStream(lit[:seg])
-		s2 := table.encodeStream(lit[seg : 2*seg])
-		s3 := table.encodeStream(lit[2*seg : 3*seg])
-		s4 := table.encodeStream(lit[3*seg:])
-		if len(s1) > 65535 || len(s2) > 65535 || len(s3) > 65535 {
+		var sizes [3]int
+		for s := 0; s < 3; s++ {
+			p := len(sb)
+			sb = table.appendStream(sb, lit[s*seg:(s+1)*seg])
+			sizes[s] = len(sb) - p
+		}
+		sb = table.appendStream(sb, lit[3*seg:])
+		e.streamBuf = sb
+		if sizes[0] > 65535 || sizes[1] > 65535 || sizes[2] > 65535 {
 			return nil
 		}
-		streams = make([]byte, 6, 6+len(s1)+len(s2)+len(s3)+len(s4))
-		binary.LittleEndian.PutUint16(streams[0:], uint16(len(s1)))
-		binary.LittleEndian.PutUint16(streams[2:], uint16(len(s2)))
-		binary.LittleEndian.PutUint16(streams[4:], uint16(len(s3)))
-		streams = append(streams, s1...)
-		streams = append(streams, s2...)
-		streams = append(streams, s3...)
-		streams = append(streams, s4...)
+		binary.LittleEndian.PutUint16(sb[0:], uint16(sizes[0]))
+		binary.LittleEndian.PutUint16(sb[2:], uint16(sizes[1]))
+		binary.LittleEndian.PutUint16(sb[4:], uint16(sizes[2]))
 	}
-	comp := len(desc) + len(streams)
+	comp := dn + len(sb)
 	if comp+5 >= len(lit) {
 		return nil
 	}
 	var out []byte
 	if oneStream {
-		out = litHeader(litCompressed, len(lit), comp)
+		out = append(e.litOut[:0], litHeader(litCompressed, len(lit), comp)...)
 	} else {
 		// Force a 4-stream size format.
 		if len(lit) < 16384 && comp < 16384 {
 			n := len(lit) | comp<<14
-			out = []byte{byte(litCompressed | 2<<2 | n<<4), byte(n >> 4), byte(n >> 12), byte(n >> 20)}
+			out = append(e.litOut[:0], byte(litCompressed|2<<2|n<<4), byte(n>>4), byte(n>>12), byte(n>>20))
 		} else {
 			n := len(lit) | comp<<18
-			out = []byte{byte(litCompressed | 3<<2 | n<<4), byte(n >> 4), byte(n >> 12), byte(n >> 20), byte(n >> 28)}
+			out = append(e.litOut[:0], byte(litCompressed|3<<2|n<<4), byte(n>>4), byte(n>>12), byte(n>>20), byte(n>>28))
 		}
 	}
-	out = append(out, desc...)
-	return append(out, streams...)
+	out = append(out, desc[:dn]...)
+	out = append(out, sb...)
+	e.litOut = out
+	return out
 }
 
-// encodeStream Huffman-codes src in reverse order (the backward reader
-// emits symbols forward) and closes with the sentinel bit.
-func (t *huffTable) encodeStream(src []byte) []byte {
-	var w bitWriter
+// appendStream Huffman-codes src in reverse order (the backward reader
+// emits symbols forward), closes with the sentinel bit, and appends the
+// stream to dst.
+func (t *huffTable) appendStream(dst []byte, src []byte) []byte {
+	w := bitWriter{out: dst}
 	for i := len(src) - 1; i >= 0; i-- {
 		s := src[i]
 		w.addBits(uint32(t.codes[s]), int(t.lens[s]))
@@ -548,10 +620,18 @@ func mlCodeOf(mlBase int) uint8 {
 	return uint8(bits.Len32(uint32(mlBase)) - 1 + 36)
 }
 
+// coded is one sequence translated to its LL/ML/OF codes and the extra
+// bits each carries.
+type coded struct {
+	llCode, mlCode, ofCode uint8
+	llX, mlX, ofX          uint32
+}
+
 // encodeSequencesSection emits the sequences section with the three
-// predefined FSE tables (compression-modes byte zero).
-func encodeSequencesSection(seqs []seqRec) []byte {
-	var out []byte
+// predefined FSE tables (compression-modes byte zero). The returned
+// slice is encoder scratch, valid until the next block.
+func (e *frameEncoder) encodeSequencesSection(seqs []seqRec) []byte {
+	out := e.seqOut[:0]
 	n := len(seqs)
 	switch {
 	case n < 128:
@@ -566,11 +646,13 @@ func encodeSequencesSection(seqs []seqRec) []byte {
 	}
 	out = append(out, 0) // all three tables predefined
 
-	type coded struct {
-		llCode, mlCode, ofCode uint8
-		llX, mlX, ofX          uint32
+	cs := e.cs
+	if cap(cs) >= n {
+		cs = cs[:n]
+	} else {
+		cs = make([]coded, n)
+		e.cs = cs
 	}
-	cs := make([]coded, n)
 	for i, s := range seqs {
 		mlBase := s.ml - 3
 		offVal := uint32(s.off + 3)
@@ -581,7 +663,7 @@ func encodeSequencesSection(seqs []seqRec) []byte {
 		}
 	}
 
-	var w bitWriter
+	w := bitWriter{out: e.bwBuf[:0]}
 	lastC := cs[n-1]
 	mlState := mlEncTable.init(lastC.mlCode)
 	ofState := ofEncTable.init(lastC.ofCode)
@@ -601,7 +683,11 @@ func encodeSequencesSection(seqs []seqRec) []byte {
 	mlEncTable.flush(&w, mlState)
 	ofEncTable.flush(&w, ofState)
 	llEncTable.flush(&w, llState)
-	return append(out, w.close()...)
+	stream := w.close()
+	e.bwBuf = stream
+	out = append(out, stream...)
+	e.seqOut = out
+	return out
 }
 
 // --- FSE encoding tables --------------------------------------------------

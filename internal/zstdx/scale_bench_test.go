@@ -1,0 +1,46 @@
+package zstdx
+
+import (
+	"io"
+	"math/rand"
+	"testing"
+)
+
+func benchCorpus(n int) []byte {
+	rng := rand.New(rand.NewSource(42))
+	words := make([][]byte, 128)
+	for i := range words {
+		w := make([]byte, 4+rng.Intn(12))
+		for j := range w {
+			w[j] = byte('a' + rng.Intn(26))
+		}
+		words[i] = w
+	}
+	data := make([]byte, 0, n)
+	for len(data) < n {
+		data = append(data, words[rng.Intn(len(words))]...)
+		data = append(data, ' ')
+	}
+	return data[:n]
+}
+
+func benchWriter(b *testing.B, workers int) {
+	data := benchCorpus(8 << 20)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w, err := NewWriter(io.Discard, WriterOptions{Level: 1, Parallelism: workers})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := w.Write(data); err != nil {
+			b.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWriterW1(b *testing.B) { benchWriter(b, 1) }
+func BenchmarkWriterW4(b *testing.B) { benchWriter(b, 4) }

@@ -1,0 +1,127 @@
+package zstdx
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"testing"
+)
+
+func writerPayload(n int, seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	words := []string{"alpha", "beta", "gamma", "delta", "epsilon", "zeta"}
+	var b bytes.Buffer
+	for b.Len() < n {
+		b.WriteString(words[rng.Intn(len(words))])
+		if rng.Intn(5) == 0 {
+			b.WriteByte(byte(rng.Intn(256)))
+		}
+	}
+	return b.Bytes()[:n]
+}
+
+// TestZstdWriterRoundTrip checks parallel multi-frame output decodes
+// byte-exact with this package's own decoder across boundary sizes.
+func TestZstdWriterRoundTrip(t *testing.T) {
+	shard := 8 << 10
+	for _, n := range []int{0, 1, shard - 1, shard, shard + 1, 4*shard + 77} {
+		for _, level := range []int{0, 1} {
+			data := writerPayload(n, int64(n+level))
+			var out bytes.Buffer
+			w, err := NewWriter(&out, WriterOptions{Level: level, ShardSize: shard, Parallelism: 3, ContentChecksum: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := w.Write(data); err != nil {
+				t.Fatalf("n=%d Write: %v", n, err)
+			}
+			if err := w.Close(); err != nil {
+				t.Fatalf("n=%d Close: %v", n, err)
+			}
+			dec, err := Decompress(out.Bytes())
+			if err != nil {
+				t.Fatalf("n=%d level=%d decode: %v", n, level, err)
+			}
+			if !bytes.Equal(dec, data) {
+				t.Fatalf("n=%d level=%d round trip mismatch", n, level)
+			}
+		}
+	}
+}
+
+// TestZstdWriterSized asserts the output is metadata-sized: ScanFrames
+// recovers the full decode plan from headers alone, matching the
+// checkpoint table the writer recorded.
+func TestZstdWriterSized(t *testing.T) {
+	shard := 10 << 10
+	data := writerPayload(3*shard+123, 9)
+	var out bytes.Buffer
+	w, _ := NewWriter(&out, WriterOptions{Level: 1, ShardSize: shard, Parallelism: 4})
+	if _, err := w.ReadFrom(bytes.NewReader(data)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	scan, err := ScanFrames(out.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !scan.Sized {
+		t.Fatal("output not metadata-sized: a frame omitted its content size")
+	}
+	cps := w.Checkpoints()
+	if len(scan.Frames) != len(cps) || len(cps) != 4 {
+		t.Fatalf("scan found %d frames, writer recorded %d checkpoints, want 4", len(scan.Frames), len(cps))
+	}
+	for i, f := range scan.Frames {
+		cp := cps[i]
+		if f.Offset != cp.CompOff || f.End != cp.CompEnd ||
+			f.ContentStart != cp.DecompOff || f.ContentSize != cp.DecompSize {
+			t.Fatalf("frame %d scan %+v != checkpoint %+v", i, f, cp)
+		}
+	}
+	if w.Flags()&FlagMetadataSized == 0 {
+		t.Fatal("writer flags missing FlagMetadataSized")
+	}
+	if w.Flags()&FlagChecksummed != 0 {
+		t.Fatal("writer flags claim checksums that were not written")
+	}
+	if w.CompressedSize() != int64(out.Len()) || w.UncompressedSize() != int64(len(data)) {
+		t.Fatalf("sizes (%d,%d), want (%d,%d)", w.CompressedSize(), w.UncompressedSize(), out.Len(), len(data))
+	}
+}
+
+// TestZstdWriterEmpty checks an empty input still yields one valid
+// sized frame.
+func TestZstdWriterEmpty(t *testing.T) {
+	var out bytes.Buffer
+	w, _ := NewWriter(&out, WriterOptions{Level: 1})
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() == 0 {
+		t.Fatal("empty input produced no frame")
+	}
+	dec, err := Decompress(out.Bytes())
+	if err != nil || len(dec) != 0 {
+		t.Fatalf("decode = %d bytes, %v", len(dec), err)
+	}
+	if len(w.Checkpoints()) != 1 {
+		t.Fatalf("got %d checkpoints, want 1", len(w.Checkpoints()))
+	}
+}
+
+// TestZstdWriterErrors covers invalid options and write-after-close.
+func TestZstdWriterErrors(t *testing.T) {
+	if _, err := NewWriter(io.Discard, WriterOptions{ShardSize: -1}); err == nil {
+		t.Fatal("negative shard size accepted")
+	}
+	w, _ := NewWriter(io.Discard, WriterOptions{})
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write([]byte("x")); err == nil {
+		t.Fatal("Write after Close accepted")
+	}
+}

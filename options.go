@@ -151,6 +151,11 @@ func resolve(opts []Option) (config, error) {
 			return config{}, err
 		}
 	}
+	// Cross-option conflicts are checked after the loop — they depend on
+	// the combination, not any single call, so order cannot matter.
+	if cfg.pool != nil && cfg.opts.AccessCacheSize != 0 {
+		return config{}, fmt.Errorf("%w: WithAccessCacheSize has no effect under WithSharedPool (the pool's byte budget replaces the per-archive span count)", ErrConflictingOptions)
+	}
 	return cfg, nil
 }
 
@@ -212,9 +217,10 @@ func WithMaxPrefetch(n int) Option {
 // largest span's decompressed size, plus one in-flight compressed
 // extent per worker.
 //
-// Archives opened with WithSharedPool ignore this option: the pool's
-// byte budget replaces the per-archive span count as the cache bound,
-// shared across every archive in the pool.
+// Combining this option with WithSharedPool fails with
+// ErrConflictingOptions: the pool's byte budget replaces the
+// per-archive span count as the cache bound, so a per-archive size
+// cannot be honoured there.
 func WithAccessCacheSize(n int) Option {
 	return func(c *config) error {
 		if n < 0 {
@@ -301,6 +307,11 @@ func WithoutIndexDiscovery() Option {
 
 // WithOptions applies a legacy Options struct wholesale — the bridge
 // for call sites migrating to functional options one knob at a time.
+//
+// Deprecated: pass the individual functional options instead —
+// WithParallelism, WithChunkSize, WithVerify, WithMaxPrefetch,
+// WithAccessCacheSize and WithStrategy cover every Options field, and
+// validate eagerly where the struct could smuggle invalid values in.
 func WithOptions(o Options) Option {
 	return func(c *config) error {
 		if _, err := o.toCore(); err != nil {

@@ -152,6 +152,11 @@ type Reader struct {
 // OpenOptions opens the gzip file at path with explicit legacy
 // options. Unlike Open it never sniffs for other formats and never
 // auto-discovers a sibling index.
+//
+// Deprecated: use Open with functional options — e.g.
+// Open(path, WithFormat(FormatGzip), WithParallelism(n)) — which adds
+// format sniffing, index auto-discovery, and the typed error
+// contract. See the README migration table.
 func OpenOptions(path string, opts Options) (*Reader, error) {
 	src, err := filereader.OpenFile(path)
 	if err != nil {
@@ -171,6 +176,11 @@ func OpenOptions(path string, opts Options) (*Reader, error) {
 // fully indexed from the start: every Seek/ReadAt is constant-time, the
 // block finder never runs, and decompression is served chunk-exact from
 // the recorded offsets and windows — the paper's "(index)" mode.
+//
+// Deprecated: use Open(path, WithIndexFile(indexPath)), which does the
+// same import for every format (checkpoint tables included) and
+// reports failures with the typed error contract. See the README
+// migration table.
 func OpenWithIndex(path, indexPath string, opts Options) (*Reader, error) {
 	cfg, err := opts.toCore()
 	if err != nil {
@@ -396,3 +406,16 @@ func (r *Reader) TarFS() (fs.FS, error) { return TarFS(r) }
 // same way a .tar.gz does, at whatever random-access granularity the
 // format's Capabilities admit.
 func TarFS(a Archive) (fs.FS, error) { return tarfs.Open(a) }
+
+// WriteTar streams src into w as a TAR archive — the write-side
+// complement of TarFS. Pointed at a Writer from Create or NewWriter it
+// produces a .tar.gz / .tar.zst whose members TarFS later serves with
+// random access:
+//
+//	w, _ := rapidgzip.Create("backup.tar.gz")
+//	rapidgzip.WriteTar(w, os.DirFS("/data"))
+//	w.Close()
+//
+// WriteTar does not close w; call w.Close to finalize the archive and
+// its index sidecar.
+func WriteTar(w io.Writer, src fs.FS) error { return tarfs.Create(w, src) }

@@ -1,0 +1,63 @@
+package rapidgzip
+
+import (
+	"bytes"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/fstest"
+)
+
+// TestWriteTarThenTarFS closes the loop the ISSUE's satellite asks for:
+// a directory streamed through WriteTar into Create-produced .tar.gz and
+// .tar.zst archives must open through the existing TarFS path and serve
+// every member byte-exact — with the sidecar making the reopen sizing-free.
+func TestWriteTarThenTarFS(t *testing.T) {
+	src := fstest.MapFS{
+		"hello.txt":        {Data: []byte("hello from the write side")},
+		"bin/large.dat":    {Data: bytes.Repeat([]byte("0123456789abcdef"), 64<<10)}, // 1 MiB
+		"bin/empty":        {Data: nil},
+		"docs/sub/note.md": {Data: []byte("# nested\n")},
+	}
+	for _, ext := range []string{".tar.gz", ".tar.zst"} {
+		t.Run(ext, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "data"+ext)
+			w, err := Create(path, WithShardSize(128<<10), WithWriterParallelism(3))
+			if err != nil {
+				t.Fatalf("Create: %v", err)
+			}
+			if err := WriteTar(w, src); err != nil {
+				t.Fatalf("WriteTar: %v", err)
+			}
+			if err := w.Close(); err != nil {
+				t.Fatalf("Close: %v", err)
+			}
+			if _, err := os.Stat(path + IndexSuffix); err != nil {
+				t.Fatalf("expected index sidecar next to %s: %v", path, err)
+			}
+
+			a, err := Open(path)
+			if err != nil {
+				t.Fatalf("Open: %v", err)
+			}
+			defer a.Close()
+			tfs, err := TarFS(a)
+			if err != nil {
+				t.Fatalf("TarFS: %v", err)
+			}
+			for name, want := range src {
+				got, err := fs.ReadFile(tfs, name)
+				if err != nil {
+					t.Fatalf("ReadFile(%s): %v", name, err)
+				}
+				if !bytes.Equal(got, want.Data) {
+					t.Fatalf("%s: got %d bytes, want %d", name, len(got), len(want.Data))
+				}
+			}
+			if st := a.Stats(); st.SizingPasses != 0 {
+				t.Fatalf("sidecar reopen took %d sizing passes, want 0", st.SizingPasses)
+			}
+		})
+	}
+}
