@@ -26,6 +26,7 @@ func main() {
 	baselinePath := flag.String("baseline", "BENCH_BASELINE.json", "checked-in baseline report")
 	currentPath := flag.String("current", "", "freshly measured report to gate")
 	tolerance := flag.Float64("tolerance", 25, "maximum allowed per-format slowdown, in percent")
+	scalingTol := flag.Float64("scaling-tolerance", 35, "maximum allowed drop of a sweep row's parallel speedup vs baseline, in percent (>=100 disables)")
 	update := flag.Bool("update", false, "rewrite the baseline from -current instead of gating")
 	flag.Parse()
 
@@ -57,7 +58,18 @@ func main() {
 		*currentPath, current.NumCPU, *baselinePath, baseline.NumCPU, *tolerance)
 	fmt.Print(benchfmt.FormatTable(deltas, tol))
 
-	if regs := benchfmt.Regressions(deltas, tol); len(regs) > 0 {
+	regs := benchfmt.Regressions(deltas, tol)
+	// Derived parallelism check on sweep reports (-json-cores rows): a
+	// format whose widest-run speedup collapses relative to the
+	// baseline fails, even if raw throughput stayed inside tolerance.
+	if scaling := benchfmt.CompareScaling(baseline, current); len(scaling) > 0 && *scalingTol < 100 {
+		stol := *scalingTol / 100
+		fmt.Printf("\nparallelism sweep (speedup tolerance -%.0f%%):\n", *scalingTol)
+		fmt.Print(benchfmt.FormatScalingTable(scaling, stol))
+		regs = append(regs, benchfmt.ScalingRegressions(scaling, stol)...)
+	}
+
+	if len(regs) > 0 {
 		fmt.Fprintln(os.Stderr, "benchgate: FAIL")
 		for _, r := range regs {
 			fmt.Fprintln(os.Stderr, "  "+r)

@@ -18,6 +18,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -34,7 +36,34 @@ func main() {
 	jsonOut := flag.String("json", "", "write quick cross-format benchmark results as JSON to this file (skips the paper experiments)")
 	jsonBytes := flag.String("json-bytes", "32M", "uncompressed corpus size for the -json benchmark")
 	jsonCores := flag.String("json-cores", "", "comma-separated parallelism sweep for the -json benchmark (default: NumCPU only; rows gain a -pN suffix when several)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
+	memProfile := flag.String("memprofile", "", "write an allocation profile at exit to this file (go tool pprof)")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC() // flush dead objects so the profile shows live + cumulative allocs
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fatal(err)
+			}
+		}()
+	}
 
 	if *jsonOut != "" {
 		n, err := parseSize(*jsonBytes)

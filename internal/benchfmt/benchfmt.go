@@ -149,6 +149,142 @@ func FormatTable(deltas []Delta, tolerance float64) string {
 	return b.String()
 }
 
+// Scaling is one derived parallelism-sweep row: for a format measured
+// at several core counts (`benchsuite -json-cores`, rows "name-pN"),
+// the speedup of the widest run over the single-core run.
+type Scaling struct {
+	Format  string  // base row name, without the -pN suffix
+	P1      float64 // single-core MB/s
+	PMax    float64 // MB/s at the widest core count
+	Cores   int     // that widest core count
+	Speedup float64 // PMax / P1
+}
+
+// scalingCeilingMBps excludes rows from the scaling check whose
+// single-core throughput says the row measures per-call overhead, not
+// streaming decode (cold opens against a prebuilt index run at tens of
+// GB/s of *eventual* output). Their p2/p1 ratio is run-to-run noise
+// with no decode-parallelism signal in it.
+const scalingCeilingMBps = 5000
+
+// ScalingRows derives the speedup rows from a sweep report: every base
+// name with a p1 row and at least one wider -pN row yields one entry,
+// ordered by name. Reports without sweep rows yield nothing, so callers
+// can gate unconditionally.
+func ScalingRows(r Report) []Scaling {
+	type pair struct{ p1, pmax Result }
+	groups := map[string]*pair{}
+	for _, res := range r.Results {
+		if res.FailureMsg != "" || res.Parallel <= 0 {
+			continue
+		}
+		suffix := fmt.Sprintf("-p%d", res.Parallel)
+		base, ok := strings.CutSuffix(res.Name, suffix)
+		if !ok {
+			continue
+		}
+		g := groups[base]
+		if g == nil {
+			g = &pair{}
+			groups[base] = g
+		}
+		if res.Parallel == 1 {
+			g.p1 = res
+		} else if res.Parallel > g.pmax.Parallel {
+			g.pmax = res
+		}
+	}
+	var out []Scaling
+	for base, g := range groups {
+		if g.p1.Parallel != 1 || g.pmax.Parallel < 2 || g.p1.MBps <= 0 {
+			continue
+		}
+		if g.p1.MBps > scalingCeilingMBps {
+			continue
+		}
+		out = append(out, Scaling{
+			Format:  base,
+			P1:      g.p1.MBps,
+			PMax:    g.pmax.MBps,
+			Cores:   g.pmax.Parallel,
+			Speedup: g.pmax.MBps / g.p1.MBps,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Format < out[j].Format })
+	return out
+}
+
+// ScalingDelta compares one format's derived speedup across two sweep
+// reports.
+type ScalingDelta struct {
+	Format   string
+	Baseline Scaling // zero-valued when New
+	Current  Scaling
+	New      bool // no sweep pair for this format in the baseline
+}
+
+// Regressed reports whether the format's widest-run speedup fell more
+// than tolerance below its baseline speedup. The check is relative, not
+// an absolute efficiency floor: CI runners share cores and some rows
+// legitimately never scale (an HTTP server bottlenecked on accept, a
+// single zstd frame with no frame-level parallelism) — what must not
+// happen silently is a format that used to scale ceasing to.
+func (d ScalingDelta) Regressed(tolerance float64) bool {
+	if d.New {
+		return false
+	}
+	return d.Current.Speedup < d.Baseline.Speedup*(1-tolerance)
+}
+
+// CompareScaling derives the speedup rows of both reports and matches
+// them by format. Formats that lost their sweep pair entirely already
+// fail the main row gate as missing rows, so they are skipped here.
+func CompareScaling(baseline, current Report) []ScalingDelta {
+	base := map[string]Scaling{}
+	for _, s := range ScalingRows(baseline) {
+		base[s.Format] = s
+	}
+	var out []ScalingDelta
+	for _, s := range ScalingRows(current) {
+		b, ok := base[s.Format]
+		out = append(out, ScalingDelta{Format: s.Format, Baseline: b, Current: s, New: !ok})
+	}
+	return out
+}
+
+// FormatScalingTable renders the speedup comparison, flagging every
+// format the tolerance would fail.
+func FormatScalingTable(deltas []ScalingDelta, tolerance float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-24s %11s %9s %9s\n", "format", "p1 MB/s", "baseline", "speedup")
+	for _, d := range deltas {
+		s := d.Current
+		mark := ""
+		if d.Regressed(tolerance) {
+			mark = fmt.Sprintf("  <-- FAIL (worse than -%.0f%%)", tolerance*100)
+		}
+		baseCol := fmt.Sprintf("%8.2fx", d.Baseline.Speedup)
+		if d.New {
+			baseCol = fmt.Sprintf("%9s", "new")
+		}
+		fmt.Fprintf(&b, "%-24s %11.1f %s %5.2fx(p%d)%s\n", d.Format, s.P1, baseCol, s.Speedup, s.Cores, mark)
+	}
+	return b.String()
+}
+
+// ScalingRegressions filters the scaling deltas the tolerance fails, as
+// gate messages.
+func ScalingRegressions(deltas []ScalingDelta, tolerance float64) []string {
+	var out []string
+	for _, d := range deltas {
+		if d.Regressed(tolerance) {
+			out = append(out, fmt.Sprintf("%s: p%d speedup %.2fx, baseline %.2fx (tolerance -%.0f%%)",
+				d.Format, d.Current.Cores, d.Current.Speedup, d.Baseline.Speedup, tolerance*100))
+		}
+	}
+	return out
+}
+
 // Regressions filters the deltas the tolerance fails, as messages.
 func Regressions(deltas []Delta, tolerance float64) []string {
 	var out []string

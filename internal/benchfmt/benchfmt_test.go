@@ -76,6 +76,61 @@ func TestNewRowErrorFails(t *testing.T) {
 	}
 }
 
+func TestScalingRows(t *testing.T) {
+	r := report(
+		Result{Name: "gzip-p1", Parallel: 1, MBps: 100},
+		Result{Name: "gzip-p2", Parallel: 2, MBps: 180},
+		Result{Name: "gzip-p4", Parallel: 4, MBps: 320},
+		Result{Name: "coldopen-p1", Parallel: 1, MBps: 80000}, // open-cost row: excluded by the ceiling
+		Result{Name: "coldopen-p2", Parallel: 2, MBps: 50000},
+		Result{Name: "broken-p1", Parallel: 1, MBps: 0, FailureMsg: "x"}, // errored: no pair
+		Result{Name: "broken-p2", Parallel: 2, MBps: 50},
+		Result{Name: "create-then-open", Parallel: 2, MBps: 90}, // no -pN suffix: not a sweep row
+	)
+	rows := ScalingRows(r)
+	if len(rows) != 1 || rows[0].Format != "gzip" {
+		t.Fatalf("rows = %+v", rows)
+	}
+	// The widest core count wins (p4, not p2), and speedup is pmax/p1.
+	if rows[0].Cores != 4 || rows[0].Speedup != 3.2 {
+		t.Fatalf("gzip row = %+v", rows[0])
+	}
+	// A report without sweep rows derives nothing, so the gate can run
+	// unconditionally.
+	if rows := ScalingRows(report(Result{Name: "gzip", Parallel: 2, MBps: 100})); len(rows) != 0 {
+		t.Fatalf("non-sweep report produced rows: %+v", rows)
+	}
+}
+
+func TestCompareScaling(t *testing.T) {
+	base := report(
+		Result{Name: "gzip-p1", Parallel: 1, MBps: 100},
+		Result{Name: "gzip-p2", Parallel: 2, MBps: 180}, // scaled 1.8x
+		Result{Name: "serve-p1", Parallel: 1, MBps: 100},
+		Result{Name: "serve-p2", Parallel: 2, MBps: 65}, // never scaled: 0.65x
+	)
+	cur := report(
+		Result{Name: "gzip-p1", Parallel: 1, MBps: 110},
+		Result{Name: "gzip-p2", Parallel: 2, MBps: 115}, // collapsed to 1.05x
+		Result{Name: "serve-p1", Parallel: 1, MBps: 100},
+		Result{Name: "serve-p2", Parallel: 2, MBps: 60}, // 0.60x: within tolerance of 0.65x
+		Result{Name: "zstd-p1", Parallel: 1, MBps: 200},
+		Result{Name: "zstd-p2", Parallel: 2, MBps: 100}, // new pair: cannot regress
+	)
+	deltas := CompareScaling(base, cur)
+	if len(deltas) != 3 {
+		t.Fatalf("deltas = %+v", deltas)
+	}
+	regs := ScalingRegressions(deltas, 0.35)
+	if len(regs) != 1 || !strings.Contains(regs[0], "gzip") {
+		t.Fatalf("regressions = %v", regs)
+	}
+	table := FormatScalingTable(deltas, 0.35)
+	if !strings.Contains(table, "FAIL") || !strings.Contains(table, "new") {
+		t.Fatalf("table:\n%s", table)
+	}
+}
+
 func TestSaveLoadRoundTrip(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "r.json")
 	in := report(Result{Name: "gzip", Format: "gzip", MBps: 123.4, Parallel: 4, Repeats: 3})

@@ -2,6 +2,7 @@ package bitio
 
 import (
 	"bytes"
+	"encoding/binary"
 	"io"
 	"math/rand"
 	"testing"
@@ -337,3 +338,39 @@ func BenchmarkBitReaderRead(b *testing.B) {
 func benchName(bits uint) string {
 	return "bits=" + string(rune('0'+bits/10)) + string(rune('0'+bits%10))
 }
+
+// BenchmarkViewCommitRefill isolates the wide-refill discipline the
+// decode hot loops inline via View/Commit: one 8-byte load tops the
+// accumulator up to 56..63 bits, then several variable-width takes
+// drain it. Compare against BenchmarkBitReaderRead to see what the
+// per-call Read overhead costs.
+func BenchmarkViewCommitRefill(b *testing.B) {
+	data := make([]byte, 1<<20)
+	for i := range data {
+		data[i] = byte(i * 2654435761 >> 7)
+	}
+	r := NewBitReaderBytes(data)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		r.Reset(data)
+		buf, pos, bits, nbits := r.View()
+		for pos+8 <= len(buf) {
+			bits |= binary.LittleEndian.Uint64(buf[pos:]) << nbits
+			pos += int((63 - nbits) >> 3)
+			nbits |= 56
+			// Four 13-bit takes per refill, mirroring the Huffman
+			// loop's symbols-per-refill budget.
+			for k := 0; k < 4; k++ {
+				sink += bits & (1<<13 - 1)
+				bits >>= 13
+				nbits -= 13
+			}
+		}
+		r.Commit(pos, bits, nbits)
+	}
+	benchSink = sink
+}
+
+var benchSink uint64

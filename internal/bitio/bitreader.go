@@ -186,6 +186,33 @@ func (r *BitReader) Skip(n uint) error {
 	return nil
 }
 
+// View exposes the buffered source window and the accumulator state for
+// inlined hot loops. The caller decodes on local copies — refilling the
+// accumulator straight from buf with 8-byte loads while pos+8 <=
+// len(buf) — and must Commit the advanced state before calling any
+// other method of r. The contract mirrors the wide-refill discipline:
+//
+//	bits |= binary.LittleEndian.Uint64(buf[pos:]) << nbits
+//	pos += int((63 - nbits) >> 3)
+//	nbits |= 56
+//
+// which tops the accumulator up to 56..63 valid bits per iteration.
+// Bits of buf[pos:] beyond nbits may be OR-ed into bits redundantly
+// across refills; the alignment invariant (bit i of buf[pos] sits at
+// accumulator position nbits+i) makes that idempotent.
+func (r *BitReader) View() (buf []byte, pos int, bits uint64, nbits uint) {
+	return r.buf, r.pos, r.bits, r.nbits
+}
+
+// Commit stores fast-loop state advanced from View back into the
+// reader. nbits must be < 64; bits above nbits are masked off so the
+// slow-path fill() can rebuild them from buf.
+func (r *BitReader) Commit(pos int, bits uint64, nbits uint) {
+	r.pos = pos
+	r.bits = bits & (1<<nbits - 1)
+	r.nbits = nbits
+}
+
 // AlignToByte discards bits up to the next byte boundary and returns the
 // number of bits skipped (0..7).
 func (r *BitReader) AlignToByte() uint {

@@ -143,15 +143,11 @@ func (c *gzipCodec) DecodeSpan(src filereader.FileReader, s spanengine.Span) ([]
 	if !hasWin && !m.atMemberStart {
 		return nil, fmt.Errorf("core: no window for chunk at bit %d", m.startBit)
 	}
-	allowDelegate := !c.cfg.VerifyChecksums || marksKnown
-	res, delegated, err := c.decodeMeta(m, window, allowDelegate)
+	res, err := c.decodeMeta(m, window)
 	if err != nil {
 		return nil, err
 	}
 	c.cnt.indexed.Add(1)
-	if delegated {
-		c.cnt.delegated.Add(1)
-	}
 	if !marksKnown {
 		// Legacy index import (no persisted member marks): learn the
 		// marks from the decode result's own footer events so the CRC
@@ -176,12 +172,14 @@ func (c *gzipCodec) DecodeSpan(src filereader.FileReader, s spanengine.Span) ([]
 }
 
 // decodeMeta decodes one confirmed entry over a single bounded read of
-// its compressed extent. When allowDelegate is set it first attempts
-// the paper's zlib delegation (§3.3 "delegate decompression to zlib")
-// and falls back to the custom single-stage decoder when the chunk
-// cannot be delegated (e.g. a member boundary inside it). Safe for
-// concurrent calls: it touches no mutable codec state.
-func (c *gzipCodec) decodeMeta(m spanMeta, window []byte, allowDelegate bool) (res *deflate.ChunkResult, delegated bool, err error) {
+// its compressed extent, using the custom single-stage decoder. The
+// paper delegates indexed decodes to zlib (§3.3) because its marker
+// decoder lost to zlib's inner loops; with the wide-refill kernels the
+// single-stage decoder outruns compress/flate delegation (see
+// BenchmarkChunkDecode* in internal/deflate), and it handles every
+// chunk shape — member boundaries included — so no fallback chain is
+// needed. Safe for concurrent calls: it touches no mutable codec state.
+func (c *gzipCodec) decodeMeta(m spanMeta, window []byte) (res *deflate.ChunkResult, err error) {
 	fileSize := int64(c.fileBits / 8)
 	byteStart := int64(m.startBit / 8)
 	// The decoder reads the next block's header fields before checking
@@ -194,16 +192,11 @@ func (c *gzipCodec) decodeMeta(m spanMeta, window []byte, allowDelegate bool) (r
 	}
 	buf := make([]byte, byteEnd-byteStart)
 	if n, rerr := c.src.ReadAt(buf, byteStart); rerr != nil && n < len(buf) {
-		return nil, false, rerr
+		return nil, rerr
 	}
 	relStart := m.startBit - uint64(byteStart)*8
 	relEnd := m.endBit - uint64(byteStart)*8
 
-	if allowDelegate {
-		if res, err := c.decodeDelegated(m, buf, relStart, relEnd, window); err == nil {
-			return res, true, nil
-		}
-	}
 	br := bitio.NewBitReaderBytes(buf)
 	var dec deflate.Decoder
 	stop := relEnd
@@ -217,42 +210,20 @@ func (c *gzipCodec) decodeMeta(m spanMeta, window []byte, allowDelegate bool) (r
 		Window:             window,
 		StartsAtGzipHeader: m.atMemberStart,
 		SizeHint:           int(m.size),
+		// The block at the entry's end bit need not be stop-eligible
+		// (sharded writers can open the next shard with a final or
+		// Fixed block); the index size bounds the decode instead, and
+		// the caller trims any same-block overshoot with flattenRange.
+		StopAtOutput: m.size,
 	})
 	if err != nil {
-		return nil, false, fmt.Errorf("core: indexed chunk at bit %d: %w", m.startBit, err)
+		return nil, fmt.Errorf("core: indexed chunk at bit %d: %w", m.startBit, err)
 	}
-	if out.TotalOut() != m.size {
-		return nil, false, fmt.Errorf("core: indexed chunk at bit %d decoded %d bytes, index says %d",
+	if out.TotalOut() < m.size {
+		return nil, fmt.Errorf("core: indexed chunk at bit %d decoded %d bytes, index says %d",
 			m.startBit, out.TotalOut(), m.size)
 	}
-	return out, false, nil
-}
-
-// decodeDelegated decodes one confirmed entry with the standard
-// library (flate with a preset dictionary for mid-stream entries, gzip
-// for member-aligned entries). Any failure is reported so the caller
-// can fall back to the custom decoder. buf holds the span's compressed
-// extent; relStart/relEnd are bit offsets within it.
-func (c *gzipCodec) decodeDelegated(m spanMeta, buf []byte, relStart, relEnd uint64, window []byte) (*deflate.ChunkResult, error) {
-	if m.size == 0 || m.size > uint64(int(^uint(0)>>1)) {
-		return nil, errNoBlock
-	}
-	var out []byte
-	var err error
-	if m.atMemberStart {
-		out, err = deflate.DelegateMembers(buf, 0, int(m.size))
-	} else {
-		out, err = deflate.DelegateWindow(buf, relStart, relEnd, window, int(m.size))
-	}
-	if err != nil {
-		return nil, err
-	}
-	return &deflate.ChunkResult{
-		StartBit: m.startBit,
-		EndBit:   m.endBit,
-		Raw:      out,
-		EndIsEOF: m.endIsEOF,
-	}, nil
+	return out, nil
 }
 
 // --- growing mode --------------------------------------------------------

@@ -125,9 +125,11 @@ type FetcherStats struct {
 	FinderProbes    uint64
 	OnDemandDecodes uint64
 	IndexedDecodes  uint64
-	// DelegatedDecodes counts indexed chunk decodes served by the
-	// stdlib-delegation fast path (§3.3 "delegate decompression to
-	// zlib"); the remainder fell back to the custom decoder.
+	// DelegatedDecodes counts indexed chunk decodes served by stdlib
+	// delegation (§3.3 "delegate decompression to zlib"). The indexed
+	// path now always runs the custom single-stage decoder — its
+	// wide-refill kernels outrun compress/flate — so this stays zero;
+	// the field remains for dashboard compatibility.
 	DelegatedDecodes uint64
 	ChunksConsumed   uint64
 	CRCFailures      uint64

@@ -1,11 +1,13 @@
 package deflate
 
 import (
+	"encoding/binary"
 	"errors"
 	"math"
 
 	"repro/internal/bitio"
 	"repro/internal/gzformat"
+	"repro/internal/huffman"
 )
 
 // ErrOutputLimit reports that a decode exceeded MaxDecompressed. The
@@ -50,6 +52,13 @@ type ChunkConfig struct {
 	// MaxDecompressed aborts the decode when the output exceeds this
 	// many symbols (0 = no limit).
 	MaxDecompressed uint64
+	// StopAtOutput, when nonzero, ends the chunk cleanly at the first
+	// block boundary where at least this many symbols have been
+	// produced. Indexed decodes use it: the index records the chunk's
+	// exact size, and the block at its end bit need not be
+	// stop-eligible (a shard boundary can open with a final or Fixed
+	// block). The caller truncates the possible overshoot.
+	StopAtOutput uint64
 	// SizeHint pre-allocates output capacity.
 	SizeHint int
 }
@@ -167,6 +176,11 @@ func (d *Decoder) DecodeChunk(br *bitio.BitReader, cfg ChunkConfig) (*ChunkResul
 	}
 
 	for {
+		if cfg.StopAtOutput > 0 && st.total() >= cfg.StopAtOutput {
+			cr.EndBit = br.BitPos()
+			d.finish(cr, st)
+			return cr, nil
+		}
 		if st.canFallback() {
 			st.marked = false
 		}
@@ -325,6 +339,23 @@ func (d *Decoder) decodeHuffBlock(st *chunkState) error {
 	return d.decodeHuffBlockRaw(st)
 }
 
+// The block loops below decode on a local copy of the BitReader's
+// accumulator (bitio.View/Commit), refilled with one 8-byte load per
+// element — the wide-refill discipline that makes pure-Go decoders
+// hardware-limited. After a refill the accumulator holds 56..63 valid
+// bits, which covers a worst-case element in one go: litlen code (15)
+// + length extra (5) + distance code (15) + distance extra (13) = 48
+// bits. Literals consume at most 15 bits, so several decode per
+// refill; the inner loop re-enters without refilling while at least
+// 48 bits remain. Within 8 bytes of the buffered window's edge the
+// loops fall back to the checked per-symbol path (which also refills
+// ReaderAt-backed windows), so the fast path never needs bounds or
+// end-of-stream checks on the bit source.
+
+// fastElementBits is the worst-case bit cost of one decoded element;
+// the fast loops refill whenever fewer bits remain.
+const fastElementBits = 48
+
 // decodeHuffBlockMarked is the two-stage (first stage) decode loop:
 // output symbols are 16-bit; back-references into the unknown initial
 // window emit markers (paper §2.2, Figure 3).
@@ -332,87 +363,173 @@ func (d *Decoder) decodeHuffBlockMarked(st *chunkState) error {
 	br := d.br
 	out := st.out16
 	lastMarker := st.lastMarker
-	histStart := st.histStart
-	maxOut := st.maxOut
 	defer func() {
 		st.out16 = out
 		st.lastMarker = lastMarker
 	}()
+
+	lt, ltShift := d.lit.Table(), d.lit.RootBits()
+	ltMask := uint64(1)<<ltShift - 1
+	var dt []huffman.Entry
+	var dtShift uint
+	var dtMask uint64
+	if d.hasDist {
+		dt, dtShift = d.dist.Table(), d.dist.RootBits()
+		dtMask = uint64(1)<<dtShift - 1
+	}
+
+	buf, pos, bits, nbits := br.View()
 	for {
-		sym, err := d.lit.Decode(br)
-		if err != nil {
-			return err
-		}
-		if sym < 256 {
-			out = append(out, sym)
+		if pos+8 > len(buf) {
+			br.Commit(pos, bits, nbits)
+			var done bool
+			var err error
+			out, lastMarker, done, err = d.markedSlowElement(st, out, lastMarker)
+			if done || err != nil {
+				return err
+			}
+			buf, pos, bits, nbits = br.View()
 			continue
 		}
-		if sym == EndOfBlock {
-			return nil
-		}
-		if sym > 285 {
-			return ErrCorrupt
-		}
-		li := sym - 257
-		length := int(lengthBase[li])
-		if e := lengthExtra[li]; e > 0 {
-			v, err := br.Read(uint(e))
+		bits |= binary.LittleEndian.Uint64(buf[pos:]) << nbits
+		pos += int((63 - nbits) >> 3)
+		nbits |= 56
+
+		for {
+			e := lt[bits&ltMask]
+			if sb := e.SubBits(); sb != 0 {
+				e = lt[uint64(e.Val())+bits>>ltShift&(1<<sb-1)]
+			}
+			n := e.Bits()
+			if n == 0 {
+				br.Commit(pos, bits, nbits)
+				return huffman.ErrBadSymbol
+			}
+			bits >>= n
+			nbits -= n
+			sym := e.Val()
+			if sym < 256 {
+				out = append(out, sym)
+				if nbits >= fastElementBits {
+					continue
+				}
+				break
+			}
+			if sym == EndOfBlock {
+				br.Commit(pos, bits, nbits)
+				return nil
+			}
+			if sym > 285 {
+				br.Commit(pos, bits, nbits)
+				return ErrCorrupt
+			}
+			li := sym - 257
+			length := int(lengthBase[li])
+			if x := lengthExtra[li]; x > 0 {
+				length += int(bits & (1<<x - 1))
+				bits >>= x
+				nbits -= uint(x)
+			}
+			if !d.hasDist {
+				br.Commit(pos, bits, nbits)
+				return ErrNoDistanceCode
+			}
+			de := dt[bits&dtMask]
+			if sb := de.SubBits(); sb != 0 {
+				de = dt[uint64(de.Val())+bits>>dtShift&(1<<sb-1)]
+			}
+			dn := de.Bits()
+			if dn == 0 {
+				br.Commit(pos, bits, nbits)
+				return huffman.ErrBadSymbol
+			}
+			bits >>= dn
+			nbits -= dn
+			dsym := de.Val()
+			if dsym > 29 {
+				br.Commit(pos, bits, nbits)
+				return ErrCorrupt
+			}
+			dist := int(distBase[dsym])
+			if x := distExtra[dsym]; x > 0 {
+				dist += int(bits & (1<<x - 1))
+				bits >>= x
+				nbits -= uint(x)
+			}
+			var err error
+			out, lastMarker, err = emitMarkedMatch(st, out, lastMarker, dist, length)
 			if err != nil {
+				br.Commit(pos, bits, nbits)
 				return err
 			}
-			length += int(v)
-		}
-		if !d.hasDist {
-			return ErrNoDistanceCode
-		}
-		dsym, err := d.dist.Decode(br)
-		if err != nil {
-			return err
-		}
-		if dsym > 29 {
-			return ErrCorrupt
-		}
-		dist := int(distBase[dsym])
-		if e := distExtra[dsym]; e > 0 {
-			v, err := br.Read(uint(e))
-			if err != nil {
-				return err
-			}
-			dist += int(v)
-		}
-		p := len(out)
-		if int64(p)-int64(dist) < histStart {
-			return ErrCorrupt
-		}
-		if p+length > maxOut {
-			return ErrOutputLimit
-		}
-		if dist <= p {
-			src := p - dist
-			for k := 0; k < length; k++ {
-				v := out[src+k]
-				if v >= MarkerBase {
-					lastMarker = int64(len(out))
-				}
-				out = append(out, v)
-			}
-		} else {
-			for k := 0; k < length; k++ {
-				pp := len(out)
-				if dist <= pp {
-					v := out[pp-dist]
-					if v >= MarkerBase {
-						lastMarker = int64(pp)
-					}
-					out = append(out, v)
-				} else {
-					off := WindowSize - (dist - pp)
-					lastMarker = int64(pp)
-					out = append(out, uint16(MarkerBase+off))
-				}
-			}
+			break
 		}
 	}
+}
+
+// emitMarkedMatch bounds-checks and appends one back-reference in
+// marked mode, tracking the newest copied or generated marker.
+func emitMarkedMatch(st *chunkState, out []uint16, lastMarker int64, dist, length int) ([]uint16, int64, error) {
+	p := len(out)
+	if int64(p)-int64(dist) < st.histStart {
+		return out, lastMarker, ErrCorrupt
+	}
+	if p+length > st.maxOut {
+		return out, lastMarker, ErrOutputLimit
+	}
+	if dist <= p {
+		src := p - dist
+		out = growU16(out, length)
+		dst := out[p : p+length]
+		// Forward element order keeps the self-overlapping (dist <
+		// length) case correct: later reads see earlier writes.
+		for i := range dst {
+			v := out[src+i]
+			if v >= MarkerBase {
+				lastMarker = int64(p + i)
+			}
+			dst[i] = v
+		}
+		return out, lastMarker, nil
+	}
+	for k := 0; k < length; k++ {
+		pp := len(out)
+		if dist <= pp {
+			v := out[pp-dist]
+			if v >= MarkerBase {
+				lastMarker = int64(pp)
+			}
+			out = append(out, v)
+		} else {
+			off := WindowSize - (dist - pp)
+			lastMarker = int64(pp)
+			out = append(out, uint16(MarkerBase+off))
+		}
+	}
+	return out, lastMarker, nil
+}
+
+// markedSlowElement decodes one element through the checked BitReader
+// path; used near buffered-window edges and at end of input. It
+// reports done when the block's end-of-block symbol was consumed.
+func (d *Decoder) markedSlowElement(st *chunkState, out []uint16, lastMarker int64) ([]uint16, int64, bool, error) {
+	br := d.br
+	sym, err := d.lit.Decode(br)
+	if err != nil {
+		return out, lastMarker, false, err
+	}
+	if sym < 256 {
+		return append(out, sym), lastMarker, false, nil
+	}
+	if sym == EndOfBlock {
+		return out, lastMarker, true, nil
+	}
+	dist, length, err := d.slowMatchTail(sym)
+	if err != nil {
+		return out, lastMarker, false, err
+	}
+	out, lastMarker, err = emitMarkedMatch(st, out, lastMarker, dist, length)
+	return out, lastMarker, false, err
 }
 
 // decodeHuffBlockRaw is the conventional single-stage decode loop used
@@ -420,78 +537,195 @@ func (d *Decoder) decodeHuffBlockMarked(st *chunkState) error {
 func (d *Decoder) decodeHuffBlockRaw(st *chunkState) error {
 	br := d.br
 	out := st.out8
-	base := int64(len(st.out16))
-	histStart := st.histStart
-	maxOut := st.maxOut
 	defer func() { st.out8 = out }()
+
+	lt, ltShift := d.lit.Table(), d.lit.RootBits()
+	ltMask := uint64(1)<<ltShift - 1
+	var dt []huffman.Entry
+	var dtShift uint
+	var dtMask uint64
+	if d.hasDist {
+		dt, dtShift = d.dist.Table(), d.dist.RootBits()
+		dtMask = uint64(1)<<dtShift - 1
+	}
+
+	buf, pos, bits, nbits := br.View()
 	for {
-		sym, err := d.lit.Decode(br)
-		if err != nil {
-			return err
-		}
-		if sym < 256 {
-			out = append(out, byte(sym))
-			continue
-		}
-		if sym == EndOfBlock {
-			return nil
-		}
-		if sym > 285 {
-			return ErrCorrupt
-		}
-		li := sym - 257
-		length := int(lengthBase[li])
-		if e := lengthExtra[li]; e > 0 {
-			v, err := br.Read(uint(e))
-			if err != nil {
+		if pos+8 > len(buf) {
+			br.Commit(pos, bits, nbits)
+			var done bool
+			var err error
+			out, done, err = d.rawSlowElement(st, out)
+			if done || err != nil {
 				return err
 			}
-			length += int(v)
-		}
-		if !d.hasDist {
-			return ErrNoDistanceCode
-		}
-		dsym, err := d.dist.Decode(br)
-		if err != nil {
-			return err
-		}
-		if dsym > 29 {
-			return ErrCorrupt
-		}
-		dist := int(distBase[dsym])
-		if e := distExtra[dsym]; e > 0 {
-			v, err := br.Read(uint(e))
-			if err != nil {
-				return err
-			}
-			dist += int(v)
-		}
-		p := len(out)
-		if base+int64(p)-int64(dist) < histStart {
-			return ErrCorrupt
-		}
-		if int64(p)+int64(length) > int64(maxOut) {
-			return ErrOutputLimit
-		}
-		if dist <= p {
-			out = appendCopyWithin(out, dist, length)
+			buf, pos, bits, nbits = br.View()
 			continue
 		}
-		// Reach back into the marked segment or the initial window.
-		k := dist - p
-		for length > 0 && k > 0 {
-			b, ok := st.historyByte(k)
-			if !ok {
+		bits |= binary.LittleEndian.Uint64(buf[pos:]) << nbits
+		pos += int((63 - nbits) >> 3)
+		nbits |= 56
+
+		for {
+			e := lt[bits&ltMask]
+			if sb := e.SubBits(); sb != 0 {
+				e = lt[uint64(e.Val())+bits>>ltShift&(1<<sb-1)]
+			}
+			n := e.Bits()
+			if n == 0 {
+				br.Commit(pos, bits, nbits)
+				return huffman.ErrBadSymbol
+			}
+			bits >>= n
+			nbits -= n
+			sym := e.Val()
+			if sym < 256 {
+				out = append(out, byte(sym))
+				if nbits >= fastElementBits {
+					continue
+				}
+				break
+			}
+			if sym == EndOfBlock {
+				br.Commit(pos, bits, nbits)
+				return nil
+			}
+			if sym > 285 {
+				br.Commit(pos, bits, nbits)
 				return ErrCorrupt
 			}
-			out = append(out, b)
-			length--
-			k--
-		}
-		if length > 0 {
-			out = appendCopyWithin(out, dist, length)
+			li := sym - 257
+			length := int(lengthBase[li])
+			if x := lengthExtra[li]; x > 0 {
+				length += int(bits & (1<<x - 1))
+				bits >>= x
+				nbits -= uint(x)
+			}
+			if !d.hasDist {
+				br.Commit(pos, bits, nbits)
+				return ErrNoDistanceCode
+			}
+			de := dt[bits&dtMask]
+			if sb := de.SubBits(); sb != 0 {
+				de = dt[uint64(de.Val())+bits>>dtShift&(1<<sb-1)]
+			}
+			dn := de.Bits()
+			if dn == 0 {
+				br.Commit(pos, bits, nbits)
+				return huffman.ErrBadSymbol
+			}
+			bits >>= dn
+			nbits -= dn
+			dsym := de.Val()
+			if dsym > 29 {
+				br.Commit(pos, bits, nbits)
+				return ErrCorrupt
+			}
+			dist := int(distBase[dsym])
+			if x := distExtra[dsym]; x > 0 {
+				dist += int(bits & (1<<x - 1))
+				bits >>= x
+				nbits -= uint(x)
+			}
+			var err error
+			out, err = d.emitRawMatch(st, out, dist, length)
+			if err != nil {
+				br.Commit(pos, bits, nbits)
+				return err
+			}
+			break
 		}
 	}
+}
+
+// emitRawMatch bounds-checks and appends one back-reference in raw
+// mode, reaching into the marked segment or the initial window when
+// the distance exceeds the raw output written so far.
+func (d *Decoder) emitRawMatch(st *chunkState, out []byte, dist, length int) ([]byte, error) {
+	p := len(out)
+	if int64(len(st.out16))+int64(p)-int64(dist) < st.histStart {
+		return out, ErrCorrupt
+	}
+	if int64(p)+int64(length) > int64(st.maxOut) {
+		return out, ErrOutputLimit
+	}
+	if dist <= p {
+		return appendCopyWithin(out, dist, length), nil
+	}
+	k := dist - p
+	for length > 0 && k > 0 {
+		b, ok := st.historyByte(k)
+		if !ok {
+			return out, ErrCorrupt
+		}
+		out = append(out, b)
+		length--
+		k--
+	}
+	if length > 0 {
+		out = appendCopyWithin(out, dist, length)
+	}
+	return out, nil
+}
+
+// rawSlowElement decodes one element through the checked BitReader
+// path; used near buffered-window edges and at end of input.
+func (d *Decoder) rawSlowElement(st *chunkState, out []byte) ([]byte, bool, error) {
+	br := d.br
+	sym, err := d.lit.Decode(br)
+	if err != nil {
+		return out, false, err
+	}
+	if sym < 256 {
+		return append(out, byte(sym)), false, nil
+	}
+	if sym == EndOfBlock {
+		return out, true, nil
+	}
+	dist, length, err := d.slowMatchTail(sym)
+	if err != nil {
+		return out, false, err
+	}
+	out, err = d.emitRawMatch(st, out, dist, length)
+	return out, false, err
+}
+
+// slowMatchTail reads the remainder of a match element (length extra
+// bits, distance code, distance extra bits) after a length symbol was
+// decoded on the checked path.
+func (d *Decoder) slowMatchTail(sym uint16) (dist, length int, err error) {
+	br := d.br
+	if sym > 285 {
+		return 0, 0, ErrCorrupt
+	}
+	li := sym - 257
+	length = int(lengthBase[li])
+	if e := lengthExtra[li]; e > 0 {
+		v, err := br.Read(uint(e))
+		if err != nil {
+			return 0, 0, err
+		}
+		length += int(v)
+	}
+	if !d.hasDist {
+		return 0, 0, ErrNoDistanceCode
+	}
+	dsym, err := d.dist.Decode(br)
+	if err != nil {
+		return 0, 0, err
+	}
+	if dsym > 29 {
+		return 0, 0, ErrCorrupt
+	}
+	dist = int(distBase[dsym])
+	if e := distExtra[dsym]; e > 0 {
+		v, err := br.Read(uint(e))
+		if err != nil {
+			return 0, 0, err
+		}
+		dist += int(v)
+	}
+	return dist, length, nil
 }
 
 // historyByte returns the byte k positions before the start of the raw
@@ -513,24 +747,22 @@ func (st *chunkState) historyByte(k int) (byte, bool) {
 }
 
 // appendCopyWithin appends length bytes copied from dist back within
-// out, handling the overlapping (run-generating) case.
+// out, handling the overlapping (run-generating) case. Non-overlapping
+// copies are a single memmove; overlapping ones replicate the dist-byte
+// pattern with doubling memmoves — O(log(length/dist)) wide copies
+// instead of a byte loop, which also covers dist < 8 safely.
 func appendCopyWithin(out []byte, dist, length int) []byte {
 	p := len(out)
 	out = growBytes(out, length)
 	dst := out[p : p+length]
 	src := p - dist
-	switch {
-	case dist == 1:
-		b := out[src]
-		for i := range dst {
-			dst[i] = b
-		}
-	case dist >= length:
+	if dist >= length {
 		copy(dst, out[src:src+length])
-	default:
-		for i := range dst {
-			dst[i] = out[src+i]
-		}
+		return out
+	}
+	n := copy(dst, out[src:p])
+	for n < length {
+		n += copy(dst[n:], dst[:n])
 	}
 	return out
 }

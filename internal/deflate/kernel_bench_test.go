@@ -1,0 +1,89 @@
+package deflate
+
+// Micro-benchmarks isolating the three costs the chunk-level ablation
+// rows (ablation_bench_test.go) blend together: back-reference copies
+// (appendCopyWithin), pure symbol decode on a match-free stream, and —
+// in internal/bitio — the wide-refill discipline itself
+// (BenchmarkViewCommitRefill). Together they localise a chunk-decode
+// regression to one kernel without profiling.
+
+import (
+	"bytes"
+	"compress/flate"
+	"fmt"
+	"testing"
+
+	"repro/internal/bitio"
+)
+
+// BenchmarkAppendCopyWithin sweeps the copy kernel's regimes: long
+// non-overlapping memmoves, the dist < 8 run-replication path that the
+// 8-byte-wide copies must keep overlap-safe, and short in-between
+// distances.
+func BenchmarkAppendCopyWithin(b *testing.B) {
+	cases := []struct{ dist, length int }{
+		{32 << 10, 64}, // far history: single memmove
+		{1, 64},        // RLE: maximal overlap
+		{3, 64},        // dist < 8, non-power-of-two pattern
+		{7, 300},       // dist < 8, long replication
+		{48, 64},       // short but non-overlapping
+	}
+	for _, c := range cases {
+		b.Run(fmt.Sprintf("dist=%d,len=%d", c.dist, c.length), func(b *testing.B) {
+			base := make([]byte, 64<<10, 8<<20)
+			for i := range base {
+				base[i] = byte(i * 31)
+			}
+			out := base
+			b.SetBytes(int64(c.length))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if len(out)+c.length > cap(out) {
+					out = out[:64<<10]
+				}
+				out = appendCopyWithin(out, c.dist, c.length)
+			}
+		})
+	}
+}
+
+// BenchmarkSymbolDecode decodes a match-free deflate stream
+// (flate.HuffmanOnly never emits back-references), so the measured loop
+// is exactly table lookup + literal store + refill — the symbol-decode
+// kernel with the copy kernel ablated away.
+func BenchmarkSymbolDecode(b *testing.B) {
+	data := make([]byte, 1<<20)
+	s := uint32(99)
+	for i := range data {
+		s = s*1664525 + 1013904223
+		data[i] = byte(s >> 24)
+	}
+	var comp bytes.Buffer
+	fw, err := flate.NewWriter(&comp, flate.HuffmanOnly)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := fw.Write(data); err != nil {
+		b.Fatal(err)
+	}
+	if err := fw.Close(); err != nil {
+		b.Fatal(err)
+	}
+	// DecodeChunk expects a gzip footer after the final block; zero pad
+	// stands in for one (the decode stops at the final block first).
+	stream := append(comp.Bytes(), make([]byte, 8)...)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var dec Decoder
+		cr, err := dec.DecodeChunk(bitio.NewBitReaderBytes(stream), ChunkConfig{
+			Stop: StopAtEOF, SizeHint: len(data),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if cr.TotalOut() != uint64(len(data)) {
+			b.Fatalf("decoded %d, want %d", cr.TotalOut(), len(data))
+		}
+	}
+}

@@ -17,7 +17,34 @@ var ErrBadMarker = errors.New("deflate: marker outside window")
 // 32 KiB window, matching how markers were assigned.
 func ResolveMarkers(dst []byte, src []uint16, window []byte) error {
 	shift := WindowSize - len(window)
-	for i, v := range src {
+	// Literal runs dominate (markers can only reference the first
+	// 32 KiB of the chunk), so resolve four symbols per iteration:
+	// MarkerBase is a power of two, making one OR-compare a "no marker
+	// among these four" test.
+	i := 0
+	for ; i+4 <= len(src) && i+4 <= len(dst); i += 4 {
+		v0, v1, v2, v3 := src[i], src[i+1], src[i+2], src[i+3]
+		if v0|v1|v2|v3 < MarkerBase {
+			dst[i] = byte(v0)
+			dst[i+1] = byte(v1)
+			dst[i+2] = byte(v2)
+			dst[i+3] = byte(v3)
+			continue
+		}
+		for k, v := range [4]uint16{v0, v1, v2, v3} {
+			if v < MarkerBase {
+				dst[i+k] = byte(v)
+				continue
+			}
+			idx := int(v-MarkerBase) - shift
+			if idx < 0 || idx >= len(window) {
+				return ErrBadMarker
+			}
+			dst[i+k] = window[idx]
+		}
+	}
+	for ; i < len(src); i++ {
+		v := src[i]
 		if v < MarkerBase {
 			dst[i] = byte(v)
 			continue

@@ -73,28 +73,36 @@ func ValidateCounts(counts []int, used int, allowIncomplete bool) error {
 	return nil
 }
 
-// Decoder entry layout: a packed uint32.
+// Entry is one cell of the decoding table: a packed uint32.
 //
 //	bits 0..4   total bits consumed (code length, or root bits for a link)
 //	bits 5..8   extra sub-table index bits (nonzero marks a link entry)
 //	bits 16..31 symbol value, or sub-table base offset for link entries
 //
-// A zero entry marks an invalid code prefix.
-type entry uint32
+// A zero Entry marks an invalid code prefix. The type and its
+// accessors are exported so decode loops can inline the two-level
+// lookup (via Table/RootBits) without a method call per symbol.
+type Entry uint32
 
-func (e entry) bits() uint    { return uint(e & 31) }
-func (e entry) subBits() uint { return uint(e >> 5 & 15) }
-func (e entry) val() uint16   { return uint16(e >> 16) }
+// Bits returns the total bits a direct hit consumes (or the root width
+// for a link entry). Zero means the prefix is invalid.
+func (e Entry) Bits() uint { return uint(e & 31) }
 
-func mkEntry(bits, subBits uint, val uint16) entry {
-	return entry(bits&31) | entry(subBits&15)<<5 | entry(val)<<16
+// SubBits returns the second-level index width; nonzero marks a link.
+func (e Entry) SubBits() uint { return uint(e >> 5 & 15) }
+
+// Val returns the decoded symbol, or the sub-table base for a link.
+func (e Entry) Val() uint16 { return uint16(e >> 16) }
+
+func mkEntry(bits, subBits uint, val uint16) Entry {
+	return Entry(bits&31) | Entry(subBits&15)<<5 | Entry(val)<<16
 }
 
 // Decoder is a table-driven canonical Huffman decoder. Codes no longer
 // than rootBits resolve with a single lookup; longer codes use one
 // second-level lookup, the same structure zlib's inflate uses.
 type Decoder struct {
-	root     []entry
+	root     []Entry
 	rootBits uint
 	maxLen   uint
 	// minLen is used by EOF handling: at least minLen bits must remain.
@@ -164,7 +172,7 @@ func (d *Decoder) Init(lengths []uint8, allowIncomplete bool) error {
 	// root prefix. We allocate lazily by appending.
 	rootSize := 1 << rootBits
 	if cap(d.root) < rootSize {
-		d.root = make([]entry, rootSize, rootSize*2)
+		d.root = make([]Entry, rootSize, rootSize*2)
 	}
 	d.root = d.root[:rootSize]
 	for i := range d.root {
@@ -207,7 +215,7 @@ func (d *Decoder) Init(lengths []uint8, allowIncomplete bool) error {
 			}
 			d.root[prefix] = mkEntry(rootBits, subBits, uint16(base))
 		} else {
-			base = int(le.val())
+			base = int(le.Val())
 		}
 		e := mkEntry(uint(l), 0, uint16(sym))
 		step := 1 << (uint(l) - rootBits)
@@ -237,19 +245,28 @@ func (d *Decoder) Decode(br *bitio.BitReader) (uint16, error) {
 	if e == 0 {
 		return 0, ErrBadSymbol
 	}
-	if sb := e.subBits(); sb != 0 {
-		e = d.root[int(e.val())+int(v>>d.rootBits&(1<<sb-1))]
+	if sb := e.SubBits(); sb != 0 {
+		e = d.root[int(e.Val())+int(v>>d.rootBits&(1<<sb-1))]
 		if e == 0 {
 			return 0, ErrBadSymbol
 		}
 	}
-	n := e.bits()
+	n := e.Bits()
 	if n > avail {
 		return 0, errors.New("huffman: unexpected end of stream")
 	}
 	br.Skip(n)
-	return e.val(), nil
+	return e.Val(), nil
 }
 
 // MaxLen returns the longest code length in the decoder.
 func (d *Decoder) MaxLen() uint { return d.maxLen }
+
+// Table returns the decoding table for inlined lookups: index the low
+// RootBits of the bitstream into it; a link entry (SubBits != 0)
+// redirects to Val()+nextBits. The slice is owned by the Decoder and
+// valid until the next Init.
+func (d *Decoder) Table() []Entry { return d.root }
+
+// RootBits returns the first-level index width of Table.
+func (d *Decoder) RootBits() uint { return d.rootBits }

@@ -292,3 +292,37 @@ func BenchmarkDecode(b *testing.B) {
 		}
 	}
 }
+
+// The Deflate special case: a code with a single used symbol may be
+// incomplete ("if only one distance code is used, it is encoded using
+// one bit"). The decoder must build it when allowed, resolve the one
+// code, reject the unused prefix, and still refuse the table when the
+// caller demands completeness.
+func TestIncompleteSingleCode(t *testing.T) {
+	lengths := make([]uint8, 30)
+	lengths[4] = 1 // one distance code, one bit: "0" means symbol 4
+
+	if _, err := NewDecoder(lengths, false); err != ErrIncomplete {
+		t.Fatalf("strict build: %v, want ErrIncomplete", err)
+	}
+	dec, err := NewDecoder(lengths, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stream "0 1": the first bit decodes symbol 4, the second hits the
+	// unused half of the table.
+	r := bitio.NewBitReaderBytes([]byte{0b10})
+	if got, err := dec.Decode(r); err != nil || got != 4 {
+		t.Fatalf("decode: %d, %v", got, err)
+	}
+	if _, err := dec.Decode(r); err != ErrBadSymbol {
+		t.Fatalf("unused prefix: %v, want ErrBadSymbol", err)
+	}
+
+	// Multi-symbol incomplete codes stay invalid even when the
+	// single-code exception is allowed.
+	lengths[7] = 2
+	if _, err := NewDecoder(lengths, true); err != ErrIncomplete {
+		t.Fatalf("two-symbol incomplete: %v, want ErrIncomplete", err)
+	}
+}

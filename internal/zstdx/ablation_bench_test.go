@@ -1,0 +1,123 @@
+package zstdx
+
+// Micro-benchmarks isolating the three kernels of the zstd decode path:
+// Huffman symbol decode (decodeStream's wide-window loop), match copy
+// (appendMatch's 8-byte doubling memmoves), and bitstream refill
+// (revBitReader's cached-window peek). BenchmarkDecodeFrames is the
+// end-to-end composition the CI bench suite's zstd rows measure.
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/workloads"
+)
+
+func huffStreamFixture(b *testing.B, n int) (*huffTable, []byte, []byte) {
+	b.Helper()
+	lit := workloads.SilesiaLike(n, 23)
+	var freq [256]int
+	for _, c := range lit {
+		freq[c]++
+	}
+	lens := buildHuffLengths(&freq)
+	if lens == nil {
+		b.Fatal("degenerate fixture: fewer than two distinct symbols")
+	}
+	_, table, err := lengthsToTable(lens)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return table, table.appendStream(nil, lit), lit
+}
+
+// BenchmarkHuffDecodeStream isolates symbol decode: one long stream,
+// table already built, output buffer reused.
+func BenchmarkHuffDecodeStream(b *testing.B) {
+	table, stream, lit := huffStreamFixture(b, 1<<20)
+	dst := make([]byte, len(lit))
+	b.SetBytes(int64(len(lit)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := table.decodeStream(stream, dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if !bytes.Equal(dst, lit) {
+		b.Fatal("round trip mismatch")
+	}
+}
+
+// BenchmarkAppendMatch isolates match copy at the offset classes the
+// copy kernel branches on: wide non-overlapping, overlapping dist<8
+// (RLE-like), and overlapping dist just under the match length.
+func BenchmarkAppendMatch(b *testing.B) {
+	cases := []struct {
+		name       string
+		offset, ml int
+	}{
+		{"off64KiB-len32", 64 << 10, 32},
+		{"off1-len64", 1, 64},
+		{"off3-len64", 3, 64},
+		{"off7-len300", 7, 300},
+		{"off48-len64", 48, 64},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			seed := workloads.SilesiaLike(128<<10, 5)
+			buf := make([]byte, 0, len(seed)+(c.ml+8)*1024)
+			buf = append(buf, seed...)
+			base := len(buf)
+			b.SetBytes(int64(c.ml))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if len(buf)+c.ml > cap(buf) {
+					buf = buf[:base]
+				}
+				buf = appendMatch(buf, c.offset, c.ml)
+			}
+		})
+	}
+}
+
+// BenchmarkRevBitRefill isolates the backward reader's refill path:
+// a long stream of fixed-width reads walking down through the cached
+// window and reloading every few reads.
+func BenchmarkRevBitRefill(b *testing.B) {
+	data := workloads.SilesiaLike(64<<10, 9)
+	data[len(data)-1] |= 0x80 // sentinel for the backward reader
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		br, err := newRevBitReader(data)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sink uint32
+		for !br.overflowed() {
+			sink += br.read(13)
+		}
+		if sink == 0xdeadbeef {
+			b.Fatal("impossible")
+		}
+	}
+}
+
+// BenchmarkDecodeFrames is the end-to-end kernel composition: decode a
+// multi-frame archive produced by the package's own encoder.
+func BenchmarkDecodeFrames(b *testing.B) {
+	data := workloads.SilesiaLike(8<<20, 17)
+	comp := CompressFrames(data, FrameOptions{})
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := Decompress(comp)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(out) != len(data) {
+			b.Fatal("size mismatch")
+		}
+	}
+}

@@ -14,6 +14,11 @@ type revBitReader struct {
 	data      []byte
 	totalBits int // bits below the sentinel
 	consumed  int
+	// win caches the 8-byte little-endian window at bit offset winOff*8,
+	// so consecutive reads (which walk downward) cost a shift and mask
+	// instead of an 8-byte reload with bounds checks each.
+	win    uint64
+	winOff int
 }
 
 func newRevBitReader(data []byte) (revBitReader, error) {
@@ -21,7 +26,22 @@ func newRevBitReader(data []byte) (revBitReader, error) {
 		return revBitReader{}, errCorrupt("bitstream missing sentinel")
 	}
 	pad := bits.LeadingZeros8(data[len(data)-1]) + 1
-	return revBitReader{data: data, totalBits: len(data)*8 - pad}, nil
+	r := revBitReader{data: data, totalBits: len(data)*8 - pad}
+	r.reload(max(0, len(data)-8))
+	return r, nil
+}
+
+// reload caches the window at byte offset byteOff, zero-padding reads
+// past the end of data.
+func (r *revBitReader) reload(byteOff int) {
+	if byteOff+8 <= len(r.data) {
+		r.win = binary.LittleEndian.Uint64(r.data[byteOff:])
+	} else {
+		var buf [8]byte
+		copy(buf[:], r.data[byteOff:])
+		r.win = binary.LittleEndian.Uint64(buf[:])
+	}
+	r.winOff = byteOff
 }
 
 // overflowed reports reads past the start of the stream — the end
@@ -49,7 +69,12 @@ func (r *revBitReader) peek(n int) uint32 {
 		}
 		start = 0
 	}
-	return extractBits(r.data, start, n) << shift
+	off := start - r.winOff<<3
+	if off < 0 || off+n > 64 {
+		r.reload(start >> 3)
+		off = start & 7
+	}
+	return uint32(r.win>>uint(off)&(1<<uint(n)-1)) << shift
 }
 
 // read consumes and returns the next n (≤ 32) bits.

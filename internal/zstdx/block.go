@@ -12,6 +12,17 @@ type frameDecoder struct {
 	ll   *fseTable
 	of   *fseTable
 	ml   *fseTable
+	// litBuf is scratch for decoded literals, reused across blocks so
+	// each block skips a fresh make (and its zeroing) on the hot path.
+	litBuf []byte
+}
+
+// litScratch returns an n-byte scratch slice backed by litBuf.
+func (d *frameDecoder) litScratch(n int) []byte {
+	if cap(d.litBuf) < n {
+		d.litBuf = make([]byte, n)
+	}
+	return d.litBuf[:n]
 }
 
 func newFrameDecoder() *frameDecoder {
@@ -100,7 +111,7 @@ func (d *frameDecoder) decodeLiterals(in []byte) ([]byte, int, error) {
 		if len(body) < 1 {
 			return nil, 0, errCorrupt("truncated RLE literals")
 		}
-		lit := make([]byte, regen)
+		lit := d.litScratch(regen)
 		for i := range lit {
 			lit[i] = body[0]
 		}
@@ -120,7 +131,7 @@ func (d *frameDecoder) decodeLiterals(in []byte) ([]byte, int, error) {
 	} else if d.huff == nil {
 		return nil, 0, errCorrupt("treeless literals without a previous Huffman table")
 	}
-	lit, err := d.huff.decodeLiterals(stream, regen, fourStreams)
+	lit, err := d.huff.decodeLiterals(d.litScratch(regen), stream, fourStreams)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -233,11 +244,16 @@ func (d *frameDecoder) decodeBlock(in []byte, out []byte) ([]byte, error) {
 		return nil, errCorrupt("sequence bitstream too short")
 	}
 
+	// Hoist the FSE tables: they cannot change mid-block, and keeping
+	// the entry slices in locals lets the loop's lookups skip the
+	// double pointer chase per state.
+	llEnt, ofEnt, mlEnt := d.ll.entries, d.of.entries, d.ml.entries
+
 	base := len(out)
 	for s := 0; s < nbSeq; s++ {
-		ofCode := d.of.entries[ofState].symbol
-		mlCode := d.ml.entries[mlState].symbol
-		llCode := d.ll.entries[llState].symbol
+		ofCode := ofEnt[ofState].symbol
+		mlCode := mlEnt[mlState].symbol
+		llCode := llEnt[llState].symbol
 		if int(ofCode) >= len(ofCodeTable) || int(mlCode) >= len(mlCodeTable) || int(llCode) >= len(llCodeTable) {
 			return nil, errCorrupt("sequence code out of range")
 		}
@@ -288,19 +304,16 @@ func (d *frameDecoder) decodeBlock(in []byte, out []byte) ([]byte, error) {
 		if len(out)+ml-base > maxBlockSize {
 			return nil, errCorrupt("block output too large")
 		}
-		m := len(out) - int(offset)
-		for i := 0; i < ml; i++ {
-			out = append(out, out[m+i])
-		}
+		out = appendMatch(out, int(offset), ml)
 
 		if s+1 < nbSeq {
 			// State updates also mirror write order: literal length,
 			// match length, offset.
-			e := d.ll.entries[llState]
+			e := llEnt[llState]
 			llState = uint32(e.newState) + br.read(int(e.nbBits))
-			e = d.ml.entries[mlState]
+			e = mlEnt[mlState]
 			mlState = uint32(e.newState) + br.read(int(e.nbBits))
-			e = d.of.entries[ofState]
+			e = ofEnt[ofState]
 			ofState = uint32(e.newState) + br.read(int(e.nbBits))
 			if br.overflowed() {
 				return nil, errCorrupt("sequence state update overrun")
@@ -311,4 +324,29 @@ func (d *frameDecoder) decodeBlock(in []byte, out []byte) ([]byte, error) {
 		return nil, errCorrupt("sequence bitstream not fully consumed")
 	}
 	return append(out, lit...), nil
+}
+
+// appendMatch appends ml bytes copied from offset back within out.
+// Non-overlapping matches are one memmove; overlapping ones (offset <
+// ml, including offset < 8) replicate the pattern with doubling
+// memmoves instead of the byte-at-a-time loop this replaced.
+func appendMatch(out []byte, offset, ml int) []byte {
+	p := len(out)
+	if cap(out)-p < ml {
+		grown := make([]byte, p, max(2*cap(out), p+ml))
+		copy(grown, out)
+		out = grown
+	}
+	out = out[: p+ml : cap(out)]
+	dst := out[p:]
+	src := p - offset
+	if offset >= ml {
+		copy(dst, out[src:src+ml])
+		return out
+	}
+	n := copy(dst, out[src:p])
+	for n < ml {
+		n += copy(dst[n:], dst[:n])
+	}
+	return out
 }

@@ -1,6 +1,9 @@
 package zstdx
 
-import "math/bits"
+import (
+	"encoding/binary"
+	"math/bits"
+)
 
 // maxHuffBits is the format's limit on Huffman code lengths (§4.2.1).
 const maxHuffBits = 11
@@ -201,13 +204,85 @@ func readFSEWeights(data []byte) ([]uint8, error) {
 
 // decodeStream inflates one Huffman bitstream into exactly len(dst)
 // symbols; the stream must be consumed exactly (§4.2.2).
+//
+// The hot loop keeps a top-aligned 64-bit window over src and decodes
+// five symbols per refill: after a refill at most 7 bits are consumed
+// from the window top, and the fifth max-length code peeks at offset
+// 7+4×11 = 51, +11 = 62 ≤ 64, so no per-symbol bounds or overflow
+// checks are needed. While the window pointer stays ≥ 0 the logical
+// cursor cannot pass the start of the stream, so overflow is impossible
+// by construction; the checked per-symbol tail handles the final bytes.
 func (t *huffTable) decodeStream(src []byte, dst []byte) error {
 	br, err := newRevBitReader(src)
 	if err != nil {
 		return err
 	}
-	for i := range dst {
-		e := t.entries[br.peek(t.maxBits)]
+	return t.decodeInto(&br, src, dst, 0)
+}
+
+// windowAt positions a top-aligned 64-bit window at the reader's
+// current bit cursor: ptr is the window's byte offset (negative when
+// the stream is too short for a full window), bc the bits already
+// consumed from the window top, so the next code sits at w<<bc.
+func windowAt(br *revBitReader, src []byte) (ptr int, bc uint, w uint64) {
+	remaining := br.totalBits - br.consumed
+	bc = uint(8-remaining&7) & 7
+	ptr = (remaining + int(bc) - 64) / 8
+	if ptr >= 0 {
+		w = binary.LittleEndian.Uint64(src[ptr:])
+	}
+	return
+}
+
+// decodeInto resumes decoding at output index i and the reader's bit
+// cursor, running the wide-window fast loop while it can and the
+// checked per-symbol loop for the tail.
+func (t *huffTable) decodeInto(br *revBitReader, src []byte, dst []byte, i int) error {
+	entries := t.entries
+	maxBits := uint(t.maxBits)
+	if ptr, bc, w := windowAt(br, src); ptr >= 0 && maxBits > 0 {
+		// Masked table indices and an advancing output slice keep the
+		// loop body free of bounds checks: the table is complete, so
+		// len(entries) == 1<<maxBits and the mask is a no-op.
+		mask := uint64(len(entries)) - 1
+		d := dst[i:]
+		for len(d) >= 5 {
+			if bc >= 8 {
+				nptr := ptr - int(bc>>3)
+				if nptr < 0 {
+					break
+				}
+				ptr = nptr
+				bc &= 7
+				w = binary.LittleEndian.Uint64(src[ptr:])
+			}
+			// Five symbols per refill: bc ≤ 7 after the refill, and the
+			// fifth lookup peeks at bc ≤ 7+4×11 = 51, +11 = 62 ≤ 64.
+			e := entries[w<<bc>>(64-maxBits)&mask]
+			bc += uint(e.nbBits)
+			d[0] = e.symbol
+			e = entries[w<<bc>>(64-maxBits)&mask]
+			bc += uint(e.nbBits)
+			d[1] = e.symbol
+			e = entries[w<<bc>>(64-maxBits)&mask]
+			bc += uint(e.nbBits)
+			d[2] = e.symbol
+			e = entries[w<<bc>>(64-maxBits)&mask]
+			bc += uint(e.nbBits)
+			d[3] = e.symbol
+			e = entries[w<<bc>>(64-maxBits)&mask]
+			bc += uint(e.nbBits)
+			d[4] = e.symbol
+			d = d[5:]
+		}
+		i = len(dst) - len(d)
+		// Sync the checked reader to the fast cursor: the next unread
+		// bit, measured from the bottom of the stream, is the window
+		// top minus the bits consumed within it.
+		br.consumed = br.totalBits - (ptr*8 + 64 - int(bc))
+	}
+	for ; i < len(dst); i++ {
+		e := entries[br.peek(int(maxBits))]
 		br.consumed += int(e.nbBits)
 		if br.overflowed() {
 			return errCorrupt("Huffman stream overrun")
@@ -220,9 +295,140 @@ func (t *huffTable) decodeStream(src []byte, dst []byte) error {
 	return nil
 }
 
-// decodeLiterals inflates the 1- or 4-stream Huffman literal payload.
-func (t *huffTable) decodeLiterals(src []byte, regen int, fourStreams bool) ([]byte, error) {
-	out := make([]byte, regen)
+// decode4Streams inflates the four independent literal streams with
+// their bit windows interleaved in one loop. A single stream's decode
+// is a serial dependency chain (each code's position depends on the
+// previous code's length), so one stream leaves most of the core idle;
+// four chains in flight cover each other's table-load latency. Each
+// round refills all four windows, then decodes four symbols from each;
+// the per-stream invariants are exactly decodeStream's. Tails — and
+// any stream too short for a 64-bit window — finish on the per-stream
+// path via decodeInto.
+func (t *huffTable) decode4Streams(srcs *[4][]byte, dsts *[4][]byte) error {
+	var br [4]revBitReader
+	for k := range srcs {
+		b, err := newRevBitReader(srcs[k])
+		if err != nil {
+			return err
+		}
+		br[k] = b
+	}
+	maxBits := uint(t.maxBits)
+	entries := t.entries
+	var i0, i1, i2, i3 int
+	p0, b0, w0 := windowAt(&br[0], srcs[0])
+	p1, b1, w1 := windowAt(&br[1], srcs[1])
+	p2, b2, w2 := windowAt(&br[2], srcs[2])
+	p3, b3, w3 := windowAt(&br[3], srcs[3])
+	if maxBits > 0 && p0 >= 0 && p1 >= 0 && p2 >= 0 && p3 >= 0 {
+		s0, s1, s2, s3 := srcs[0], srcs[1], srcs[2], srcs[3]
+		d0, d1, d2, d3 := dsts[0], dsts[1], dsts[2], dsts[3]
+		// Masked table indices and advancing output slices keep the 32
+		// lookups and stores per round free of bounds checks (the table
+		// is complete, so len(entries) == 1<<maxBits).
+		mask := uint64(len(entries)) - 1
+		for len(d0) >= 5 && len(d1) >= 5 && len(d2) >= 5 && len(d3) >= 5 {
+			if b0 >= 8 {
+				np := p0 - int(b0>>3)
+				if np < 0 {
+					break
+				}
+				p0, b0 = np, b0&7
+				w0 = binary.LittleEndian.Uint64(s0[p0:])
+			}
+			if b1 >= 8 {
+				np := p1 - int(b1>>3)
+				if np < 0 {
+					break
+				}
+				p1, b1 = np, b1&7
+				w1 = binary.LittleEndian.Uint64(s1[p1:])
+			}
+			if b2 >= 8 {
+				np := p2 - int(b2>>3)
+				if np < 0 {
+					break
+				}
+				p2, b2 = np, b2&7
+				w2 = binary.LittleEndian.Uint64(s2[p2:])
+			}
+			if b3 >= 8 {
+				np := p3 - int(b3>>3)
+				if np < 0 {
+					break
+				}
+				p3, b3 = np, b3&7
+				w3 = binary.LittleEndian.Uint64(s3[p3:])
+			}
+			e0 := entries[w0<<b0>>(64-maxBits)&mask]
+			e1 := entries[w1<<b1>>(64-maxBits)&mask]
+			e2 := entries[w2<<b2>>(64-maxBits)&mask]
+			e3 := entries[w3<<b3>>(64-maxBits)&mask]
+			b0 += uint(e0.nbBits)
+			b1 += uint(e1.nbBits)
+			b2 += uint(e2.nbBits)
+			b3 += uint(e3.nbBits)
+			d0[0], d1[0], d2[0], d3[0] = e0.symbol, e1.symbol, e2.symbol, e3.symbol
+			e0 = entries[w0<<b0>>(64-maxBits)&mask]
+			e1 = entries[w1<<b1>>(64-maxBits)&mask]
+			e2 = entries[w2<<b2>>(64-maxBits)&mask]
+			e3 = entries[w3<<b3>>(64-maxBits)&mask]
+			b0 += uint(e0.nbBits)
+			b1 += uint(e1.nbBits)
+			b2 += uint(e2.nbBits)
+			b3 += uint(e3.nbBits)
+			d0[1], d1[1], d2[1], d3[1] = e0.symbol, e1.symbol, e2.symbol, e3.symbol
+			e0 = entries[w0<<b0>>(64-maxBits)&mask]
+			e1 = entries[w1<<b1>>(64-maxBits)&mask]
+			e2 = entries[w2<<b2>>(64-maxBits)&mask]
+			e3 = entries[w3<<b3>>(64-maxBits)&mask]
+			b0 += uint(e0.nbBits)
+			b1 += uint(e1.nbBits)
+			b2 += uint(e2.nbBits)
+			b3 += uint(e3.nbBits)
+			d0[2], d1[2], d2[2], d3[2] = e0.symbol, e1.symbol, e2.symbol, e3.symbol
+			e0 = entries[w0<<b0>>(64-maxBits)&mask]
+			e1 = entries[w1<<b1>>(64-maxBits)&mask]
+			e2 = entries[w2<<b2>>(64-maxBits)&mask]
+			e3 = entries[w3<<b3>>(64-maxBits)&mask]
+			b0 += uint(e0.nbBits)
+			b1 += uint(e1.nbBits)
+			b2 += uint(e2.nbBits)
+			b3 += uint(e3.nbBits)
+			d0[3], d1[3], d2[3], d3[3] = e0.symbol, e1.symbol, e2.symbol, e3.symbol
+			e0 = entries[w0<<b0>>(64-maxBits)&mask]
+			e1 = entries[w1<<b1>>(64-maxBits)&mask]
+			e2 = entries[w2<<b2>>(64-maxBits)&mask]
+			e3 = entries[w3<<b3>>(64-maxBits)&mask]
+			b0 += uint(e0.nbBits)
+			b1 += uint(e1.nbBits)
+			b2 += uint(e2.nbBits)
+			b3 += uint(e3.nbBits)
+			d0[4], d1[4], d2[4], d3[4] = e0.symbol, e1.symbol, e2.symbol, e3.symbol
+			d0, d1, d2, d3 = d0[5:], d1[5:], d2[5:], d3[5:]
+		}
+		i0 = len(dsts[0]) - len(d0)
+		i1 = len(dsts[1]) - len(d1)
+		i2 = len(dsts[2]) - len(d2)
+		i3 = len(dsts[3]) - len(d3)
+		br[0].consumed = br[0].totalBits - (p0*8 + 64 - int(b0))
+		br[1].consumed = br[1].totalBits - (p1*8 + 64 - int(b1))
+		br[2].consumed = br[2].totalBits - (p2*8 + 64 - int(b2))
+		br[3].consumed = br[3].totalBits - (p3*8 + 64 - int(b3))
+	}
+	for k, i := range [4]int{i0, i1, i2, i3} {
+		if err := t.decodeInto(&br[k], srcs[k], dsts[k], i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// decodeLiterals inflates the 1- or 4-stream Huffman literal payload
+// into out (len(out) = the regenerated size); out may be reused
+// scratch, since every byte is overwritten on success.
+func (t *huffTable) decodeLiterals(out []byte, src []byte, fourStreams bool) ([]byte, error) {
+	regen := len(out)
 	if !fourStreams {
 		return out, t.decodeStream(src, out)
 	}
@@ -242,6 +448,7 @@ func (t *huffTable) decodeLiterals(src []byte, regen int, fourStreams bool) ([]b
 	if seg*3 > regen {
 		return nil, errCorrupt("four Huffman streams for tiny output")
 	}
+	var srcs, dsts [4][]byte
 	p := 6
 	o := 0
 	for i, size := range sizes {
@@ -249,11 +456,16 @@ func (t *huffTable) decodeLiterals(src []byte, regen int, fourStreams bool) ([]b
 		if i == 3 {
 			n = regen - 3*seg
 		}
-		if err := t.decodeStream(src[p:p+size], out[o:o+n]); err != nil {
-			return nil, err
+		if size < 0 || p+size > len(src) {
+			return nil, errCorrupt("Huffman jump table exceeds payload")
 		}
+		srcs[i] = src[p : p+size]
+		dsts[i] = out[o : o+n]
 		p += size
 		o += n
+	}
+	if err := t.decode4Streams(&srcs, &dsts); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

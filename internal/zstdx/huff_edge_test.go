@@ -1,0 +1,122 @@
+package zstdx
+
+// Edge cases of the wide-window Huffman decode loops: codes at the
+// format's 11-bit length limit (the widest lookups the five-per-refill
+// budget must absorb), near-end streams that never enter the fast loop,
+// and the interleaved four-stream kernel resuming its checked tails.
+
+import (
+	"bytes"
+	"testing"
+)
+
+// maxBitsTable builds a table whose longest codes hit maxHuffBits: one
+// symbol per weight 1..10 (weight sum 1023), one at weight 11 (1024),
+// and one extra weight-1 symbol complete the 2^11 sum, so maxBits == 11
+// and the weight-1 symbols decode through full-width 11-bit lookups.
+func maxBitsTable(t *testing.T) *huffTable {
+	t.Helper()
+	weights := make([]uint8, 12)
+	for i := 0; i < 10; i++ {
+		weights[i] = uint8(i + 1)
+	}
+	weights[10] = 11
+	weights[11] = 1
+	tab, err := buildHuffTable(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.maxBits != maxHuffBits {
+		t.Fatalf("maxBits = %d, want %d", tab.maxBits, maxHuffBits)
+	}
+	return tab
+}
+
+func TestHuffDecodeMaxLengthCodes(t *testing.T) {
+	tab := maxBitsTable(t)
+	// A symbol mix leaning on the 11-bit codes (the weight-1 symbols 0
+	// and 11), long enough to drive the fast loop through many refills.
+	lit := make([]byte, 4096)
+	for i := range lit {
+		lit[i] = byte([]uint8{0, 11, 10, 0, 9, 11, 10, 5}[i&7])
+	}
+	stream := tab.appendStream(nil, lit)
+	got := make([]byte, len(lit))
+	if err := tab.decodeStream(stream, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, lit) {
+		t.Fatal("max-length-code round trip mismatch")
+	}
+}
+
+// TestHuffDecodeShortStreams sweeps output lengths around the fast
+// loop's entry threshold: the shortest streams decode entirely in the
+// checked tail, slightly longer ones cross the fast/tail handoff with
+// the final codes in the stream's first (last-read) bytes.
+func TestHuffDecodeShortStreams(t *testing.T) {
+	tab := maxBitsTable(t)
+	for n := 1; n <= 64; n++ {
+		lit := make([]byte, n)
+		for i := range lit {
+			lit[i] = byte([]uint8{0, 11, 3, 10}[i&3])
+		}
+		stream := tab.appendStream(nil, lit)
+		got := make([]byte, n)
+		if err := tab.decodeStream(stream, got); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !bytes.Equal(got, lit) {
+			t.Fatalf("n=%d: mismatch", n)
+		}
+	}
+}
+
+// TestHuffDecode4StreamsUneven drives the interleaved kernel with
+// deliberately unequal stream lengths, so the streams leave the joint
+// fast loop at different points and each per-stream checked tail must
+// resume from its own interleaved cursor.
+func TestHuffDecode4StreamsUneven(t *testing.T) {
+	tab := maxBitsTable(t)
+	lens := [4]int{2000, 3, 997, 64}
+	var srcs, dsts [4][]byte
+	var want [4][]byte
+	for k, n := range lens {
+		lit := make([]byte, n)
+		for i := range lit {
+			lit[i] = byte([]uint8{0, 11, 10, 9, 5}[(i+k)%5])
+		}
+		want[k] = lit
+		srcs[k] = tab.appendStream(nil, lit)
+		dsts[k] = make([]byte, n)
+	}
+	if err := tab.decode4Streams(&srcs, &dsts); err != nil {
+		t.Fatal(err)
+	}
+	for k := range dsts {
+		if !bytes.Equal(dsts[k], want[k]) {
+			t.Fatalf("stream %d: mismatch", k)
+		}
+	}
+}
+
+// TestHuffDecodeTruncatedStream: cutting bytes off an otherwise valid
+// stream must error (too few bits, or a dead cursor), never hang or
+// over-read.
+func TestHuffDecodeTruncatedStream(t *testing.T) {
+	tab := maxBitsTable(t)
+	lit := make([]byte, 512)
+	for i := range lit {
+		lit[i] = byte([]uint8{0, 11, 10, 7}[i&3])
+	}
+	stream := tab.appendStream(nil, lit)
+	got := make([]byte, len(lit))
+	for cut := 1; cut <= 8 && cut < len(stream); cut++ {
+		if err := tab.decodeStream(stream[:len(stream)-cut], got); err == nil {
+			t.Fatalf("cut=%d: truncated stream decoded", cut)
+		}
+	}
+	if err := tab.decodeStream(nil, got); err == nil {
+		t.Fatal("empty stream decoded")
+	}
+}

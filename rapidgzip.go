@@ -72,8 +72,9 @@ type Stats struct {
 	FinderProbes    uint64
 	OnDemandDecodes uint64
 	IndexedDecodes  uint64
-	// DelegatedDecodes counts indexed chunk decodes served by the
-	// stdlib-delegation fast path (§3.3).
+	// DelegatedDecodes counts indexed chunk decodes served by stdlib
+	// delegation (§3.3). Always zero since the indexed path switched to
+	// the custom single-stage decoder; kept for compatibility.
 	DelegatedDecodes uint64
 	ChunksConsumed   uint64
 	CRCFailures      uint64
