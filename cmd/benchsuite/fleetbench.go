@@ -1,0 +1,224 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro"
+	"repro/internal/benchfmt"
+	"repro/internal/server"
+	"repro/internal/workloads/fleet"
+)
+
+// fleetSize is the archive count of the small-fleet serving rows —
+// thousands of KB-scale mixed-format files, far more than the handle
+// cache holds, so the measurement is dominated by the open path.
+const fleetSize = 2000
+
+// fleetRows measures rgzserve over a fleet of small archives, the
+// opposite regime of rgzserve-readat-rps's one big archive: every
+// request likely evicts and reopens a handle, so MB/s is governed by
+// cold-open cost, admission and the handle cache rather than span
+// decode speed. Two rows bracket the warm-up subsystem:
+//
+//	rgzserve-smallfleet-rps       warm-up off, every reopen re-sizes
+//	rgzserve-smallfleet-warm-rps  index store primed through the
+//	                              warm-up workers first; reopens are
+//	                              metadata-only index imports
+//
+// The gap between them is the warm-up payoff as a tracked number.
+func fleetRows(repeats int, coreCounts []int, suffixed bool) ([]benchfmt.Result, error) {
+	dir, err := os.MkdirTemp("", "benchsuite-fleet-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	files, err := fleet.Write(dir, fleetSize, 97)
+	if err != nil {
+		return nil, err
+	}
+	store, err := os.MkdirTemp("", "benchsuite-fleetidx-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(store)
+	if err := primeFleetStore(dir, store, files); err != nil {
+		return nil, fmt.Errorf("fleet warm-up priming: %w", err)
+	}
+
+	var rows []benchfmt.Result
+	for _, variant := range []struct {
+		name  string
+		store string
+	}{
+		{name: "rgzserve-smallfleet-rps", store: ""},
+		{name: "rgzserve-smallfleet-warm-rps", store: store},
+	} {
+		for _, threads := range coreCounts {
+			res := benchfmt.Result{
+				Name:      variant.name,
+				Repeats:   repeats,
+				Parallel:  threads,
+				Format:    "mixed",
+				WithIndex: variant.store != "",
+			}
+			if suffixed {
+				res.Name = fmt.Sprintf("%s-p%d", res.Name, threads)
+			}
+			var samples []float64
+			for rep := 0; rep < repeats; rep++ {
+				mbps, served, err := fleetOnce(dir, variant.store, files, threads)
+				if err != nil {
+					res.FailureMsg = err.Error()
+					break
+				}
+				res.OutBytes = served
+				samples = append(samples, mbps)
+			}
+			if len(samples) == repeats {
+				_, res.StdDev = meanStd(samples)
+				for _, s := range samples {
+					res.MBps = max(res.MBps, s)
+				}
+			}
+			rows = append(rows, res)
+			fmt.Fprintf(os.Stderr, "benchsuite: %-27s %8.1f MB/s ± %.1f (%s, P=%d)\n",
+				res.Name, res.MBps, res.StdDev, res.Format, threads)
+		}
+	}
+	return rows, nil
+}
+
+// primeFleetStore fills the index store the way production would: a
+// server with warm-up workers serves a HEAD of every archive, the
+// background exports write the sidecars, and the function waits for
+// the queue to drain. The bounded warm-up queue drops overflow, so
+// archives are touched in passes until every store sidecar exists.
+func primeFleetStore(root, store string, files []fleet.File) error {
+	s, err := server.New(server.Config{
+		Root:          root,
+		IndexStore:    store,
+		WarmupWorkers: 4,
+		Options:       []rapidgzip.Option{rapidgzip.WithParallelism(1)},
+	})
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	client := ts.Client()
+	for pass := 0; pass < 50; pass++ {
+		missing := 0
+		for _, f := range files {
+			sidecar := filepath.Join(store, filepath.FromSlash(f.Name)+rapidgzip.IndexSuffix)
+			if _, err := os.Stat(sidecar); err == nil {
+				continue
+			}
+			missing++
+			resp, err := client.Head(ts.URL + "/archives/" + f.Name)
+			if err != nil {
+				return err
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				return fmt.Errorf("HEAD %s: status %d", f.Name, resp.StatusCode)
+			}
+		}
+		if missing == 0 {
+			return nil
+		}
+		if err := waitFleetWarmups(s, 2*time.Minute); err != nil {
+			return err
+		}
+	}
+	return fmt.Errorf("fleet store still incomplete after 50 passes")
+}
+
+// waitFleetWarmups blocks until every accepted warm-up finished.
+func waitFleetWarmups(s *server.Server, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		m := s.Metrics()
+		if m.WarmupsCompleted+m.WarmupsFailed >= m.WarmupsQueued {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("warm-up queue stuck: %+v", m)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// fleetOnce runs one sample: 2×threads workers GET random whole fleet
+// files from a fresh server until minSampleTime; the sample is body
+// MB/s. Warm-up stays off during measurement either way — the warm
+// variant reads the pre-primed store, the cold one re-sizes every
+// open, and neither mutates state mid-sample.
+func fleetOnce(root, store string, files []fleet.File, threads int) (float64, int, error) {
+	s, err := server.New(server.Config{
+		Root:          root,
+		IndexStore:    store,
+		WarmupWorkers: -1,
+		PoolBudget:    64 << 20,
+		Options:       []rapidgzip.Option{rapidgzip.WithParallelism(threads)},
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 4 * threads}}
+
+	workers := 2 * threads
+	var total atomic.Int64
+	var firstErr atomic.Value
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)*6151 + 11))
+			for time.Since(start) < minSampleTime {
+				f := files[rng.Intn(len(files))]
+				resp, err := client.Get(ts.URL + "/archives/" + f.Name)
+				if err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+				got, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					firstErr.CompareAndSwap(nil, fmt.Errorf("GET %s: status %d", f.Name, resp.StatusCode))
+					return
+				}
+				if !bytes.Equal(got, f.Content) {
+					firstErr.CompareAndSwap(nil, fmt.Errorf("GET %s: body mismatch (%d bytes)", f.Name, len(got)))
+					return
+				}
+				total.Add(int64(len(got)))
+			}
+		}(w)
+	}
+	wg.Wait()
+	sec := time.Since(start).Seconds()
+	if err, ok := firstErr.Load().(error); ok {
+		return 0, 0, err
+	}
+	return float64(total.Load()) / 1e6 / sec, int(total.Load()), nil
+}

@@ -97,6 +97,15 @@ func writeJSONBench(path string, corpusBytes, repeats int, coreCounts []int) err
 		return err
 	}
 	report.Results = append(report.Results, serveRows...)
+	// Small-fleet serving: thousands of KB-scale archives through a
+	// 64-handle cache, with and without a warm-up-primed index store —
+	// the open path (admission, classification, index import) as a
+	// number, and the warm-up payoff as the gap between the two rows.
+	fleetRowsOut, err := fleetRows(repeats, coreCounts, suffixed)
+	if err != nil {
+		return err
+	}
+	report.Results = append(report.Results, fleetRowsOut...)
 	// The write side: sharded parallel compression throughput at one and
 	// four workers (the -w4 row is the scaling evidence — shards are
 	// independent, so it should run well past 1.5x the -w1 row), plus the

@@ -9,28 +9,45 @@
 // Memory stays bounded regardless of archive count and size: all open
 // archives share one span-cache byte budget (-pool-budget), at most
 // -max-open archives are open at once (LRU), and -open-slots /
-// -read-slots bound concurrent sizing passes and body decodes.
+// -read-slots bound concurrent sizing passes and body decodes. Within
+// the open slots, at most -heavy-open-slots may run heavy cold opens
+// (unindexed gzip/bzip2/zstd of at least -heavy-open-bytes), so a
+// stampede of cold scans never starves cheap opens.
 //
 // Endpoints:
 //
-//	GET/HEAD /archives/<name>  decompressed bytes, Range-aware (206/416)
+//	GET/HEAD /archives/<name>  decompressed bytes, Range-aware (206/416),
+//	                           conditional (If-None-Match / If-Modified-Since)
 //	GET      /archives/        JSON list of servable archives
 //	GET      /stats/<name>     backend counters of one archive
-//	GET      /metrics          pool, server and per-archive counters
+//	GET      /metrics          pool, server, warm-up and per-archive counters
 //
 // A sibling "<name>.rgzidx" index (saved by the rapidgzip CLI's
 // -export-index) is imported automatically on first access, making the
-// cold open of an indexed archive metadata-only.
+// cold open of an indexed archive metadata-only. Archives served
+// without one are indexed in the background (-warmup workers) and the
+// sidecar is written — atomically — to -index-store, or beside the
+// archive when no store is configured, so only the first open ever
+// pays the sizing pass.
+//
+// With -tls-cert/-tls-key the server speaks HTTPS and, via Go's
+// standard TLS stack, HTTP/2. On SIGTERM/SIGINT it stops accepting
+// connections, drains in-flight requests for up to -drain-timeout,
+// then closes every archive.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro"
@@ -39,13 +56,21 @@ import (
 
 func main() {
 	var (
-		addr       = flag.String("addr", ":8080", "listen address")
-		root       = flag.String("root", ".", "directory of archives to serve")
-		poolBudget = flag.String("pool-budget", "256M", "shared decompressed-span cache budget across all open archives (K/M/G suffixes; 'off' disables the shared pool)")
-		maxOpen    = flag.Int("max-open", 64, "max concurrently open archives (LRU-evicted beyond this)")
-		openSlots  = flag.Int("open-slots", 0, "max concurrent archive opens (0 = NumCPU/2)")
-		readSlots  = flag.Int("read-slots", 0, "max concurrent response bodies decoding (0 = 4*NumCPU)")
-		par        = flag.Int("P", 0, "decompression threads per archive (0 = NumCPU)")
+		addr         = flag.String("addr", ":8080", "listen address")
+		root         = flag.String("root", ".", "directory of archives to serve")
+		poolBudget   = flag.String("pool-budget", "256M", "shared decompressed-span cache budget across all open archives (K/M/G suffixes; 'off' disables the shared pool)")
+		maxOpen      = flag.Int("max-open", 64, "max concurrently open archives (LRU-evicted beyond this)")
+		openSlots    = flag.Int("open-slots", 0, "max concurrent archive opens (0 = NumCPU/2)")
+		heavySlots   = flag.Int("heavy-open-slots", 0, "max open slots occupied by heavy cold opens (0 = half of -open-slots)")
+		heavyBytes   = flag.String("heavy-open-bytes", "4M", "compressed size at which an unindexed open counts as heavy (K/M/G suffixes)")
+		readSlots    = flag.Int("read-slots", 0, "max concurrent response bodies decoding (0 = 4*NumCPU)")
+		par          = flag.Int("P", 0, "decompression threads per archive (0 = NumCPU)")
+		indexStore   = flag.String("index-store", "", "directory for index sidecars, shared across servers (empty = beside each archive)")
+		warmup       = flag.Int("warmup", 1, "background index warm-up workers (0 disables warm-up)")
+		cacheControl = flag.String("cache-control", "", "Cache-Control header on archive responses (empty = 'public, max-age=60'; 'none' sends no header)")
+		tlsCert      = flag.String("tls-cert", "", "TLS certificate file; with -tls-key enables HTTPS and HTTP/2")
+		tlsKey       = flag.String("tls-key", "", "TLS private key file")
+		drain        = flag.Duration("drain-timeout", 30*time.Second, "max time to drain in-flight requests on SIGTERM/SIGINT")
 	)
 	flag.Parse()
 
@@ -57,32 +82,80 @@ func main() {
 		}
 		budget = int64(n)
 	}
+	heavyOpenBytes, err := parseSize(*heavyBytes)
+	if err != nil {
+		fatal(fmt.Errorf("bad -heavy-open-bytes: %w", err))
+	}
+	if (*tlsCert == "") != (*tlsKey == "") {
+		fatal(errors.New("-tls-cert and -tls-key must be set together"))
+	}
 	var opts []rapidgzip.Option
 	if *par > 0 {
 		opts = append(opts, rapidgzip.WithParallelism(*par))
+	}
+	warmWorkers := *warmup
+	if warmWorkers <= 0 {
+		warmWorkers = -1 // Config: negative disables, zero means default
 	}
 	s, err := server.New(server.Config{
 		Root:            *root,
 		MaxOpenArchives: *maxOpen,
 		OpenSlots:       *openSlots,
+		HeavyOpenSlots:  *heavySlots,
+		HeavyOpenBytes:  int64(heavyOpenBytes),
 		ReadSlots:       *readSlots,
 		PoolBudget:      budget,
+		IndexStore:      *indexStore,
+		WarmupWorkers:   warmWorkers,
+		CacheControl:    *cacheControl,
 		Options:         opts,
 	})
 	if err != nil {
 		fatal(err)
 	}
-	defer s.Close()
 
 	hs := &http.Server{
 		Addr:              *addr,
 		Handler:           s.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	log.Printf("rgzserve: serving %s on %s (pool budget %s, max %d open archives)",
-		*root, *addr, *poolBudget, *maxOpen)
-	if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
-		fatal(err)
+	scheme := "http"
+	if *tlsCert != "" {
+		scheme = "https+h2"
+	}
+	log.Printf("rgzserve: serving %s on %s (%s, pool budget %s, max %d open archives, warmup %d)",
+		*root, *addr, scheme, *poolBudget, *maxOpen, max(0, *warmup))
+
+	// Graceful shutdown: on the first SIGTERM/SIGINT stop accepting,
+	// drain in-flight requests (bounded by -drain-timeout), then close
+	// the archives. A second signal kills the process the usual way.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, os.Interrupt)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() {
+		if *tlsCert != "" {
+			errc <- hs.ListenAndServeTLS(*tlsCert, *tlsKey)
+		} else {
+			errc <- hs.ListenAndServe()
+		}
+	}()
+	select {
+	case err := <-errc:
+		s.Close()
+		if err != nil && err != http.ErrServerClosed {
+			fatal(err)
+		}
+	case <-ctx.Done():
+		stop() // restore default signal handling: next signal is fatal
+		log.Printf("rgzserve: shutting down, draining for up to %s", *drain)
+		dctx, cancel := context.WithTimeout(context.Background(), *drain)
+		err := hs.Shutdown(dctx)
+		cancel()
+		s.Close()
+		if err != nil {
+			fatal(fmt.Errorf("drain: %w", err))
+		}
+		log.Printf("rgzserve: drained cleanly")
 	}
 }
 

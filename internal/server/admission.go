@@ -1,0 +1,79 @@
+package server
+
+import "context"
+
+// admission is the open-path admission controller. It replaces the old
+// single global open semaphore with a two-lane scheme that keeps cold
+// heavyweight opens from starving everything else:
+//
+//   - every open (light or heavy) holds one of `slots` — the overall
+//     concurrency bound, unchanged from before;
+//   - a heavy open (a sizing pass that must decode real data: a cold
+//     bzip2 scan, an unindexed gzip first pass) additionally holds one
+//     of `heavy`, whose capacity is strictly smaller than `slots`.
+//
+// The invariant that buys fairness: at most cap(heavy) of the
+// cap(slots) open slots can ever be occupied by heavy opens, so
+// slots-heavy slots always remain reachable for light opens (an
+// indexed reopen, a KB-scale archive, a metadata-only header walk) no
+// matter how many cold multi-GiB scans are queued.
+//
+// Both waits honor ctx: a disconnected client stops occupying a queue
+// position the moment its request context is canceled.
+type admission struct {
+	slots chan struct{}
+	heavy chan struct{}
+}
+
+// newAdmission builds a gate with `slots` total open slots, of which at
+// most heavySlots may run heavy opens concurrently. heavySlots is
+// clamped to [1, slots]; when slots == 1 the lanes collapse (a single
+// slot cannot reserve anything).
+func newAdmission(slots, heavySlots int) *admission {
+	if slots < 1 {
+		slots = 1
+	}
+	if heavySlots < 1 {
+		heavySlots = 1
+	}
+	if heavySlots > slots {
+		heavySlots = slots
+	}
+	return &admission{
+		slots: make(chan struct{}, slots),
+		heavy: make(chan struct{}, heavySlots),
+	}
+}
+
+// acquire takes an open slot (plus a heavy token first, for heavy
+// opens), or returns ctx.Err() without holding anything when ctx is
+// canceled while waiting. The heavy token is acquired before the slot
+// so a heavy open waiting for its lane does not pin a general slot
+// light opens could use.
+func (ad *admission) acquire(ctx context.Context, heavy bool) error {
+	if heavy {
+		select {
+		case ad.heavy <- struct{}{}:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	select {
+	case ad.slots <- struct{}{}:
+	case <-ctx.Done():
+		if heavy {
+			<-ad.heavy
+		}
+		return ctx.Err()
+	}
+	return nil
+}
+
+// release returns the tokens taken by a successful acquire with the
+// same heavy flag.
+func (ad *admission) release(heavy bool) {
+	<-ad.slots
+	if heavy {
+		<-ad.heavy
+	}
+}

@@ -1,0 +1,64 @@
+package server
+
+import (
+	"net/http"
+	"strings"
+	"time"
+)
+
+// conditionalHit reports whether a GET/HEAD request carries a cache
+// validator matching the current representation, i.e. whether the
+// response should be 304 Not Modified. Evaluation order follows
+// RFC 9110 §13.1.3: when If-None-Match is present it alone decides and
+// If-Modified-Since MUST be ignored (even when the etag comparison
+// fails); If-Modified-Since applies only in its absence.
+func conditionalHit(r *http.Request, etag string, modTime time.Time) bool {
+	if inm := r.Header.Get("If-None-Match"); inm != "" {
+		return etagMatches(inm, etag)
+	}
+	ims := r.Header.Get("If-Modified-Since")
+	if ims == "" {
+		return false
+	}
+	t, err := http.ParseTime(ims)
+	if err != nil {
+		return false // an unparseable date is ignored, not an error
+	}
+	// Last-Modified is serialised at HTTP-date (second) granularity, so
+	// compare at the same resolution — otherwise a sub-second mtime is
+	// always "after" the date the client echoed back and never matches.
+	return !modTime.Truncate(time.Second).After(t)
+}
+
+// etagMatches evaluates an If-None-Match field value against the
+// current entity-tag using the weak comparison of RFC 9110 §8.8.3.2
+// (a W/ prefix is disregarded on both sides). The value is either "*"
+// or a comma-separated list of entity-tags; each tag is a quoted
+// string whose content may itself contain commas, so members are
+// scanned by their closing quote rather than split on commas.
+func etagMatches(header, etag string) bool {
+	target := strings.TrimPrefix(strings.TrimSpace(etag), "W/")
+	rest := strings.TrimSpace(header)
+	if rest == "*" {
+		return true
+	}
+	for rest != "" {
+		rest = strings.TrimLeft(rest, " \t,")
+		if rest == "" {
+			break
+		}
+		tag := strings.TrimPrefix(rest, "W/")
+		if len(tag) < 2 || tag[0] != '"' {
+			return false // malformed list: no match, never a 304 by accident
+		}
+		end := strings.IndexByte(tag[1:], '"')
+		if end < 0 {
+			return false // unterminated quoted string
+		}
+		if tag[:end+2] == target {
+			return true
+		}
+		rest = tag[end+2:]
+	}
+	return false
+}

@@ -45,6 +45,16 @@ func openError(err error) int {
 	}
 }
 
+// acquireError answers a failed Server.acquire: 503 either way, with
+// Retry-After when the wait was cut short (a canceled or timed-out
+// request gave up its queue position — the server itself is fine).
+func acquireError(w http.ResponseWriter, err error) {
+	if !errors.Is(err, errServerClosed) {
+		w.Header().Set("Retry-After", "1")
+	}
+	http.Error(w, err.Error(), http.StatusServiceUnavailable)
+}
+
 // compressedExts are stripped before guessing a Content-Type, so
 // "logs.json.gz" serves as application/json — the response body is the
 // decompressed stream, after all.
@@ -89,9 +99,9 @@ func (s *Server) handleArchive(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "not found", http.StatusNotFound)
 		return
 	}
-	h, err := s.acquire(name)
+	h, err := s.acquire(r.Context(), name)
 	if err != nil {
-		http.Error(w, "server closed", http.StatusServiceUnavailable)
+		acquireError(w, err)
 		return
 	}
 	defer s.release(h)
@@ -104,6 +114,19 @@ func (s *Server) handleArchive(w http.ResponseWriter, r *http.Request) {
 	hdr.Set("Accept-Ranges", "bytes")
 	hdr.Set("ETag", h.etag)
 	hdr.Set("Last-Modified", h.modTime.UTC().Format(http.TimeFormat))
+	if s.cacheControl != "" {
+		hdr.Set("Cache-Control", s.cacheControl)
+	}
+	hdr.Set("Vary", "Accept-Encoding")
+
+	// Conditional GET/HEAD: a matching validator short-circuits before
+	// range parsing and before any read slot — a 304 is served from the
+	// handle's metadata alone and never touches the decode path.
+	if conditionalHit(r, h.etag, h.modTime) {
+		s.notModified.Add(1)
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
 	hdr.Set("Content-Type", contentType(name))
 
 	off, n, res := int64(0), h.size, rangeNone
@@ -116,21 +139,42 @@ func (s *Server) handleArchive(w http.ResponseWriter, r *http.Request) {
 			off, n, res = parseRange(rh, h.size)
 		}
 	}
-	switch res {
-	case rangeUnsatisfiable:
+	if res == rangeUnsatisfiable {
 		hdr.Set("Content-Range", fmt.Sprintf("bytes */%d", h.size))
 		http.Error(w, "range not satisfiable", http.StatusRequestedRangeNotSatisfiable)
 		return
-	case rangePartial:
+	}
+	if res == rangeNone {
+		off, n = 0, h.size
+	}
+
+	// Take the decode slot BEFORE committing the status line: once
+	// WriteHeader runs, the 200/206 is on the wire and a canceled wait
+	// could no longer be reported as 503. HEADs and empty bodies skip
+	// the slot entirely — they decode nothing.
+	needBody := r.Method != http.MethodHead && n > 0
+	if needBody {
+		select {
+		case s.readSem <- struct{}{}:
+			defer func() { <-s.readSem }()
+		case <-r.Context().Done():
+			s.canceledWaits.Add(1)
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "canceled while waiting for a decode slot",
+				http.StatusServiceUnavailable)
+			return
+		}
+	}
+
+	if res == rangePartial {
 		hdr.Set("Content-Range", fmt.Sprintf("bytes %d-%d/%d", off, off+n-1, h.size))
 		hdr.Set("Content-Length", fmt.Sprint(n))
 		w.WriteHeader(http.StatusPartialContent)
-	default:
-		off, n = 0, h.size
+	} else {
 		hdr.Set("Content-Length", fmt.Sprint(n))
 		w.WriteHeader(http.StatusOK)
 	}
-	if r.Method == http.MethodHead || n == 0 {
+	if !needBody {
 		return
 	}
 
@@ -138,8 +182,7 @@ func (s *Server) handleArchive(w http.ResponseWriter, r *http.Request) {
 	// are served through ReadAt (via SectionReader): the archives'
 	// sequential WriteTo path holds a cursor lock for the whole stream,
 	// which would serialise concurrent downloads of the same archive.
-	s.readSem <- struct{}{}
-	defer func() { <-s.readSem }()
+	s.bodyDecodes.Add(1)
 	if res == rangeNone {
 		// A whole-file GET reads the compressed source front to back;
 		// let the kernel widen readahead.
@@ -186,9 +229,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "not found", http.StatusNotFound)
 		return
 	}
-	h, err := s.acquire(name)
+	h, err := s.acquire(r.Context(), name)
 	if err != nil {
-		http.Error(w, "server closed", http.StatusServiceUnavailable)
+		acquireError(w, err)
 		return
 	}
 	defer s.release(h)
@@ -205,19 +248,24 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleMetrics serves GET /metrics: pool accounting, server counters
-// and a per-open-archive stats map.
+// and a per-open-archive stats map. Handles still mid-cold-open are
+// skipped rather than waited on — metrics must answer promptly even
+// while a multi-GiB sizing scan is in flight.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
 	archives := map[string]any{}
 	handles := s.openHandles()
 	for _, h := range handles {
-		<-h.ready
-		if h.err == nil && h.a != nil {
-			archives[h.name] = map[string]any{
-				"format":            h.a.Format().String(),
-				"decompressed_size": h.size,
-				"stats":             h.a.Stats(),
+		select {
+		case <-h.ready:
+			if h.err == nil && h.a != nil {
+				archives[h.name] = map[string]any{
+					"format":            h.a.Format().String(),
+					"decompressed_size": h.size,
+					"stats":             h.a.Stats(),
+				}
 			}
+		default: // open still in flight: report it next time
 		}
 		s.release(h)
 	}

@@ -2,19 +2,27 @@
 // GET /archives/<name> with Range headers onto ReadAt calls against
 // file-backed compressed archives, so clients address byte ranges of
 // the *decompressed* stream of files that are never decompressed as a
-// whole. Three pieces make that safe to run over a directory of
-// archives bigger than RAM:
+// whole. Four pieces make that safe to run over a directory of
+// archives bigger than RAM, under traffic:
 //
 //   - a shared rapidgzip.CachePool bounds the decompressed span bytes
 //     cached across every open archive to one byte budget;
 //   - an LRU handle cache bounds how many archives are open at once,
 //     closing the coldest when a new name is requested;
-//   - two admission semaphores bound concurrent archive opens (each may
-//     cost a sizing pass) and concurrent body decodes.
+//   - a two-lane admission gate bounds concurrent archive opens (each
+//     may cost a sizing pass) while reserving slots that heavyweight
+//     cold scans can never occupy, and a read semaphore bounds
+//     concurrent body decodes — both waits honor the request context,
+//     so a disconnected client stops occupying a slot immediately;
+//   - a background warm-up subsystem exports the index sidecar of any
+//     archive whose open needed a sizing pass, so the next open of
+//     that name is metadata-only.
 package server
 
 import (
+	"context"
 	"errors"
+	"io"
 	"io/fs"
 	"os"
 	"path"
@@ -42,6 +50,17 @@ type Config struct {
 	// pass over the whole compressed file. Zero selects NumCPU/2
 	// (min 1).
 	OpenSlots int
+	// HeavyOpenSlots caps how many of the OpenSlots may run *heavy*
+	// opens concurrently — cold opens of scan-to-size formats (bzip2,
+	// gzip, zstd) at or above HeavyOpenBytes with no index sidecar.
+	// Keeping this strictly below OpenSlots means a stampede of cold
+	// multi-GiB scans can never occupy every open slot while KB-scale
+	// archives queue behind them. Zero selects max(1, OpenSlots/2).
+	HeavyOpenSlots int
+	// HeavyOpenBytes is the compressed size at which an unindexed open
+	// counts as heavy. Zero selects 4 MiB; below it even a full sizing
+	// decode is quick enough to ride the light lane.
+	HeavyOpenBytes int64
 	// ReadSlots caps concurrent response bodies being decoded. Zero
 	// selects 4×NumCPU.
 	ReadSlots int
@@ -50,6 +69,20 @@ type Config struct {
 	// shared pool (each archive keeps a private span-count cache and
 	// memory is unbounded across archives).
 	PoolBudget int64
+	// IndexStore is the directory index sidecars are warmed into and
+	// opens consult first: "<store>/<name>.rgzidx", parent directories
+	// created as needed. Empty selects "beside the archive" — the
+	// sibling "<archive>.rgzidx" layout Open auto-discovers. A shared
+	// store keeps sidecars off read-only archive roots and lets a
+	// fleet of servers share one warm index set.
+	IndexStore string
+	// WarmupWorkers bounds concurrent background index exports. Zero
+	// selects 1; negative disables warm-up entirely.
+	WarmupWorkers int
+	// CacheControl is the Cache-Control header value sent on archive
+	// responses. Empty selects "public, max-age=60"; "none" sends no
+	// header.
+	CacheControl string
 	// Options are extra open options applied to every archive (e.g.
 	// rapidgzip.WithParallelism). The server appends its own
 	// WithSharedPool.
@@ -58,36 +91,65 @@ type Config struct {
 
 // Metrics is a snapshot of the server's request counters.
 type Metrics struct {
-	Requests        uint64 `json:"requests"`
-	RangeRequests   uint64 `json:"range_requests"`
-	BytesServed     uint64 `json:"bytes_served"`
+	Requests      uint64 `json:"requests"`
+	RangeRequests uint64 `json:"range_requests"`
+	// NotModified counts conditional GET/HEADs answered 304 — served
+	// from the handle's metadata alone, with no body decode.
+	NotModified uint64 `json:"not_modified"`
+	BytesServed uint64 `json:"bytes_served"`
+	// BodyDecodes counts responses that acquired a read slot and
+	// decoded body bytes; 304s and HEADs never move it.
+	BodyDecodes     uint64 `json:"body_decodes"`
 	HandleHits      uint64 `json:"handle_hits"`
 	HandleMisses    uint64 `json:"handle_misses"`
 	HandleEvictions uint64 `json:"handle_evictions"`
 	OpenFailures    uint64 `json:"open_failures"`
-	OpenArchives    int    `json:"open_archives"`
+	// HeavyOpens counts cold opens classified into the heavy admission
+	// lane (large scan-to-size archives with no sidecar).
+	HeavyOpens uint64 `json:"heavy_opens"`
+	// CanceledWaits counts slot waits abandoned because the client
+	// disconnected (or timed out) before a slot freed up.
+	CanceledWaits uint64 `json:"canceled_waits"`
+	// OpenArchives counts ready, successfully opened handles in the
+	// cache — pending cold opens and failed opens are excluded.
+	OpenArchives int `json:"open_archives"`
+	// Warm-up subsystem counters: sidecar exports accepted, finished,
+	// errored, and skipped (dedup, sidecar already present, queue
+	// full). Queued == Completed + Failed once the queue drains.
+	WarmupsQueued    uint64 `json:"warmups_queued"`
+	WarmupsCompleted uint64 `json:"warmups_completed"`
+	WarmupsFailed    uint64 `json:"warmups_failed"`
+	WarmupsSkipped   uint64 `json:"warmups_skipped"`
 }
 
 // Server serves decompressed byte ranges of the archives under a root
 // directory. Create with New, mount via Handler, release with Close.
 type Server struct {
-	root      string
-	pool      *rapidgzip.CachePool // nil when disabled
-	openSem   chan struct{}
-	readSem   chan struct{}
-	openOpts  []rapidgzip.Option
-	mu        sync.Mutex
-	handles   *cache.Cache[string, *handle]
-	releasing []*handle // evicted handles pending release outside mu
-	closed    bool
+	root           string
+	pool           *rapidgzip.CachePool // nil when disabled
+	adm            *admission
+	readSem        chan struct{}
+	openOpts       []rapidgzip.Option
+	indexStore     string // "" = sidecars beside the archives
+	heavyOpenBytes int64
+	cacheControl   string  // "" = no header
+	warm           *warmup // nil when disabled
+	mu             sync.Mutex
+	handles        *cache.Cache[string, *handle]
+	releasing      []*handle // evicted handles pending release outside mu
+	closed         bool
 
 	requests        atomic.Uint64
 	rangeRequests   atomic.Uint64
+	notModified     atomic.Uint64
 	bytesServed     atomic.Uint64
+	bodyDecodes     atomic.Uint64
 	handleHits      atomic.Uint64
 	handleMisses    atomic.Uint64
 	handleEvictions atomic.Uint64
 	openFailures    atomic.Uint64
+	heavyOpens      atomic.Uint64
+	canceledWaits   atomic.Uint64
 }
 
 // handle is one open archive plus the response metadata derived from
@@ -132,6 +194,14 @@ func New(cfg Config) (*Server, error) {
 	if openSlots <= 0 {
 		openSlots = max(1, runtime.NumCPU()/2)
 	}
+	heavySlots := cfg.HeavyOpenSlots
+	if heavySlots <= 0 {
+		heavySlots = max(1, openSlots/2)
+	}
+	heavyBytes := cfg.HeavyOpenBytes
+	if heavyBytes <= 0 {
+		heavyBytes = 4 << 20
+	}
 	readSlots := cfg.ReadSlots
 	if readSlots <= 0 {
 		readSlots = 4 * runtime.NumCPU()
@@ -140,17 +210,30 @@ func New(cfg Config) (*Server, error) {
 	if budget == 0 {
 		budget = 256 << 20
 	}
+	cacheControl := cfg.CacheControl
+	switch cacheControl {
+	case "":
+		cacheControl = "public, max-age=60"
+	case "none":
+		cacheControl = ""
+	}
 	s := &Server{
-		root:     cfg.Root,
-		openSem:  make(chan struct{}, openSlots),
-		readSem:  make(chan struct{}, readSlots),
-		openOpts: cfg.Options,
-		handles:  cache.NewLRUCache[string, *handle](maxOpen),
+		root:           cfg.Root,
+		adm:            newAdmission(openSlots, heavySlots),
+		readSem:        make(chan struct{}, readSlots),
+		openOpts:       cfg.Options,
+		indexStore:     cfg.IndexStore,
+		heavyOpenBytes: heavyBytes,
+		cacheControl:   cacheControl,
+		handles:        cache.NewLRUCache[string, *handle](maxOpen),
 	}
 	if budget > 0 {
 		s.pool = rapidgzip.NewCachePool(budget)
 		s.openOpts = append(s.openOpts[:len(s.openOpts):len(s.openOpts)],
 			rapidgzip.WithSharedPool(s.pool))
+	}
+	if cfg.WarmupWorkers >= 0 {
+		s.warm = newWarmup(s, max(1, cfg.WarmupWorkers))
 	}
 	// Eviction only drops the cache's reference; the handle closes when
 	// the last in-flight request releases it. The release itself (which
@@ -169,26 +252,60 @@ func (s *Server) Pool() *rapidgzip.CachePool { return s.pool }
 // Metrics returns a snapshot of the request counters.
 func (s *Server) Metrics() Metrics {
 	s.mu.Lock()
-	open := s.handles.Len()
+	open := 0
+	for _, name := range s.handles.Keys() {
+		h, ok := s.handles.Peek(name)
+		if !ok {
+			continue
+		}
+		// Only ready, successfully opened archives count as open:
+		// handles mid-cold-open hold no archive yet, and failed opens
+		// (still cached for the instant before acquire drops them)
+		// never held one.
+		select {
+		case <-h.ready:
+			if h.err == nil && h.a != nil {
+				open++
+			}
+		default:
+		}
+	}
 	s.mu.Unlock()
-	return Metrics{
+	m := Metrics{
 		Requests:        s.requests.Load(),
 		RangeRequests:   s.rangeRequests.Load(),
+		NotModified:     s.notModified.Load(),
 		BytesServed:     s.bytesServed.Load(),
+		BodyDecodes:     s.bodyDecodes.Load(),
 		HandleHits:      s.handleHits.Load(),
 		HandleMisses:    s.handleMisses.Load(),
 		HandleEvictions: s.handleEvictions.Load(),
 		OpenFailures:    s.openFailures.Load(),
+		HeavyOpens:      s.heavyOpens.Load(),
+		CanceledWaits:   s.canceledWaits.Load(),
 		OpenArchives:    open,
 	}
+	if s.warm != nil {
+		m.WarmupsQueued = s.warm.queued.Load()
+		m.WarmupsCompleted = s.warm.completed.Load()
+		m.WarmupsFailed = s.warm.failed.Load()
+		m.WarmupsSkipped = s.warm.skipped.Load()
+	}
+	return m
 }
 
-// Close evicts and closes every open archive. In-flight requests
-// holding references finish against their handles; the last release
-// closes each archive.
+// Close stops the warm-up workers, then evicts and closes every open
+// archive. In-flight requests holding references finish against their
+// handles; the last release closes each archive.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	s.closed = true
+	s.mu.Unlock()
+	// Warm-up first: its workers acquire handles, and acquire refuses
+	// new work once closed is set, so after shutdown no new references
+	// appear behind the eviction sweep below.
+	s.warm.shutdown()
+	s.mu.Lock()
 	for _, name := range s.handles.Keys() {
 		if h, ok := s.handles.Peek(name); ok {
 			s.releasing = append(s.releasing, h)
@@ -221,11 +338,78 @@ func cleanName(raw string) (string, bool) {
 	return name, true
 }
 
+// fullPath resolves an already-cleaned archive name under the root.
+func (s *Server) fullPath(name string) string {
+	return filepath.Join(s.root, filepath.FromSlash(name))
+}
+
+// indexPathFor returns where name's index sidecar lives (or belongs):
+// under the index store when one is configured, beside the archive
+// otherwise.
+func (s *Server) indexPathFor(name string) string {
+	if s.indexStore != "" {
+		return filepath.Join(s.indexStore, filepath.FromSlash(name)+rapidgzip.IndexSuffix)
+	}
+	return s.fullPath(name) + rapidgzip.IndexSuffix
+}
+
+// classifyOpen decides the admission lane of a cold open and resolves
+// the index to import, before any slot is held:
+//
+//   - a store sidecar exists → light, import it explicitly;
+//   - a sibling sidecar exists → light, Open auto-discovers it;
+//   - the file is small (below HeavyOpenBytes) → light, even a full
+//     sizing decode of it is quick;
+//   - otherwise the magic bytes decide: LZ4 and BGZF size themselves
+//     by a metadata-only header walk and stay light, while gzip,
+//     bzip2 and zstd may each cost a decode-everything pass cold —
+//     the heavy lane exists exactly for them.
+//
+// The classification is a heuristic (a stale sidecar still falls back
+// to a scan, a sized multi-frame zstd is cheaper than assumed); being
+// wrong costs a little lane misallocation, never correctness.
+func (s *Server) classifyOpen(name, full string) (heavy bool, indexPath string) {
+	if s.indexStore != "" {
+		if p := s.indexPathFor(name); isRegular(p) {
+			return false, p
+		}
+	}
+	if isRegular(full + rapidgzip.IndexSuffix) {
+		return false, "" // sibling: Open's auto-discovery imports it
+	}
+	st, err := os.Stat(full)
+	if err != nil || st.Size() < s.heavyOpenBytes {
+		return false, ""
+	}
+	f, err := os.Open(full)
+	if err != nil {
+		return false, "" // the open proper will surface the error
+	}
+	prefix := make([]byte, rapidgzip.SniffLen)
+	n, _ := io.ReadFull(f, prefix)
+	f.Close()
+	switch rapidgzip.DetectFormat(prefix[:n]) {
+	case rapidgzip.FormatGzip, rapidgzip.FormatBzip2, rapidgzip.FormatZstd:
+		return true, ""
+	}
+	return false, ""
+}
+
+// isRegular reports whether path exists and is a regular file.
+func isRegular(path string) bool {
+	st, err := os.Stat(path)
+	return err == nil && st.Mode().IsRegular()
+}
+
 // acquire returns a ready handle for name, opening the archive if it
 // is not cached. The caller must call s.release(h) when done. A handle
 // with h.err != nil is returned for failed opens (already released
 // from the cache so the next request retries).
-func (s *Server) acquire(name string) (*handle, error) {
+//
+// Both the wait for another request's in-flight open and the wait for
+// an admission slot honor ctx: when the client disconnects, acquire
+// returns ctx's error holding nothing.
+func (s *Server) acquire(ctx context.Context, name string) (*handle, error) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -235,8 +419,16 @@ func (s *Server) acquire(name string) (*handle, error) {
 		h.refs++
 		s.mu.Unlock()
 		s.handleHits.Add(1)
-		<-h.ready
-		return h, nil
+		select {
+		case <-h.ready:
+			return h, nil
+		case <-ctx.Done():
+			// The opener still holds its own reference, so this release
+			// can never be the one that closes the archive mid-open.
+			s.canceledWaits.Add(1)
+			s.release(h)
+			return nil, ctx.Err()
+		}
 	}
 	h := &handle{name: name, ready: make(chan struct{}), refs: 2} // cache + this request
 	s.handles.Put(name, h)
@@ -244,12 +436,33 @@ func (s *Server) acquire(name string) (*handle, error) {
 	s.handleMisses.Add(1)
 	s.drainReleases()
 
-	// Cold open, bounded by openSem: a sizing pass over a large archive
-	// is expensive, and an unbounded stampede of distinct names must
-	// not run one per request.
-	s.openSem <- struct{}{}
-	h.open(s)
-	<-s.openSem
+	// Cold open, bounded by the admission gate: a sizing pass over a
+	// large archive is expensive, an unbounded stampede of distinct
+	// names must not run one per request, and the heavy lane keeps the
+	// expensive scans from occupying every slot.
+	full := s.fullPath(name)
+	heavy, indexPath := s.classifyOpen(name, full)
+	if heavy {
+		s.heavyOpens.Add(1)
+	}
+	if err := s.adm.acquire(ctx, heavy); err != nil {
+		// Abandoned open: fail the handle so requests already waiting on
+		// ready error out instead of hanging, and drop the cache's
+		// reference so the next request retries with a fresh handle.
+		s.canceledWaits.Add(1)
+		h.err = err
+		close(h.ready)
+		s.mu.Lock()
+		if cur, ok := s.handles.Peek(name); ok && cur == h {
+			s.handles.Delete(name)
+			h.refs--
+		}
+		s.mu.Unlock()
+		s.release(h) // this request's reference
+		return nil, err
+	}
+	h.open(s, full, indexPath)
+	s.adm.release(heavy)
 	close(h.ready)
 
 	if h.err != nil {
@@ -262,14 +475,20 @@ func (s *Server) acquire(name string) (*handle, error) {
 			h.refs--
 		}
 		s.mu.Unlock()
+	} else if h.a.Stats().SizingPasses > 0 {
+		// The open paid a sizing pass, meaning no usable index existed;
+		// warm one up in the background so the next open of this name
+		// (here or in the next process) is metadata-only.
+		s.warm.enqueue(name)
 	}
 	return h, nil
 }
 
 // open resolves the archive behind h. Called once, by the acquiring
-// request, with an openSem slot held.
-func (h *handle) open(s *Server) {
-	full := filepath.Join(s.root, filepath.FromSlash(h.name))
+// request, with an admission slot held. indexPath, when non-empty, is
+// a store sidecar to import explicitly; a stale or corrupt one falls
+// back to a plain open, mirroring sibling auto-discovery's behavior.
+func (h *handle) open(s *Server, full, indexPath string) {
 	st, err := os.Stat(full)
 	if err != nil {
 		h.err = err
@@ -279,7 +498,15 @@ func (h *handle) open(s *Server) {
 		h.err = fs.ErrNotExist
 		return
 	}
-	a, err := rapidgzip.Open(full, s.openOpts...)
+	var a rapidgzip.Archive
+	if indexPath != "" {
+		opts := append(s.openOpts[:len(s.openOpts):len(s.openOpts)],
+			rapidgzip.WithIndexFile(indexPath))
+		a, err = rapidgzip.Open(full, opts...)
+	}
+	if indexPath == "" || err != nil {
+		a, err = rapidgzip.Open(full, s.openOpts...)
+	}
 	if err != nil {
 		h.err = err
 		return
@@ -303,6 +530,9 @@ func (h *handle) open(s *Server) {
 }
 
 // release drops one reference; the last reference closes the archive.
+// A handle can only reach zero references after its open finished (the
+// opener holds a reference until ready is closed), so reading h.a here
+// is ordered after the opener's writes.
 func (s *Server) release(h *handle) {
 	s.mu.Lock()
 	h.refs--
@@ -324,9 +554,10 @@ func (s *Server) drainReleases() {
 	}
 }
 
-// openHandles snapshots the currently cached, successfully opened
-// handles for the metrics endpoint, taking a reference on each. The
-// caller must release every returned handle.
+// openHandles snapshots the currently cached handles for the metrics
+// endpoint, taking a reference on each. The caller must release every
+// returned handle, and must not block on handles whose ready channel
+// is still open.
 func (s *Server) openHandles() []*handle {
 	s.mu.Lock()
 	var out []*handle

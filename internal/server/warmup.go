@@ -1,0 +1,148 @@
+// Background index warm-up: the first open of an archive without a
+// sidecar pays the format's sizing pass in-request (there is no way
+// around it — the response needs Content-Length), but nothing says the
+// *next* cold open has to pay it again. After any such open the server
+// queues the archive for a bounded background worker that exports the
+// RGZIDX04 index to the index store (a configurable directory, default
+// beside the archive), via a crash-safe temp-file-then-rename write.
+// The next open of that name — in this process after a handle eviction,
+// or in the next process entirely — imports the sidecar and skips the
+// sizing pass.
+package server
+
+import (
+	"context"
+	"os"
+	"sync"
+	"sync/atomic"
+
+	"repro"
+)
+
+// warmup is the background index-export subsystem. Enqueue requests are
+// deduplicated single-flight per archive name, the queue is bounded
+// (overflow is counted, not blocked on), and `workers` goroutines drain
+// it. All counters are exposed through Metrics.
+type warmup struct {
+	s      *Server
+	queue  chan string
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	mu       sync.Mutex
+	inflight map[string]bool // names queued or being exported
+
+	queued    atomic.Uint64 // accepted into the queue
+	completed atomic.Uint64 // sidecar written and renamed into place
+	failed    atomic.Uint64 // export errored (unreadable archive, read-only store)
+	skipped   atomic.Uint64 // dedup, sidecar already present, or queue full
+}
+
+// newWarmup starts `workers` export workers feeding on a bounded queue.
+func newWarmup(s *Server, workers int) *warmup {
+	ctx, cancel := context.WithCancel(context.Background())
+	w := &warmup{
+		s:        s,
+		queue:    make(chan string, 64*workers),
+		ctx:      ctx,
+		cancel:   cancel,
+		inflight: make(map[string]bool),
+	}
+	w.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go w.run()
+	}
+	return w
+}
+
+// enqueue queues name for a background index export unless one is
+// already queued or running for it, the sidecar already exists, or the
+// queue is full. Never blocks: warm-up is an optimisation, and the
+// serving path must not wait on it.
+func (w *warmup) enqueue(name string) {
+	if w == nil {
+		return
+	}
+	if _, err := os.Stat(w.s.indexPathFor(name)); err == nil {
+		w.skipped.Add(1)
+		return
+	}
+	w.mu.Lock()
+	if w.inflight[name] {
+		w.mu.Unlock()
+		w.skipped.Add(1)
+		return
+	}
+	w.inflight[name] = true
+	w.mu.Unlock()
+	select {
+	case w.queue <- name:
+		w.queued.Add(1)
+	default:
+		w.done(name)
+		w.skipped.Add(1)
+	}
+}
+
+// done clears name's single-flight mark.
+func (w *warmup) done(name string) {
+	w.mu.Lock()
+	delete(w.inflight, name)
+	w.mu.Unlock()
+}
+
+// run is one export worker.
+func (w *warmup) run() {
+	defer w.wg.Done()
+	for {
+		select {
+		case <-w.ctx.Done():
+			return
+		case name := <-w.queue:
+			w.export(name)
+		}
+	}
+}
+
+// export writes name's index sidecar. The archive is acquired through
+// the regular handle cache — usually a hit on the handle whose open
+// triggered the warm-up — and the reference keeps it alive for the
+// duration even if the LRU evicts it meanwhile. For gzip the export may
+// complete the seek-point index first (one full background decode);
+// every other format's checkpoint table exists since open.
+func (w *warmup) export(name string) {
+	defer w.done(name)
+	target := w.s.indexPathFor(name)
+	if _, err := os.Stat(target); err == nil {
+		w.skipped.Add(1) // lost a race against another writer of the sidecar
+		return
+	}
+	h, err := w.s.acquire(w.ctx, name)
+	if err != nil {
+		if w.ctx.Err() == nil {
+			w.failed.Add(1)
+		}
+		return
+	}
+	defer w.s.release(h)
+	if h.err != nil {
+		w.failed.Add(1)
+		return
+	}
+	if err := rapidgzip.ExportIndexFile(h.a, target); err != nil {
+		w.failed.Add(1)
+		return
+	}
+	w.completed.Add(1)
+}
+
+// shutdown stops the workers and waits for the in-flight export (which
+// is not cancellable mid-write) to finish.
+func (w *warmup) shutdown() {
+	if w == nil {
+		return
+	}
+	w.cancel()
+	w.wg.Wait()
+}

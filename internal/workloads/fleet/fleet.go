@@ -1,0 +1,65 @@
+// Package fleet generates directories of many small archives — the
+// "small-file fleet" serving workload, the opposite regime of the
+// sparse multi-GiB archives the range benchmarks use. It lives beside
+// package workloads rather than in it because it imports the codec
+// packages (gzipw, lz4x, zstdx), whose tests import workloads.
+package fleet
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/gzipw"
+	"repro/internal/lz4x"
+	"repro/internal/workloads"
+	"repro/internal/zstdx"
+)
+
+// File is one archive of a generated fleet: its root-relative name
+// (forward slashes) and decompressed content.
+type File struct {
+	Name    string
+	Content []byte
+}
+
+// Write populates dir with count KB-scale archives of mixed formats.
+// Formats rotate gzip → LZ4 → zstd, sizes cycle 8–56 KiB, and files
+// land in bucketed subdirectories ("b07/f0123.gz") so consumers
+// exercise nested-name handling (index stores must recreate the
+// directory layout, archive listings must walk it). Deterministic in
+// (count, seed).
+func Write(dir string, count int, seed uint64) ([]File, error) {
+	out := make([]File, 0, count)
+	for i := 0; i < count; i++ {
+		size := 8<<10 + (i%7)*(8<<10) + i%1021
+		content := workloads.Base64(size, seed+uint64(i)*2654435761)
+		var comp []byte
+		var ext string
+		switch i % 3 {
+		case 0:
+			ext = "gz"
+			c, _, err := gzipw.Compress(content, gzipw.Options{Level: 6, BlockSize: 16 << 10})
+			if err != nil {
+				return nil, fmt.Errorf("fleet: gzip %d: %w", i, err)
+			}
+			comp = c
+		case 1:
+			ext = "lz4"
+			comp = lz4x.CompressFrames(content, lz4x.FrameOptions{BlockSize: 16 << 10, FrameSize: 16 << 10})
+		default:
+			ext = "zst"
+			comp = zstdx.CompressFrames(content, zstdx.FrameOptions{Level: 1, FrameSize: 16 << 10})
+		}
+		name := fmt.Sprintf("b%02d/f%04d.%s", i%16, i, ext)
+		full := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(full, comp, 0o644); err != nil {
+			return nil, err
+		}
+		out = append(out, File{Name: name, Content: content})
+	}
+	return out, nil
+}

@@ -345,27 +345,7 @@ func (w *writer) Close() error {
 // temp file renamed into place, so a crash never leaves a truncated
 // index for a later Open to trip on.
 func (w *writer) writeSidecar() error {
-	tmp, err := os.CreateTemp(filepath.Dir(w.sidecar), filepath.Base(w.sidecar)+".tmp*")
-	if err != nil {
-		return err
-	}
-	if err := w.ExportIndex(tmp); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return err
-	}
-	// CreateTemp opens 0600; the sidecar should be as readable as the
-	// archive it describes (umask still applies via the archive itself,
-	// so plain 0644 matches os.Create's default).
-	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
-		os.Remove(tmp.Name())
-		return err
-	}
-	return os.Rename(tmp.Name(), w.sidecar)
+	return writeFileAtomic(w.sidecar, w.ExportIndex)
 }
 
 func (w *writer) Stats() WriterStats {
